@@ -1,0 +1,180 @@
+//! The defective memory-array model.
+
+/// Dimensions and spare provisioning of an array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArrayConfig {
+    /// Word lines.
+    pub rows: usize,
+    /// Bit lines.
+    pub cols: usize,
+    /// Spare word lines available for repair.
+    pub spare_rows: usize,
+    /// Spare bit lines available for repair.
+    pub spare_cols: usize,
+}
+
+/// A single-cell stuck-at defect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellFault {
+    /// Word line.
+    pub row: usize,
+    /// Bit line.
+    pub col: usize,
+    /// Stuck value.
+    pub stuck_one: bool,
+}
+
+/// A bit array with injected manufacturing defects.
+///
+/// Reads and writes behave like silicon: writes to stuck cells are
+/// silently lost; cells on a broken word/bit line read the stuck value.
+#[derive(Clone, Debug)]
+pub struct MemoryArray {
+    cfg: ArrayConfig,
+    bits: Vec<u64>,
+    cell_faults: Vec<CellFault>,
+    row_faults: Vec<usize>,
+    col_faults: Vec<usize>,
+}
+
+impl MemoryArray {
+    /// A defect-free array, all cells initialized to 0.
+    ///
+    /// # Panics
+    /// Panics when `cols > 64` (one word per row keeps the model simple).
+    pub fn new(cfg: ArrayConfig) -> Self {
+        assert!(cfg.cols <= 64, "model supports up to 64 columns");
+        assert!(cfg.rows > 0 && cfg.cols > 0);
+        MemoryArray {
+            cfg,
+            bits: vec![0; cfg.rows],
+            cell_faults: Vec::new(),
+            row_faults: Vec::new(),
+            col_faults: Vec::new(),
+        }
+    }
+
+    /// Configuration used at construction.
+    pub fn config(&self) -> ArrayConfig {
+        self.cfg
+    }
+
+    /// Inject a stuck-at cell defect.
+    pub fn inject_cell_fault(&mut self, row: usize, col: usize, stuck_one: bool) {
+        assert!(row < self.cfg.rows && col < self.cfg.cols);
+        self.cell_faults.push(CellFault {
+            row,
+            col,
+            stuck_one,
+        });
+    }
+
+    /// Break an entire word line (all its cells read 0).
+    pub fn inject_row_fault(&mut self, row: usize) {
+        assert!(row < self.cfg.rows);
+        self.row_faults.push(row);
+    }
+
+    /// Break an entire bit line (the column reads 0 in every row).
+    pub fn inject_col_fault(&mut self, col: usize) {
+        assert!(col < self.cfg.cols);
+        self.col_faults.push(col);
+    }
+
+    /// Number of injected defects (of all kinds).
+    pub fn fault_count(&self) -> usize {
+        self.cell_faults.len() + self.row_faults.len() + self.col_faults.len()
+    }
+
+    /// Write one bit (lost if the cell is defective).
+    pub fn write(&mut self, row: usize, col: usize, value: bool) {
+        assert!(row < self.cfg.rows && col < self.cfg.cols);
+        if value {
+            self.bits[row] |= 1 << col;
+        } else {
+            self.bits[row] &= !(1 << col);
+        }
+    }
+
+    /// Read one bit, with defects applied.
+    pub fn read(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.cfg.rows && col < self.cfg.cols);
+        if self.row_faults.contains(&row) || self.col_faults.contains(&col) {
+            return false;
+        }
+        for f in &self.cell_faults {
+            if f.row == row && f.col == col {
+                return f.stuck_one;
+            }
+        }
+        (self.bits[row] >> col) & 1 == 1
+    }
+
+    /// The ground-truth defective cells, for validating test coverage.
+    pub fn defective_cells(&self) -> Vec<(usize, usize)> {
+        let mut v: Vec<(usize, usize)> = self
+            .cell_faults
+            .iter()
+            .map(|f| (f.row, f.col))
+            .collect();
+        for &r in &self.row_faults {
+            for c in 0..self.cfg.cols {
+                v.push((r, c));
+            }
+        }
+        for &c in &self.col_faults {
+            for r in 0..self.cfg.rows {
+                v.push((r, c));
+            }
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_array_reads_back_writes() {
+        let mut a = MemoryArray::new(ArrayConfig {
+            rows: 4,
+            cols: 8,
+            spare_rows: 0,
+            spare_cols: 0,
+        });
+        a.write(2, 5, true);
+        assert!(a.read(2, 5));
+        a.write(2, 5, false);
+        assert!(!a.read(2, 5));
+    }
+
+    #[test]
+    fn stuck_cell_ignores_writes() {
+        let mut a = MemoryArray::new(ArrayConfig {
+            rows: 4,
+            cols: 8,
+            spare_rows: 0,
+            spare_cols: 0,
+        });
+        a.inject_cell_fault(1, 1, true);
+        a.write(1, 1, false);
+        assert!(a.read(1, 1), "stuck-at-1 cell always reads 1");
+    }
+
+    #[test]
+    fn line_faults_cover_whole_lines() {
+        let mut a = MemoryArray::new(ArrayConfig {
+            rows: 4,
+            cols: 4,
+            spare_rows: 0,
+            spare_cols: 0,
+        });
+        a.inject_row_fault(3);
+        a.inject_col_fault(0);
+        let cells = a.defective_cells();
+        assert_eq!(cells.len(), 4 + 4 - 1); // row 3 + col 0, overlap once
+    }
+}

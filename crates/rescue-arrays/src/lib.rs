@@ -1,0 +1,48 @@
+//! Memory-array test and repair: the substrate the Rescue paper *assumes*
+//! for every RAM structure it does not cover with ICI.
+//!
+//! The paper (Sections 1, 4.2, 4.4, 4.5) leans on the classic memory
+//! story: caches, rename tables, register files and predictors are
+//! regular arrays, so **BIST combined with redundancy** (spare rows and
+//! columns) already repairs them — Rescue targets the irregular core
+//! logic that this story leaves exposed. This crate builds that story so
+//! the repository is self-contained:
+//!
+//! * [`MemoryArray`] — a rows × cols bit array with injectable cell,
+//!   row-line, and column-line defects,
+//! * [`march`] — March C- built-in self test: detects all stuck-at cell
+//!   faults (and the line faults that manifest as them) and reports the
+//!   failing bitmap,
+//! * [`repair`] — must-repair analysis allocating spare rows/columns from
+//!   the failure bitmap,
+//! * [`yield_model`] — array yield with and without spares, quantifying
+//!   why the paper can treat arrays as solved.
+//!
+//! # Example
+//!
+//! ```
+//! use rescue_arrays::{march_cminus, repair_allocate, ArrayConfig, MemoryArray};
+//!
+//! let cfg = ArrayConfig { rows: 64, cols: 32, spare_rows: 2, spare_cols: 2 };
+//! let mut a = MemoryArray::new(cfg);
+//! a.inject_cell_fault(10, 3, true);
+//! a.inject_row_fault(42);
+//! let bitmap = march_cminus(&mut a);
+//! let plan = repair_allocate(&bitmap, cfg).expect("repairable with spares");
+//! assert!(plan.rows.contains(&42));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod march;
+mod repair;
+mod yield_model;
+
+pub use array::{ArrayConfig, CellFault, MemoryArray};
+pub use march::{march_cminus, FailBitmap, MarchElement, MarchOp};
+pub use repair::{repair_allocate, RepairError, RepairPlan};
+pub use yield_model::{
+    array_yield_with_spares, array_yield_without_spares, monte_carlo_repair_yield,
+};

@@ -1,0 +1,219 @@
+//! Spare allocation: turn a BIST failure bitmap into a row/column repair
+//! plan, or report the array unrepairable.
+//!
+//! Uses the classic *must-repair* + greedy strategy: a row (column) with
+//! more failing cells than there are spare columns (rows) can only be
+//! fixed by a spare row (column); remaining isolated cells are then
+//! covered greedily. Optimal repair is NP-complete; must-repair + greedy
+//! is what production laser-repair flows use for these spare counts.
+
+use crate::array::ArrayConfig;
+use crate::march::FailBitmap;
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Which spare lines to burn.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RepairPlan {
+    /// Rows replaced by spare rows.
+    pub rows: Vec<usize>,
+    /// Columns replaced by spare columns.
+    pub cols: Vec<usize>,
+}
+
+/// The array cannot be repaired with the provisioned spares.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RepairError {
+    /// Failing cells left uncovered by the best plan found.
+    pub uncovered: usize,
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "array unrepairable: {} failing cells uncovered by the spares",
+            self.uncovered
+        )
+    }
+}
+
+impl Error for RepairError {}
+
+/// Allocate spares for `bitmap` under `cfg`'s provisioning.
+///
+/// # Errors
+/// Returns [`RepairError`] when the failures cannot be covered.
+pub fn repair_allocate(bitmap: &FailBitmap, cfg: ArrayConfig) -> Result<RepairPlan, RepairError> {
+    let mut plan = RepairPlan::default();
+    let mut remaining: Vec<(usize, usize)> = bitmap.fails.clone();
+
+    // Must-repair passes: iterate because covering a line can expose new
+    // must-repair constraints as budgets shrink.
+    loop {
+        let spare_rows_left = cfg.spare_rows - plan.rows.len();
+        let spare_cols_left = cfg.spare_cols - plan.cols.len();
+        let mut changed = false;
+
+        // A row with more fails than spare columns left must use a row.
+        let mut row_counts = std::collections::BTreeMap::new();
+        for &(r, _) in &remaining {
+            *row_counts.entry(r).or_insert(0usize) += 1;
+        }
+        for (&r, &n) in &row_counts {
+            if n > spare_cols_left && !plan.rows.contains(&r) {
+                if plan.rows.len() == cfg.spare_rows {
+                    return Err(RepairError {
+                        uncovered: remaining.len(),
+                    });
+                }
+                plan.rows.push(r);
+                remaining.retain(|&(rr, _)| rr != r);
+                changed = true;
+                break;
+            }
+        }
+        if changed {
+            continue;
+        }
+
+        let mut col_counts = std::collections::BTreeMap::new();
+        for &(_, c) in &remaining {
+            *col_counts.entry(c).or_insert(0usize) += 1;
+        }
+        for (&c, &n) in &col_counts {
+            if n > spare_rows_left && !plan.cols.contains(&c) {
+                if plan.cols.len() == cfg.spare_cols {
+                    return Err(RepairError {
+                        uncovered: remaining.len(),
+                    });
+                }
+                plan.cols.push(c);
+                remaining.retain(|&(_, cc)| cc != c);
+                changed = true;
+                break;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Greedy cleanup: cover leftover sparse fails, preferring whichever
+    // line kind has budget and covers the most.
+    while !remaining.is_empty() {
+        let rows_left = cfg.spare_rows - plan.rows.len();
+        let cols_left = cfg.spare_cols - plan.cols.len();
+        if rows_left == 0 && cols_left == 0 {
+            return Err(RepairError {
+                uncovered: remaining.len(),
+            });
+        }
+        let rows: BTreeSet<usize> = remaining.iter().map(|&(r, _)| r).collect();
+        let cols: BTreeSet<usize> = remaining.iter().map(|&(_, c)| c).collect();
+        let best_row = rows
+            .iter()
+            .map(|&r| (remaining.iter().filter(|&&(rr, _)| rr == r).count(), r))
+            .max();
+        let best_col = cols
+            .iter()
+            .map(|&c| (remaining.iter().filter(|&&(_, cc)| cc == c).count(), c))
+            .max();
+        let use_row = match (best_row, best_col) {
+            (Some((rn, _)), Some((cn, _))) => {
+                if rows_left == 0 {
+                    false
+                } else if cols_left == 0 {
+                    true
+                } else {
+                    rn >= cn
+                }
+            }
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => unreachable!("remaining is non-empty"),
+        };
+        if use_row {
+            let (_, r) = best_row.expect("non-empty");
+            plan.rows.push(r);
+            remaining.retain(|&(rr, _)| rr != r);
+        } else {
+            let (_, c) = best_col.expect("non-empty");
+            plan.cols.push(c);
+            remaining.retain(|&(_, cc)| cc != c);
+        }
+    }
+    plan.rows.sort_unstable();
+    plan.cols.sort_unstable();
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::MemoryArray;
+    use crate::march::march_cminus;
+
+    fn cfg(sr: usize, sc: usize) -> ArrayConfig {
+        ArrayConfig {
+            rows: 16,
+            cols: 16,
+            spare_rows: sr,
+            spare_cols: sc,
+        }
+    }
+
+    #[test]
+    fn clean_needs_no_repair() {
+        let mut a = MemoryArray::new(cfg(1, 1));
+        let plan = repair_allocate(&march_cminus(&mut a), cfg(1, 1)).unwrap();
+        assert_eq!(plan, RepairPlan::default());
+    }
+
+    #[test]
+    fn broken_row_takes_a_spare_row() {
+        let c = cfg(1, 1);
+        let mut a = MemoryArray::new(c);
+        a.inject_row_fault(7);
+        let plan = repair_allocate(&march_cminus(&mut a), c).unwrap();
+        assert_eq!(plan.rows, vec![7]);
+        assert!(plan.cols.is_empty());
+    }
+
+    #[test]
+    fn scattered_cells_use_either_kind() {
+        let c = cfg(2, 2);
+        let mut a = MemoryArray::new(c);
+        a.inject_cell_fault(1, 2, true);
+        a.inject_cell_fault(9, 12, false);
+        let plan = repair_allocate(&march_cminus(&mut a), c).unwrap();
+        assert_eq!(plan.rows.len() + plan.cols.len(), 2);
+    }
+
+    #[test]
+    fn too_many_lines_is_unrepairable() {
+        let c = cfg(1, 1);
+        let mut a = MemoryArray::new(c);
+        a.inject_row_fault(1);
+        a.inject_row_fault(2);
+        a.inject_col_fault(3);
+        let err = repair_allocate(&march_cminus(&mut a), c).unwrap_err();
+        assert!(err.uncovered > 0);
+        assert!(err.to_string().contains("unrepairable"));
+    }
+
+    #[test]
+    fn must_repair_beats_naive_greedy() {
+        // A full row of fails with only 1 spare column available MUST take
+        // the spare row even though a greedy column-first pass might not.
+        let c = cfg(1, 1);
+        let mut a = MemoryArray::new(c);
+        a.inject_row_fault(4);
+        a.inject_cell_fault(8, 8, true);
+        let plan = repair_allocate(&march_cminus(&mut a), c).unwrap();
+        assert_eq!(plan.rows, vec![4]);
+        // The stray cell uses the spare column (or row budget is gone).
+        assert_eq!(plan.cols.len(), 1);
+    }
+}

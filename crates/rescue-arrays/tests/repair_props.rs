@@ -1,0 +1,63 @@
+//! Property-based tests for the BIST + repair flow.
+
+use proptest::prelude::*;
+use rescue_arrays::{march_cminus, repair_allocate, ArrayConfig, MemoryArray};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Soundness of repair: whenever the allocator returns a plan, the
+    /// plan covers every failing cell (each fail lies on a replaced row
+    /// or column), and it never burns more spares than provisioned.
+    #[test]
+    fn repair_plans_cover_all_failures(
+        rows in 4usize..24,
+        cols in 4usize..24,
+        spare_rows in 0usize..3,
+        spare_cols in 0usize..3,
+        cell_faults in proptest::collection::vec((any::<u16>(), any::<u16>(), any::<bool>()), 0..10),
+        line_faults in proptest::collection::vec((any::<u16>(), any::<bool>()), 0..3),
+    ) {
+        let cfg = ArrayConfig { rows, cols, spare_rows, spare_cols };
+        let mut a = MemoryArray::new(cfg);
+        for &(r, c, v) in &cell_faults {
+            a.inject_cell_fault(r as usize % rows, c as usize % cols, v);
+        }
+        for &(i, is_row) in &line_faults {
+            if is_row {
+                a.inject_row_fault(i as usize % rows);
+            } else {
+                a.inject_col_fault(i as usize % cols);
+            }
+        }
+        let bitmap = march_cminus(&mut a);
+        // March C- finds exactly the ground-truth defects.
+        prop_assert_eq!(&bitmap.fails, &a.defective_cells());
+
+        if let Ok(plan) = repair_allocate(&bitmap, cfg) {
+            prop_assert!(plan.rows.len() <= spare_rows);
+            prop_assert!(plan.cols.len() <= spare_cols);
+            for &(r, c) in &bitmap.fails {
+                prop_assert!(
+                    plan.rows.contains(&r) || plan.cols.contains(&c),
+                    "fail ({r},{c}) uncovered by {plan:?}"
+                );
+            }
+        } else {
+            // Unrepairable must at least mean there were failures.
+            prop_assert!(!bitmap.fails.is_empty());
+        }
+    }
+
+    /// Clean arrays are always repairable with the empty plan, regardless
+    /// of provisioning.
+    #[test]
+    fn clean_arrays_need_nothing(rows in 1usize..16, cols in 1usize..16) {
+        let cfg = ArrayConfig { rows, cols, spare_rows: 0, spare_cols: 0 };
+        let mut a = MemoryArray::new(cfg);
+        let bitmap = march_cminus(&mut a);
+        prop_assert!(bitmap.clean());
+        let plan = repair_allocate(&bitmap, cfg).unwrap();
+        prop_assert!(plan.rows.is_empty() && plan.cols.is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! The chain-integrity (flush) test that precedes capture vectors.
+//!
+//! Before any capture test can be trusted, the scan chain itself must
+//! shift correctly. The standard flush test clocks a `00110011…` pattern
+//! through the chain with `scan_enable` held high and compares what
+//! emerges at `scan_out` against the expected delayed pattern. Any
+//! defect on the scan path — a scan-mux pin, a cell output, the
+//! `scan_in`/`scan_enable` wiring — corrupts the flush and fails the
+//! chip at this stage, which is why the paper accounts scan-cell area as
+//! chipkill and this crate classifies such faults
+//! [`FaultClass::ChainTested`](crate::FaultClass).
+//!
+//! The test here is run on the real gate-level netlist with sequential
+//! simulation — no abstraction: the pattern physically shifts through
+//! the scan muxes.
+
+use rescue_netlist::{Fault, ScanNetlist};
+
+/// Result of a flush test.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainTestResult {
+    /// Bits observed at `scan_out`, one per shift cycle.
+    pub observed: Vec<bool>,
+    /// Bits a healthy chain would produce.
+    pub expected: Vec<bool>,
+}
+
+impl ChainTestResult {
+    /// Whether the chain shifts correctly.
+    pub fn passed(&self) -> bool {
+        self.observed == self.expected
+    }
+
+    /// First cycle at which the observation diverges.
+    pub fn first_mismatch(&self) -> Option<usize> {
+        self.observed
+            .iter()
+            .zip(&self.expected)
+            .position(|(o, e)| o != e)
+    }
+}
+
+/// The standard flush stimulus: `0 0 1 1` repeating, long enough to
+/// traverse the chain twice.
+pub fn flush_pattern(chain_len: usize) -> Vec<bool> {
+    (0..2 * chain_len + 8).map(|i| (i / 2) % 2 == 1).collect()
+}
+
+/// Run the flush test on a healthy or faulty chip.
+///
+/// All functional primary inputs are held at 0; `scan_enable` is held
+/// high; the pattern is driven into `scan_in` one bit per cycle and
+/// `scan_out` is sampled each cycle.
+pub fn chain_flush_test(scanned: &ScanNetlist, fault: Option<Fault>) -> ChainTestResult {
+    let n = &scanned.netlist;
+    let pattern = flush_pattern(scanned.chain.len());
+    let scan_in_idx = n
+        .inputs()
+        .iter()
+        .position(|&net| net == scanned.chain.scan_in)
+        .expect("scan_in is a primary input");
+    let scan_en_idx = n
+        .inputs()
+        .iter()
+        .position(|&net| net == scanned.chain.scan_enable)
+        .expect("scan_enable is a primary input");
+    let scan_out_idx = n
+        .outputs()
+        .iter()
+        .position(|(_, net)| *net == scanned.chain.scan_out)
+        .expect("scan_out is a primary output");
+
+    let inputs: Vec<Vec<u64>> = pattern
+        .iter()
+        .map(|&bit| {
+            let mut row = vec![0u64; n.inputs().len()];
+            row[scan_in_idx] = if bit { 1 } else { 0 };
+            row[scan_en_idx] = 1;
+            row
+        })
+        .collect();
+    let state0 = vec![0u64; n.num_dffs()];
+
+    let observe = |outs: Vec<Vec<u64>>| -> Vec<bool> {
+        outs.iter().map(|o| o[scan_out_idx] & 1 == 1).collect()
+    };
+    let expected = observe(n.simulate_sequence(&state0, &inputs).0);
+    let observed = match fault {
+        None => expected.clone(),
+        Some(f) => observe(n.simulate_sequence_faulty(&state0, &inputs, f).0),
+    };
+    ChainTestResult { observed, expected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescue_netlist::{scan::insert_scan, NetlistBuilder, StuckAt};
+
+    fn scanned() -> ScanNetlist {
+        let mut b = NetlistBuilder::new();
+        b.enter_component("lc");
+        let a = b.input("a");
+        let q0 = b.dff(a, "r0");
+        let x = b.not(q0);
+        let q1 = b.dff(x, "r1");
+        let y = b.and2(q0, q1);
+        let q2 = b.dff(y, "r2");
+        b.output(q2, "o");
+        insert_scan(&b.finish().unwrap())
+    }
+
+    #[test]
+    fn healthy_chain_passes_and_pattern_emerges_delayed() {
+        let s = scanned();
+        let r = chain_flush_test(&s, None);
+        assert!(r.passed());
+        // After `len` cycles of latency the flush pattern appears at
+        // scan_out.
+        let len = s.chain.len();
+        let pat = flush_pattern(len);
+        assert_eq!(
+            &r.expected[len..len + 8],
+            &pat[0..8],
+            "shifted pattern must emerge after the chain latency"
+        );
+    }
+
+    #[test]
+    fn stuck_scan_cell_output_fails_flush() {
+        let s = scanned();
+        // Q of the middle cell stuck at 1: downstream of the break the
+        // pattern is destroyed.
+        let q1 = s.netlist.dffs()[1].q();
+        let r = chain_flush_test(&s, Some(Fault::net(q1, StuckAt::One)));
+        assert!(!r.passed());
+        assert!(r.first_mismatch().is_some());
+    }
+
+    #[test]
+    fn stuck_scan_enable_fails_flush() {
+        let s = scanned();
+        let r = chain_flush_test(
+            &s,
+            Some(Fault::net(s.chain.scan_enable, StuckAt::Zero)),
+        );
+        assert!(!r.passed(), "a dead scan_enable means nothing shifts");
+    }
+}

@@ -1,0 +1,166 @@
+//! Three-valued logic (0, 1, X) used by PODEM.
+//!
+//! The classical five-valued D-algebra (0, 1, X, D, D̄) is represented as a
+//! *pair* of three-valued values — one for the good machine, one for the
+//! faulty machine. `D` is `(1, 0)`, `D̄` is `(0, 1)`.
+
+use rescue_netlist::GateKind;
+
+/// A three-valued logic value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum V3 {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unassigned / unknown.
+    X,
+}
+
+impl V3 {
+    /// Build from a bool.
+    pub fn from_bool(b: bool) -> V3 {
+        if b {
+            V3::One
+        } else {
+            V3::Zero
+        }
+    }
+
+    /// The known boolean value, if any.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            V3::Zero => Some(false),
+            V3::One => Some(true),
+            V3::X => None,
+        }
+    }
+
+    /// Three-valued complement.
+    pub fn not(self) -> V3 {
+        match self {
+            V3::Zero => V3::One,
+            V3::One => V3::Zero,
+            V3::X => V3::X,
+        }
+    }
+
+    /// Three-valued AND.
+    pub fn and(self, other: V3) -> V3 {
+        match (self, other) {
+            (V3::Zero, _) | (_, V3::Zero) => V3::Zero,
+            (V3::One, V3::One) => V3::One,
+            _ => V3::X,
+        }
+    }
+
+    /// Three-valued OR.
+    pub fn or(self, other: V3) -> V3 {
+        match (self, other) {
+            (V3::One, _) | (_, V3::One) => V3::One,
+            (V3::Zero, V3::Zero) => V3::Zero,
+            _ => V3::X,
+        }
+    }
+
+    /// Three-valued XOR.
+    pub fn xor(self, other: V3) -> V3 {
+        match (self, other) {
+            (V3::X, _) | (_, V3::X) => V3::X,
+            (a, b) => V3::from_bool(a != b),
+        }
+    }
+}
+
+/// Evaluate a gate over three-valued inputs.
+pub fn eval_gate_v3(kind: GateKind, inputs: &[V3]) -> V3 {
+    match kind {
+        GateKind::Const0 => V3::Zero,
+        GateKind::Const1 => V3::One,
+        GateKind::Buf => inputs[0],
+        GateKind::Not => inputs[0].not(),
+        GateKind::And => inputs.iter().fold(V3::One, |a, &b| a.and(b)),
+        GateKind::Nand => inputs.iter().fold(V3::One, |a, &b| a.and(b)).not(),
+        GateKind::Or => inputs.iter().fold(V3::Zero, |a, &b| a.or(b)),
+        GateKind::Nor => inputs.iter().fold(V3::Zero, |a, &b| a.or(b)).not(),
+        GateKind::Xor => inputs.iter().fold(V3::Zero, |a, &b| a.xor(b)),
+        GateKind::Xnor => inputs.iter().fold(V3::Zero, |a, &b| a.xor(b)).not(),
+        GateKind::Mux => match inputs[0] {
+            V3::Zero => inputs[1],
+            V3::One => inputs[2],
+            V3::X => {
+                if inputs[1] == inputs[2] && inputs[1] != V3::X {
+                    inputs[1]
+                } else {
+                    V3::X
+                }
+            }
+        },
+    }
+}
+
+/// The controlling value of a gate kind, if it has one (an input at this
+/// value fixes the output regardless of other inputs).
+pub fn controlling_value(kind: GateKind) -> Option<bool> {
+    match kind {
+        GateKind::And | GateKind::Nand => Some(false),
+        GateKind::Or | GateKind::Nor => Some(true),
+        _ => None,
+    }
+}
+
+/// Whether the gate inverts its (non-controlling) inputs.
+#[allow(dead_code)]
+pub fn inverts(kind: GateKind) -> bool {
+    matches!(kind, GateKind::Not | GateKind::Nand | GateKind::Nor | GateKind::Xnor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v3_tables() {
+        assert_eq!(V3::Zero.and(V3::X), V3::Zero);
+        assert_eq!(V3::One.and(V3::X), V3::X);
+        assert_eq!(V3::One.or(V3::X), V3::One);
+        assert_eq!(V3::Zero.or(V3::X), V3::X);
+        assert_eq!(V3::X.xor(V3::One), V3::X);
+        assert_eq!(V3::One.xor(V3::One), V3::Zero);
+        assert_eq!(V3::X.not(), V3::X);
+    }
+
+    #[test]
+    fn mux_with_unknown_select() {
+        // Same data on both legs: select does not matter.
+        assert_eq!(
+            eval_gate_v3(GateKind::Mux, &[V3::X, V3::One, V3::One]),
+            V3::One
+        );
+        assert_eq!(
+            eval_gate_v3(GateKind::Mux, &[V3::X, V3::One, V3::Zero]),
+            V3::X
+        );
+    }
+
+    #[test]
+    fn v3_gate_eval_matches_bool_on_known_values() {
+        use rescue_netlist::sim::eval_bool;
+        let kinds = [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Xor,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xnor,
+        ];
+        for kind in kinds {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let v = eval_gate_v3(kind, &[V3::from_bool(a), V3::from_bool(b)]);
+                    assert_eq!(v.to_bool(), Some(eval_bool(kind, &[a, b])));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! The top-level ATPG flow and the scan-test statistics of Table 3.
+
+use crate::fsim::FaultSim;
+use crate::podem::{Podem, PodemConfig, PodemResult, TestCube};
+use crate::threeval::V3;
+use rescue_netlist::{Driver, Fault, FaultSite, PatternBlock, ScanNetlist};
+use std::collections::HashMap;
+
+/// Classification of each collapsed fault after a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Detected by a generated vector.
+    Detected,
+    /// On the scan path (scan mux, `scan_in` / `scan_enable` pins):
+    /// exercised by the chain-integrity test that precedes capture
+    /// vectors, not by capture vectors themselves.
+    ChainTested,
+    /// Proven untestable under the capture-mode pin constraints.
+    Untestable,
+    /// PODEM hit its backtrack limit.
+    Aborted,
+    /// Not yet processed (only seen mid-run).
+    Undetected,
+}
+
+/// Configuration for an ATPG run.
+#[derive(Clone, Debug)]
+pub struct AtpgConfig {
+    /// PODEM limits.
+    pub podem: PodemConfig,
+    /// Seed for random fill of don't-care bits.
+    pub fill_seed: u64,
+    /// Static vector compaction: merge compatible test cubes before
+    /// random fill. This is where ICI pays off in vector count — cubes of
+    /// independent components rarely conflict, so more faults share one
+    /// vector (the paper's Table 3 observation 2).
+    pub merge_cubes: bool,
+    /// How many of the most recent pending cubes a new cube may merge
+    /// into. Real compactors bound this search for runtime; the bound
+    /// also controls how aggressive compaction is.
+    pub merge_window: usize,
+}
+
+impl Default for AtpgConfig {
+    fn default() -> Self {
+        AtpgConfig {
+            podem: PodemConfig::default(),
+            fill_seed: 0x5eed_cafe_f00d_0001,
+            merge_cubes: true,
+            merge_window: 6,
+        }
+    }
+}
+
+/// The Table 3 scan-chain statistics for one design.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanTestStats {
+    /// Collapsed stuck-at faults targeted.
+    pub faults: usize,
+    /// Scan cells (chain length).
+    pub cells: usize,
+    /// Number of scan chains (always 1 here, as in the paper).
+    pub chains: usize,
+    /// Capture vectors generated.
+    pub vectors: usize,
+    /// Total tester cycles to apply all vectors (overlapped schedule),
+    /// including one chain-integrity shift pass.
+    pub cycles: u64,
+}
+
+/// Result of a full ATPG run.
+#[derive(Clone, Debug)]
+pub struct AtpgRun {
+    /// The generated capture vectors (inputs + scanned state per vector).
+    pub vectors: Vec<PatternVector>,
+    /// Classification of every collapsed fault.
+    pub classes: HashMap<Fault, FaultClass>,
+    /// Table 3 statistics.
+    pub stats: ScanTestStats,
+}
+
+/// One fully-specified capture vector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternVector {
+    /// Value per primary input.
+    pub inputs: Vec<bool>,
+    /// Value per scan cell (state scanned in before capture).
+    pub state: Vec<bool>,
+}
+
+impl AtpgRun {
+    /// Fraction of non-chain, non-untestable faults detected.
+    pub fn coverage(&self) -> f64 {
+        let mut detected = 0usize;
+        let mut targetable = 0usize;
+        for class in self.classes.values() {
+            match class {
+                FaultClass::Detected => {
+                    detected += 1;
+                    targetable += 1;
+                }
+                FaultClass::Aborted | FaultClass::Undetected => targetable += 1,
+                FaultClass::ChainTested | FaultClass::Untestable => {}
+            }
+        }
+        if targetable == 0 {
+            1.0
+        } else {
+            detected as f64 / targetable as f64
+        }
+    }
+
+    /// Number of faults in a class.
+    pub fn count(&self, class: FaultClass) -> usize {
+        self.classes.values().filter(|&&c| c == class).count()
+    }
+
+    /// Convert the vector list into 64-wide pattern blocks for replay.
+    pub fn blocks(&self, scanned: &ScanNetlist) -> Vec<PatternBlock> {
+        vectors_to_blocks(&self.vectors, scanned)
+    }
+}
+
+/// Pack fully-specified vectors into 64-wide [`PatternBlock`]s.
+pub(crate) fn vectors_to_blocks(
+    vectors: &[PatternVector],
+    scanned: &ScanNetlist,
+) -> Vec<PatternBlock> {
+    let n_in = scanned.netlist.inputs().len();
+    let n_ff = scanned.netlist.num_dffs();
+    vectors
+        .chunks(64)
+        .map(|chunk| {
+            let mut inputs = vec![0u64; n_in];
+            let mut state = vec![0u64; n_ff];
+            for (bit, v) in chunk.iter().enumerate() {
+                for (i, &b) in v.inputs.iter().enumerate() {
+                    if b {
+                        inputs[i] |= 1 << bit;
+                    }
+                }
+                for (i, &b) in v.state.iter().enumerate() {
+                    if b {
+                        state[i] |= 1 << bit;
+                    }
+                }
+            }
+            PatternBlock { inputs, state }
+        })
+        .collect()
+}
+
+/// The ATPG engine: binds a scanned design and a configuration.
+#[derive(Debug)]
+pub struct Atpg<'a> {
+    scanned: &'a ScanNetlist,
+    config: AtpgConfig,
+}
+
+impl<'a> Atpg<'a> {
+    /// Create an engine for a scanned design.
+    pub fn new(scanned: &'a ScanNetlist, config: AtpgConfig) -> Self {
+        Atpg { scanned, config }
+    }
+
+    /// Capture-mode pin constraints: `scan_enable` = 0 (functional capture),
+    /// `scan_in` free (it only feeds the first cell's scan leg, which the
+    /// disabled mux ignores).
+    pub fn capture_constraints(&self) -> Vec<Option<bool>> {
+        let n = &self.scanned.netlist;
+        n.inputs()
+            .iter()
+            .map(|&net| {
+                if net == self.scanned.chain.scan_enable {
+                    Some(false)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Whether a fault lies on the scan path (covered by the chain test).
+    ///
+    /// This includes stuck-ats on scan-cell *outputs* (flip-flop Q nets):
+    /// any fault there breaks the shift register itself, so the chain
+    /// flush test catches it — which is why the paper counts scan-cell
+    /// area as chipkill rather than attributing it to a component.
+    pub fn is_chain_fault(&self, fault: Fault) -> bool {
+        let n = &self.scanned.netlist;
+        match fault.site {
+            FaultSite::GateInput(g, _) => n.gate(g).is_scan_path(),
+            FaultSite::Net(net) => {
+                if net == self.scanned.chain.scan_in || net == self.scanned.chain.scan_enable {
+                    return true;
+                }
+                match n.net_driver(net) {
+                    Driver::Gate(g) => n.gate(g).is_scan_path(),
+                    Driver::Dff(_) => true,
+                    Driver::Input(_) => false,
+                }
+            }
+        }
+    }
+
+    /// Run the full flow; see the crate docs for the phases.
+    pub fn run(&self) -> AtpgRun {
+        let n = &self.scanned.netlist;
+        let constraints = self.capture_constraints();
+        let podem = Podem::new(n, constraints, self.config.podem);
+        let faults = n.collapse_faults();
+
+        let mut classes: HashMap<Fault, FaultClass> =
+            faults.iter().map(|&f| (f, FaultClass::Undetected)).collect();
+        let mut remaining: Vec<Fault> = Vec::new();
+        for &f in &faults {
+            if self.is_chain_fault(f) {
+                classes.insert(f, FaultClass::ChainTested);
+            } else {
+                remaining.push(f);
+            }
+        }
+
+        let mut sim = FaultSim::new(n);
+        let mut vectors: Vec<PatternVector> = Vec::new();
+        let mut pending: Vec<TestCube> = Vec::new();
+        let mut rng = SplitMix::new(self.config.fill_seed);
+
+        let flush =
+            |pending: &mut Vec<TestCube>,
+             vectors: &mut Vec<PatternVector>,
+             remaining: &mut Vec<Fault>,
+             classes: &mut HashMap<Fault, FaultClass>,
+             rng: &mut SplitMix,
+             sim: &mut FaultSim| {
+                if pending.is_empty() {
+                    return;
+                }
+                let mut filled: Vec<PatternVector> =
+                    pending.drain(..).map(|c| self.fill(&c, rng)).collect();
+                let blocks = vectors_to_blocks(&filled, self.scanned);
+                for block in &blocks {
+                    sim.load_block(block);
+                    remaining.retain(|&f| {
+                        if sim.detect_mask(f) != 0 {
+                            classes.insert(f, FaultClass::Detected);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+                vectors.append(&mut filled);
+            };
+
+        // Deterministic phase: PODEM per remaining fault, batched fault
+        // simulation for dropping. Every iteration consumes the front
+        // fault one way or another; flushing may shrink the list further.
+        while let Some(&fault) = remaining.first() {
+            let cursor = 0usize;
+            // A fault already covered by a pending-but-unsimulated vector
+            // still gets a PODEM call; real tools accept the same waste
+            // between fill boundaries.
+            match podem.generate(fault) {
+                PodemResult::Test(cube) => {
+                    let mut placed = false;
+                    if self.config.merge_cubes {
+                        let start = pending.len().saturating_sub(self.config.merge_window);
+                        for existing in pending[start..].iter_mut() {
+                            if let Some(merged) = merge_cubes(existing, &cube) {
+                                *existing = merged;
+                                placed = true;
+                                break;
+                            }
+                        }
+                    }
+                    if !placed {
+                        pending.push(cube);
+                    }
+                    classes.insert(fault, FaultClass::Detected);
+                    remaining.swap_remove(cursor);
+                    if pending.len() == 64 {
+                        flush(
+                            &mut pending,
+                            &mut vectors,
+                            &mut remaining,
+                            &mut classes,
+                            &mut rng,
+                            &mut sim,
+                        );
+                    }
+                }
+                PodemResult::Untestable => {
+                    classes.insert(fault, FaultClass::Untestable);
+                    remaining.swap_remove(cursor);
+                }
+                PodemResult::Aborted => {
+                    classes.insert(fault, FaultClass::Aborted);
+                    remaining.swap_remove(cursor);
+                }
+            }
+        }
+        flush(
+            &mut pending,
+            &mut vectors,
+            &mut remaining,
+            &mut classes,
+            &mut rng,
+            &mut sim,
+        );
+
+        let cells = self.scanned.chain.len();
+        // Chain-integrity test: shift a 00110011… flush pattern through the
+        // whole chain once (cells + margin cycles).
+        let chain_test_cycles = cells as u64 + 4;
+        let cycles = self.scanned.chain.test_cycles(vectors.len()) + chain_test_cycles;
+        let stats = ScanTestStats {
+            faults: faults.len(),
+            cells,
+            chains: 1,
+            vectors: vectors.len(),
+            cycles,
+        };
+        AtpgRun {
+            vectors,
+            classes,
+            stats,
+        }
+    }
+
+    /// Random-fill a cube's don't-cares into a full vector.
+    fn fill(&self, cube: &TestCube, rng: &mut SplitMix) -> PatternVector {
+        let inputs = cube
+            .inputs
+            .iter()
+            .map(|v| match v {
+                V3::One => true,
+                V3::Zero => false,
+                V3::X => rng.next_bool(),
+            })
+            .collect();
+        let state = cube
+            .state
+            .iter()
+            .map(|v| match v {
+                V3::One => true,
+                V3::Zero => false,
+                V3::X => rng.next_bool(),
+            })
+            .collect();
+        PatternVector { inputs, state }
+    }
+}
+
+/// Merge two test cubes when they agree on every specified bit; `X`
+/// positions adopt the other cube's requirement. Returns `None` on any
+/// 0/1 conflict.
+pub fn merge_cubes(a: &TestCube, b: &TestCube) -> Option<TestCube> {
+    fn merge_lane(a: &[V3], b: &[V3]) -> Option<Vec<V3>> {
+        let mut out = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            out.push(match (x, y) {
+                (V3::X, v) => v,
+                (v, V3::X) => v,
+                (v, w) if v == w => v,
+                _ => return None,
+            });
+        }
+        Some(out)
+    }
+    Some(TestCube {
+        inputs: merge_lane(&a.inputs, &b.inputs)?,
+        state: merge_lane(&a.state, &b.state)?,
+    })
+}
+
+/// Minimal deterministic RNG (SplitMix64) so the crate has no `rand`
+/// dependency in its library path.
+#[derive(Clone, Debug)]
+pub(crate) struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix { state: seed }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    pub(crate) fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescue_netlist::{scan::insert_scan, NetlistBuilder};
+
+    fn small_design() -> ScanNetlist {
+        let mut b = NetlistBuilder::new();
+        b.enter_component("alu");
+        let a = b.input_bus("a", 4);
+        let c = b.input_bus("b", 4);
+        let mut carry = b.const0();
+        let mut sums = Vec::new();
+        for i in 0..4 {
+            let x = b.xor2(a[i], c[i]);
+            let s = b.xor2(x, carry);
+            let g1 = b.and2(a[i], c[i]);
+            let g2 = b.and2(x, carry);
+            carry = b.or2(g1, g2);
+            sums.push(s);
+        }
+        let q = b.dff_bus(&sums, "acc");
+        b.output(q[3], "msb");
+        b.enter_component("flag");
+        let z = b.or(&q.clone());
+        let zq = b.dff(z, "zflag");
+        b.output(zq, "zero");
+        insert_scan(&b.finish().unwrap())
+    }
+
+    #[test]
+    fn full_run_reaches_high_coverage() {
+        let s = small_design();
+        let run = Atpg::new(&s, AtpgConfig::default()).run();
+        assert!(
+            run.coverage() > 0.98,
+            "coverage {} too low; aborted={}",
+            run.coverage(),
+            run.count(FaultClass::Aborted)
+        );
+        assert!(run.stats.vectors > 0);
+        assert_eq!(run.stats.cells, 5);
+        assert_eq!(run.stats.chains, 1);
+        assert!(run.stats.cycles > run.stats.vectors as u64);
+    }
+
+    #[test]
+    fn chain_faults_are_classified_not_targeted() {
+        let s = small_design();
+        let atpg = Atpg::new(&s, AtpgConfig::default());
+        let run = atpg.run();
+        let chain = run.count(FaultClass::ChainTested);
+        assert!(chain > 0, "scan muxes must contribute chain faults");
+        for (f, c) in &run.classes {
+            if atpg.is_chain_fault(*f) {
+                assert_eq!(*c, FaultClass::ChainTested);
+            }
+        }
+    }
+
+    #[test]
+    fn detected_faults_really_fail_some_vector() {
+        let s = small_design();
+        let run = Atpg::new(&s, AtpgConfig::default()).run();
+        let mut sim = FaultSim::new(&s.netlist);
+        let blocks = run.blocks(&s);
+        for (&f, &class) in &run.classes {
+            if class != FaultClass::Detected {
+                continue;
+            }
+            let mut seen = false;
+            for b in &blocks {
+                sim.load_block(b);
+                if sim.detect_mask(f) != 0 {
+                    seen = true;
+                    break;
+                }
+            }
+            assert!(seen, "fault {f} marked detected but no vector fails");
+        }
+    }
+}

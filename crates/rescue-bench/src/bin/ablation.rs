@@ -1,0 +1,8 @@
+//! Ablation study: turn the Rescue design choices off one at a time and
+//! measure which ones carry the ≈4% IPC tax of Figure 8.
+
+fn main() {
+    let n = if rescue_bench::quick_mode() { 10_000 } else { 60_000 };
+    let rows = rescue_core::experiments::ablation(n, 7);
+    print!("{}", rescue_core::render::ablation_text(&rows));
+}

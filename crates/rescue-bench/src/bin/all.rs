@@ -1,0 +1,41 @@
+//! Regenerate every table and figure in sequence (EXPERIMENTS.md source).
+
+use rescue_core::experiments::{self, Fig8Params, Fig9Params};
+use rescue_core::model::{ModelParams, Variant};
+use rescue_core::render;
+use rescue_core::yield_model::Scenario;
+
+fn main() {
+    let quick = rescue_bench::quick_mode();
+    let params = if quick { ModelParams::tiny() } else { ModelParams::paper() };
+
+    print!("{}", render::table1_text(&experiments::table1()));
+    println!();
+    let (bt, ra) = experiments::table2();
+    print!("{}", render::table2_text(bt, &ra));
+    println!();
+    let t3 = experiments::table3(&params);
+    print!("{}", render::table3_text(&t3));
+    println!();
+    let per_stage = if quick { 50 } else { 1000 };
+    for variant in [Variant::Rescue, Variant::Baseline] {
+        let e = experiments::isolation(&params, variant, per_stage, 42);
+        print!("{}", render::isolation_text(&e));
+        println!();
+    }
+    let f8 = experiments::fig8(&Fig8Params {
+        n_instr: if quick { 10_000 } else { 100_000 },
+        ..Default::default()
+    });
+    print!("{}", render::fig8_text(&f8));
+    println!();
+    let p9 = Fig9Params {
+        n_instr: if quick { 5_000 } else { 30_000 },
+        ..Default::default()
+    };
+    let a = experiments::fig9(&Scenario::pwp_stagnates_at_90nm(), &p9);
+    print!("{}", render::fig9_text("a: PWP stagnates at 90nm", &a));
+    println!();
+    let b = experiments::fig9(&Scenario::pwp_stagnates_at_65nm(), &p9);
+    print!("{}", render::fig9_text("b: PWP stagnates at 65nm", &b));
+}

@@ -1,0 +1,17 @@
+//! Regenerate Figure 8: per-benchmark IPC for the baseline and Rescue
+//! designs across the 23 SPEC2000 workload profiles.
+
+use rescue_core::experiments::{fig8, Fig8Params};
+
+fn main() {
+    let p = Fig8Params {
+        n_instr: if rescue_bench::quick_mode() { 10_000 } else { 100_000 },
+        ..Default::default()
+    };
+    let rows = fig8(&p);
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", rescue_core::render::fig8_csv(&rows));
+    } else {
+        print!("{}", rescue_core::render::fig8_text(&rows));
+    }
+}

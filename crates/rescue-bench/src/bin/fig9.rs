@@ -1,0 +1,34 @@
+//! Regenerate Figure 9 (both panels): relative yield-adjusted throughput
+//! for no-redundancy, core sparing, and Rescue, across technology nodes
+//! and core-growth rates.
+
+use rescue_core::experiments::{fig9, Fig9Params};
+use rescue_core::yield_model::Scenario;
+
+fn main() {
+    let n_instr = if rescue_bench::quick_mode() { 5_000 } else { 30_000 };
+    let p = Fig9Params {
+        n_instr,
+        ..Default::default()
+    };
+    let csv = std::env::args().any(|a| a == "--csv");
+    let a = fig9(&Scenario::pwp_stagnates_at_90nm(), &p);
+    if csv {
+        print!("{}", rescue_core::render::fig9_csv(&a));
+    } else {
+        print!(
+            "{}",
+            rescue_core::render::fig9_text("a: PWP stagnates at 90nm", &a)
+        );
+        println!();
+    }
+    let b = fig9(&Scenario::pwp_stagnates_at_65nm(), &p);
+    if csv {
+        print!("{}", rescue_core::render::fig9_csv(&b));
+    } else {
+        print!(
+            "{}",
+            rescue_core::render::fig9_text("b: PWP stagnates at 65nm", &b)
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 1 (system parameters).
+
+fn main() {
+    let rows = rescue_core::experiments::table1();
+    print!("{}", rescue_core::render::table1_text(&rows));
+}

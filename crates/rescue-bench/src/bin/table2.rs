@@ -1,0 +1,6 @@
+//! Regenerate Table 2 (total areas and component relative areas).
+
+fn main() {
+    let (base_total, rescue) = rescue_core::experiments::table2();
+    print!("{}", rescue_core::render::table2_text(base_total, &rescue));
+}

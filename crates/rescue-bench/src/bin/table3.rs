@@ -1,0 +1,16 @@
+//! Regenerate Table 3 (scan chain data): build both pipeline variants,
+//! insert scan, run full ATPG, and report faults / cells / vectors /
+//! cycles. Takes tens of seconds at paper size; pass --quick for the
+//! tiny configuration.
+
+use rescue_core::model::ModelParams;
+
+fn main() {
+    let params = if rescue_bench::quick_mode() {
+        ModelParams::tiny()
+    } else {
+        ModelParams::paper()
+    };
+    let t = rescue_core::experiments::table3(&params);
+    print!("{}", rescue_core::render::table3_text(&t));
+}

@@ -1,0 +1,35 @@
+//! Shared helpers for the experiment-regeneration binaries.
+//!
+//! Each binary regenerates one table or figure of the paper:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1` | Table 1, system parameters |
+//! | `table2` | Table 2, total and relative areas |
+//! | `table3` | Table 3, scan chain data (full ATPG on both designs) |
+//! | `isolation` | §6.1 fault-isolation experiment |
+//! | `fig8` | Figure 8, per-benchmark IPC degradation |
+//! | `fig9` | Figure 9 (both panels), relative YAT vs technology |
+//! | `all` | everything above in sequence |
+//!
+//! Every binary accepts `--quick` to run a reduced-size configuration
+//! suitable for smoke testing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Whether `--quick` was passed on the command line.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Parse `--faults-per-stage N` (isolation binary), defaulting to `dflt`.
+pub fn arg_usize(name: &str, dflt: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == name {
+            return w[1].parse().unwrap_or(dflt);
+        }
+    }
+    dflt
+}

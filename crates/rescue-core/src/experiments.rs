@@ -1,0 +1,659 @@
+//! One driver per paper table/figure.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rescue_atpg::{Atpg, AtpgConfig, FaultClass, Isolator, ScanTestStats};
+use rescue_model::{build_pipeline, ModelParams, PipelineModel, Stage, Variant};
+use rescue_netlist::scan::{insert_scan, ScanNetlist};
+use rescue_netlist::Fault;
+use rescue_pipesim::{simulate, CoreConfig, Policy, SimConfig};
+use rescue_workloads::{spec2000_profiles, BenchmarkProfile, TraceGenerator};
+use rescue_yield::{
+    relative_yat, relative_yat_self_healing, AreaModel, ClassCounts, RescueAreas, Scenario,
+    TechNode, YatInputs, YatPoint,
+};
+use std::collections::HashMap;
+
+// ------------------------------------------------------------- Table 1
+
+/// One row of Table 1 (system parameters).
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Parameter name.
+    pub name: &'static str,
+    /// Value, formatted.
+    pub value: String,
+}
+
+/// Regenerate Table 1 from the simulator configuration.
+pub fn table1() -> Vec<Table1Row> {
+    let c = SimConfig::paper(Policy::Baseline);
+    vec![
+        Table1Row {
+            name: "issue width",
+            value: format!("{}", c.backend_ways),
+        },
+        Table1Row {
+            name: "frontend width",
+            value: format!("{}", c.frontend_width),
+        },
+        Table1Row {
+            name: "int issue queue",
+            value: format!("{} entries (2 x {})", c.int_iq_entries, c.int_iq_entries / 2),
+        },
+        Table1Row {
+            name: "fp issue queue",
+            value: format!("{} entries (2 x {})", c.fp_iq_entries, c.fp_iq_entries / 2),
+        },
+        Table1Row {
+            name: "reorder buffer",
+            value: format!("{} entries", c.rob_entries),
+        },
+        Table1Row {
+            name: "load/store queue",
+            value: format!("{} entries (2 x {})", c.lsq_entries, c.lsq_entries / 2),
+        },
+        Table1Row {
+            name: "branch mispredict penalty",
+            value: format!("{} cycles (+2 for Rescue shift stages)", c.mispredict_penalty),
+        },
+        Table1Row {
+            name: "L1 D-cache",
+            value: format!("64KB, 2-way, 32B blocks, {}-cycle, 2-port", c.l1_latency),
+        },
+        Table1Row {
+            name: "L2 cache",
+            value: format!("2MB, 8-way, 64B blocks, {}-cycle", c.l2_latency),
+        },
+        Table1Row {
+            name: "memory latency",
+            value: format!("{} cycles", c.mem_latency),
+        },
+    ]
+}
+
+// ------------------------------------------------------------- Table 2
+
+/// Regenerate Table 2: total areas plus relative component areas.
+pub fn table2() -> (f64, RescueAreas) {
+    let base = AreaModel::baseline();
+    (base.total_mm2(), base.rescue())
+}
+
+// ------------------------------------------------------------- Table 3
+
+/// Table 3: scan-chain data for both designs.
+#[derive(Clone, Debug)]
+pub struct Table3 {
+    /// Conventional design.
+    pub baseline: ScanTestStats,
+    /// Rescue design.
+    pub rescue: ScanTestStats,
+}
+
+/// Run scan insertion + full ATPG on both variants (paper Table 3).
+///
+/// This is the heavyweight experiment (tens of seconds in release mode at
+/// the paper size); pass [`ModelParams::tiny`] for a fast smoke run.
+pub fn table3(params: &ModelParams) -> Table3 {
+    let run = |variant| {
+        let m = build_pipeline(params, variant);
+        let s = insert_scan(&m.netlist);
+        Atpg::new(&s, AtpgConfig::default()).run().stats
+    };
+    Table3 {
+        baseline: run(Variant::Baseline),
+        rescue: run(Variant::Rescue),
+    }
+}
+
+// ----------------------------------------------- §6.1 isolation experiment
+
+/// Result of the fault-isolation experiment for one pipeline stage.
+#[derive(Clone, Debug)]
+pub struct StageIsolation {
+    /// Stage faults were injected into.
+    pub stage: Stage,
+    /// Faults injected.
+    pub injected: usize,
+    /// Faults whose failing scan bits resolved to exactly the injected
+    /// fault's map-out group.
+    pub isolated: usize,
+    /// Faults that were detected but ambiguous (candidates spanned
+    /// multiple map-out groups) — zero under ICI.
+    pub ambiguous: usize,
+}
+
+/// The full §6.1 experiment report.
+#[derive(Clone, Debug)]
+pub struct IsolationExperiment {
+    /// Which design was tested.
+    pub variant: Variant,
+    /// Per-stage outcomes.
+    pub stages: Vec<StageIsolation>,
+}
+
+impl IsolationExperiment {
+    /// Total injected faults.
+    pub fn total_injected(&self) -> usize {
+        self.stages.iter().map(|s| s.injected).sum()
+    }
+
+    /// Total correctly isolated.
+    pub fn total_isolated(&self) -> usize {
+        self.stages.iter().map(|s| s.isolated).sum()
+    }
+}
+
+/// Inject `per_stage` random detected faults into each of the six §6.1
+/// stages and check that scan-out alone isolates each to its map-out
+/// group.
+pub fn isolation(
+    params: &ModelParams,
+    variant: Variant,
+    per_stage: usize,
+    seed: u64,
+) -> IsolationExperiment {
+    let m = build_pipeline(params, variant);
+    let scanned = insert_scan(&m.netlist);
+    let run = Atpg::new(&scanned, AtpgConfig::default()).run();
+    let iso = Isolator::new(&scanned, &run.vectors);
+    let stages_wanted = [
+        Stage::Fetch,
+        Stage::Decode,
+        Stage::Rename,
+        Stage::Issue,
+        Stage::Execute,
+        Stage::Memory,
+    ];
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Candidate pool: detected faults with a known component per stage.
+    let mut pool: HashMap<Stage, Vec<Fault>> = HashMap::new();
+    for (&fault, &class) in &run.classes {
+        if class != FaultClass::Detected {
+            continue;
+        }
+        let Some(comp) = m.netlist.fault_component(fault) else {
+            continue;
+        };
+        let Some(&stage) = m.stage_of.get(&comp) else {
+            continue;
+        };
+        pool.entry(stage).or_default().push(fault);
+    }
+    for faults in pool.values_mut() {
+        faults.sort();
+    }
+
+    let mut stages = Vec::new();
+    for stage in stages_wanted {
+        let empty = Vec::new();
+        let candidates = pool.get(&stage).unwrap_or(&empty);
+        let sample: Vec<Fault> = candidates
+            .choose_multiple(&mut rng, per_stage.min(candidates.len()))
+            .copied()
+            .collect();
+        let mut isolated = 0;
+        let mut ambiguous = 0;
+        for fault in &sample {
+            let outcome = iso.isolate(*fault);
+            let comp = m.netlist.fault_component(*fault).expect("pooled faults have components");
+            let want_group = m.group_of(comp);
+            // Map every failing scan bit to the *map-out groups* its
+            // capture cone spans (the paper's isolation granularity).
+            // Under ICI each bit names exactly one group; the fault is
+            // isolated when that group is the injected fault's group for
+            // all failing bits.
+            let mut bit_groups: Vec<std::collections::BTreeSet<usize>> = Vec::new();
+            for obs in &outcome.failing_bits {
+                let comps: Vec<_> = match obs {
+                    rescue_atpg::Observation::ScanCell(d) => {
+                        let pos = scanned
+                            .chain
+                            .position(rescue_netlist::DffId::from_index(*d))
+                            .expect("cell on chain");
+                        iso.labels()[pos].clone()
+                    }
+                    rescue_atpg::Observation::PrimaryOutput(o) => {
+                        let net = scanned.netlist.outputs()[*o].1;
+                        scanned.netlist.cone_components(net)
+                    }
+                };
+                let gs: std::collections::BTreeSet<usize> =
+                    comps.iter().map(|&c| m.group_of(c)).collect();
+                if !gs.is_empty() {
+                    bit_groups.push(gs);
+                }
+            }
+            let unique = !bit_groups.is_empty()
+                && bit_groups.iter().all(|gs| gs.len() == 1 && gs.contains(&want_group));
+            if unique {
+                isolated += 1;
+            } else {
+                ambiguous += 1;
+            }
+        }
+        stages.push(StageIsolation {
+            stage,
+            injected: sample.len(),
+            isolated,
+            ambiguous,
+        });
+    }
+    IsolationExperiment { variant, stages }
+}
+
+/// Result of the multi-fault isolation experiment (§3.1 corollary).
+#[derive(Clone, Debug)]
+pub struct MultiFaultTrial {
+    /// Number of simultaneous faults injected (one per distinct group).
+    pub injected: usize,
+    /// Groups correctly implicated by the failing scan bits.
+    pub implicated: usize,
+    /// Groups implicated that were *not* faulty (false accusations —
+    /// zero under ICI).
+    pub false_positives: usize,
+}
+
+/// The §3.1 corollary, experimentally: inject one fault into each of
+/// `k` distinct map-out groups **simultaneously** and check that one
+/// replay of the ordinary vector set implicates exactly the faulty
+/// groups.
+pub fn multi_fault_isolation(
+    params: &ModelParams,
+    k: usize,
+    trials: usize,
+    seed: u64,
+) -> Vec<MultiFaultTrial> {
+    let m = build_pipeline(params, Variant::Rescue);
+    let scanned = insert_scan(&m.netlist);
+    let run = Atpg::new(&scanned, AtpgConfig::default()).run();
+    let iso = Isolator::new(&scanned, &run.vectors);
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Detected faults per redundant (non-chipkill) group.
+    let mut by_group: HashMap<usize, Vec<Fault>> = HashMap::new();
+    for (&fault, &class) in &run.classes {
+        if class != FaultClass::Detected {
+            continue;
+        }
+        let Some(comp) = m.netlist.fault_component(fault) else {
+            continue;
+        };
+        let g = m.group_of(comp);
+        if matches!(m.groups[g].kind, rescue_model::GroupKind::Chipkill) {
+            continue;
+        }
+        by_group.entry(g).or_default().push(fault);
+    }
+    for v in by_group.values_mut() {
+        v.sort();
+    }
+    let group_ids: Vec<usize> = {
+        let mut v: Vec<usize> = by_group.keys().copied().collect();
+        v.sort();
+        v
+    };
+
+    let mut out = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let chosen: Vec<usize> = group_ids
+            .choose_multiple(&mut rng, k.min(group_ids.len()))
+            .copied()
+            .collect();
+        let faults: Vec<Fault> = chosen
+            .iter()
+            .map(|g| *by_group[g].choose(&mut rng).expect("group has faults"))
+            .collect();
+        let outcome = iso.isolate_multi(&faults);
+        let implicated_groups: std::collections::BTreeSet<usize> = outcome
+            .candidates
+            .iter()
+            .map(|&c| m.group_of(c))
+            .collect();
+        let want: std::collections::BTreeSet<usize> = chosen.iter().copied().collect();
+        out.push(MultiFaultTrial {
+            injected: faults.len(),
+            implicated: want.intersection(&implicated_groups).count(),
+            false_positives: implicated_groups.difference(&want).count(),
+        });
+    }
+    out
+}
+
+/// Access to the built model + scan view for custom experiments.
+pub fn build_scanned(params: &ModelParams, variant: Variant) -> (PipelineModel, ScanNetlist) {
+    let m = build_pipeline(params, variant);
+    let s = insert_scan(&m.netlist);
+    (m, s)
+}
+
+// ------------------------------------------------------------- Figure 8
+
+/// Parameters for the Figure 8 sweep.
+#[derive(Clone, Debug)]
+pub struct Fig8Params {
+    /// Instructions simulated per benchmark.
+    pub n_instr: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Restrict to these benchmarks (`None` = all 23).
+    pub benchmarks: Option<Vec<String>>,
+}
+
+impl Default for Fig8Params {
+    fn default() -> Self {
+        Fig8Params {
+            n_instr: 100_000,
+            seed: 7,
+            benchmarks: None,
+        }
+    }
+}
+
+/// One bar pair of Figure 8.
+#[derive(Clone, Debug)]
+pub struct Fig8Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline IPC.
+    pub baseline_ipc: f64,
+    /// Rescue IPC (fault-free, transformed pipeline).
+    pub rescue_ipc: f64,
+}
+
+impl Fig8Row {
+    /// Percent IPC degradation.
+    pub fn degradation_pct(&self) -> f64 {
+        100.0 * (1.0 - self.rescue_ipc / self.baseline_ipc)
+    }
+}
+
+/// Regenerate Figure 8: per-benchmark IPC for baseline vs Rescue.
+pub fn fig8(p: &Fig8Params) -> Vec<Fig8Row> {
+    let profiles = selected_profiles(&p.benchmarks);
+    profiles
+        .iter()
+        .map(|prof| {
+            let base = simulate(
+                &SimConfig::paper(Policy::Baseline),
+                &CoreConfig::healthy(),
+                TraceGenerator::new(prof, p.seed),
+                p.n_instr,
+            );
+            let resc = simulate(
+                &SimConfig::paper(Policy::Rescue),
+                &CoreConfig::healthy(),
+                TraceGenerator::new(prof, p.seed),
+                p.n_instr,
+            );
+            Fig8Row {
+                name: prof.name.to_owned(),
+                baseline_ipc: base.ipc(),
+                rescue_ipc: resc.ipc(),
+            }
+        })
+        .collect()
+}
+
+fn selected_profiles(filter: &Option<Vec<String>>) -> Vec<BenchmarkProfile> {
+    let all = spec2000_profiles();
+    match filter {
+        None => all,
+        Some(names) => all
+            .into_iter()
+            .filter(|p| names.iter().any(|n| n == p.name))
+            .collect(),
+    }
+}
+
+// ------------------------------------------------------------- Figure 9
+
+/// Parameters for the Figure 9 sweep.
+#[derive(Clone, Debug)]
+pub struct Fig9Params {
+    /// Instructions per simulation point.
+    pub n_instr: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Core-growth rates per area halving.
+    pub growths: Vec<f64>,
+    /// Technology nodes to sweep.
+    pub nodes: Vec<TechNode>,
+    /// Restrict benchmarks (`None` = all 23).
+    pub benchmarks: Option<Vec<String>>,
+    /// Also compute the §7 self-healing-array extension series.
+    pub include_self_healing: bool,
+}
+
+impl Default for Fig9Params {
+    fn default() -> Self {
+        Fig9Params {
+            n_instr: 30_000,
+            seed: 7,
+            growths: vec![1.2, 1.3, 1.4, 1.5],
+            nodes: TechNode::figure9_nodes().to_vec(),
+            benchmarks: None,
+            include_self_healing: false,
+        }
+    }
+}
+
+/// One bar group of Figure 9: a (node, growth) point averaged over the
+/// benchmarks.
+#[derive(Clone, Debug)]
+pub struct Fig9Point {
+    /// Feature size in nm.
+    pub node_nm: f64,
+    /// Core growth per halving.
+    pub growth: f64,
+    /// Averaged relative YAT values and the core count.
+    pub yat: YatPoint,
+    /// Rescue + self-healing arrays (§7 extension), when requested.
+    pub rescue_self_healing: Option<f64>,
+}
+
+/// Regenerate one panel of Figure 9 under `scenario`.
+///
+/// Per-benchmark, per-node IPCs for all 64 degraded Rescue configurations
+/// are simulated once and memoized; the YAT math then averages the
+/// relative YAT across benchmarks (the paper's reporting).
+pub fn fig9(scenario: &Scenario, p: &Fig9Params) -> Vec<Fig9Point> {
+    let profiles = selected_profiles(&p.benchmarks);
+    let mut out = Vec::new();
+    for &node in &p.nodes {
+        let halvings = node.halvings().round() as u32;
+        let base_cfg = SimConfig::paper(Policy::Baseline).scaled_to_halvings(halvings);
+        let resc_cfg = SimConfig::paper(Policy::Rescue).scaled_to_halvings(halvings);
+
+        // Memoized per-benchmark IPCs; the 65 simulations per benchmark
+        // are independent, so fan the benchmarks out across threads.
+        let per_bench: Vec<(f64, HashMap<ClassCounts, f64>)> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = profiles
+                    .iter()
+                    .map(|prof| {
+                        let base_cfg = &base_cfg;
+                        let resc_cfg = &resc_cfg;
+                        scope.spawn(move |_| {
+                            let base = simulate(
+                                base_cfg,
+                                &CoreConfig::healthy(),
+                                TraceGenerator::new(prof, p.seed),
+                                p.n_instr,
+                            )
+                            .ipc();
+                            let mut map = HashMap::new();
+                            for cfg in CoreConfig::all_degraded() {
+                                let key = class_counts_of(&cfg);
+                                let ipc = simulate(
+                                    resc_cfg,
+                                    &cfg,
+                                    TraceGenerator::new(prof, p.seed),
+                                    p.n_instr,
+                                )
+                                .ipc();
+                                map.insert(key, ipc);
+                            }
+                            (base, map)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("simulation thread panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope");
+
+        for &growth in &p.growths {
+            // Average the relative YAT across benchmarks.
+            let mut acc: Option<YatPoint> = None;
+            let mut acc_heal = 0.0;
+            for (base_ipc, map) in &per_bench {
+                let f = |c: ClassCounts| -> f64 { map[&c] };
+                let inputs = YatInputs {
+                    ipc_baseline: *base_ipc,
+                    ipc_rescue: &f,
+                };
+                let pt = relative_yat(scenario, node, growth, &inputs);
+                if p.include_self_healing {
+                    let inputs = YatInputs {
+                        ipc_baseline: *base_ipc,
+                        ipc_rescue: &f,
+                    };
+                    acc_heal +=
+                        relative_yat_self_healing(scenario, node, growth, &inputs).rescue;
+                }
+                acc = Some(match acc {
+                    None => pt,
+                    Some(a) => YatPoint {
+                        cores: pt.cores,
+                        none: a.none + pt.none,
+                        core_sparing: a.core_sparing + pt.core_sparing,
+                        rescue: a.rescue + pt.rescue,
+                    },
+                });
+            }
+            let n = per_bench.len() as f64;
+            let a = acc.expect("at least one benchmark");
+            out.push(Fig9Point {
+                node_nm: node.0,
+                growth,
+                yat: YatPoint {
+                    cores: a.cores,
+                    none: a.none / n,
+                    core_sparing: a.core_sparing / n,
+                    rescue: a.rescue / n,
+                },
+                rescue_self_healing: p
+                    .include_self_healing
+                    .then_some(acc_heal / n),
+            });
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------------ Ablations
+
+/// One row of the ablation study: a Rescue design choice turned off (or
+/// varied) and the resulting average IPC over the 23 benchmarks.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Which variant was simulated.
+    pub label: String,
+    /// Average IPC across the benchmark set.
+    pub mean_ipc: f64,
+    /// Average IPC degradation vs the conventional baseline (%).
+    pub mean_degradation_pct: f64,
+}
+
+/// Ablate the Rescue design choices DESIGN.md calls out: the two extra
+/// misprediction cycles (shift stages), the extra issue-queue hold/squash
+/// cycle, the overcommit replay policy, and the compaction-buffer size.
+///
+/// Shows where Figure 8's ≈4% IPC tax actually comes from.
+pub fn ablation(n_instr: u64, seed: u64) -> Vec<AblationRow> {
+    use rescue_pipesim::ReplayPolicy;
+    let profiles = spec2000_profiles();
+    let base_cfg = SimConfig::paper(Policy::Baseline);
+    let base_ipcs: Vec<f64> = profiles
+        .iter()
+        .map(|p| {
+            simulate(
+                &base_cfg,
+                &CoreConfig::healthy(),
+                TraceGenerator::new(p, seed),
+                n_instr,
+            )
+            .ipc()
+        })
+        .collect();
+
+    let mut variants: Vec<(String, SimConfig)> = Vec::new();
+    variants.push(("rescue (paper)".into(), SimConfig::paper(Policy::Rescue)));
+    {
+        let mut c = SimConfig::paper(Policy::Rescue);
+        c.mispredict_penalty = base_cfg.mispredict_penalty;
+        variants.push(("rescue, free shift stages (mispredict +0)".into(), c));
+    }
+    {
+        let mut c = SimConfig::paper(Policy::Rescue);
+        c.hold_extra = 1;
+        c.squash_window = 1;
+        variants.push(("rescue, no extra hold/squash".into(), c));
+    }
+    for (name, rp) in [
+        ("replay new half", ReplayPolicy::NewHalf),
+        ("replay larger half", ReplayPolicy::LargerHalf),
+    ] {
+        let mut c = SimConfig::paper(Policy::Rescue);
+        c.replay_policy = rp;
+        variants.push((format!("rescue, {name}"), c));
+    }
+    for buf in [1usize, 2, 8] {
+        let mut c = SimConfig::paper(Policy::Rescue);
+        c.compaction_buffer = buf;
+        variants.push((format!("rescue, {buf}-entry compaction buffer"), c));
+    }
+
+    variants
+        .into_iter()
+        .map(|(label, cfg)| {
+            let mut sum_ipc = 0.0;
+            let mut sum_deg = 0.0;
+            for (p, &b) in profiles.iter().zip(&base_ipcs) {
+                let ipc = simulate(
+                    &cfg,
+                    &CoreConfig::healthy(),
+                    TraceGenerator::new(p, seed),
+                    n_instr,
+                )
+                .ipc();
+                sum_ipc += ipc;
+                sum_deg += 100.0 * (1.0 - ipc / b);
+            }
+            let n = profiles.len() as f64;
+            AblationRow {
+                label,
+                mean_ipc: sum_ipc / n,
+                mean_degradation_pct: sum_deg / n,
+            }
+        })
+        .collect()
+}
+
+/// Map a pipesim [`CoreConfig`] onto the yield model's class-count key.
+pub fn class_counts_of(c: &CoreConfig) -> ClassCounts {
+    [
+        c.frontend_groups,
+        c.int_iq_halves,
+        c.fp_iq_halves,
+        c.lsq_halves,
+        c.int_be_groups,
+        c.fp_be_groups,
+    ]
+}

@@ -1,0 +1,233 @@
+//! ICI analysis: super-components, violations, and isolation checking.
+
+use crate::graph::{EdgeId, LcGraph, LcId};
+use std::fmt;
+
+/// A single ICI violation: a combinational edge connecting two components
+/// that the caller wants to isolate independently.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The offending combinational edge.
+    pub edge: EdgeId,
+    /// The writing component.
+    pub from: LcId,
+    /// The reading component.
+    pub to: LcId,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "combinational edge {} -> {} prevents isolating them separately",
+            self.from, self.to
+        )
+    }
+}
+
+/// The result of [`LcGraph::isolation_report`].
+#[derive(Clone, Debug)]
+pub struct IsolationReport {
+    /// Super-components (each inner vec sorted). Scan test can isolate a
+    /// fault to exactly one of these sets, never finer.
+    pub super_components: Vec<Vec<LcId>>,
+    /// For each component, the index into `super_components` it belongs to.
+    pub membership: Vec<usize>,
+}
+
+impl IsolationReport {
+    /// Super-component index of a component.
+    pub fn super_component_of(&self, c: LcId) -> usize {
+        self.membership[c.index()]
+    }
+
+    /// Whether two components can be told apart by scan-based isolation.
+    pub fn separable(&self, a: LcId, b: LcId) -> bool {
+        self.super_component_of(a) != self.super_component_of(b)
+    }
+}
+
+impl LcGraph {
+    /// Compute super-components: the connected components of the graph
+    /// restricted to **combinational** edges (treated as undirected).
+    ///
+    /// This is the paper's ICI rule in closure form. A combinational edge
+    /// X → Y makes X and Y inseparable: a wrong value captured downstream
+    /// of Y could have originated in X, and conventional scan cannot tell.
+    /// The closure under such edges is the finest isolation granularity.
+    pub fn super_components(&self) -> Vec<Vec<LcId>> {
+        self.isolation_report().super_components
+    }
+
+    /// Full isolation analysis; see [`IsolationReport`].
+    pub fn isolation_report(&self) -> IsolationReport {
+        let n = self.num_components();
+        let mut dsu: Vec<usize> = (0..n).collect();
+        fn find(dsu: &mut Vec<usize>, x: usize) -> usize {
+            if dsu[x] != x {
+                let r = find(dsu, dsu[x]);
+                dsu[x] = r;
+            }
+            dsu[x]
+        }
+        for e in self.edges() {
+            if e.kind.is_combinational() {
+                let a = find(&mut dsu, e.from.index());
+                let b = find(&mut dsu, e.to.index());
+                if a != b {
+                    dsu[a] = b;
+                }
+            }
+        }
+        let mut groups: Vec<Vec<LcId>> = Vec::new();
+        let mut root_to_group: Vec<Option<usize>> = vec![None; n];
+        let mut membership = vec![0usize; n];
+        for i in 0..n {
+            let r = find(&mut dsu, i);
+            let gi = match root_to_group[r] {
+                Some(g) => g,
+                None => {
+                    groups.push(Vec::new());
+                    root_to_group[r] = Some(groups.len() - 1);
+                    groups.len() - 1
+                }
+            };
+            groups[gi].push(LcId(i as u32));
+            membership[i] = gi;
+        }
+        for g in &mut groups {
+            g.sort();
+        }
+        IsolationReport {
+            super_components: groups,
+            membership,
+        }
+    }
+
+    /// All combinational edges whose endpoints lie in *different* groups of
+    /// the requested isolation partition — i.e. every reason the partition
+    /// cannot be achieved with conventional scan.
+    ///
+    /// `groups` assigns a group index to each component (components sharing
+    /// an index are allowed to be inseparable, e.g. a queue half and its
+    /// private selection logic). Returns an empty vec when ICI holds for
+    /// the partition.
+    pub fn check_isolation(&self, groups: &[usize]) -> Vec<Violation> {
+        assert_eq!(
+            groups.len(),
+            self.num_components(),
+            "one group index per component required"
+        );
+        self.edges()
+            .filter(|e| {
+                e.kind.is_combinational() && groups[e.from.index()] != groups[e.to.index()]
+            })
+            .map(|e| Violation {
+                edge: e.id,
+                from: e.from,
+                to: e.to,
+            })
+            .collect()
+    }
+
+    /// Components with a combinational path *to* `c` (excluding `c`): the
+    /// candidate set scan-based diagnosis reports when a wrong value is
+    /// captured at `c`'s output latches.
+    pub fn combinational_ancestors(&self, c: LcId) -> Vec<LcId> {
+        let mut seen = vec![false; self.num_components()];
+        let mut stack = vec![c];
+        seen[c.index()] = true;
+        let mut out = Vec::new();
+        while let Some(x) = stack.pop() {
+            for e in self.edges_to(x) {
+                if e.kind.is_combinational() && !seen[e.from.index()] {
+                    seen[e.from.index()] = true;
+                    out.push(e.from);
+                    stack.push(e.from);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Whether the set `set` satisfies the ICI rule: no combinational
+    /// communication among its members (paper Section 3.1).
+    pub fn ici_holds(&self, set: &[LcId]) -> bool {
+        let mut in_set = vec![false; self.num_components()];
+        for &c in set {
+            in_set[c.index()] = true;
+        }
+        // Direct combinational edges within the set violate ICI; so do
+        // paths through components outside the set, because a fault in one
+        // member still corrupts another member's outputs within the cycle.
+        for &c in set {
+            for a in self.combinational_ancestors(c) {
+                if a != c && in_set[a.index()] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+
+    #[test]
+    fn latched_edges_do_not_merge() {
+        let mut g = LcGraph::new();
+        let a = g.add_component("a", 1.0);
+        let b = g.add_component("b", 1.0);
+        g.add_edge(a, b, EdgeKind::Latched);
+        assert_eq!(g.super_components().len(), 2);
+        assert!(g.ici_holds(&[a, b]));
+    }
+
+    #[test]
+    fn combinational_chain_merges_transitively() {
+        let mut g = LcGraph::new();
+        let a = g.add_component("a", 1.0);
+        let b = g.add_component("b", 1.0);
+        let c = g.add_component("c", 1.0);
+        g.add_edge(a, b, EdgeKind::Combinational);
+        g.add_edge(b, c, EdgeKind::Combinational);
+        let sc = g.super_components();
+        assert_eq!(sc.len(), 1);
+        assert_eq!(sc[0], vec![a, b, c]);
+        assert!(!g.ici_holds(&[a, c]));
+    }
+
+    #[test]
+    fn check_isolation_reports_cross_group_edges_only() {
+        let mut g = LcGraph::new();
+        let a = g.add_component("a", 1.0);
+        let b = g.add_component("b", 1.0);
+        let c = g.add_component("c", 1.0);
+        let e_ab = g.add_edge(a, b, EdgeKind::Combinational);
+        g.add_edge(b, c, EdgeKind::Latched);
+        // a and b in different groups: the comb edge violates.
+        let v = g.check_isolation(&[0, 1, 1]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].edge, e_ab);
+        // a and b in the same group: fine.
+        assert!(g.check_isolation(&[0, 0, 1]).is_empty());
+    }
+
+    #[test]
+    fn ancestors_follow_only_combinational_paths() {
+        let mut g = LcGraph::new();
+        let a = g.add_component("a", 1.0);
+        let b = g.add_component("b", 1.0);
+        let c = g.add_component("c", 1.0);
+        let d = g.add_component("d", 1.0);
+        g.add_edge(a, b, EdgeKind::Combinational);
+        g.add_edge(b, c, EdgeKind::Combinational);
+        g.add_edge(d, c, EdgeKind::Latched);
+        assert_eq!(g.combinational_ancestors(c), vec![a, b]);
+        assert!(g.combinational_ancestors(a).is_empty());
+    }
+}

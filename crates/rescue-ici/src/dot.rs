@@ -1,0 +1,83 @@
+//! Graphviz DOT export of LC graphs: super-components as clusters,
+//! combinational edges solid (the ICI hazards), latched edges dashed.
+
+use crate::graph::LcGraph;
+use std::fmt::Write as _;
+
+/// Render the graph in Graphviz DOT format.
+///
+/// Super-components become subgraph clusters so `dot -Tsvg` shows the
+/// isolation granularity at a glance; a one-node cluster means the
+/// component is individually isolable.
+pub fn to_dot(graph: &LcGraph, title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{title}\" {{");
+    let _ = writeln!(s, "  rankdir=LR;");
+    let _ = writeln!(s, "  node [shape=box, fontname=\"monospace\"];");
+    for (gi, group) in graph.super_components().iter().enumerate() {
+        let _ = writeln!(s, "  subgraph cluster_{gi} {{");
+        let _ = writeln!(s, "    label=\"super-component {gi}\";");
+        let _ = writeln!(s, "    style=rounded;");
+        for &c in group {
+            let node = graph.node(c);
+            let _ = writeln!(
+                s,
+                "    n{} [label=\"{}\\narea {:.2}\"];",
+                c.index(),
+                node.name,
+                node.area
+            );
+        }
+        let _ = writeln!(s, "  }}");
+    }
+    for e in graph.edges() {
+        let style = if e.kind.is_combinational() {
+            "solid, color=red"
+        } else {
+            "dashed, color=gray40"
+        };
+        let _ = writeln!(
+            s,
+            "  n{} -> n{} [style=\"{style}\"];",
+            e.from.index(),
+            e.to.index()
+        );
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+impl LcGraph {
+    /// Render this graph as Graphviz DOT (see [`to_dot`]).
+    pub fn to_dot(&self, title: &str) -> String {
+        to_dot(self, title)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{figure3a, issue_stage_graph};
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let (g, ..) = figure3a();
+        let d = g.to_dot("fig3a");
+        assert!(d.starts_with("digraph \"fig3a\" {"));
+        assert!(d.trim_end().ends_with('}'));
+        assert_eq!(d.matches("subgraph cluster_").count(), g.super_components().len());
+        // Combinational edges are red, latched ones gray.
+        assert!(d.contains("color=red"));
+        assert!(d.contains("LCX"));
+    }
+
+    #[test]
+    fn issue_stage_renders_every_component() {
+        let g = issue_stage_graph();
+        let d = g.to_dot("issue");
+        for c in g.component_ids() {
+            assert!(d.contains(&g.node(c).name));
+        }
+        assert_eq!(d.matches(" -> ").count(), g.num_edges());
+    }
+}

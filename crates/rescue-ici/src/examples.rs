@@ -1,0 +1,129 @@
+//! Ready-made graphs for the paper's running examples and the issue stage.
+
+use crate::graph::{EdgeKind, LcGraph, LcId};
+
+/// Paper Figure 3a: LCX drives both LCY and LCZ combinationally inside one
+/// pipeline stage. Returns `(graph, lcx, lcy, lcz)`.
+pub fn figure3a() -> (LcGraph, LcId, LcId, LcId) {
+    let mut g = LcGraph::new();
+    let lcx = g.add_component("LCX", 1.0);
+    let lcy = g.add_component("LCY", 1.0);
+    let lcz = g.add_component("LCZ", 1.0);
+    g.add_edge(lcx, lcy, EdgeKind::Combinational);
+    g.add_edge(lcx, lcz, EdgeKind::Combinational);
+    (g, lcx, lcy, lcz)
+}
+
+/// Paper Figure 4a: a single-stage loop. LCA and LCB feed LCC within the
+/// cycle; LCC's result returns to LCA and LCB through the pipeline latch.
+/// This is the shape of superscalar select (LCC = select-tree root, LCA/LCB
+/// = per-half queue + sub-tree). Returns `(graph, lca, lcb, lcc)`.
+pub fn figure4a() -> (LcGraph, LcId, LcId, LcId) {
+    let mut g = LcGraph::new();
+    let lca = g.add_component("LCA", 1.0);
+    let lcb = g.add_component("LCB", 1.0);
+    let lcc = g.add_component("LCC", 0.5);
+    g.add_edge(lca, lcc, EdgeKind::Combinational);
+    g.add_edge(lcb, lcc, EdgeKind::Combinational);
+    g.add_edge(lcc, lca, EdgeKind::Latched);
+    g.add_edge(lcc, lcb, EdgeKind::Latched);
+    (g, lca, lcb, lcc)
+}
+
+/// The baseline compacting issue queue of paper Section 4.1.1 as an LC
+/// graph, with its three ICI violations:
+///
+/// 1. compaction of the new half depends on free slots in the old half,
+/// 2. compaction of the old half depends on entries in the new half,
+/// 3. selection in each half depends on ready instructions in the other
+///    (through the shared select-tree root).
+///
+/// Component names: `iq.old`, `iq.new`, `compact.old`, `compact.new`,
+/// `select.root`, `select.old`, `select.new`.
+pub fn issue_stage_graph() -> LcGraph {
+    let mut g = LcGraph::new();
+    let old = g.add_component("iq.old", 2.0);
+    let new = g.add_component("iq.new", 2.0);
+    let comp_old = g.add_component("compact.old", 0.5);
+    let comp_new = g.add_component("compact.new", 0.5);
+    let sel_old = g.add_component("select.old", 0.5);
+    let sel_new = g.add_component("select.new", 0.5);
+    let root = g.add_component("select.root", 0.25);
+
+    // Queue halves feed their compaction and selection logic (private,
+    // same super-component, allowed).
+    g.add_edge(old, comp_old, EdgeKind::Combinational);
+    g.add_edge(new, comp_new, EdgeKind::Combinational);
+    g.add_edge(old, sel_old, EdgeKind::Combinational);
+    g.add_edge(new, sel_new, EdgeKind::Combinational);
+
+    // Violation 1 & 2: inter-segment compaction within a cycle.
+    g.add_edge(old, comp_new, EdgeKind::Combinational);
+    g.add_edge(new, comp_old, EdgeKind::Combinational);
+
+    // Violation 3: the select-tree root reads both halves' sub-trees in a
+    // cycle and the selected instructions broadcast back next cycle.
+    g.add_edge(sel_old, root, EdgeKind::Combinational);
+    g.add_edge(sel_new, root, EdgeKind::Combinational);
+    g.add_edge(root, old, EdgeKind::Latched);
+    g.add_edge(root, new, EdgeKind::Latched);
+
+    // Compaction writes back into the queue halves within the cycle.
+    g.add_edge(comp_old, old, EdgeKind::Combinational);
+    g.add_edge(comp_new, new, EdgeKind::Combinational);
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_issue_queue_is_one_super_component() {
+        let g = issue_stage_graph();
+        // Everything is welded together by the three violations.
+        assert_eq!(g.super_components().len(), 1);
+    }
+
+    #[test]
+    fn issue_queue_transform_sequence_isolates_halves() {
+        // Reproduce Section 4.1.2: cycle-split inter-segment compaction,
+        // rotate the select root, then privatize it per half.
+        let mut g = issue_stage_graph();
+        let old = g.find("iq.old").unwrap();
+        let new = g.find("iq.new").unwrap();
+        let comp_old = g.find("compact.old").unwrap();
+        let comp_new = g.find("compact.new").unwrap();
+        let sel_old = g.find("select.old").unwrap();
+        let sel_new = g.find("select.new").unwrap();
+        let root = g.find("select.root").unwrap();
+
+        // Step 1: cycle splitting of inter-segment compaction.
+        let cross: Vec<_> = g
+            .edges()
+            .filter(|e| {
+                e.kind.is_combinational()
+                    && ((e.from == old && e.to == comp_new)
+                        || (e.from == new && e.to == comp_old))
+            })
+            .map(|e| e.id)
+            .collect();
+        g.cycle_split(&cross);
+
+        // Step 2: dependence rotation around the select root.
+        g.rotate_dependence(root).unwrap();
+
+        // Step 3: privatize the root (one copy per half). After rotation
+        // its combinational readers are the queue halves.
+        g.privatize(root, &[vec![old], vec![new]])
+            .unwrap_or_else(|e| panic!("privatize failed: {e}"));
+
+        // Result: two super-components, one per half.
+        let report = g.isolation_report();
+        assert_eq!(report.super_components.len(), 2);
+        assert!(report.separable(old, new));
+        assert!(!report.separable(old, sel_old));
+        assert!(!report.separable(new, sel_new));
+    }
+}

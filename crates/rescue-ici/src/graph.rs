@@ -1,0 +1,202 @@
+//! The logic-component dependence graph.
+
+use std::fmt;
+
+/// Identifier of a logic component in an [`LcGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LcId(pub(crate) u32);
+
+/// Identifier of an edge in an [`LcGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub(crate) u32);
+
+impl LcId {
+    /// Dense index of the component.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild an id from [`LcId::index`]. Valid only for indices obtained
+    /// from the same graph.
+    pub fn from_index(i: usize) -> Self {
+        LcId(i as u32)
+    }
+}
+
+impl EdgeId {
+    /// Dense index of the edge.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lc{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Whether communication along an edge crosses a pipeline latch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// The reader sees the writer's output within the same cycle.
+    /// Combinational edges are what violate ICI.
+    Combinational,
+    /// The value is captured into a pipeline latch and read next cycle.
+    Latched,
+}
+
+impl EdgeKind {
+    /// True for [`EdgeKind::Combinational`].
+    pub fn is_combinational(self) -> bool {
+        matches!(self, EdgeKind::Combinational)
+    }
+}
+
+/// A logic component: a unit of microarchitectural logic that can be
+/// individually disabled when faulty.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LcNode {
+    /// Human-readable name (e.g. `"issue.select.old_half"`).
+    pub name: String,
+    /// Relative area, used by privatization cost accounting.
+    pub area: f64,
+    /// If this node was created by privatization, the original it copies.
+    pub copy_of: Option<LcId>,
+}
+
+/// A directed communication edge between two components.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LcEdge {
+    /// Writing component.
+    pub from: LcId,
+    /// Reading component.
+    pub to: LcId,
+    /// Same-cycle or latched.
+    pub kind: EdgeKind,
+}
+
+/// An edge together with its id, as yielded by graph iterators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeRef {
+    /// Id for use with transformation APIs.
+    pub id: EdgeId,
+    /// Writing component.
+    pub from: LcId,
+    /// Reading component.
+    pub to: LcId,
+    /// Same-cycle or latched.
+    pub kind: EdgeKind,
+}
+
+/// Directed dependence graph over logic components.
+///
+/// Edges are never removed; transformations retag or rewire them so that
+/// ids in a [`crate::TransformLog`] stay valid.
+#[derive(Clone, Debug, Default)]
+pub struct LcGraph {
+    pub(crate) nodes: Vec<LcNode>,
+    pub(crate) edges: Vec<LcEdge>,
+}
+
+impl LcGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a component with the given display name and relative area.
+    pub fn add_component(&mut self, name: &str, area: f64) -> LcId {
+        assert!(area >= 0.0, "component area must be non-negative");
+        self.nodes.push(LcNode {
+            name: name.to_owned(),
+            area,
+            copy_of: None,
+        });
+        LcId((self.nodes.len() - 1) as u32)
+    }
+
+    /// Add a communication edge.
+    pub fn add_edge(&mut self, from: LcId, to: LcId, kind: EdgeKind) -> EdgeId {
+        assert!(from.index() < self.nodes.len(), "unknown source component");
+        assert!(to.index() < self.nodes.len(), "unknown target component");
+        self.edges.push(LcEdge { from, to, kind });
+        EdgeId((self.edges.len() - 1) as u32)
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Look up a component.
+    pub fn node(&self, id: LcId) -> &LcNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Look up an edge.
+    pub fn edge(&self, id: EdgeId) -> &LcEdge {
+        &self.edges[id.index()]
+    }
+
+    /// Find a component by name.
+    pub fn find(&self, name: &str) -> Option<LcId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| LcId(i as u32))
+    }
+
+    /// Iterate over all component ids.
+    pub fn component_ids(&self) -> impl Iterator<Item = LcId> {
+        (0..self.nodes.len() as u32).map(LcId)
+    }
+
+    /// Iterate over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.edges.iter().enumerate().map(|(i, e)| EdgeRef {
+            id: EdgeId(i as u32),
+            from: e.from,
+            to: e.to,
+            kind: e.kind,
+        })
+    }
+
+    /// Edges leaving `from`.
+    pub fn edges_from(&self, from: LcId) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.edges().filter(move |e| e.from == from)
+    }
+
+    /// Edges entering `to`.
+    pub fn edges_to(&self, to: LcId) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.edges().filter(move |e| e.to == to)
+    }
+
+    /// Sum of component areas (copies included).
+    pub fn total_area(&self) -> f64 {
+        self.nodes.iter().map(|n| n.area).sum()
+    }
+
+    /// Components that read `c` through combinational edges.
+    pub fn combinational_readers(&self, c: LcId) -> Vec<LcId> {
+        let mut v: Vec<LcId> = self
+            .edges_from(c)
+            .filter(|e| e.kind.is_combinational())
+            .map(|e| e.to)
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}

@@ -1,0 +1,361 @@
+//! The three ICI transformations of paper Section 3.2, as graph rewrites.
+
+use crate::graph::{EdgeId, EdgeKind, LcGraph, LcId, LcNode};
+use std::error::Error;
+use std::fmt;
+
+/// One applied transformation, for audit trails and cost accounting.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TransformStep {
+    /// Combinational edges were latched; paths through them now take one
+    /// extra cycle.
+    CycleSplit {
+        /// The retagged edges.
+        edges: Vec<EdgeId>,
+    },
+    /// A component was replicated so reader groups see private copies.
+    Privatize {
+        /// The component that was copied.
+        original: LcId,
+        /// The new copies (one per reader group beyond the first).
+        copies: Vec<LcId>,
+        /// Extra area added, in the graph's area units.
+        extra_area: f64,
+    },
+    /// The pipeline latch was rotated around a component in a
+    /// single-stage loop.
+    Rotate {
+        /// The component the latch was rotated around.
+        pivot: LcId,
+    },
+}
+
+/// Accumulated record of transformations applied to a graph.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TransformLog {
+    /// Steps in application order.
+    pub steps: Vec<TransformStep>,
+}
+
+impl TransformLog {
+    /// Total latency cost in cycles: each cycle-split step adds one cycle
+    /// to paths crossing its cut.
+    pub fn added_latency(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, TransformStep::CycleSplit { .. }))
+            .count()
+    }
+
+    /// Total area added by privatization.
+    pub fn added_area(&self) -> f64 {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                TransformStep::Privatize { extra_area, .. } => *extra_area,
+                _ => 0.0,
+            })
+            .sum()
+    }
+}
+
+/// Error from [`LcGraph::privatize`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PrivatizeError {
+    /// A listed reader has no combinational edge from the component.
+    NotAReader {
+        /// The component being privatized.
+        component: LcId,
+        /// The offending group member.
+        reader: LcId,
+    },
+    /// The reader groups do not cover every combinational reader.
+    UncoveredReader(LcId),
+    /// Fewer than two groups: privatization would be a no-op.
+    TooFewGroups,
+}
+
+impl fmt::Display for PrivatizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrivatizeError::NotAReader { component, reader } => {
+                write!(f, "{reader} does not combinationally read {component}")
+            }
+            PrivatizeError::UncoveredReader(r) => {
+                write!(f, "combinational reader {r} not covered by any group")
+            }
+            PrivatizeError::TooFewGroups => {
+                write!(f, "privatization needs at least two reader groups")
+            }
+        }
+    }
+}
+
+impl Error for PrivatizeError {}
+
+/// Error from [`LcGraph::rotate_dependence`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RotateError {
+    /// The pivot has a combinational in-edge and a latched in-edge from the
+    /// same side, so rotation would create a half-latched path.
+    MixedInEdges(LcId),
+    /// The pivot has no latched out-edge to swap; rotation is meaningless.
+    NoLatchedOutput(LcId),
+}
+
+impl fmt::Display for RotateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RotateError::MixedInEdges(c) => {
+                write!(f, "component {c} mixes latched and combinational inputs")
+            }
+            RotateError::NoLatchedOutput(c) => {
+                write!(f, "component {c} has no latched output to rotate")
+            }
+        }
+    }
+}
+
+impl Error for RotateError {}
+
+impl LcGraph {
+    /// **Cycle splitting** (paper §3.2.1): retag the given combinational
+    /// edges as latched, modeling the insertion of a pipeline latch on the
+    /// cut. Data crossing the cut now arrives a cycle later; the clock
+    /// period is unchanged.
+    ///
+    /// Edges already latched are left untouched (idempotent).
+    pub fn cycle_split(&mut self, edges: &[EdgeId]) -> TransformStep {
+        let mut changed = Vec::new();
+        for &e in edges {
+            let edge = &mut self.edges[e.index()];
+            if edge.kind.is_combinational() {
+                edge.kind = EdgeKind::Latched;
+                changed.push(e);
+            }
+        }
+        TransformStep::CycleSplit { edges: changed }
+    }
+
+    /// **Logic privatization** (paper §3.2.2): replicate component `c` so
+    /// that each group of combinational readers gets its own copy. With
+    /// one group per reader this is full privatization; with coarser
+    /// groups it is the paper's *partial* privatization (less area, larger
+    /// super-components).
+    ///
+    /// The first group keeps the original; each further group gets a copy
+    /// that inherits all of `c`'s in-edges. Reader edges are rewired to
+    /// the group's copy. The copies' names get `#k` suffixes.
+    ///
+    /// # Errors
+    ///
+    /// See [`PrivatizeError`]. The groups must exactly cover the
+    /// combinational readers of `c`.
+    pub fn privatize(
+        &mut self,
+        c: LcId,
+        reader_groups: &[Vec<LcId>],
+    ) -> Result<TransformStep, PrivatizeError> {
+        if reader_groups.len() < 2 {
+            return Err(PrivatizeError::TooFewGroups);
+        }
+        let readers = self.combinational_readers(c);
+        for g in reader_groups {
+            for &r in g {
+                if !readers.contains(&r) {
+                    return Err(PrivatizeError::NotAReader {
+                        component: c,
+                        reader: r,
+                    });
+                }
+            }
+        }
+        for &r in &readers {
+            if !reader_groups.iter().any(|g| g.contains(&r)) {
+                return Err(PrivatizeError::UncoveredReader(r));
+            }
+        }
+
+        let in_edges: Vec<(LcId, EdgeKind)> = self
+            .edges_to(c)
+            .map(|e| (e.from, e.kind))
+            .collect();
+        let base = self.nodes[c.index()].clone();
+        let mut copies = Vec::new();
+        let mut extra_area = 0.0;
+        for (k, group) in reader_groups.iter().enumerate().skip(1) {
+            let copy = LcId(self.nodes.len() as u32);
+            self.nodes.push(LcNode {
+                name: format!("{}#{}", base.name, k),
+                area: base.area,
+                copy_of: Some(c),
+            });
+            extra_area += base.area;
+            for &(from, kind) in &in_edges {
+                self.add_edge(from, copy, kind);
+            }
+            // Rewire this group's reader edges from the original to the copy.
+            for e in 0..self.edges.len() {
+                let edge = &mut self.edges[e];
+                if edge.from == c
+                    && edge.kind.is_combinational()
+                    && group.contains(&edge.to)
+                {
+                    edge.from = copy;
+                }
+            }
+            copies.push(copy);
+        }
+        Ok(TransformStep::Privatize {
+            original: c,
+            copies,
+            extra_area,
+        })
+    }
+
+    /// **Dependence rotation** (paper §3.2.3): rotate the pipeline latch
+    /// of a single-stage loop around `pivot`. All latched out-edges of
+    /// `pivot` become combinational and all combinational in-edges become
+    /// latched — exactly the Figure 4a → 4b rewrite, where the select-tree
+    /// root moves behind the latch.
+    ///
+    /// Logic inside the cycle is only rearranged, so area and cycle-time
+    /// are unchanged; the violation moves to the pivot's new combinational
+    /// readers, where privatization can finish the job (Figure 4c).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RotateError::NoLatchedOutput`] if the pivot has no latched
+    /// out-edge (nothing to rotate).
+    pub fn rotate_dependence(&mut self, pivot: LcId) -> Result<TransformStep, RotateError> {
+        let has_latched_out = self
+            .edges_from(pivot)
+            .any(|e| e.kind == EdgeKind::Latched);
+        if !has_latched_out {
+            return Err(RotateError::NoLatchedOutput(pivot));
+        }
+        for e in 0..self.edges.len() {
+            let edge = &mut self.edges[e];
+            if edge.from == pivot && edge.kind == EdgeKind::Latched {
+                edge.kind = EdgeKind::Combinational;
+            } else if edge.to == pivot && edge.kind == EdgeKind::Combinational {
+                edge.kind = EdgeKind::Latched;
+            }
+        }
+        Ok(TransformStep::Rotate { pivot })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{figure3a, figure4a};
+
+    #[test]
+    fn cycle_split_restores_ici_in_figure3() {
+        let (mut g, lcx, lcy, lcz) = figure3a();
+        assert!(!g.ici_holds(&[lcx, lcy, lcz]));
+        let edges: Vec<EdgeId> = g.edges_from(lcx).map(|e| e.id).collect();
+        let step = g.cycle_split(&edges);
+        match step {
+            TransformStep::CycleSplit { edges } => assert_eq!(edges.len(), 2),
+            other => panic!("unexpected step {other:?}"),
+        }
+        assert!(g.ici_holds(&[lcx, lcy, lcz]));
+        assert_eq!(g.super_components().len(), 3);
+    }
+
+    #[test]
+    fn privatization_makes_two_super_components_in_figure3() {
+        let (mut g, lcx, lcy, lcz) = figure3a();
+        let step = g
+            .privatize(lcx, &[vec![lcy], vec![lcz]])
+            .expect("lcy/lcz are the readers");
+        let copies = match &step {
+            TransformStep::Privatize { copies, extra_area, .. } => {
+                assert_eq!(*extra_area, g.node(lcx).area);
+                copies.clone()
+            }
+            other => panic!("unexpected step {other:?}"),
+        };
+        assert_eq!(copies.len(), 1);
+        // Two super-components: {LCX, LCY} and {LCX#1, LCZ}.
+        let report = g.isolation_report();
+        assert_eq!(report.super_components.len(), 2);
+        assert!(!report.separable(lcx, lcy));
+        assert!(!report.separable(copies[0], lcz));
+        assert!(report.separable(lcy, lcz));
+    }
+
+    #[test]
+    fn privatize_rejects_bad_groups() {
+        let (mut g, lcx, lcy, lcz) = figure3a();
+        assert_eq!(
+            g.privatize(lcx, &[vec![lcy]]),
+            Err(PrivatizeError::TooFewGroups)
+        );
+        assert_eq!(
+            g.privatize(lcx, &[vec![lcy], vec![lcx]]),
+            Err(PrivatizeError::NotAReader {
+                component: lcx,
+                reader: lcx
+            })
+        );
+        assert_eq!(
+            g.privatize(lcz, &[vec![lcy], vec![lcy]]),
+            Err(PrivatizeError::NotAReader {
+                component: lcz,
+                reader: lcy
+            })
+        );
+    }
+
+    #[test]
+    fn figure4_rotation_then_privatization() {
+        // Figure 4a: LCA, LCB feed LCC combinationally; LCC feeds them back
+        // through the pipeline latch (single-stage loop).
+        let (mut g, lca, lcb, lcc) = figure4a();
+        assert!(!g.ici_holds(&[lca, lcb, lcc]));
+
+        // Rotation alone moves the violation (Figure 4b): LCC now reads
+        // from the latch, LCA/LCB read LCC combinationally.
+        g.rotate_dependence(lcc).expect("lcc has latched outputs");
+        assert!(!g.ici_holds(&[lca, lcb, lcc]));
+        let readers = g.combinational_readers(lcc);
+        assert_eq!(readers, vec![lca, lcb]);
+
+        // Privatizing LCC finishes the job (Figure 4c): two
+        // super-components {LCC,LCA} and {LCC#1,LCB}.
+        let step = g.privatize(lcc, &[vec![lca], vec![lcb]]).unwrap();
+        let report = g.isolation_report();
+        assert_eq!(report.super_components.len(), 2);
+        if let TransformStep::Privatize { copies, .. } = step {
+            assert!(!report.separable(lcc, lca));
+            assert!(!report.separable(copies[0], lcb));
+        }
+    }
+
+    #[test]
+    fn rotation_requires_latched_output() {
+        let (mut g, lca, _lcb, _lcc) = figure4a();
+        assert_eq!(
+            g.rotate_dependence(lca),
+            Err(RotateError::NoLatchedOutput(lca))
+        );
+    }
+
+    #[test]
+    fn transform_log_accumulates_costs() {
+        let (mut g, lcx, lcy, lcz) = figure3a();
+        let mut log = TransformLog::default();
+        let edges: Vec<EdgeId> = g.edges_from(lcx).map(|e| e.id).collect();
+        log.steps.push(g.cycle_split(&edges));
+        log.steps
+            .push(g.privatize(lcy, &[vec![lcz], vec![lcz]]).err().map_or_else(
+                || unreachable!(),
+                |_| TransformStep::Rotate { pivot: lcy },
+            ));
+        assert_eq!(log.added_latency(), 1);
+        assert_eq!(log.added_area(), 0.0);
+    }
+}

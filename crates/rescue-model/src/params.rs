@@ -1,0 +1,111 @@
+//! Model sizing parameters.
+
+/// Sizing of the generated pipeline.
+///
+/// Widths are deliberately smaller than a real 64-bit core — the netlist
+/// model exists to measure *test structure* (fault counts, chain length,
+/// vectors, isolation precision), not to execute programs. Structure
+/// (CAMs, select trees, shift networks, table copies) is what matters and
+/// is preserved at every size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelParams {
+    /// Superscalar width (frontend ways == backend ways). Must be even.
+    pub ways: usize,
+    /// Issue-queue entries (split into old/new halves). Must be even.
+    pub iq_entries: usize,
+    /// Load/store queue entries (split into two halves). Must be even.
+    pub lsq_entries: usize,
+    /// Datapath width in bits.
+    pub data_bits: usize,
+    /// Physical-register tag width in bits.
+    pub tag_bits: usize,
+    /// Number of architectural registers (rename table height).
+    pub arch_regs: usize,
+}
+
+impl ModelParams {
+    /// The configuration used for the Table 3 / isolation experiments: a
+    /// 4-way core with a 16-entry issue queue and 8-entry LSQ.
+    pub fn paper() -> Self {
+        ModelParams {
+            ways: 4,
+            iq_entries: 16,
+            lsq_entries: 8,
+            data_bits: 8,
+            tag_bits: 5,
+            arch_regs: 8,
+        }
+    }
+
+    /// A minimal configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        ModelParams {
+            ways: 2,
+            iq_entries: 4,
+            lsq_entries: 4,
+            data_bits: 4,
+            tag_bits: 3,
+            arch_regs: 4,
+        }
+    }
+
+    /// Bits needed to index an architectural register.
+    pub fn areg_bits(&self) -> usize {
+        usize::BITS as usize - (self.arch_regs - 1).leading_zeros() as usize
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics when a constraint is violated; generators call this first.
+    pub fn validate(&self) {
+        assert!(self.ways >= 2 && self.ways % 2 == 0, "ways must be even and >= 2");
+        assert!(
+            self.iq_entries >= 4 && self.iq_entries % 2 == 0,
+            "iq_entries must be even and >= 4"
+        );
+        assert!(
+            self.lsq_entries >= 2 && self.lsq_entries % 2 == 0,
+            "lsq_entries must be even and >= 2"
+        );
+        assert!(self.data_bits >= 2, "data_bits must be >= 2");
+        assert!(self.tag_bits >= 2, "tag_bits must be >= 2");
+        assert!(
+            self.arch_regs >= 2 && self.arch_regs.is_power_of_two(),
+            "arch_regs must be a power of two >= 2"
+        );
+    }
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        ModelParams::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_params_are_valid() {
+        ModelParams::paper().validate();
+        ModelParams::tiny().validate();
+    }
+
+    #[test]
+    fn areg_bits() {
+        assert_eq!(ModelParams::paper().areg_bits(), 3);
+        assert_eq!(ModelParams::tiny().areg_bits(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ways must be even")]
+    fn odd_ways_rejected() {
+        ModelParams {
+            ways: 3,
+            ..ModelParams::paper()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,323 @@
+//! Pipeline assembly: stitch the stage generators into a full netlist and
+//! attach the isolation-group / stage metadata.
+
+use crate::lcx::extract_lc_graph;
+use crate::params::ModelParams;
+use crate::stages;
+use rescue_ici::Violation;
+use rescue_netlist::{ComponentId, Netlist, NetlistBuilder};
+use std::collections::HashMap;
+
+/// Which design to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Conventional superscalar structures (the ICI violations of §4).
+    Baseline,
+    /// The ICI-transformed Rescue design.
+    Rescue,
+}
+
+/// Pipeline stage a component belongs to, for the §6.1 experiment
+/// (faults are injected per stage).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// PC logic and the Rescue frontend routing stage.
+    Fetch,
+    /// Per-way decoders.
+    Decode,
+    /// Map tables, free-tag allocation, map-fixing.
+    Rename,
+    /// Issue queue halves, wakeup, select, compaction, broadcast/replay.
+    Issue,
+    /// Register file copies, ALUs, forwarding, writeback, issue routing.
+    Execute,
+    /// Load/store queue halves, search trees, insertion logic.
+    Memory,
+    /// Commit/retire bookkeeping (chipkill in the paper's model).
+    Commit,
+}
+
+/// Map-out granularity of a group (what the fault-map register can
+/// disable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GroupKind {
+    /// A fault here kills the core (no redundancy).
+    Chipkill,
+    /// Frontend group `i` (decode+rename for `ways/2` ways + table copy).
+    Frontend(usize),
+    /// Issue-queue half (0 = old, 1 = new) with its select/broadcast logic.
+    IqHalf(usize),
+    /// Integer backend group `i` (ALUs + regfile copy + writeback).
+    Backend(usize),
+    /// LSQ half `i` with its insertion logic and first-cycle sub-trees.
+    LsqHalf(usize),
+    /// LSQ search-tree root `i` (second search cycle).
+    LsqTree(usize),
+}
+
+/// A named set of components that is disabled as a unit — the paper's
+/// super-component / map-out granularity.
+#[derive(Clone, Debug)]
+pub struct IsolationGroup {
+    /// Display name.
+    pub name: String,
+    /// What the group maps out as.
+    pub kind: GroupKind,
+    /// Member components.
+    pub components: Vec<ComponentId>,
+}
+
+/// A generated pipeline with its test/isolation metadata.
+#[derive(Clone, Debug)]
+pub struct PipelineModel {
+    /// Sizing used.
+    pub params: ModelParams,
+    /// Baseline or Rescue.
+    pub variant: Variant,
+    /// The gate-level circuit.
+    pub netlist: Netlist,
+    /// Map-out groups covering every component.
+    pub groups: Vec<IsolationGroup>,
+    /// Pipeline stage of each component.
+    pub stage_of: HashMap<ComponentId, Stage>,
+}
+
+impl PipelineModel {
+    /// Group index of a component.
+    pub fn group_of(&self, c: ComponentId) -> usize {
+        self.groups
+            .iter()
+            .position(|g| g.components.contains(&c))
+            .unwrap_or_else(|| {
+                panic!(
+                    "component {} is not covered by any isolation group",
+                    self.netlist.component_name(c)
+                )
+            })
+    }
+
+    /// Check the designated isolation partition against the ICI rule by
+    /// extracting the LC graph and looking for combinational edges that
+    /// cross groups. Empty result = ICI holds (expected for Rescue);
+    /// non-empty = the paper's §4 violations (expected for Baseline).
+    pub fn check_ici(&self) -> Vec<Violation> {
+        let ex = extract_lc_graph(&self.netlist);
+        let group_ids: Vec<usize> = self
+            .netlist
+            .component_ids()
+            .map(|c| self.group_of(c))
+            .collect();
+        ex.graph.check_isolation(&group_ids)
+    }
+
+    /// Human-readable description of a violation from [`check_ici`].
+    pub fn describe_violation(&self, v: &Violation) -> String {
+        let ex = extract_lc_graph(&self.netlist);
+        format!(
+            "{} -> {}",
+            ex.graph.node(v.from).name,
+            ex.graph.node(v.to).name
+        )
+    }
+}
+
+/// Shared wiring context handed to the stage generators.
+pub(crate) struct Ctx<'a> {
+    pub b: &'a mut NetlistBuilder,
+    pub p: ModelParams,
+    pub variant: Variant,
+    /// Fault-map register bits (primary inputs, fuse-programmed in
+    /// silicon): `[frontend g0, frontend g1, iq old, iq new, backend g0,
+    /// backend g1, lsq h0, lsq h1]`.
+    pub fm: stages::FaultMapNets,
+}
+
+/// Build a pipeline netlist for the given parameters and variant.
+///
+/// # Panics
+/// Panics if `params` violate the documented invariants.
+pub fn build_pipeline(params: &ModelParams, variant: Variant) -> PipelineModel {
+    params.validate();
+    let mut b = NetlistBuilder::new();
+    let fm = stages::fault_map_inputs(&mut b);
+    let mut ctx = Ctx {
+        b: &mut b,
+        p: *params,
+        variant,
+        fm,
+    };
+
+    let fetched = stages::fetch::build(&mut ctx);
+    let decoded = stages::frontend::decode(&mut ctx, &fetched);
+    let renamed = stages::frontend::rename(&mut ctx, &decoded);
+    let issued = stages::issue::build(&mut ctx, &renamed);
+    let results = stages::backend::build(&mut ctx, &issued);
+    stages::lsq::build(&mut ctx, &results);
+    stages::commit::build(&mut ctx, &results);
+
+    let netlist = b.finish().expect("generated pipeline is well-formed");
+    let (groups, stage_of) = classify(&netlist, variant);
+    PipelineModel {
+        params: *params,
+        variant,
+        netlist,
+        groups,
+        stage_of,
+    }
+}
+
+/// Derive isolation groups and stage labels from component names.
+fn classify(
+    netlist: &Netlist,
+    _variant: Variant,
+) -> (Vec<IsolationGroup>, HashMap<ComponentId, Stage>) {
+    let mut groups: Vec<IsolationGroup> = vec![
+        IsolationGroup {
+            name: "chipkill".into(),
+            kind: GroupKind::Chipkill,
+            components: Vec::new(),
+        },
+        IsolationGroup {
+            name: "frontend.g0".into(),
+            kind: GroupKind::Frontend(0),
+            components: Vec::new(),
+        },
+        IsolationGroup {
+            name: "frontend.g1".into(),
+            kind: GroupKind::Frontend(1),
+            components: Vec::new(),
+        },
+        IsolationGroup {
+            name: "issue.old".into(),
+            kind: GroupKind::IqHalf(0),
+            components: Vec::new(),
+        },
+        IsolationGroup {
+            name: "issue.new".into(),
+            kind: GroupKind::IqHalf(1),
+            components: Vec::new(),
+        },
+        IsolationGroup {
+            name: "backend.g0".into(),
+            kind: GroupKind::Backend(0),
+            components: Vec::new(),
+        },
+        IsolationGroup {
+            name: "backend.g1".into(),
+            kind: GroupKind::Backend(1),
+            components: Vec::new(),
+        },
+        IsolationGroup {
+            name: "lsq.h0".into(),
+            kind: GroupKind::LsqHalf(0),
+            components: Vec::new(),
+        },
+        IsolationGroup {
+            name: "lsq.h1".into(),
+            kind: GroupKind::LsqHalf(1),
+            components: Vec::new(),
+        },
+        IsolationGroup {
+            name: "lsq.treeA".into(),
+            kind: GroupKind::LsqTree(0),
+            components: Vec::new(),
+        },
+        IsolationGroup {
+            name: "lsq.treeB".into(),
+            kind: GroupKind::LsqTree(1),
+            components: Vec::new(),
+        },
+    ];
+    let mut stage_of = HashMap::new();
+
+    for c in netlist.component_ids() {
+        let name = netlist.component_name(c).to_owned();
+        let (gidx, stage) = classify_component(&name);
+        groups[gidx].components.push(c);
+        stage_of.insert(c, stage);
+    }
+    // Drop groups with no members (e.g. baseline has no routing comps but
+    // groups stay — only drop truly empty ones to keep indices meaningful).
+    groups.retain(|g| !g.components.is_empty());
+    (groups, stage_of)
+}
+
+/// Group index (into the fixed list above) and stage for a component name.
+fn classify_component(name: &str) -> (usize, Stage) {
+    // Group layout: 0 chipkill, 1-2 frontend, 3-4 iq halves, 5-6 backend,
+    // 7-8 lsq halves, 9-10 lsq trees.
+    if let Some(rest) = name.strip_prefix("route.fe.g") {
+        return (1 + digit(rest), Stage::Fetch);
+    }
+    if let Some(rest) = name.strip_prefix("decode.g") {
+        return (1 + digit(rest), Stage::Decode);
+    }
+    if name == "rename.tbl" {
+        // Baseline's single shared table: nominally frontend group 0; the
+        // ICI check shows it welds the groups together.
+        return (1, Stage::Rename);
+    }
+    if let Some(rest) = name.strip_prefix("rename.tbl") {
+        return (1 + digit(rest), Stage::Rename);
+    }
+    if let Some(rest) = name.strip_prefix("rename.g") {
+        return (1 + digit(rest), Stage::Rename);
+    }
+    if name.starts_with("iq.old") {
+        return (3, Stage::Issue);
+    }
+    if name.starts_with("iq.new") {
+        return (4, Stage::Issue);
+    }
+    if name == "iq.shared" {
+        // Baseline's combined select root / cross-half compaction: no
+        // half can own it; nominally old half.
+        return (3, Stage::Issue);
+    }
+    if let Some(rest) = name.strip_prefix("route.be.g") {
+        return (5 + digit(rest), Stage::Execute);
+    }
+    if let Some(rest) = name.strip_prefix("rf.c") {
+        return (5 + digit(rest), Stage::Execute);
+    }
+    if let Some(rest) = name.strip_prefix("exe.g") {
+        return (5 + digit(rest), Stage::Execute);
+    }
+    if let Some(rest) = name.strip_prefix("wb.g") {
+        return (5 + digit(rest), Stage::Execute);
+    }
+    if let Some(rest) = name.strip_prefix("lsq.h") {
+        return (7 + digit(rest), Stage::Memory);
+    }
+    if let Some(rest) = name.strip_prefix("lsq.ins.h") {
+        return (7 + digit(rest), Stage::Memory);
+    }
+    if name == "lsq.ins" {
+        // Baseline's shared insertion logic.
+        return (7, Stage::Memory);
+    }
+    if name == "lsq.treeA" {
+        return (9, Stage::Memory);
+    }
+    if name == "lsq.treeB" {
+        return (10, Stage::Memory);
+    }
+    if name == "fetch.pc" {
+        return (0, Stage::Fetch);
+    }
+    if name == "commit" {
+        return (0, Stage::Commit);
+    }
+    if name == "faultmap" {
+        return (0, Stage::Commit);
+    }
+    panic!("unclassified component name: {name}");
+}
+
+fn digit(s: &str) -> usize {
+    s.chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("component suffix not numeric: {s}"))
+}

@@ -1,0 +1,142 @@
+//! Backend: register read (§4.5), execute with forwarding (§4.6), and
+//! writeback port masking (§4.8).
+//!
+//! The register file follows the paper's multi-copy organization (as in
+//! the Alpha 21264): each backend group owns a copy with half the read
+//! ports; every copy is written by all ways, with write enables computed
+//! *inside* each copy (privatized) and masked by the fault map so faulty
+//! ways never corrupt register state.
+
+use super::{ExecWay, IssuedWay};
+use crate::pipeline::Ctx;
+use crate::widgets::Widgets;
+use rescue_netlist::{DffHandle, NetId};
+
+/// Build register-read + execute + writeback for all ways; returns the
+/// writeback latch contents per way.
+pub(crate) fn build(ctx: &mut Ctx<'_>, issued: &[IssuedWay]) -> Vec<ExecWay> {
+    let p = ctx.p;
+    let half = p.ways / 2;
+    let rb = p.areg_bits();
+
+    // Writeback latch is declared first (feedback) because the register
+    // file write ports and the forwarding muxes read last cycle's results.
+    let mut wb_q: Vec<ExecWay> = Vec::with_capacity(p.ways);
+    let mut wb_h: Vec<Vec<DffHandle>> = Vec::with_capacity(p.ways);
+    for w in 0..p.ways {
+        let g = w / half;
+        ctx.b.enter_component(&format!("wb.g{g}"));
+        let width = 1 + p.tag_bits + p.data_bits + 1;
+        let (q, h) = ctx.b.dff_feedback_bus(width, &format!("wb{w}"));
+        wb_q.push(ExecWay {
+            valid: q[0],
+            dst_tag: q[1..1 + p.tag_bits].to_vec(),
+            value: q[1 + p.tag_bits..1 + p.tag_bits + p.data_bits].to_vec(),
+            is_mem: q[width - 1],
+        });
+        wb_h.push(h);
+    }
+
+    // Register file copies: one per backend group, each serving that
+    // group's ways. Rows indexed by the low bits of the physical tag.
+    let mut operands: Vec<(Vec<NetId>, Vec<NetId>)> = Vec::with_capacity(p.ways);
+    for g in 0..2 {
+        let comp = format!("rf.c{g}");
+        ctx.b.enter_component(&comp);
+        let mut rows_q = Vec::with_capacity(p.arch_regs);
+        let mut rows_h = Vec::with_capacity(p.arch_regs);
+        for r in 0..p.arch_regs {
+            let (q, h) = ctx
+                .b
+                .dff_feedback_bus(p.data_bits, &format!("{comp}_r{r}"));
+            rows_q.push(q);
+            rows_h.push(h);
+        }
+        // Read ports for this group's ways; outputs latched into the
+        // regread/execute latch (cycle boundary of the regread stage).
+        for w in g * half..(g + 1) * half {
+            let is = &issued[w];
+            let a = Widgets::mux_tree(ctx.b, &is.s1_tag[0..rb], &rows_q);
+            let bv = Widgets::mux_tree(ctx.b, &is.s2_tag[0..rb], &rows_q);
+            let a_q = ctx.b.dff_bus(&a, &format!("{comp}_opA{w}"));
+            let b_q = ctx.b.dff_bus(&bv, &format!("{comp}_opB{w}"));
+            operands.push((a_q, b_q));
+        }
+        // Write ports: all ways write every copy; enables are computed
+        // privately in this copy and masked by the fault map (§4.8).
+        for (r, h) in rows_h.into_iter().enumerate() {
+            let mut next = rows_q[r].clone();
+            for w in 0..p.ways {
+                let wq = &wb_q[w];
+                let mut match_bits = Vec::with_capacity(rb);
+                for bit in 0..rb {
+                    let v = wq.dst_tag[bit];
+                    match_bits.push(if (r >> bit) & 1 == 1 {
+                        ctx.b.buf(v)
+                    } else {
+                        ctx.b.not(v)
+                    });
+                }
+                let amatch = ctx.b.and(&match_bits);
+                let wg = w / half;
+                let healthy = ctx.b.not(ctx.fm.be[wg]);
+                let we = ctx.b.and2(amatch, wq.valid);
+                let we = ctx.b.and2(we, healthy);
+                next = ctx.b.mux_bus(we, &next, &wq.value);
+            }
+            ctx.b.connect_dff_bus(h, &next);
+        }
+    }
+
+    // Execute: per-way ALU with forwarding from last cycle's writeback.
+    // Forwarding matches from faulty ways are masked (§4.6).
+    let mut results = Vec::with_capacity(p.ways);
+    for w in 0..p.ways {
+        let g = w / half;
+        ctx.b.enter_component(&format!("exe.g{g}"));
+        let is = &issued[w];
+        // Carry the issued metadata across the regread stage.
+        let v_q = ctx.b.dff(is.valid, &format!("ex{w}_v"));
+        let dst_q = ctx.b.dff_bus(&is.dst_tag, &format!("ex{w}_dst"));
+        let s1_q = ctx.b.dff_bus(&is.s1_tag, &format!("ex{w}_s1"));
+        let s2_q = ctx.b.dff_bus(&is.s2_tag, &format!("ex{w}_s2"));
+        let ld_q = ctx.b.dff(is.is_load, &format!("ex{w}_ld"));
+        let st_q = ctx.b.dff(is.is_store, &format!("ex{w}_st"));
+
+        let (mut a, mut bv) = operands[w].clone();
+        for w2 in 0..p.ways {
+            let wq = &wb_q[w2];
+            let g2 = w2 / half;
+            let healthy = ctx.b.not(ctx.fm.be[g2]);
+            let m1 = Widgets::eq(ctx.b, &s1_q, &wq.dst_tag);
+            let f1 = ctx.b.and2(m1, wq.valid);
+            let f1 = ctx.b.and2(f1, healthy);
+            a = ctx.b.mux_bus(f1, &a, &wq.value);
+            let m2 = Widgets::eq(ctx.b, &s2_q, &wq.dst_tag);
+            let f2 = ctx.b.and2(m2, wq.valid);
+            let f2 = ctx.b.and2(f2, healthy);
+            bv = ctx.b.mux_bus(f2, &bv, &wq.value);
+        }
+        // ALU: adder for memory addresses, XOR datapath otherwise.
+        let (sum, _cout) = Widgets::adder(ctx.b, &a, &bv);
+        let xorv: Vec<NetId> = a.iter().zip(&bv).map(|(&x, &y)| ctx.b.xor2(x, y)).collect();
+        let is_mem = ctx.b.or2(ld_q, st_q);
+        let value = ctx.b.mux_bus(is_mem, &xorv, &sum);
+
+        // Writeback latch (owned by wb.g{g}).
+        ctx.b.enter_component(&format!("wb.g{g}"));
+        let mut d = vec![v_q];
+        d.extend(&dst_q);
+        d.extend(&value);
+        d.push(is_mem);
+        ctx.b
+            .connect_dff_bus(std::mem::take(&mut wb_h[w]), &d);
+        results.push(ExecWay {
+            valid: wb_q[w].valid,
+            dst_tag: wb_q[w].dst_tag.clone(),
+            value: wb_q[w].value.clone(),
+            is_mem: wb_q[w].is_mem,
+        });
+    }
+    results
+}

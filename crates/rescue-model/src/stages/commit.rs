@@ -1,0 +1,25 @@
+//! Commit (§4.9): retire counting. Active-list writes are disabled per
+//! way by the fault map (the active list itself is an array structure,
+//! BIST-covered like the caches); what remains is small non-redundant
+//! control logic — chipkill in the paper's area model.
+
+use super::ExecWay;
+use crate::pipeline::Ctx;
+use crate::widgets::Widgets;
+
+/// Build commit bookkeeping; exposes a retire counter as a primary output.
+pub(crate) fn build(ctx: &mut Ctx<'_>, results: &[ExecWay]) {
+    ctx.b.enter_component("commit");
+    let valids: Vec<_> = results.iter().map(|r| r.valid).collect();
+    let (lo, hi) = Widgets::popcount2(ctx.b, &valids);
+    // Retire counter accumulates the per-cycle count.
+    let (ctr_q, ctr_h) = ctx.b.dff_feedback_bus(ctx.p.data_bits, "retire_ctr");
+    let inc2 = vec![lo, hi];
+    let mut padded = inc2;
+    while padded.len() < ctx.p.data_bits {
+        padded.push(ctx.b.const0());
+    }
+    let (sum, _c) = Widgets::adder(ctx.b, &ctr_q, &padded);
+    ctx.b.connect_dff_bus(ctr_h, &sum);
+    ctx.b.output_bus(&ctr_q, "retired");
+}

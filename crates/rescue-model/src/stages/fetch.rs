@@ -1,0 +1,95 @@
+//! Fetch: PC logic (chipkill) plus, in Rescue, the frontend routing stage
+//! of §4.2 that steers fetched instructions around faulty frontend ways.
+
+use super::InstrFields;
+use crate::pipeline::{Ctx, Variant};
+use crate::widgets::Widgets;
+use rescue_netlist::NetId;
+
+/// Build fetch; returns the per-way instruction fields latched into the
+/// fetch/decode (or route/decode) pipeline latch.
+pub(crate) fn build(ctx: &mut Ctx<'_>) -> Vec<InstrFields> {
+    let p = ctx.p;
+    let ab = p.areg_bits();
+
+    // --- PC logic: BTB/RAS select is modeled as a redirect mux over the
+    // incremented PC and an external target. No redundancy: chipkill.
+    ctx.b.enter_component("fetch.pc");
+    let take_branch = ctx.b.input("take_branch");
+    let target = ctx.b.input_bus("branch_target", p.data_bits);
+    let (pc_q, pc_h) = ctx.b.dff_feedback_bus(p.data_bits, "pc");
+    let pc_inc = Widgets::increment(ctx.b, &pc_q);
+    let pc_next = ctx.b.mux_bus(take_branch, &pc_inc, &target);
+    ctx.b.connect_dff_bus(pc_h, &pc_next);
+    ctx.b.output_bus(&pc_q, "pc_out");
+
+    // --- Raw fetched instructions arrive on primary inputs (the i-cache
+    // itself is BIST-covered per the paper and not modeled).
+    let mut fetched: Vec<InstrFields> = Vec::with_capacity(p.ways);
+    ctx.b.enter_component("fetch.pc");
+    for w in 0..p.ways {
+        let op = ctx.b.input_bus(&format!("ifetch{w}_op"), 3);
+        let dest = ctx.b.input_bus(&format!("ifetch{w}_dest"), ab);
+        let src1 = ctx.b.input_bus(&format!("ifetch{w}_src1"), ab);
+        let src2 = ctx.b.input_bus(&format!("ifetch{w}_src2"), ab);
+        fetched.push(InstrFields {
+            op,
+            dest,
+            src1,
+            src2,
+        });
+    }
+
+    match ctx.variant {
+        Variant::Baseline => {
+            // Latch straight into the decode latch, per frontend group.
+            latch_per_group(ctx, &fetched, "fd")
+        }
+        Variant::Rescue => {
+            // Routing stage: each way's mux chooses between its own
+            // instruction and the opposite group's, steered by privatized
+            // control logic derived from the fault map (§4.2). The mux
+            // control of each way is its own logic so a control fault
+            // disables only that way.
+            let half = p.ways / 2;
+            let mut routed: Vec<InstrFields> = Vec::with_capacity(p.ways);
+            for w in 0..p.ways {
+                let g = w / half;
+                ctx.b.enter_component(&format!("route.fe.g{g}"));
+                // If *this* way's group is faulty its instructions are
+                // steered to the partner way in the other group; the
+                // selector here is: take the partner group's instruction
+                // when that group is marked faulty (so work still reaches
+                // a healthy way in program order).
+                let partner = (w + half) % p.ways;
+                let other_g = 1 - g;
+                let sel = ctx.b.buf(ctx.fm.fe[other_g]);
+                let own = fetched[w].flatten();
+                let alt = fetched[partner].flatten();
+                let out = ctx.b.mux_bus(sel, &own, &alt);
+                let latched = ctx.b.dff_bus(&out, &format!("route_fd{w}"));
+                routed.push(fetched[w].unflatten_like(&latched));
+            }
+            routed
+        }
+    }
+}
+
+/// Latch a set of per-way fields into DFFs owned by each way's frontend
+/// group decode component.
+fn latch_per_group(
+    ctx: &mut Ctx<'_>,
+    ways: &[InstrFields],
+    name: &str,
+) -> Vec<InstrFields> {
+    let half = ctx.p.ways / 2;
+    let mut out = Vec::with_capacity(ways.len());
+    for (w, f) in ways.iter().enumerate() {
+        let g = w / half;
+        ctx.b.enter_component(&format!("decode.g{g}"));
+        let flat = f.flatten();
+        let latched: Vec<NetId> = ctx.b.dff_bus(&flat, &format!("{name}{w}"));
+        out.push(f.unflatten_like(&latched));
+    }
+    out
+}

@@ -1,0 +1,326 @@
+//! Decode and rename (§4.3, §4.4).
+//!
+//! Decode is per-way and ICI-compliant in both variants. Rename is where
+//! the variants diverge:
+//!
+//! * **Baseline**: a single map table whose read ports feed every way's
+//!   map-fixing logic *within the cycle* — the Figure 3a violation.
+//! * **Rescue**: two half-ported table copies; table reads (and the
+//!   free-tag allocation) are **cycle-split** behind a pipeline latch, and
+//!   the map-fixing logic reads only that latch. Hazard matches from ways
+//!   in a faulty group are masked via the fault-map register.
+
+use super::{DecodedWay, InstrFields, RenamedWay};
+use crate::pipeline::{Ctx, Variant};
+use crate::widgets::Widgets;
+use rescue_netlist::NetId;
+
+/// Per-way decoders: op -> control signals, then the decode/rename latch.
+pub(crate) fn decode(ctx: &mut Ctx<'_>, fetched: &[InstrFields]) -> Vec<DecodedWay> {
+    let half = ctx.p.ways / 2;
+    let mut out = Vec::with_capacity(fetched.len());
+    for (w, f) in fetched.iter().enumerate() {
+        let g = w / half;
+        ctx.b.enter_component(&format!("decode.g{g}"));
+        // Opcode map: 0 nop, 1 load, 2 store, 3 branch, else ALU.
+        let n0 = ctx.b.not(f.op[0]);
+        let n1 = ctx.b.not(f.op[1]);
+        let n2 = ctx.b.not(f.op[2]);
+        let is_load = {
+            let t = ctx.b.and2(f.op[0], n1);
+            ctx.b.and2(t, n2)
+        };
+        let is_store = {
+            let t = ctx.b.and2(n0, f.op[1]);
+            ctx.b.and2(t, n2)
+        };
+        let is_branch = {
+            let t = ctx.b.and2(f.op[0], f.op[1]);
+            ctx.b.and2(t, n2)
+        };
+        let is_nop = {
+            let t = ctx.b.and2(n0, n1);
+            ctx.b.and2(t, n2)
+        };
+        let no_wr = ctx.b.or2(is_store, is_branch);
+        let no_wr = ctx.b.or2(no_wr, is_nop);
+        let writes_reg = ctx.b.not(no_wr);
+
+        // Latch everything for rename.
+        let flat = f.flatten();
+        let fields_q = ctx.b.dff_bus(&flat, &format!("dr{w}"));
+        let is_load_q = ctx.b.dff(is_load, &format!("dr{w}_ld"));
+        let is_store_q = ctx.b.dff(is_store, &format!("dr{w}_st"));
+        let writes_q = ctx.b.dff(writes_reg, &format!("dr{w}_wr"));
+        out.push(DecodedWay {
+            fields: f.unflatten_like(&fields_q),
+            is_load: is_load_q,
+            is_store: is_store_q,
+            writes_reg: writes_q,
+        });
+    }
+    out
+}
+
+/// Rename: map tables + free-tag allocation + RAW/WAW map fixing.
+pub(crate) fn rename(ctx: &mut Ctx<'_>, decoded: &[DecodedWay]) -> Vec<RenamedWay> {
+    match ctx.variant {
+        Variant::Baseline => rename_baseline(ctx, decoded),
+        Variant::Rescue => rename_rescue(ctx, decoded),
+    }
+}
+
+/// One map-table copy: rows of physical tags, a free-tag counter, read
+/// muxes for the given ways, and write ports for *all* ways (copies stay
+/// coherent). Returns per-served-way `(s1_map, s2_map)` lookups plus the
+/// per-way freshly allocated tags (for every way).
+struct TableOutputs {
+    lookups: Vec<(Vec<NetId>, Vec<NetId>)>,
+    alloc_tags: Vec<Vec<NetId>>,
+}
+
+fn map_table(
+    ctx: &mut Ctx<'_>,
+    component: &str,
+    served_ways: std::ops::Range<usize>,
+    decoded: &[DecodedWay],
+    masked_write: bool,
+) -> TableOutputs {
+    let p = ctx.p;
+    let ab = p.areg_bits();
+    ctx.b.enter_component(component);
+
+    // Free-tag counter and per-way allocated tags (counter + w).
+    let (ctr_q, ctr_h) = ctx.b.dff_feedback_bus(p.tag_bits, &format!("{component}_ctr"));
+    let mut alloc_tags: Vec<Vec<NetId>> = Vec::with_capacity(p.ways);
+    let mut cur = ctr_q.clone();
+    for _ in 0..p.ways {
+        alloc_tags.push(cur.clone());
+        cur = Widgets::increment(ctx.b, &cur);
+    }
+    ctx.b.connect_dff_bus(ctr_h, &cur);
+
+    // Table rows.
+    let mut rows_q: Vec<Vec<NetId>> = Vec::with_capacity(p.arch_regs);
+    let mut rows_h = Vec::with_capacity(p.arch_regs);
+    for r in 0..p.arch_regs {
+        let (q, h) = ctx
+            .b
+            .dff_feedback_bus(p.tag_bits, &format!("{component}_row{r}"));
+        rows_q.push(q);
+        rows_h.push(h);
+    }
+
+    // Read ports for the served ways.
+    let lookups: Vec<(Vec<NetId>, Vec<NetId>)> = served_ways
+        .map(|w| {
+            let d = &decoded[w];
+            let s1 = Widgets::mux_tree(ctx.b, &d.fields.src1, &rows_q);
+            let s2 = Widgets::mux_tree(ctx.b, &d.fields.src2, &rows_q);
+            (s1, s2)
+        })
+        .collect();
+
+    // Write ports: every way may update any row; later ways win.
+    for (r, h) in rows_h.into_iter().enumerate() {
+        let row_idx: Vec<bool> = (0..ab).map(|bit| (r >> bit) & 1 == 1).collect();
+        let mut next = rows_q[r].clone();
+        for w in 0..p.ways {
+            let d = &decoded[w];
+            // we = (dest == r) & writes_reg [& !fm_fe[group]]
+            let mut match_bits = Vec::with_capacity(ab);
+            for (bit, &want) in row_idx.iter().enumerate() {
+                let v = d.fields.dest[bit];
+                match_bits.push(if want { ctx.b.buf(v) } else { ctx.b.not(v) });
+            }
+            let addr_match = ctx.b.and(&match_bits);
+            let mut we = ctx.b.and2(addr_match, d.writes_reg);
+            if masked_write {
+                let g = w / (p.ways / 2);
+                let healthy = ctx.b.not(ctx.fm.fe[g]);
+                we = ctx.b.and2(we, healthy);
+            }
+            next = ctx.b.mux_bus(we, &next, &alloc_tags[w]);
+        }
+        ctx.b.connect_dff_bus(h, &next);
+    }
+
+    TableOutputs {
+        lookups,
+        alloc_tags,
+    }
+}
+
+/// Map-fixing for one way: override the table lookup when an earlier way
+/// writes the same architectural register (RAW), masking matches from
+/// faulty frontend groups in Rescue.
+#[allow(clippy::too_many_arguments)]
+fn map_fix(
+    ctx: &mut Ctx<'_>,
+    w: usize,
+    src: &[NetId],
+    base: &[NetId],
+    decoded_dests: &[(Vec<NetId>, NetId)],
+    alloc_tags: &[Vec<NetId>],
+    mask_faulty: bool,
+) -> Vec<NetId> {
+    let p = ctx.p;
+    let mut tag = base.to_vec();
+    for w2 in 0..w {
+        let (dest, writes) = &decoded_dests[w2];
+        let m = Widgets::eq(ctx.b, src, dest);
+        let mut hit = ctx.b.and2(m, *writes);
+        if mask_faulty {
+            let g2 = w2 / (p.ways / 2);
+            let healthy = ctx.b.not(ctx.fm.fe[g2]);
+            hit = ctx.b.and2(hit, healthy);
+        }
+        tag = ctx.b.mux_bus(hit, &tag, &alloc_tags[w2]);
+    }
+    tag
+}
+
+fn rename_baseline(ctx: &mut Ctx<'_>, decoded: &[DecodedWay]) -> Vec<RenamedWay> {
+    let p = ctx.p;
+    let half = p.ways / 2;
+    // Single shared table, read combinationally by every way: the §4.4
+    // ICI violation.
+    let tbl = map_table(ctx, "rename.tbl", 0..p.ways, decoded, false);
+    let dests: Vec<(Vec<NetId>, NetId)> = decoded
+        .iter()
+        .map(|d| (d.fields.dest.clone(), d.writes_reg))
+        .collect();
+
+    let mut out = Vec::with_capacity(p.ways);
+    for w in 0..p.ways {
+        let g = w / half;
+        ctx.b.enter_component(&format!("rename.g{g}"));
+        let (s1m, s2m) = &tbl.lookups[w];
+        let d = &decoded[w];
+        let s1 = map_fix(ctx, w, &d.fields.src1, s1m, &dests, &tbl.alloc_tags, false);
+        let s2 = map_fix(ctx, w, &d.fields.src2, s2m, &dests, &tbl.alloc_tags, false);
+        let nop_chk = {
+            // valid = op != 0
+            let any = ctx.b.or(&d.fields.op.clone());
+            any
+        };
+        out.push(latch_renamed(
+            ctx,
+            w,
+            nop_chk,
+            &tbl.alloc_tags[w],
+            &s1,
+            &s2,
+            d.is_load,
+            d.is_store,
+        ));
+    }
+    out
+}
+
+fn rename_rescue(ctx: &mut Ctx<'_>, decoded: &[DecodedWay]) -> Vec<RenamedWay> {
+    let p = ctx.p;
+    let half = p.ways / 2;
+    let ab = p.areg_bits();
+
+    // Two half-ported copies; their lookups and allocation tags are
+    // latched (cycle splitting) inside the table component.
+    let mut latched_lookups: Vec<(Vec<NetId>, Vec<NetId>)> = Vec::with_capacity(p.ways);
+    let mut latched_alloc: Vec<Vec<NetId>> = vec![Vec::new(); p.ways];
+    let mut latched_dests: Vec<(Vec<NetId>, NetId)> = Vec::with_capacity(p.ways);
+    let mut latched_meta: Vec<(NetId, NetId, NetId)> = Vec::with_capacity(p.ways);
+
+    for c in 0..2 {
+        let comp = format!("rename.tbl{c}");
+        let served = c * half..(c + 1) * half;
+        let tbl = map_table(ctx, &comp, served.clone(), decoded, true);
+        ctx.b.enter_component(&comp);
+        for (i, w) in served.clone().enumerate() {
+            let (s1m, s2m) = &tbl.lookups[i];
+            let s1q = ctx.b.dff_bus(s1m, &format!("{comp}_s1q{w}"));
+            let s2q = ctx.b.dff_bus(s2m, &format!("{comp}_s2q{w}"));
+            latched_lookups.push((s1q, s2q));
+            latched_alloc[w] = ctx
+                .b
+                .dff_bus(&tbl.alloc_tags[w], &format!("{comp}_alloc{w}"));
+            let d = &decoded[w];
+            let dest_flat: Vec<NetId> = d.fields.dest.clone();
+            let dest_q = ctx.b.dff_bus(&dest_flat, &format!("{comp}_dest{w}"));
+            let wr_q = ctx.b.dff(d.writes_reg, &format!("{comp}_wr{w}"));
+            latched_dests.push((dest_q, wr_q));
+            let any_op = ctx.b.or(&d.fields.op.clone());
+            let v_q = ctx.b.dff(any_op, &format!("{comp}_v{w}"));
+            let ld_q = ctx.b.dff(d.is_load, &format!("{comp}_ld{w}"));
+            let st_q = ctx.b.dff(d.is_store, &format!("{comp}_st{w}"));
+            latched_meta.push((v_q, ld_q, st_q));
+            // Src fields must also cross the cycle split for the RAW
+            // comparators.
+            let _ = ab;
+        }
+    }
+    // Latch the src fields too (needed by map-fix comparators next cycle).
+    let mut latched_srcs: Vec<(Vec<NetId>, Vec<NetId>)> = Vec::with_capacity(p.ways);
+    for w in 0..p.ways {
+        let c = w / half;
+        ctx.b.enter_component(&format!("rename.tbl{c}"));
+        let d = &decoded[w];
+        let s1 = ctx.b.dff_bus(&d.fields.src1, &format!("tbl{c}_src1q{w}"));
+        let s2 = ctx.b.dff_bus(&d.fields.src2, &format!("tbl{c}_src2q{w}"));
+        latched_srcs.push((s1, s2));
+    }
+
+    // Second rename cycle: map fixing per way, reading only the latches.
+    let mut out = Vec::with_capacity(p.ways);
+    for w in 0..p.ways {
+        let g = w / half;
+        ctx.b.enter_component(&format!("rename.g{g}"));
+        let (s1m, s2m) = &latched_lookups[w];
+        let (src1, src2) = &latched_srcs[w];
+        let s1 = map_fix(ctx, w, src1, s1m, &latched_dests, &latched_alloc, true);
+        let s2 = map_fix(ctx, w, src2, s2m, &latched_dests, &latched_alloc, true);
+        let (v, ld, st) = latched_meta[w];
+        // A way in a faulty frontend group never dispatches.
+        let healthy = ctx.b.not(ctx.fm.fe[g]);
+        let v = ctx.b.and2(v, healthy);
+        out.push(latch_renamed(
+            ctx,
+            w,
+            v,
+            &latched_alloc[w],
+            &s1,
+            &s2,
+            ld,
+            st,
+        ));
+    }
+    out
+}
+
+/// Latch the renamed fields into the rename/dispatch latch (owned by the
+/// current component).
+#[allow(clippy::too_many_arguments)]
+fn latch_renamed(
+    ctx: &mut Ctx<'_>,
+    w: usize,
+    valid: NetId,
+    dst: &[NetId],
+    s1: &[NetId],
+    s2: &[NetId],
+    is_load: NetId,
+    is_store: NetId,
+) -> RenamedWay {
+    let valid = ctx.b.dff(valid, &format!("ri{w}_v"));
+    let dst_tag = ctx.b.dff_bus(dst, &format!("ri{w}_dst"));
+    let s1_tag = ctx.b.dff_bus(s1, &format!("ri{w}_s1"));
+    let s2_tag = ctx.b.dff_bus(s2, &format!("ri{w}_s2"));
+    let is_load = ctx.b.dff(is_load, &format!("ri{w}_ld"));
+    let is_store = ctx.b.dff(is_store, &format!("ri{w}_st"));
+    RenamedWay {
+        valid,
+        dst_tag,
+        s1_tag,
+        s2_tag,
+        is_load,
+        is_store,
+    }
+}

@@ -1,0 +1,717 @@
+//! The issue stage (§4.1): compacting issue queue, wakeup, select,
+//! broadcast, and — in Rescue — the ICI-transformed versions:
+//!
+//! * inter-segment compaction is cycle-split through a temporary latch,
+//! * selection is per-half (dependence rotation of the select-tree root)
+//!   with privatized broadcast/replay logic,
+//! * a routing stage steers the selected instructions to healthy backend
+//!   ways.
+//!
+//! The baseline variant deliberately contains the §4.1.1 ICI violations:
+//! cross-half compaction (both directions) and the combined select-tree
+//! root, all living in an `iq.shared` block that welds the halves into one
+//! super-component.
+
+use super::{IssuedWay, RenamedWay};
+use crate::pipeline::{Ctx, Variant};
+use crate::widgets::Widgets;
+use rescue_netlist::{DffHandle, NetId};
+
+/// Issue-queue entry payload nets.
+#[derive(Clone, Debug)]
+struct Entry {
+    valid: NetId,
+    dst: Vec<NetId>,
+    s1: Vec<NetId>,
+    r1: NetId,
+    s2: Vec<NetId>,
+    r2: NetId,
+    ld: NetId,
+    st: NetId,
+}
+
+impl Entry {
+    fn width(tag_bits: usize) -> usize {
+        1 + 3 * tag_bits + 4
+    }
+
+    fn flatten(&self) -> Vec<NetId> {
+        let mut v = vec![self.valid];
+        v.extend(&self.dst);
+        v.extend(&self.s1);
+        v.push(self.r1);
+        v.extend(&self.s2);
+        v.push(self.r2);
+        v.push(self.ld);
+        v.push(self.st);
+        v
+    }
+
+    fn unflatten(tag_bits: usize, flat: &[NetId]) -> Entry {
+        assert_eq!(flat.len(), Self::width(tag_bits));
+        let mut i = 0;
+        let mut take = |n: usize| {
+            let s = flat[i..i + n].to_vec();
+            i += n;
+            s
+        };
+        Entry {
+            valid: take(1)[0],
+            dst: take(tag_bits),
+            s1: take(tag_bits),
+            r1: take(1)[0],
+            s2: take(tag_bits),
+            r2: take(1)[0],
+            ld: take(1)[0],
+            st: take(1)[0],
+        }
+    }
+
+    fn mux(ctx: &mut Ctx<'_>, sel: NetId, a: &Entry, b: &Entry) -> Entry {
+        let t = ctx.p.tag_bits;
+        let fa = a.flatten();
+        let fb = b.flatten();
+        let out = ctx.b.mux_bus(sel, &fa, &fb);
+        Entry::unflatten(t, &out)
+    }
+}
+
+/// A selected instruction captured in the post-select latch.
+#[derive(Clone, Debug)]
+struct Pick {
+    valid: NetId,
+    dst: Vec<NetId>,
+    s1: Vec<NetId>,
+    s2: Vec<NetId>,
+    ld: NetId,
+    st: NetId,
+}
+
+impl Pick {
+    fn width(tag_bits: usize) -> usize {
+        3 * tag_bits + 2
+    }
+
+    fn fields(&self) -> Vec<NetId> {
+        let mut v = Vec::new();
+        v.extend(&self.dst);
+        v.extend(&self.s1);
+        v.extend(&self.s2);
+        v.push(self.ld);
+        v.push(self.st);
+        v
+    }
+}
+
+/// Q-side view of a per-half post-select latch.
+#[derive(Clone, Debug)]
+struct SelLatch {
+    any1: NetId,
+    any2: NetId,
+    g1: Vec<NetId>,
+    g2: Vec<NetId>,
+    pick1: Pick,
+    pick2: Pick,
+}
+
+/// Declare the post-select latch (feedback DFFs) in `comp`.
+fn declare_sel_latch(ctx: &mut Ctx<'_>, comp: &str, h: usize) -> (SelLatch, Vec<DffHandle>) {
+    ctx.b.enter_component(comp);
+    let t = ctx.p.tag_bits;
+    let width = 2 + 2 * h + 2 * Pick::width(t);
+    let (q, handles) = ctx.b.dff_feedback_bus(width, &format!("{comp}_L"));
+    let mut i = 0;
+    let mut take = |n: usize| {
+        let s = q[i..i + n].to_vec();
+        i += n;
+        s
+    };
+    let any1 = take(1)[0];
+    let any2 = take(1)[0];
+    let g1 = take(h);
+    let g2 = take(h);
+    let mut picks = Vec::new();
+    for any in [any1, any2] {
+        picks.push(Pick {
+            valid: any,
+            dst: take(t),
+            s1: take(t),
+            s2: take(t),
+            ld: take(1)[0],
+            st: take(1)[0],
+        });
+    }
+    let pick2 = picks.pop().expect("two picks");
+    let pick1 = picks.pop().expect("two picks");
+    (
+        SelLatch {
+            any1,
+            any2,
+            g1,
+            g2,
+            pick1,
+            pick2,
+        },
+        handles,
+    )
+}
+
+fn connect_sel_latch(
+    ctx: &mut Ctx<'_>,
+    handles: Vec<DffHandle>,
+    any1: NetId,
+    any2: NetId,
+    g1: &[NetId],
+    g2: &[NetId],
+    pick1: &Pick,
+    pick2: &Pick,
+) {
+    let mut d = vec![any1, any2];
+    d.extend(g1);
+    d.extend(g2);
+    d.extend(pick1.fields());
+    d.extend(pick2.fields());
+    ctx.b.connect_dff_bus(handles, &d);
+}
+
+/// Declare one queue half's entry flip-flops.
+fn half_state(ctx: &mut Ctx<'_>, comp: &str, h: usize) -> (Vec<Entry>, Vec<Vec<DffHandle>>) {
+    ctx.b.enter_component(comp);
+    let t = ctx.p.tag_bits;
+    let mut entries = Vec::with_capacity(h);
+    let mut handles = Vec::with_capacity(h);
+    for e in 0..h {
+        let (q, hd) = ctx
+            .b
+            .dff_feedback_bus(Entry::width(t), &format!("{comp}_e{e}"));
+        entries.push(Entry::unflatten(t, &q));
+        handles.push(hd);
+    }
+    (entries, handles)
+}
+
+/// Wakeup comparators for one entry against the broadcast buses; gates go
+/// into the current component.
+fn wakeup(
+    ctx: &mut Ctx<'_>,
+    entry: &Entry,
+    btags: &[Vec<NetId>],
+    bvalids: &[NetId],
+) -> (NetId, NetId) {
+    let mut m1 = Vec::new();
+    let mut m2 = Vec::new();
+    for (tag, &bv) in btags.iter().zip(bvalids) {
+        let e1 = Widgets::eq(ctx.b, &entry.s1, tag);
+        m1.push(ctx.b.and2(e1, bv));
+        let e2 = Widgets::eq(ctx.b, &entry.s2, tag);
+        m2.push(ctx.b.and2(e2, bv));
+    }
+    let any1 = ctx.b.or(&m1);
+    let any2 = ctx.b.or(&m2);
+    let r1 = ctx.b.or2(entry.r1, any1);
+    let r2 = ctx.b.or2(entry.r2, any2);
+    (r1, r2)
+}
+
+/// One-hot pick of entry fields under a grant mask.
+fn pick_from(ctx: &mut Ctx<'_>, grant: &[NetId], entries: &[Entry], any: NetId) -> Pick {
+    let dsts: Vec<Vec<NetId>> = entries.iter().map(|e| e.dst.clone()).collect();
+    let s1s: Vec<Vec<NetId>> = entries.iter().map(|e| e.s1.clone()).collect();
+    let s2s: Vec<Vec<NetId>> = entries.iter().map(|e| e.s2.clone()).collect();
+    let lds: Vec<Vec<NetId>> = entries.iter().map(|e| vec![e.ld]).collect();
+    let sts: Vec<Vec<NetId>> = entries.iter().map(|e| vec![e.st]).collect();
+    Pick {
+        valid: any,
+        dst: Widgets::onehot_mux(ctx.b, grant, &dsts),
+        s1: Widgets::onehot_mux(ctx.b, grant, &s1s),
+        s2: Widgets::onehot_mux(ctx.b, grant, &s2s),
+        ld: Widgets::onehot_mux(ctx.b, grant, &lds)[0],
+        st: Widgets::onehot_mux(ctx.b, grant, &sts)[0],
+    }
+}
+
+/// Clear issued entries and apply wakeup; returns post-wakeup entries and
+/// ready bits. Gates go into the current component.
+fn wake_and_clear(
+    ctx: &mut Ctx<'_>,
+    entries: &[Entry],
+    l: &SelLatch,
+    replay: NetId,
+    btags: &[Vec<NetId>],
+    bvalids: &[NetId],
+) -> (Vec<Entry>, Vec<NetId>) {
+    let mut after = Vec::with_capacity(entries.len());
+    let mut ready = Vec::with_capacity(entries.len());
+    for (e, entry) in entries.iter().enumerate() {
+        let (r1, r2) = wakeup(ctx, entry, btags, bvalids);
+        let granted = ctx.b.or2(l.g1[e], l.g2[e]);
+        let no_replay = ctx.b.not(replay);
+        let clear = ctx.b.and2(granted, no_replay);
+        let keep = ctx.b.not(clear);
+        let valid_after = ctx.b.and2(entry.valid, keep);
+        let rdy12 = ctx.b.and2(r1, r2);
+        ready.push(ctx.b.and2(valid_after, rdy12));
+        after.push(Entry {
+            valid: valid_after,
+            r1,
+            r2,
+            ..entry.clone()
+        });
+    }
+    (after, ready)
+}
+
+/// Ripple compaction move-in signals for a half.
+fn ripple_moves(ctx: &mut Ctx<'_>, after: &[Entry]) -> Vec<NetId> {
+    (0..after.len() - 1)
+        .map(|e| {
+            let nv = ctx.b.not(after[e].valid);
+            ctx.b.and2(nv, after[e + 1].valid)
+        })
+        .collect()
+}
+
+/// Apply move-out masking for slot `e` given the move-in signals.
+fn mask_moved_out(ctx: &mut Ctx<'_>, ent: &mut Entry, e: usize, move_in: &[NetId]) {
+    if e > 0 {
+        let keep = ctx.b.not(move_in[e - 1]);
+        ent.valid = ctx.b.and2(ent.valid, keep);
+    }
+}
+
+/// Build issue; returns the per-backend-way instruction latch.
+pub(crate) fn build(ctx: &mut Ctx<'_>, renamed: &[RenamedWay]) -> Vec<IssuedWay> {
+    match ctx.variant {
+        Variant::Rescue => build_rescue(ctx, renamed),
+        Variant::Baseline => build_baseline(ctx, renamed),
+    }
+}
+
+// ---------------------------------------------------------------- Rescue
+
+fn build_rescue(ctx: &mut Ctx<'_>, renamed: &[RenamedWay]) -> Vec<IssuedWay> {
+    let p = ctx.p;
+    let h = p.iq_entries / 2;
+    let t = p.tag_bits;
+
+    let (old_entries, old_handles) = half_state(ctx, "iq.old", h);
+    let (new_entries, new_handles) = half_state(ctx, "iq.new", h);
+    let (l_old, l_old_h) = declare_sel_latch(ctx, "iq.old.sel", h);
+    let (l_new, l_new_h) = declare_sel_latch(ctx, "iq.new.sel", h);
+
+    // Temporary inter-segment latch (written by the new half, §4.1.2).
+    ctx.b.enter_component("iq.new");
+    let (tq_flat, t_handles) = ctx.b.dff_feedback_bus(Entry::width(t), "iq.new_tlatch");
+    let t_entry = Entry::unflatten(t, &tq_flat);
+
+    // Compaction-request latch (written by the old half).
+    ctx.b.enter_component("iq.old");
+    let (req_q, req_h) = ctx.b.dff_feedback("iq.old_req");
+
+    // Privatized broadcast/replay logic (Figure 6): one copy per half,
+    // reading both halves' select latches through pipeline latches only.
+    let mut btags: Vec<Vec<Vec<NetId>>> = Vec::new();
+    let mut bvalids: Vec<Vec<NetId>> = Vec::new();
+    let mut replay_comb: Vec<NetId> = Vec::new();
+    let mut replay_latch: Vec<NetId> = Vec::new();
+    for (hi, comp) in ["iq.old.bcast", "iq.new.bcast"].iter().enumerate() {
+        ctx.b.enter_component(comp);
+        let tags: Vec<Vec<NetId>> = [
+            &l_old.pick1.dst,
+            &l_old.pick2.dst,
+            &l_new.pick1.dst,
+            &l_new.pick2.dst,
+        ]
+        .iter()
+        .map(|bus| bus.iter().map(|&n| ctx.b.buf(n)).collect())
+        .collect();
+        let valids: Vec<NetId> = [l_old.any1, l_old.any2, l_new.any1, l_new.any2]
+            .iter()
+            .map(|&n| ctx.b.buf(n))
+            .collect();
+        // Replay when the combined selection overcommits the healthy
+        // backend capacity (possible only because the halves select
+        // independently).
+        let (lo_bit, hi_bit) = Widgets::popcount2(ctx.b, &valids);
+        let three_plus = ctx.b.and2(lo_bit, hi_bit);
+        let any_be_fault = ctx.b.or2(ctx.fm.be[0], ctx.fm.be[1]);
+        let overcommit = ctx.b.and2(three_plus, any_be_fault);
+        let old_cnt_hi = ctx.b.and2(valids[0], valids[1]);
+        let new_cnt_hi = ctx.b.and2(valids[2], valids[3]);
+        let n_old_hi = ctx.b.not(old_cnt_hi);
+        let old_less = ctx.b.and2(n_old_hi, new_cnt_hi);
+        let this_replays = if hi == 0 {
+            // Old half replays when it selected strictly fewer.
+            ctx.b.and2(overcommit, old_less)
+        } else {
+            let not_less = ctx.b.not(old_less);
+            ctx.b.and2(overcommit, not_less)
+        };
+        btags.push(tags);
+        bvalids.push(valids);
+        replay_comb.push(this_replays);
+        replay_latch.push(ctx.b.dff(this_replays, &format!("{comp}_replay")));
+    }
+
+    // ---- Old half datapath.
+    ctx.b.enter_component("iq.old");
+    let (old_after, old_ready) =
+        wake_and_clear(ctx, &old_entries, &l_old, replay_comb[0], &btags[0], &bvalids[0]);
+
+    ctx.b.enter_component("iq.old.sel");
+    let (g1, g2, any1, any2) = Widgets::select_two(ctx.b, &old_ready);
+    let any_be_fault = ctx.b.or2(ctx.fm.be[0], ctx.fm.be[1]);
+    let ok2 = ctx.b.not(any_be_fault);
+    let any2 = ctx.b.and2(any2, ok2);
+    let p1 = pick_from(ctx, &g1, &old_after, any1);
+    let p2 = pick_from(ctx, &g2, &old_after, any2);
+    connect_sel_latch(ctx, l_old_h, any1, any2, &g1, &g2, &p1, &p2);
+
+    ctx.b.enter_component("iq.old");
+    {
+        // Temporary-latch wakeup on the way in (reads only the latch and
+        // this half's broadcast wires).
+        let (tr1, tr2) = wakeup(ctx, &t_entry, &btags[0], &bvalids[0]);
+        let t_in = Entry {
+            r1: tr1,
+            r2: tr2,
+            ..t_entry.clone()
+        };
+        let move_in = ripple_moves(ctx, &old_after);
+        for (e, handles) in old_handles.into_iter().enumerate() {
+            let mut ent = if e < h - 1 {
+                Entry::mux(ctx, move_in[e], &old_after[e], &old_after[e + 1])
+            } else {
+                let nvalid = ctx.b.not(old_after[e].valid);
+                let healthy = ctx.b.not(ctx.fm.iq[0]);
+                let tv = ctx.b.and2(t_in.valid, healthy);
+                let accept = ctx.b.and2(nvalid, tv);
+                Entry::mux(ctx, accept, &old_after[e], &t_in)
+            };
+            mask_moved_out(ctx, &mut ent, e, &move_in);
+            let flat = ent.flatten();
+            ctx.b.connect_dff_bus(handles, &flat);
+        }
+        let tail_free = ctx.b.not(old_after[h - 1].valid);
+        ctx.b.connect_dff(req_h, tail_free);
+    }
+
+    // ---- New half datapath.
+    ctx.b.enter_component("iq.new");
+    let (new_after, new_ready) =
+        wake_and_clear(ctx, &new_entries, &l_new, replay_comb[1], &btags[1], &bvalids[1]);
+
+    ctx.b.enter_component("iq.new.sel");
+    let (g1, g2, any1, any2) = Widgets::select_two(ctx.b, &new_ready);
+    let any_be_fault = ctx.b.or2(ctx.fm.be[0], ctx.fm.be[1]);
+    let ok2 = ctx.b.not(any_be_fault);
+    let any2 = ctx.b.and2(any2, ok2);
+    let p1 = pick_from(ctx, &g1, &new_after, any1);
+    let p2 = pick_from(ctx, &g2, &new_after, any2);
+    connect_sel_latch(ctx, l_new_h, any1, any2, &g1, &g2, &p1, &p2);
+
+    ctx.b.enter_component("iq.new");
+    {
+        // Honor the latched compaction request: head entry -> T.
+        let healthy_old = ctx.b.not(ctx.fm.iq[0]);
+        let masked_req = ctx.b.and2(req_q, healthy_old);
+        let move_t = ctx.b.and2(masked_req, new_after[0].valid);
+        let t_next = Entry {
+            valid: move_t,
+            ..new_after[0].clone()
+        };
+        let flat = t_next.flatten();
+        ctx.b.connect_dff_bus(t_handles, &flat);
+
+        let keep0 = ctx.b.not(move_t);
+        let mut post = new_after.clone();
+        post[0].valid = ctx.b.and2(post[0].valid, keep0);
+
+        let move_in = ripple_moves(ctx, &post);
+        for (e, handles) in new_handles.into_iter().enumerate() {
+            let mut ent = if e < h - 1 {
+                Entry::mux(ctx, move_in[e], &post[e], &post[e + 1])
+            } else {
+                post[e].clone()
+            };
+            mask_moved_out(ctx, &mut ent, e, &move_in);
+            // Insert from rename into free slots (§4.1.2: the new half
+            // inserts in the cycle it forwards to the temporary latch).
+            let rn = &renamed[e % p.ways];
+            // Ready-at-dispatch: the model marks source operands ready on
+            // insert (wakeup still exercises the CAM paths for entries
+            // waiting in the queue across broadcasts).
+            let c1a = ctx.b.const1();
+            let c1b = ctx.b.const1();
+            let ins = Entry {
+                valid: rn.valid,
+                dst: rn.dst_tag.clone(),
+                s1: rn.s1_tag.clone(),
+                r1: c1a,
+                s2: rn.s2_tag.clone(),
+                r2: c1b,
+                ld: rn.is_load,
+                st: rn.is_store,
+            };
+            let healthy = ctx.b.not(ctx.fm.iq[1]);
+            let free = ctx.b.not(ent.valid);
+            let can_ins = ctx.b.and2(free, healthy);
+            let do_ins = ctx.b.and2(can_ins, rn.valid);
+            let ent = Entry::mux(ctx, do_ins, &ent, &ins);
+            let flat = ent.flatten();
+            ctx.b.connect_dff_bus(handles, &flat);
+        }
+    }
+
+    // ---- Routing stage after issue: per-backend-group muxes with
+    // privatized control.
+    let candidates = [
+        (l_old.pick1.clone(), l_old.any1, replay_latch[0]),
+        (l_old.pick2.clone(), l_old.any2, replay_latch[0]),
+        (l_new.pick1.clone(), l_new.any1, replay_latch[1]),
+        (l_new.pick2.clone(), l_new.any2, replay_latch[1]),
+    ];
+    let half_ways = p.ways / 2;
+    let mut issued = Vec::with_capacity(p.ways);
+    for w in 0..p.ways {
+        let g = w / half_ways;
+        ctx.b.enter_component(&format!("route.be.g{g}"));
+        let own = &candidates[w % candidates.len()];
+        let alt = &candidates[(w + half_ways) % candidates.len()];
+        // A faulty partner group steers its candidates here.
+        let other_g = 1 - g;
+        let steer = ctx.b.buf(ctx.fm.be[other_g]);
+        let own_flat = {
+            let mut v = own.0.fields();
+            let nr = ctx.b.not(own.2);
+            v.push(ctx.b.and2(own.1, nr));
+            v
+        };
+        let alt_flat = {
+            let mut v = alt.0.fields();
+            let nr = ctx.b.not(alt.2);
+            v.push(ctx.b.and2(alt.1, nr));
+            v
+        };
+        let routed = ctx.b.mux_bus(steer, &own_flat, &alt_flat);
+        let (fields, valid) = routed.split_at(routed.len() - 1);
+        // This way never executes when its own group is mapped out.
+        let healthy = ctx.b.not(ctx.fm.be[g]);
+        let valid = ctx.b.and2(valid[0], healthy);
+        issued.push(latch_issued(ctx, w, valid, fields, t));
+    }
+    issued
+}
+
+// -------------------------------------------------------------- Baseline
+
+fn build_baseline(ctx: &mut Ctx<'_>, renamed: &[RenamedWay]) -> Vec<IssuedWay> {
+    let p = ctx.p;
+    let h = p.iq_entries / 2;
+    let t = p.tag_bits;
+
+    let (old_entries, old_handles) = half_state(ctx, "iq.old", h);
+    let (new_entries, new_handles) = half_state(ctx, "iq.new", h);
+
+    // Shared broadcast latch: four picks (dst+s1+s2+ld+st+valid each) and
+    // both halves' grant masks, all written by the combined select root.
+    ctx.b.enter_component("iq.shared");
+    let pick_w = Pick::width(t) + 1;
+    let (bq, b_handles) = ctx
+        .b
+        .dff_feedback_bus(4 * pick_w + 2 * h, "iq.shared_B");
+    let mut picks_q: Vec<Pick> = Vec::new();
+    {
+        let mut i = 0;
+        for _ in 0..4 {
+            let f = &bq[i..i + pick_w];
+            picks_q.push(Pick {
+                dst: f[0..t].to_vec(),
+                s1: f[t..2 * t].to_vec(),
+                s2: f[2 * t..3 * t].to_vec(),
+                ld: f[3 * t],
+                st: f[3 * t + 1],
+                valid: f[3 * t + 2],
+            });
+            i += pick_w;
+        }
+    }
+    let g_old_q = bq[4 * pick_w..4 * pick_w + h].to_vec();
+    let g_new_q = bq[4 * pick_w + h..].to_vec();
+
+    // Broadcast wires come straight from the shared latch.
+    let btags: Vec<Vec<NetId>> = picks_q.iter().map(|pk| pk.dst.clone()).collect();
+    let bvalids: Vec<NetId> = picks_q.iter().map(|pk| pk.valid).collect();
+
+    // Wakeup + issued-clear per half (the halves themselves are fine).
+    ctx.b.enter_component("iq.old");
+    let mut old_after = Vec::new();
+    let mut old_ready = Vec::new();
+    for (e, entry) in old_entries.iter().enumerate() {
+        let (r1, r2) = wakeup(ctx, entry, &btags, &bvalids);
+        let keep = ctx.b.not(g_old_q[e]);
+        let valid_after = ctx.b.and2(entry.valid, keep);
+        let rdy = ctx.b.and2(r1, r2);
+        old_ready.push(ctx.b.and2(valid_after, rdy));
+        old_after.push(Entry {
+            valid: valid_after,
+            r1,
+            r2,
+            ..entry.clone()
+        });
+    }
+    ctx.b.enter_component("iq.new");
+    let mut new_after = Vec::new();
+    let mut new_ready = Vec::new();
+    for (e, entry) in new_entries.iter().enumerate() {
+        let (r1, r2) = wakeup(ctx, entry, &btags, &bvalids);
+        let keep = ctx.b.not(g_new_q[e]);
+        let valid_after = ctx.b.and2(entry.valid, keep);
+        let rdy = ctx.b.and2(r1, r2);
+        new_ready.push(ctx.b.and2(valid_after, rdy));
+        new_after.push(Entry {
+            valid: valid_after,
+            r1,
+            r2,
+            ..entry.clone()
+        });
+    }
+
+    // Per-half select sub-trees (still inside the halves).
+    ctx.b.enter_component("iq.old");
+    let (og1, og2, oany1, oany2) = Widgets::select_two(ctx.b, &old_ready);
+    let op1 = pick_from(ctx, &og1, &old_after, oany1);
+    let op2 = pick_from(ctx, &og2, &old_after, oany2);
+    ctx.b.enter_component("iq.new");
+    let (ng1, ng2, nany1, nany2) = Widgets::select_two(ctx.b, &new_ready);
+    let np1 = pick_from(ctx, &ng1, &new_after, nany1);
+    let np2 = pick_from(ctx, &ng2, &new_after, nany2);
+
+    // Combined select root (§4.1.1 violation 3): the root reads both
+    // halves' sub-tree outputs within the selection cycle and enforces the
+    // issue-width cap.
+    ctx.b.enter_component("iq.shared");
+    // Old half has priority; new picks pass only while capacity remains.
+    let used2 = ctx.b.and2(oany1, oany2);
+    let cap_for_n1 = ctx.b.const1();
+    let n1_ok = ctx.b.and2(nany1, cap_for_n1);
+    let nu = ctx.b.not(used2);
+    let n2_ok = ctx.b.and2(nany2, nu);
+    let final_picks = [
+        (op1.clone(), oany1),
+        (op2.clone(), oany2),
+        (np1.clone(), n1_ok),
+        (np2.clone(), n2_ok),
+    ];
+    let mut d = Vec::new();
+    for (pk, v) in &final_picks {
+        d.extend(pk.fields());
+        d.push(*v);
+    }
+    // Grant masks (gated for the new half by the capacity decisions).
+    d.extend(og1.iter().copied());
+    // og2/ng2 fold into the same mask bits the halves read back.
+    for e in 0..h {
+        let m = ctx.b.or2(og2[e], d[4 * pick_w + e]);
+        d[4 * pick_w + e] = m;
+    }
+    let mut gn: Vec<NetId> = Vec::with_capacity(h);
+    for e in 0..h {
+        let m1 = ctx.b.and2(ng1[e], n1_ok);
+        let m2 = ctx.b.and2(ng2[e], n2_ok);
+        gn.push(ctx.b.or2(m1, m2));
+    }
+    d.extend(gn);
+    ctx.b.connect_dff_bus(b_handles, &d);
+
+    // Cross-half single-cycle compaction (§4.1.1 violations 1 and 2): the
+    // old half's tail directly consumes the new half's head, and both
+    // free-slot decisions happen in the same cycle inside shared logic.
+    ctx.b.enter_component("iq.shared");
+    let old_tail_free = ctx.b.not(old_after[h - 1].valid);
+    let pull = ctx.b.and2(old_tail_free, new_after[0].valid);
+
+    ctx.b.enter_component("iq.old");
+    {
+        let move_in = ripple_moves(ctx, &old_after);
+        for (e, handles) in old_handles.into_iter().enumerate() {
+            let mut ent = if e < h - 1 {
+                Entry::mux(ctx, move_in[e], &old_after[e], &old_after[e + 1])
+            } else {
+                // Tail pulls the new half's head entry combinationally —
+                // the capture cone of this flip-flop now spans both halves
+                // plus the shared logic.
+                Entry::mux(ctx, pull, &old_after[e], &new_after[0])
+            };
+            mask_moved_out(ctx, &mut ent, e, &move_in);
+            let flat = ent.flatten();
+            ctx.b.connect_dff_bus(handles, &flat);
+        }
+    }
+    ctx.b.enter_component("iq.new");
+    {
+        let keep0 = ctx.b.not(pull);
+        let mut post = new_after.clone();
+        post[0].valid = ctx.b.and2(post[0].valid, keep0);
+        let move_in = ripple_moves(ctx, &post);
+        for (e, handles) in new_handles.into_iter().enumerate() {
+            let mut ent = if e < h - 1 {
+                Entry::mux(ctx, move_in[e], &post[e], &post[e + 1])
+            } else {
+                post[e].clone()
+            };
+            mask_moved_out(ctx, &mut ent, e, &move_in);
+            let rn = &renamed[e % p.ways];
+            // Ready-at-dispatch: the model marks source operands ready on
+            // insert (wakeup still exercises the CAM paths for entries
+            // waiting in the queue across broadcasts).
+            let c1a = ctx.b.const1();
+            let c1b = ctx.b.const1();
+            let ins = Entry {
+                valid: rn.valid,
+                dst: rn.dst_tag.clone(),
+                s1: rn.s1_tag.clone(),
+                r1: c1a,
+                s2: rn.s2_tag.clone(),
+                r2: c1b,
+                ld: rn.is_load,
+                st: rn.is_store,
+            };
+            let free = ctx.b.not(ent.valid);
+            let do_ins = ctx.b.and2(free, rn.valid);
+            let ent = Entry::mux(ctx, do_ins, &ent, &ins);
+            let flat = ent.flatten();
+            ctx.b.connect_dff_bus(handles, &flat);
+        }
+    }
+
+    // Baseline "routing": positional — backend way k executes pick k,
+    // straight out of the shared latch.
+    let mut issued = Vec::with_capacity(p.ways);
+    ctx.b.enter_component("iq.shared");
+    for w in 0..p.ways {
+        let pk = &picks_q[w % picks_q.len()];
+        let fields = pk.fields();
+        issued.push(latch_issued(ctx, w, pk.valid, &fields, t));
+    }
+    issued
+}
+
+/// Latch an issued instruction into the issue/regread latch owned by the
+/// current component.
+fn latch_issued(ctx: &mut Ctx<'_>, w: usize, valid: NetId, fields: &[NetId], t: usize) -> IssuedWay {
+    let valid = ctx.b.dff(valid, &format!("ir{w}_v"));
+    let dst = ctx.b.dff_bus(&fields[0..t], &format!("ir{w}_dst"));
+    let s1 = ctx.b.dff_bus(&fields[t..2 * t], &format!("ir{w}_s1"));
+    let s2 = ctx.b.dff_bus(&fields[2 * t..3 * t], &format!("ir{w}_s2"));
+    let ld = ctx.b.dff(fields[3 * t], &format!("ir{w}_ld"));
+    let st = ctx.b.dff(fields[3 * t + 1], &format!("ir{w}_st"));
+    IssuedWay {
+        valid,
+        dst_tag: dst,
+        s1_tag: s1,
+        s2_tag: s2,
+        is_load: ld,
+        is_store: st,
+    }
+}

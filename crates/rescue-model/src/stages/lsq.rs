@@ -1,0 +1,184 @@
+//! Load/store queue (§4.7): segmented halves, privatized insertion logic
+//! with per-half tail-pointer copies, and two search trees pipelined into
+//! two cycles — sub-trees search the halves in cycle one (inside the half
+//! super-components), tree roots combine latched sub-results in cycle two.
+//!
+//! The search structure already obeys ICI (the paper's observation); only
+//! insertion differs between variants: Rescue privatizes it per half,
+//! the baseline keeps one shared tail pointer whose decode drives both
+//! halves within a cycle.
+
+use super::ExecWay;
+use crate::pipeline::{Ctx, Variant};
+use crate::widgets::Widgets;
+use rescue_netlist::NetId;
+
+/// Build the LSQ. Search ports A and B take their addresses from backend
+/// ways 0 and 1 (the memory ports of the two groups).
+pub(crate) fn build(ctx: &mut Ctx<'_>, results: &[ExecWay]) {
+    let p = ctx.p;
+    let h = p.lsq_entries / 2;
+    let hb = h.next_power_of_two().trailing_zeros().max(1) as usize;
+
+    // --- Entry state per half.
+    let mut half_entries: Vec<Vec<(NetId, Vec<NetId>)>> = Vec::new(); // (valid, addr)
+    let mut half_handles = Vec::new();
+    for half in 0..2 {
+        let comp = format!("lsq.h{half}");
+        ctx.b.enter_component(&comp);
+        let mut entries = Vec::with_capacity(h);
+        let mut handles = Vec::with_capacity(h);
+        for e in 0..h {
+            let (q, hd) = ctx
+                .b
+                .dff_feedback_bus(1 + p.data_bits, &format!("{comp}_e{e}"));
+            entries.push((q[0], q[1..].to_vec()));
+            handles.push(hd);
+        }
+        half_entries.push(entries);
+        half_handles.push(handles);
+    }
+
+    // --- Insertion logic.
+    // The inserted entry comes from backend way 0's memory operations.
+    let mem0 = &results[0];
+    match ctx.variant {
+        Variant::Rescue => {
+            // Privatized per half: each half owns a tail-pointer copy and
+            // decodes its own write enables (§4.7, ILA/ILB in Figure 7).
+            for half in 0..2 {
+                let comp = format!("lsq.ins.h{half}");
+                ctx.b.enter_component(&comp);
+                let (tail_q, tail_h) = ctx.b.dff_feedback_bus(hb + 1, &format!("{comp}_tail"));
+                // This half inserts when the tail's MSB selects it (the
+                // queue wraps across halves) and the half is healthy.
+                let msb = tail_q[hb];
+                let in_this_half = if half == 0 { ctx.b.not(msb) } else { ctx.b.buf(msb) };
+                let healthy = ctx.b.not(ctx.fm.lsq[half]);
+                let active = ctx.b.and2(mem0.valid, mem0.is_mem);
+                let active = ctx.b.and2(active, in_this_half);
+                let active = ctx.b.and2(active, healthy);
+                // When the other half is mapped out, this half handles all
+                // insertions (reduced LSQ size, §4.7).
+                let other = 1 - half;
+                let other_dead = ctx.b.buf(ctx.fm.lsq[other]);
+                let fallback = ctx.b.and2(mem0.valid, mem0.is_mem);
+                let fallback = ctx.b.and2(fallback, other_dead);
+                let fallback = ctx.b.and2(fallback, healthy);
+                let active = ctx.b.or2(active, fallback);
+                let wes: Vec<NetId> = (0..h)
+                    .map(|e| {
+                        let mut bits = Vec::with_capacity(hb);
+                        for bit in 0..hb {
+                            let v = tail_q[bit];
+                            bits.push(if (e >> bit) & 1 == 1 {
+                                ctx.b.buf(v)
+                            } else {
+                                ctx.b.not(v)
+                            });
+                        }
+                        let slot = ctx.b.and(&bits);
+                        ctx.b.and2(slot, active)
+                    })
+                    .collect();
+                let tail_next = Widgets::increment(ctx.b, &tail_q);
+                let tail_next: Vec<NetId> = tail_next
+                    .iter()
+                    .zip(&tail_q)
+                    .map(|(&inc, &cur)| ctx.b.mux(active, cur, inc))
+                    .collect();
+                ctx.b.connect_dff_bus(tail_h, &tail_next);
+                connect_half(ctx, half, &half_entries[half], std::mem::take(&mut half_handles[half]), &wes, mem0);
+            }
+        }
+        Variant::Baseline => {
+            // One shared tail pointer decodes write enables for *both*
+            // halves within the cycle.
+            ctx.b.enter_component("lsq.ins");
+            let bits_total = hb + 1;
+            let (tail_q, tail_h) = ctx.b.dff_feedback_bus(bits_total, "lsq.ins_tail");
+            let active = ctx.b.and2(mem0.valid, mem0.is_mem);
+            let tail_next = Widgets::increment(ctx.b, &tail_q);
+            let tail_next: Vec<NetId> = tail_next
+                .iter()
+                .zip(&tail_q)
+                .map(|(&inc, &cur)| ctx.b.mux(active, cur, inc))
+                .collect();
+            ctx.b.connect_dff_bus(tail_h, &tail_next);
+            for half in 0..2 {
+                ctx.b.enter_component("lsq.ins");
+                let msb = tail_q[hb];
+                let in_this_half = if half == 0 { ctx.b.not(msb) } else { ctx.b.buf(msb) };
+                let act_h = ctx.b.and2(active, in_this_half);
+                let wes: Vec<NetId> = (0..h)
+                    .map(|e| {
+                        let mut bits = Vec::with_capacity(hb);
+                        for bit in 0..hb {
+                            let v = tail_q[bit];
+                            bits.push(if (e >> bit) & 1 == 1 {
+                                ctx.b.buf(v)
+                            } else {
+                                ctx.b.not(v)
+                            });
+                        }
+                        let slot = ctx.b.and(&bits);
+                        ctx.b.and2(slot, act_h)
+                    })
+                    .collect();
+                connect_half(ctx, half, &half_entries[half], std::mem::take(&mut half_handles[half]), &wes, mem0);
+            }
+        }
+    }
+
+    // --- Search: two trees (A from way 0, B from way 1), two cycles.
+    for (ti, tree) in ["lsq.treeA", "lsq.treeB"].iter().enumerate() {
+        let port = &results[ti.min(results.len() - 1)];
+        let mut sub_latched = Vec::new();
+        for half in 0..2 {
+            // Cycle 1: the sub-tree searching this half belongs to the
+            // half's super-component.
+            ctx.b.enter_component(&format!("lsq.h{half}"));
+            let hits: Vec<NetId> = half_entries[half]
+                .iter()
+                .map(|(v, addr)| {
+                    let m = Widgets::eq(ctx.b, addr, &port.value);
+                    ctx.b.and2(m, *v)
+                })
+                .collect();
+            let grant = Widgets::priority_grant(ctx.b, &hits);
+            let any = ctx.b.or(&grant.clone());
+            let any_q = ctx.b.dff(any, &format!("lsq.h{half}_sub{ti}"));
+            sub_latched.push(any_q);
+        }
+        // Cycle 2: the root combines the latched sub-results, masking a
+        // mapped-out half.
+        ctx.b.enter_component(tree);
+        let h0ok = ctx.b.not(ctx.fm.lsq[0]);
+        let h1ok = ctx.b.not(ctx.fm.lsq[1]);
+        let a = ctx.b.and2(sub_latched[0], h0ok);
+        let c = ctx.b.and2(sub_latched[1], h1ok);
+        let hit = ctx.b.or2(a, c);
+        let hit_q = ctx.b.dff(hit, &format!("{tree}_hit"));
+        ctx.b.output(hit_q, &format!("lsq_hit_{ti}"));
+    }
+}
+
+/// Wire one half's entry next-state: insert under the write enables.
+fn connect_half(
+    ctx: &mut Ctx<'_>,
+    half: usize,
+    entries: &[(NetId, Vec<NetId>)],
+    handles: Vec<Vec<rescue_netlist::DffHandle>>,
+    wes: &[NetId],
+    ins: &ExecWay,
+) {
+    ctx.b.enter_component(&format!("lsq.h{half}"));
+    for ((e, hd), &we) in entries.iter().zip(handles).zip(wes) {
+        let (v, addr) = e;
+        let v_next = ctx.b.or2(*v, we);
+        let addr_next = ctx.b.mux_bus(we, addr, &ins.value);
+        let mut d = vec![v_next];
+        d.extend(addr_next);
+        ctx.b.connect_dff_bus(hd, &d);
+    }
+}

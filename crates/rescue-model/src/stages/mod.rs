@@ -1,0 +1,111 @@
+//! Stage generators. Each submodule contributes one pipeline stage to the
+//! shared [`NetlistBuilder`](rescue_netlist::NetlistBuilder), labeling its
+//! gates with ICI components and latching its outputs for the next stage.
+
+pub(crate) mod backend;
+pub(crate) mod commit;
+pub(crate) mod fetch;
+pub(crate) mod frontend;
+pub(crate) mod issue;
+pub(crate) mod lsq;
+
+use rescue_netlist::{NetId, NetlistBuilder};
+
+/// Fault-map register bits. In silicon these are fuse-programmed after
+/// test (paper §4); in the model they are primary inputs so both the
+/// tester (constrained) and degraded-mode analyses can drive them.
+#[derive(Clone, Debug)]
+pub(crate) struct FaultMapNets {
+    /// Frontend group faulty bits (one per group of `ways/2` ways).
+    pub fe: Vec<NetId>,
+    /// Issue-queue half faulty bits `[old, new]`.
+    pub iq: Vec<NetId>,
+    /// Backend group faulty bits.
+    pub be: Vec<NetId>,
+    /// LSQ half faulty bits.
+    pub lsq: Vec<NetId>,
+}
+
+/// Declare the fault-map register inputs (component `faultmap`).
+pub(crate) fn fault_map_inputs(b: &mut NetlistBuilder) -> FaultMapNets {
+    b.enter_component("faultmap");
+    FaultMapNets {
+        fe: b.input_bus("fm_fe", 2),
+        iq: b.input_bus("fm_iq", 2),
+        be: b.input_bus("fm_be", 2),
+        lsq: b.input_bus("fm_lsq", 2),
+    }
+}
+
+/// Architectural instruction fields flowing through the frontend.
+#[derive(Clone, Debug)]
+pub(crate) struct InstrFields {
+    pub op: Vec<NetId>,
+    pub dest: Vec<NetId>,
+    pub src1: Vec<NetId>,
+    pub src2: Vec<NetId>,
+}
+
+impl InstrFields {
+    /// Flatten to a single bus (for routing muxes).
+    pub fn flatten(&self) -> Vec<NetId> {
+        let mut v = self.op.clone();
+        v.extend(&self.dest);
+        v.extend(&self.src1);
+        v.extend(&self.src2);
+        v
+    }
+
+    /// Rebuild from a flattened bus with the same field widths as `self`.
+    pub fn unflatten_like(&self, flat: &[NetId]) -> InstrFields {
+        let (o, rest) = flat.split_at(self.op.len());
+        let (d, rest) = rest.split_at(self.dest.len());
+        let (s1, s2) = rest.split_at(self.src1.len());
+        InstrFields {
+            op: o.to_vec(),
+            dest: d.to_vec(),
+            src1: s1.to_vec(),
+            src2: s2.to_vec(),
+        }
+    }
+}
+
+/// Output of decode, per way.
+#[derive(Clone, Debug)]
+pub(crate) struct DecodedWay {
+    pub fields: InstrFields,
+    pub is_load: NetId,
+    pub is_store: NetId,
+    pub writes_reg: NetId,
+}
+
+/// Output of rename, per way (physical tags).
+#[derive(Clone, Debug)]
+pub(crate) struct RenamedWay {
+    pub valid: NetId,
+    pub dst_tag: Vec<NetId>,
+    pub s1_tag: Vec<NetId>,
+    pub s2_tag: Vec<NetId>,
+    pub is_load: NetId,
+    pub is_store: NetId,
+}
+
+/// Instruction arriving at a backend way after issue + routing.
+#[derive(Clone, Debug)]
+pub(crate) struct IssuedWay {
+    pub valid: NetId,
+    pub dst_tag: Vec<NetId>,
+    pub s1_tag: Vec<NetId>,
+    pub s2_tag: Vec<NetId>,
+    pub is_load: NetId,
+    pub is_store: NetId,
+}
+
+/// Result of a backend way after execute/writeback.
+#[derive(Clone, Debug)]
+pub(crate) struct ExecWay {
+    pub valid: NetId,
+    pub dst_tag: Vec<NetId>,
+    pub value: Vec<NetId>,
+    pub is_mem: NetId,
+}

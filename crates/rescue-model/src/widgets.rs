@@ -1,0 +1,253 @@
+//! Reusable gate-level building blocks (comparators, adders, priority
+//! logic) used by the stage generators.
+
+use rescue_netlist::{NetId, NetlistBuilder};
+
+/// Namespace for widget constructors. All methods add gates into the
+/// builder's *current component*.
+#[derive(Debug)]
+pub struct Widgets;
+
+impl Widgets {
+    /// Equality comparator over two equal-width buses: `a == b`.
+    pub fn eq(b: &mut NetlistBuilder, a: &[NetId], c: &[NetId]) -> NetId {
+        assert_eq!(a.len(), c.len());
+        let bits: Vec<NetId> = a.iter().zip(c).map(|(&x, &y)| b.xnor2(x, y)).collect();
+        b.and(&bits)
+    }
+
+    /// Ripple-carry adder; returns (sum bus, carry out).
+    pub fn adder(b: &mut NetlistBuilder, a: &[NetId], c: &[NetId]) -> (Vec<NetId>, NetId) {
+        assert_eq!(a.len(), c.len());
+        let mut carry = b.const0();
+        let mut sum = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(c) {
+            let p = b.xor2(x, y);
+            let s = b.xor2(p, carry);
+            let g1 = b.and2(x, y);
+            let g2 = b.and2(p, carry);
+            carry = b.or2(g1, g2);
+            sum.push(s);
+        }
+        (sum, carry)
+    }
+
+    /// Increment a bus by one; returns the incremented bus (wraps).
+    pub fn increment(b: &mut NetlistBuilder, a: &[NetId]) -> Vec<NetId> {
+        let mut carry = b.const1();
+        let mut out = Vec::with_capacity(a.len());
+        for &x in a {
+            out.push(b.xor2(x, carry));
+            carry = b.and2(x, carry);
+        }
+        out
+    }
+
+    /// First-one priority grant: `grant[i] = req[i] & !req[0] & … & !req[i-1]`.
+    pub fn priority_grant(b: &mut NetlistBuilder, req: &[NetId]) -> Vec<NetId> {
+        let mut none_before = b.const1();
+        let mut grants = Vec::with_capacity(req.len());
+        for &r in req {
+            grants.push(b.and2(r, none_before));
+            let nr = b.not(r);
+            none_before = b.and2(none_before, nr);
+        }
+        grants
+    }
+
+    /// Two-level select: grant up to two requesters by priority. Returns
+    /// `(first_grant_mask, second_grant_mask, any_first, any_second)`.
+    pub fn select_two(
+        b: &mut NetlistBuilder,
+        req: &[NetId],
+    ) -> (Vec<NetId>, Vec<NetId>, NetId, NetId) {
+        let g1 = Self::priority_grant(b, req);
+        // Second grant: mask out the first winner and re-arbitrate.
+        let masked: Vec<NetId> = req
+            .iter()
+            .zip(&g1)
+            .map(|(&r, &g)| {
+                let ng = b.not(g);
+                b.and2(r, ng)
+            })
+            .collect();
+        let g2 = Self::priority_grant(b, &masked);
+        let any1 = b.or(&g1.clone());
+        let any2 = b.or(&g2.clone());
+        (g1, g2, any1, any2)
+    }
+
+    /// One-hot mux: OR of `data[i] AND sel[i]` per bit lane.
+    /// `data` is a slice of equal-width buses.
+    pub fn onehot_mux(b: &mut NetlistBuilder, sel: &[NetId], data: &[Vec<NetId>]) -> Vec<NetId> {
+        assert_eq!(sel.len(), data.len());
+        assert!(!data.is_empty());
+        let width = data[0].len();
+        (0..width)
+            .map(|bit| {
+                let terms: Vec<NetId> = sel
+                    .iter()
+                    .zip(data)
+                    .map(|(&s, bus)| b.and2(s, bus[bit]))
+                    .collect();
+                b.or(&terms)
+            })
+            .collect()
+    }
+
+    /// Binary-select mux over 2^k buses using `sel` (LSB first).
+    pub fn mux_tree(b: &mut NetlistBuilder, sel: &[NetId], data: &[Vec<NetId>]) -> Vec<NetId> {
+        assert!(!data.is_empty());
+        if sel.is_empty() || data.len() == 1 {
+            return data[0].clone();
+        }
+        let half = (data.len() + 1) / 2;
+        let lo: Vec<Vec<NetId>> = data.iter().step_by(2).cloned().collect();
+        let hi: Vec<Vec<NetId>> = data.iter().skip(1).step_by(2).cloned().collect();
+        let _ = half;
+        let lo_r = Self::mux_tree(b, &sel[1..], &lo);
+        if hi.is_empty() {
+            return lo_r;
+        }
+        let hi_r = Self::mux_tree(b, &sel[1..], &hi);
+        b.mux_bus(sel[0], &lo_r, &hi_r)
+    }
+
+    /// Population count of a small request vector; returns a 2-bit count
+    /// saturated at 3 (enough for select bookkeeping).
+    pub fn popcount2(b: &mut NetlistBuilder, req: &[NetId]) -> (NetId, NetId) {
+        // Sum bits with half adders, saturating at 3.
+        let mut lo = b.const0();
+        let mut hi = b.const0();
+        for &r in req {
+            // (hi, lo) + r, sticking at 3.
+            let x = b.xor2(lo, r);
+            let stick = b.and2(hi, lo);
+            let new_lo = b.or2(x, stick);
+            let carry = b.and2(lo, r);
+            let new_hi = b.or2(hi, carry);
+            lo = new_lo;
+            hi = new_hi;
+        }
+        (lo, hi)
+    }
+
+    /// `a AND NOT b` over buses.
+    pub fn and_not(b: &mut NetlistBuilder, a: &[NetId], mask: NetId) -> Vec<NetId> {
+        let nm = b.not(mask);
+        a.iter().map(|&x| b.and2(x, nm)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescue_netlist::PatternBlock;
+
+    fn run1(
+        build: impl FnOnce(&mut NetlistBuilder) -> Vec<NetId>,
+        inputs: Vec<u64>,
+    ) -> Vec<u64> {
+        let mut b = NetlistBuilder::new();
+        b.enter_component("w");
+        let outs = build(&mut b);
+        b.output_bus(&outs, "o");
+        // Widgets are pure combinational; add a dummy flop so the netlist
+        // is observable even without outputs (it has outputs though).
+        let n = b.finish().unwrap();
+        let r = n.simulate(&PatternBlock {
+            inputs,
+            state: vec![],
+        });
+        r.outputs(&n)
+    }
+
+    #[test]
+    fn adder_adds() {
+        let outs = run1(
+            |b| {
+                let a = b.input_bus("a", 4);
+                let c = b.input_bus("c", 4);
+                let (sum, cout) = Widgets::adder(b, &a, &c);
+                let mut o = sum;
+                o.push(cout);
+                o
+            },
+            // a = 0b0101 (5) lane-encoded: bit k of word i = pattern k's
+            // bit i. Use pattern 0 only: a=5 -> bits 1,0,1,0.
+            vec![1, 0, 1, 0, 1, 1, 0, 0],
+        );
+        // 5 + 3 = 8 -> sum 0b1000, carry 0.
+        let val = outs[0] & 1 | (outs[1] & 1) << 1 | (outs[2] & 1) << 2 | (outs[3] & 1) << 3;
+        assert_eq!(val, 8);
+        assert_eq!(outs[4] & 1, 0);
+    }
+
+    #[test]
+    fn priority_grant_picks_first() {
+        let outs = run1(
+            |b| {
+                let r = b.input_bus("r", 4);
+                Widgets::priority_grant(b, &r)
+            },
+            vec![0, 1, 1, 0],
+        );
+        assert_eq!(
+            outs.iter().map(|&x| x & 1).collect::<Vec<_>>(),
+            vec![0, 1, 0, 0]
+        );
+    }
+
+    #[test]
+    fn select_two_grants_two() {
+        let outs = run1(
+            |b| {
+                let r = b.input_bus("r", 4);
+                let (g1, g2, a1, a2) = Widgets::select_two(b, &r);
+                let mut o = g1;
+                o.extend(g2);
+                o.push(a1);
+                o.push(a2);
+                o
+            },
+            vec![1, 0, 1, 1],
+        );
+        let g1: Vec<u64> = outs[0..4].iter().map(|&x| x & 1).collect();
+        let g2: Vec<u64> = outs[4..8].iter().map(|&x| x & 1).collect();
+        assert_eq!(g1, vec![1, 0, 0, 0]);
+        assert_eq!(g2, vec![0, 0, 1, 0]);
+        assert_eq!(outs[8] & 1, 1);
+        assert_eq!(outs[9] & 1, 1);
+    }
+
+    #[test]
+    fn popcount_saturates() {
+        let outs = run1(
+            |b| {
+                let r = b.input_bus("r", 4);
+                let (lo, hi) = Widgets::popcount2(b, &r);
+                vec![lo, hi]
+            },
+            vec![1, 1, 1, 1],
+        );
+        // Count 4 saturates at 3 (0b11).
+        assert_eq!(outs[0] & 1, 1);
+        assert_eq!(outs[1] & 1, 1);
+    }
+
+    #[test]
+    fn mux_tree_selects() {
+        let outs = run1(
+            |b| {
+                let sel = b.input_bus("s", 2);
+                let d: Vec<Vec<NetId>> =
+                    (0..4).map(|i| b.input_bus(&format!("d{i}"), 2)).collect();
+                Widgets::mux_tree(b, &sel, &d)
+            },
+            // sel = 2 (s0=0, s1=1) -> pick d2 = [1, 0].
+            vec![0, 1, /*d0*/ 0, 0, /*d1*/ 0, 1, /*d2*/ 1, 0, /*d3*/ 1, 1],
+        );
+        assert_eq!(outs[0] & 1, 1);
+        assert_eq!(outs[1] & 1, 0);
+    }
+}

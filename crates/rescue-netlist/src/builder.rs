@@ -1,0 +1,436 @@
+//! Incremental construction of [`Netlist`]s.
+
+use crate::error::BuildError;
+use crate::netlist::{
+    ComponentId, Dff, DffId, Driver, Gate, GateId, GateKind, NetId, NetInfo, Netlist,
+};
+
+/// Sentinel for a flip-flop D input that has not been wired yet.
+const UNCONNECTED: NetId = NetId(u32::MAX);
+
+/// Handle to a flip-flop awaiting its D connection (see
+/// [`NetlistBuilder::dff_feedback`]).
+#[derive(Debug)]
+pub struct DffHandle(DffId);
+
+/// Builder for [`Netlist`].
+///
+/// Gates are tagged with the *current component* (set with
+/// [`NetlistBuilder::set_component`]); the structural generators in
+/// `rescue-model` use this to label each microarchitectural block.
+///
+/// # Example
+///
+/// ```
+/// use rescue_netlist::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new();
+/// let comp = b.component("adder");
+/// b.set_component(comp);
+/// let a = b.input("a");
+/// let bb = b.input("b");
+/// let sum = b.xor2(a, bb);
+/// b.output(sum, "sum");
+/// let n = b.finish().unwrap();
+/// assert_eq!(n.num_gates(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct NetlistBuilder {
+    nets: Vec<NetInfo>,
+    gates: Vec<Gate>,
+    dffs: Vec<Dff>,
+    inputs: Vec<NetId>,
+    outputs: Vec<(String, NetId)>,
+    components: Vec<String>,
+    current: Option<ComponentId>,
+}
+
+impl NetlistBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare (or look up) a component by name.
+    pub fn component(&mut self, name: &str) -> ComponentId {
+        if let Some(i) = self.components.iter().position(|c| c == name) {
+            return ComponentId(i as u32);
+        }
+        self.components.push(name.to_owned());
+        ComponentId((self.components.len() - 1) as u32)
+    }
+
+    /// Set the component that subsequently created gates and flip-flops
+    /// belong to.
+    pub fn set_component(&mut self, c: ComponentId) {
+        assert!(
+            c.index() < self.components.len(),
+            "component {c} was not declared on this builder"
+        );
+        self.current = Some(c);
+    }
+
+    /// Declare and set a component in one step.
+    pub fn enter_component(&mut self, name: &str) -> ComponentId {
+        let c = self.component(name);
+        self.set_component(c);
+        c
+    }
+
+    /// Currently active component.
+    ///
+    /// # Panics
+    /// Panics if no component has been set yet.
+    pub fn current_component(&self) -> ComponentId {
+        self.current.expect("set_component must be called before adding logic")
+    }
+
+    fn new_net(&mut self, name: String, driver: Driver) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(NetInfo { name, driver });
+        id
+    }
+
+    /// Add a primary input and return its net.
+    pub fn input(&mut self, name: &str) -> NetId {
+        let idx = self.inputs.len() as u32;
+        let id = self.new_net(name.to_owned(), Driver::Input(idx));
+        self.inputs.push(id);
+        id
+    }
+
+    /// Add `n` primary inputs named `name[0..n]`.
+    pub fn input_bus(&mut self, name: &str, n: usize) -> Vec<NetId> {
+        (0..n).map(|i| self.input(&format!("{name}[{i}]"))).collect()
+    }
+
+    /// Mark a net as a primary output.
+    pub fn output(&mut self, net: NetId, name: &str) {
+        self.outputs.push((name.to_owned(), net));
+    }
+
+    /// Mark each net of a bus as a primary output named `name[i]`.
+    pub fn output_bus(&mut self, nets: &[NetId], name: &str) {
+        for (i, &n) in nets.iter().enumerate() {
+            self.output(n, &format!("{name}[{i}]"));
+        }
+    }
+
+    /// Add a gate of arbitrary kind.
+    ///
+    /// # Panics
+    /// Panics if no component is active.
+    pub fn gate(&mut self, kind: GateKind, inputs: &[NetId]) -> NetId {
+        self.gate_tagged(kind, inputs, false)
+    }
+
+    pub(crate) fn gate_tagged(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        scan_path: bool,
+    ) -> NetId {
+        let component = self.current_component();
+        let gid = GateId(self.gates.len() as u32);
+        let out = self.new_net(format!("{kind}_{gid}"), Driver::Gate(gid));
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output: out,
+            component,
+            scan_path,
+        });
+        out
+    }
+
+    /// Constant-0 net.
+    pub fn const0(&mut self) -> NetId {
+        self.gate(GateKind::Const0, &[])
+    }
+
+    /// Constant-1 net.
+    pub fn const1(&mut self) -> NetId {
+        self.gate(GateKind::Const1, &[])
+    }
+
+    /// Buffer.
+    pub fn buf(&mut self, a: NetId) -> NetId {
+        self.gate(GateKind::Buf, &[a])
+    }
+
+    /// Inverter.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.gate(GateKind::Not, &[a])
+    }
+
+    /// 2-input AND.
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::And, &[a, b])
+    }
+
+    /// 2-input OR.
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Or, &[a, b])
+    }
+
+    /// 2-input XOR.
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Xor, &[a, b])
+    }
+
+    /// 2-input NAND.
+    pub fn nand2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Nand, &[a, b])
+    }
+
+    /// 2-input NOR.
+    pub fn nor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Nor, &[a, b])
+    }
+
+    /// 2-input XNOR.
+    pub fn xnor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Xnor, &[a, b])
+    }
+
+    /// N-ary AND (also accepts 1 input, emitting a buffer).
+    pub fn and(&mut self, inputs: &[NetId]) -> NetId {
+        self.nary(GateKind::And, inputs)
+    }
+
+    /// N-ary OR (also accepts 1 input, emitting a buffer).
+    pub fn or(&mut self, inputs: &[NetId]) -> NetId {
+        self.nary(GateKind::Or, inputs)
+    }
+
+    /// N-ary XOR (also accepts 1 input, emitting a buffer).
+    pub fn xor(&mut self, inputs: &[NetId]) -> NetId {
+        self.nary(GateKind::Xor, inputs)
+    }
+
+    fn nary(&mut self, kind: GateKind, inputs: &[NetId]) -> NetId {
+        match inputs.len() {
+            0 => panic!("n-ary gate needs at least one input"),
+            1 => self.buf(inputs[0]),
+            _ => self.gate(kind, inputs),
+        }
+    }
+
+    /// 2:1 mux: returns `a` when `sel = 0`, `b` when `sel = 1`.
+    pub fn mux(&mut self, sel: NetId, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Mux, &[sel, a, b])
+    }
+
+    /// Mux over two equal-width buses.
+    pub fn mux_bus(&mut self, sel: NetId, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        assert_eq!(a.len(), b.len(), "mux_bus width mismatch");
+        a.iter().zip(b).map(|(&x, &y)| self.mux(sel, x, y)).collect()
+    }
+
+    /// D flip-flop; returns the Q net.
+    pub fn dff(&mut self, d: NetId, name: &str) -> NetId {
+        let component = self.current_component();
+        let id = DffId(self.dffs.len() as u32);
+        let q = self.new_net(format!("{name}.q"), Driver::Dff(id));
+        self.dffs.push(Dff {
+            d,
+            q,
+            component,
+            name: name.to_owned(),
+        });
+        q
+    }
+
+    /// Register a whole bus of flip-flops named `name[i]`.
+    pub fn dff_bus(&mut self, d: &[NetId], name: &str) -> Vec<NetId> {
+        d.iter()
+            .enumerate()
+            .map(|(i, &n)| self.dff(n, &format!("{name}[{i}]")))
+            .collect()
+    }
+
+    /// Create a flip-flop whose D input is wired later with
+    /// [`NetlistBuilder::connect_dff`]. Returns `(q, handle)`.
+    ///
+    /// This is how feedback (e.g. a register reading logic that reads the
+    /// register) is expressed: the Q net exists before the D cone is built.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rescue_netlist::NetlistBuilder;
+    /// let mut b = NetlistBuilder::new();
+    /// b.enter_component("toggle");
+    /// let en = b.input("en");
+    /// let (q, h) = b.dff_feedback("q");
+    /// let d = b.xor2(q, en);
+    /// b.connect_dff(h, d);
+    /// b.output(q, "out");
+    /// let n = b.finish().unwrap();
+    /// assert_eq!(n.num_dffs(), 1);
+    /// ```
+    pub fn dff_feedback(&mut self, name: &str) -> (NetId, DffHandle) {
+        let component = self.current_component();
+        let id = DffId(self.dffs.len() as u32);
+        let q = self.new_net(format!("{name}.q"), Driver::Dff(id));
+        self.dffs.push(Dff {
+            d: UNCONNECTED,
+            q,
+            component,
+            name: name.to_owned(),
+        });
+        (q, DffHandle(id))
+    }
+
+    /// Wire the D input of a flip-flop created by
+    /// [`NetlistBuilder::dff_feedback`].
+    ///
+    /// # Panics
+    /// Panics if the handle was already connected.
+    pub fn connect_dff(&mut self, handle: DffHandle, d: NetId) {
+        let dff = &mut self.dffs[handle.0.index()];
+        assert_eq!(dff.d, UNCONNECTED, "flip-flop {} connected twice", dff.name);
+        dff.d = d;
+    }
+
+    /// Bus variant of [`NetlistBuilder::dff_feedback`].
+    pub fn dff_feedback_bus(&mut self, n: usize, name: &str) -> (Vec<NetId>, Vec<DffHandle>) {
+        (0..n)
+            .map(|i| self.dff_feedback(&format!("{name}[{i}]")))
+            .unzip()
+    }
+
+    /// Bus variant of [`NetlistBuilder::connect_dff`].
+    pub fn connect_dff_bus(&mut self, handles: Vec<DffHandle>, d: &[NetId]) {
+        assert_eq!(handles.len(), d.len(), "connect_dff_bus width mismatch");
+        for (h, &net) in handles.into_iter().zip(d) {
+            self.connect_dff(h, net);
+        }
+    }
+
+    /// Number of gates added so far.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of flip-flops added so far.
+    pub fn num_dffs(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Validate and elaborate into an immutable [`Netlist`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::BadArity`] for malformed gates,
+    /// [`BuildError::CombinationalLoop`] if gate logic forms a cycle not
+    /// broken by a flip-flop, and [`BuildError::NothingObservable`] for a
+    /// circuit with neither outputs nor state.
+    pub fn finish(self) -> Result<Netlist, BuildError> {
+        elaborate(
+            self.nets,
+            self.gates,
+            self.dffs,
+            self.inputs,
+            self.outputs,
+            self.components,
+        )
+    }
+}
+
+/// Validate and levelize raw netlist parts. Shared between
+/// [`NetlistBuilder::finish`] and structural transformations such as scan
+/// insertion.
+pub(crate) fn elaborate(
+    nets: Vec<NetInfo>,
+    gates: Vec<Gate>,
+    dffs: Vec<Dff>,
+    inputs: Vec<NetId>,
+    outputs: Vec<(String, NetId)>,
+    components: Vec<String>,
+) -> Result<Netlist, BuildError> {
+    for d in &dffs {
+        if d.d == UNCONNECTED {
+            return Err(BuildError::UnconnectedDff(d.name.clone()));
+        }
+    }
+    {
+        for g in &gates {
+            if !g.kind.arity_ok(g.inputs.len()) {
+                return Err(BuildError::BadArity {
+                    kind: g.kind.to_string(),
+                    arity: g.inputs.len(),
+                });
+            }
+        }
+    }
+    if outputs.is_empty() && dffs.is_empty() {
+        return Err(BuildError::NothingObservable);
+    }
+
+    // Levelize: Kahn's algorithm over gate -> gate edges (through nets).
+    let n_gates = gates.len();
+    let mut indeg = vec![0u32; n_gates];
+    let mut fanout: Vec<Vec<GateId>> = vec![Vec::new(); nets.len()];
+    let mut fanout_dffs: Vec<Vec<DffId>> = vec![Vec::new(); nets.len()];
+    let mut fanout_outputs: Vec<Vec<u32>> = vec![Vec::new(); nets.len()];
+    for (gi, g) in gates.iter().enumerate() {
+        for &inp in &g.inputs {
+            fanout[inp.index()].push(GateId(gi as u32));
+            if let Driver::Gate(_) = nets[inp.index()].driver {
+                indeg[gi] += 1;
+            }
+        }
+    }
+    for (di, d) in dffs.iter().enumerate() {
+        fanout_dffs[d.d.index()].push(DffId(di as u32));
+    }
+    for (oi, (_, net)) in outputs.iter().enumerate() {
+        fanout_outputs[net.index()].push(oi as u32);
+    }
+
+    let mut level = vec![0u32; n_gates];
+    let mut topo: Vec<GateId> = Vec::with_capacity(n_gates);
+    let mut ready: Vec<GateId> = (0..n_gates)
+        .filter(|&i| indeg[i] == 0)
+        .map(|i| GateId(i as u32))
+        .collect();
+    while let Some(g) = ready.pop() {
+        topo.push(g);
+        let out = gates[g.index()].output;
+        let lvl = level[g.index()];
+        for &consumer in &fanout[out.index()] {
+            let ci = consumer.index();
+            level[ci] = level[ci].max(lvl + 1);
+            indeg[ci] -= 1;
+            if indeg[ci] == 0 {
+                ready.push(consumer);
+            }
+        }
+    }
+    if topo.len() != n_gates {
+        // Find a gate still blocked to name the loop.
+        let blocked = (0..n_gates).find(|&i| indeg[i] > 0).expect("loop exists");
+        let net = gates[blocked].output;
+        return Err(BuildError::CombinationalLoop(nets[net.index()].name.clone()));
+    }
+    // Sort fanout lists by consumer level so event-driven fault
+    // propagation can scan them in order.
+    for f in &mut fanout {
+        f.sort_by_key(|g| level[g.index()]);
+    }
+
+    Ok(Netlist {
+        nets,
+        gates,
+        dffs,
+        inputs,
+        outputs,
+        components,
+        topo,
+        level,
+        fanout,
+        fanout_dffs,
+        fanout_outputs,
+    })
+}

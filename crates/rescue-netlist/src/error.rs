@@ -1,0 +1,45 @@
+//! Error types for netlist construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when finalizing a [`crate::NetlistBuilder`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// A gate was created with an input-count its kind does not allow.
+    BadArity {
+        /// Kind of the offending gate.
+        kind: String,
+        /// Number of inputs supplied.
+        arity: usize,
+    },
+    /// The combinational logic contains a cycle (no latch on a feedback
+    /// path). The offending net is named.
+    CombinationalLoop(String),
+    /// The circuit has no primary outputs and no flip-flops, so nothing is
+    /// observable.
+    NothingObservable,
+    /// A flip-flop created with `dff_feedback` was never connected.
+    UnconnectedDff(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::BadArity { kind, arity } => {
+                write!(f, "gate kind {kind} cannot take {arity} inputs")
+            }
+            BuildError::CombinationalLoop(net) => {
+                write!(f, "combinational loop through net {net}")
+            }
+            BuildError::NothingObservable => {
+                write!(f, "circuit has no outputs and no flip-flops")
+            }
+            BuildError::UnconnectedDff(name) => {
+                write!(f, "flip-flop {name} was never connected to a D input")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}

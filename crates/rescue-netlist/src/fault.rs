@@ -1,0 +1,236 @@
+//! Stuck-at fault model: fault sites, polarity, enumeration, and
+//! structural equivalence collapsing.
+//!
+//! Following the paper (Section 2), the fault universe is single stuck-at
+//! faults under full scan with single-capture-cycle tests. Fault counts
+//! reported in Table 3 correspond to the collapsed fault list an ATPG tool
+//! such as TetraMax works from.
+
+use crate::netlist::{ComponentId, Driver, GateId, GateKind, NetId, Netlist};
+use std::fmt;
+
+/// Stuck-at polarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StuckAt {
+    /// Node permanently at logic 0.
+    Zero,
+    /// Node permanently at logic 1.
+    One,
+}
+
+impl StuckAt {
+    /// True for stuck-at-1.
+    pub fn is_one(self) -> bool {
+        matches!(self, StuckAt::One)
+    }
+
+    /// The opposite polarity.
+    pub fn flipped(self) -> StuckAt {
+        match self {
+            StuckAt::Zero => StuckAt::One,
+            StuckAt::One => StuckAt::Zero,
+        }
+    }
+
+    /// Both polarities, for enumeration.
+    pub fn both() -> [StuckAt; 2] {
+        [StuckAt::Zero, StuckAt::One]
+    }
+}
+
+impl fmt::Display for StuckAt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StuckAt::Zero => f.write_str("sa0"),
+            StuckAt::One => f.write_str("sa1"),
+        }
+    }
+}
+
+/// Location of a stuck-at fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// A stem fault on a net (covers primary inputs, flip-flop outputs,
+    /// and gate outputs — whatever drives the net).
+    Net(NetId),
+    /// A fault on one input pin of a gate (branch fault after fanout).
+    GateInput(GateId, u8),
+}
+
+/// A single stuck-at fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    /// Where the fault sits.
+    pub site: FaultSite,
+    /// Which value the node is stuck at.
+    pub stuck_at: StuckAt,
+}
+
+impl Fault {
+    /// Stem fault constructor.
+    pub fn net(net: NetId, stuck_at: StuckAt) -> Self {
+        Fault {
+            site: FaultSite::Net(net),
+            stuck_at,
+        }
+    }
+
+    /// Pin fault constructor.
+    pub fn pin(gate: GateId, pin: u8, stuck_at: StuckAt) -> Self {
+        Fault {
+            site: FaultSite::GateInput(gate, pin),
+            stuck_at,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.site {
+            FaultSite::Net(n) => write!(f, "{n}/{}", self.stuck_at),
+            FaultSite::GateInput(g, p) => write!(f, "{g}.in{p}/{}", self.stuck_at),
+        }
+    }
+}
+
+/// Summary of fault enumeration for a netlist.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultListStats {
+    /// Total uncollapsed faults (every net and every gate pin, both
+    /// polarities).
+    pub total: usize,
+    /// Faults remaining after structural equivalence collapsing.
+    pub collapsed: usize,
+}
+
+impl Netlist {
+    /// The ICI component a fault belongs to, if any.
+    ///
+    /// Gate-pin faults and gate-output stem faults belong to the gate's
+    /// component; flip-flop output faults to the flip-flop's component.
+    /// Primary-input faults have no component (`None`) — they are tester
+    /// pins, chipkill in the paper's model.
+    pub fn fault_component(&self, fault: Fault) -> Option<ComponentId> {
+        match fault.site {
+            FaultSite::GateInput(g, _) => Some(self.gate(g).component()),
+            FaultSite::Net(n) => match self.net_driver(n) {
+                Driver::Gate(g) => Some(self.gate(g).component()),
+                Driver::Dff(d) => Some(self.dff(d).component()),
+                Driver::Input(_) => None,
+            },
+        }
+    }
+
+    /// Enumerate the full (uncollapsed) single-stuck-at fault universe:
+    /// both polarities on every net, and on every input pin of every
+    /// multi-input gate (single-input gate pins are structurally identical
+    /// to their driving stem).
+    pub fn enumerate_faults(&self) -> Vec<Fault> {
+        let mut faults = Vec::new();
+        for n in 0..self.num_nets() {
+            for sa in StuckAt::both() {
+                faults.push(Fault::net(NetId(n as u32), sa));
+            }
+        }
+        for (gi, g) in self.gates().iter().enumerate() {
+            if g.inputs().len() < 2 {
+                continue;
+            }
+            for pin in 0..g.inputs().len() {
+                for sa in StuckAt::both() {
+                    faults.push(Fault::pin(GateId(gi as u32), pin as u8, sa));
+                }
+            }
+        }
+        faults
+    }
+
+    /// Collapse the fault universe by structural equivalence and return the
+    /// representative list.
+    ///
+    /// Rules applied (textbook dominance-free equivalences):
+    ///
+    /// * AND: input sa0 ≡ output sa0; NAND: input sa0 ≡ output sa1;
+    ///   OR: input sa1 ≡ output sa1; NOR: input sa1 ≡ output sa0.
+    /// * BUF: input sa-v ≡ output sa-v; NOT: input sa-v ≡ output sa-!v.
+    /// * A gate input pin whose driving net has fanout 1 is equivalent to
+    ///   the stem fault of that net (the stem is kept).
+    ///
+    /// The returned list keeps faults pushed toward gate *inputs* (the
+    /// standard convention), so every equivalence class has exactly one
+    /// representative.
+    pub fn collapse_faults(&self) -> Vec<Fault> {
+        let universe = self.enumerate_faults();
+        let mut kept = Vec::with_capacity(universe.len());
+        for f in universe {
+            if self.is_collapsed_representative(f) {
+                kept.push(f);
+            }
+        }
+        kept
+    }
+
+    /// Fault counts before and after collapsing.
+    pub fn fault_stats(&self) -> FaultListStats {
+        FaultListStats {
+            total: self.enumerate_faults().len(),
+            collapsed: self.collapse_faults().len(),
+        }
+    }
+
+    fn is_collapsed_representative(&self, f: Fault) -> bool {
+        match f.site {
+            FaultSite::Net(n) => self.net_fault_kept(n, f.stuck_at),
+            FaultSite::GateInput(g, pin) => {
+                let gate = self.gate(g);
+                let driver_net = gate.inputs()[pin as usize];
+                // Pin fault on a fanout-1 net collapses into the stem fault
+                // (unless the stem itself collapsed into *its* gate inputs,
+                // in which case keep the pin fault as representative).
+                !(self.fanout_count(driver_net) == 1
+                    && self.net_fault_kept(driver_net, f.stuck_at))
+            }
+        }
+    }
+
+    /// Whether the stem fault `net`/`sa` survives collapsing. A gate-output
+    /// stem fault is dropped when it is equivalent to a fault on the gate's
+    /// own inputs (controlling-value equivalence) — the input-side fault is
+    /// the representative then.
+    fn net_fault_kept(&self, n: NetId, sa: StuckAt) -> bool {
+        match self.net_driver(n) {
+            Driver::Gate(g) => {
+                let gate = self.gate(g);
+                match gate.kind() {
+                    // Buf/Not outputs collapse into the driving stem only
+                    // when that stem has no other readers.
+                    GateKind::Buf | GateKind::Not => {
+                        self.fanout_count(gate.inputs()[0]) != 1
+                    }
+                    k => !output_equiv_to_input(k, sa),
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Number of readers of a net (gates + flip-flops + primary outputs).
+    pub fn fanout_count(&self, net: NetId) -> usize {
+        self.fanout_gates(net).len()
+            + self.fanout_dffs(net).len()
+            + self.fanout_outputs(net).len()
+    }
+}
+
+/// Whether an output stuck-at fault on a gate of `kind` is equivalent to a
+/// stuck-at fault on one of its inputs.
+fn output_equiv_to_input(kind: GateKind, output_sa: StuckAt) -> bool {
+    match kind {
+        GateKind::And => output_sa == StuckAt::Zero,
+        GateKind::Nand => output_sa == StuckAt::One,
+        GateKind::Or => output_sa == StuckAt::One,
+        GateKind::Nor => output_sa == StuckAt::Zero,
+        GateKind::Buf | GateKind::Not => true,
+        _ => false,
+    }
+}

@@ -1,0 +1,233 @@
+//! Two-valued, 64-way bit-parallel logic simulation.
+//!
+//! Each net carries a `u64` whose bit *k* is the net's value under pattern
+//! *k*; one simulation pass therefore evaluates 64 test patterns at once.
+//! This is the classic parallel-pattern representation used by production
+//! fault simulators.
+
+use crate::fault::{Fault, FaultSite};
+use crate::netlist::{Driver, GateKind, Netlist};
+
+/// A block of up to 64 parallel input/state patterns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternBlock {
+    /// One word per primary input; bit *k* = value under pattern *k*.
+    pub inputs: Vec<u64>,
+    /// One word per flip-flop (the scanned-in state); bit *k* = value under
+    /// pattern *k*.
+    pub state: Vec<u64>,
+}
+
+impl PatternBlock {
+    /// All-zero block shaped for `netlist`.
+    pub fn zero(netlist: &Netlist) -> Self {
+        PatternBlock {
+            inputs: vec![0; netlist.inputs().len()],
+            state: vec![0; netlist.num_dffs()],
+        }
+    }
+
+    /// Build a block from single-pattern bit vectors (pattern 0 only).
+    pub fn from_single(inputs: &[bool], state: &[bool]) -> Self {
+        PatternBlock {
+            inputs: inputs.iter().map(|&b| b as u64).collect(),
+            state: state.iter().map(|&b| b as u64).collect(),
+        }
+    }
+}
+
+/// Result of simulating one capture cycle: the value of every net.
+#[derive(Clone, Debug)]
+pub struct SimOutput {
+    /// One word per net.
+    pub nets: Vec<u64>,
+}
+
+impl SimOutput {
+    /// Values captured into each flip-flop (its D input) at the end of the
+    /// cycle — what scan-out observes.
+    pub fn next_state(&self, netlist: &Netlist) -> Vec<u64> {
+        netlist.dffs().iter().map(|d| self.nets[d.d().index()]).collect()
+    }
+
+    /// Values on the primary outputs.
+    pub fn outputs(&self, netlist: &Netlist) -> Vec<u64> {
+        netlist
+            .outputs()
+            .iter()
+            .map(|(_, n)| self.nets[n.index()])
+            .collect()
+    }
+}
+
+impl Netlist {
+    /// Fault-free combinational evaluation of one cycle.
+    pub fn simulate(&self, block: &PatternBlock) -> SimOutput {
+        assert_eq!(block.inputs.len(), self.inputs.len(), "input width mismatch");
+        assert_eq!(block.state.len(), self.dffs.len(), "state width mismatch");
+        let mut nets = vec![0u64; self.nets.len()];
+        for (i, &net) in self.inputs.iter().enumerate() {
+            nets[net.index()] = block.inputs[i];
+        }
+        for (i, d) in self.dffs.iter().enumerate() {
+            nets[d.q().index()] = block.state[i];
+        }
+        let mut in_buf: Vec<u64> = Vec::with_capacity(8);
+        for &g in &self.topo {
+            let gate = &self.gates[g.index()];
+            in_buf.clear();
+            in_buf.extend(gate.inputs().iter().map(|n| nets[n.index()]));
+            nets[gate.output().index()] = gate.kind().eval_u64(&in_buf);
+        }
+        SimOutput { nets }
+    }
+
+    /// Full re-evaluation with a single stuck-at fault active.
+    ///
+    /// This is the slow reference implementation (the ATPG crate has an
+    /// event-driven version); it is used for validation and small circuits.
+    pub fn simulate_faulty(&self, block: &PatternBlock, fault: Fault) -> SimOutput {
+        let mut nets = vec![0u64; self.nets.len()];
+        let stuck = if fault.stuck_at.is_one() { u64::MAX } else { 0 };
+        for (i, &net) in self.inputs.iter().enumerate() {
+            nets[net.index()] = block.inputs[i];
+        }
+        for (i, d) in self.dffs.iter().enumerate() {
+            nets[d.q().index()] = block.state[i];
+        }
+        // Faults on stem nets (PI, DFF Q, gate output) override the net
+        // value; faults on a gate input pin override only that pin read.
+        match fault.site {
+            FaultSite::Net(n) => {
+                // Overridden immediately if driven by input/DFF; gate-driven
+                // nets are overridden after their gate evaluates below.
+                match self.nets[n.index()].driver {
+                    Driver::Input(_) | Driver::Dff(_) => nets[n.index()] = stuck,
+                    Driver::Gate(_) => {}
+                }
+            }
+            FaultSite::GateInput(..) => {}
+        }
+        let mut in_buf: Vec<u64> = Vec::with_capacity(8);
+        for &g in &self.topo {
+            let gate = &self.gates[g.index()];
+            in_buf.clear();
+            in_buf.extend(gate.inputs().iter().map(|n| nets[n.index()]));
+            if let FaultSite::GateInput(fg, pin) = fault.site {
+                if fg == g {
+                    in_buf[pin as usize] = stuck;
+                }
+            }
+            let mut v = gate.kind().eval_u64(&in_buf);
+            if fault.site == FaultSite::Net(gate.output()) {
+                v = stuck;
+            }
+            nets[gate.output().index()] = v;
+        }
+        SimOutput { nets }
+    }
+
+    /// Full re-evaluation with several simultaneous stuck-at faults (used
+    /// by the multi-fault isolation experiments — the ICI corollary of
+    /// paper §3.1).
+    pub fn simulate_multi_faulty(&self, block: &PatternBlock, faults: &[Fault]) -> SimOutput {
+        let mut nets = vec![0u64; self.nets.len()];
+        for (i, &net) in self.inputs.iter().enumerate() {
+            nets[net.index()] = block.inputs[i];
+        }
+        for (i, d) in self.dffs.iter().enumerate() {
+            nets[d.q().index()] = block.state[i];
+        }
+        let stuck_of = |f: &Fault| if f.stuck_at.is_one() { u64::MAX } else { 0 };
+        for f in faults {
+            if let FaultSite::Net(n) = f.site {
+                if !matches!(self.nets[n.index()].driver, Driver::Gate(_)) {
+                    nets[n.index()] = stuck_of(f);
+                }
+            }
+        }
+        let mut in_buf: Vec<u64> = Vec::with_capacity(8);
+        for &g in &self.topo {
+            let gate = &self.gates[g.index()];
+            in_buf.clear();
+            in_buf.extend(gate.inputs().iter().map(|n| nets[n.index()]));
+            for f in faults {
+                if let FaultSite::GateInput(fg, pin) = f.site {
+                    if fg == g {
+                        in_buf[pin as usize] = stuck_of(f);
+                    }
+                }
+            }
+            let mut v = gate.kind().eval_u64(&in_buf);
+            for f in faults {
+                if f.site == FaultSite::Net(gate.output()) {
+                    v = stuck_of(f);
+                }
+            }
+            nets[gate.output().index()] = v;
+        }
+        SimOutput { nets }
+    }
+
+    /// Convenience: multi-cycle fault-free simulation. `inputs_per_cycle`
+    /// supplies one input block per cycle; state starts from `state0` and
+    /// is latched between cycles. Returns the primary-output words per
+    /// cycle and the final state.
+    pub fn simulate_sequence(
+        &self,
+        state0: &[u64],
+        inputs_per_cycle: &[Vec<u64>],
+    ) -> (Vec<Vec<u64>>, Vec<u64>) {
+        let mut state = state0.to_vec();
+        let mut outs = Vec::with_capacity(inputs_per_cycle.len());
+        for inp in inputs_per_cycle {
+            let block = PatternBlock {
+                inputs: inp.clone(),
+                state: state.clone(),
+            };
+            let r = self.simulate(&block);
+            outs.push(r.outputs(self));
+            state = r.next_state(self);
+        }
+        (outs, state)
+    }
+
+    /// Multi-cycle simulation with a persistent stuck-at fault active —
+    /// what a defective chip actually does across clock cycles (used by
+    /// the chain-integrity test).
+    pub fn simulate_sequence_faulty(
+        &self,
+        state0: &[u64],
+        inputs_per_cycle: &[Vec<u64>],
+        fault: Fault,
+    ) -> (Vec<Vec<u64>>, Vec<u64>) {
+        let mut state = state0.to_vec();
+        let mut outs = Vec::with_capacity(inputs_per_cycle.len());
+        let stuck = if fault.stuck_at.is_one() { u64::MAX } else { 0 };
+        for inp in inputs_per_cycle {
+            // A stuck flip-flop output corrupts the *held* state too.
+            if let FaultSite::Net(n) = fault.site {
+                for (i, d) in self.dffs.iter().enumerate() {
+                    if d.q() == n {
+                        state[i] = stuck;
+                    }
+                }
+            }
+            let block = PatternBlock {
+                inputs: inp.clone(),
+                state: state.clone(),
+            };
+            let r = self.simulate_faulty(&block, fault);
+            outs.push(r.outputs(self));
+            state = r.next_state(self);
+        }
+        (outs, state)
+    }
+}
+
+/// Evaluate a single gate kind over plain `bool`s (helper for tests and
+/// property checks).
+pub fn eval_bool(kind: GateKind, inputs: &[bool]) -> bool {
+    let words: Vec<u64> = inputs.iter().map(|&b| if b { 1 } else { 0 }).collect();
+    kind.eval_u64(&words) & 1 == 1
+}

@@ -1,0 +1,118 @@
+//! Structure/metadata tests: cone analysis, area accounting, fault
+//! statistics, display formats.
+
+use rescue_netlist::{
+    Fault, FaultSite, GateKind, NetId, NetlistBuilder, StuckAt,
+};
+
+fn two_component_circuit() -> rescue_netlist::Netlist {
+    let mut b = NetlistBuilder::new();
+    b.enter_component("front");
+    let a = b.input("a");
+    let c = b.input("c");
+    let x = b.and2(a, c);
+    let q = b.dff(x, "qf");
+    b.enter_component("back");
+    let y = b.not(q);
+    let z = b.or2(y, c);
+    let q2 = b.dff(z, "qb");
+    b.output(q2, "out");
+    b.finish().unwrap()
+}
+
+#[test]
+fn cone_components_stop_at_latches() {
+    let n = two_component_circuit();
+    let front = n.find_component("front").unwrap();
+    let back = n.find_component("back").unwrap();
+    // Cone of the back flop's D: only back logic (the front is behind
+    // the latch).
+    let qb = n.dffs().iter().find(|d| d.name() == "qb").unwrap();
+    assert_eq!(n.cone_components(qb.d()), vec![back]);
+    // Cone of the front flop's D: only front logic.
+    let qf = n.dffs().iter().find(|d| d.name() == "qf").unwrap();
+    assert_eq!(n.cone_components(qf.d()), vec![front]);
+}
+
+#[test]
+fn area_units_count_pins_and_flops() {
+    let n = two_component_circuit();
+    let (comb, seq, scan) = n.area_units();
+    // and2 (2) + not (1) + or2 (2) = 5 pin-units; 2 flops x 6 = 12.
+    assert_eq!(comb, 5.0);
+    assert_eq!(seq, 12.0);
+    assert_eq!(scan, 0.0);
+    let scanned = rescue_netlist::scan::insert_scan(&n);
+    let (_c2, _s2, scan2) = scanned.netlist.area_units();
+    assert_eq!(scan2, 6.0, "two 3-pin scan muxes");
+}
+
+#[test]
+fn fault_stats_report_collapse_ratio() {
+    let n = two_component_circuit();
+    let stats = n.fault_stats();
+    assert!(stats.collapsed < stats.total);
+    assert!(stats.collapsed > 0);
+    assert_eq!(n.enumerate_faults().len(), stats.total);
+}
+
+#[test]
+fn fault_components_attribute_correctly() {
+    let n = two_component_circuit();
+    let front = n.find_component("front").unwrap();
+    // A pin fault on gate 0 (the AND in "front").
+    let f = Fault::pin(rescue_netlist::GateId::from_index(0), 1, StuckAt::One);
+    assert_eq!(n.fault_component(f), Some(front));
+    // A primary-input stem fault has no component.
+    let pi = n.inputs()[0];
+    assert_eq!(n.fault_component(Fault::net(pi, StuckAt::Zero)), None);
+}
+
+#[test]
+fn display_formats_are_stable() {
+    let f = Fault {
+        site: FaultSite::Net(NetId::from_index(7)),
+        stuck_at: StuckAt::Zero,
+    };
+    assert_eq!(f.to_string(), "n7/sa0");
+    let g = Fault::pin(rescue_netlist::GateId::from_index(3), 2, StuckAt::One);
+    assert_eq!(g.to_string(), "g3.in2/sa1");
+    assert_eq!(GateKind::Nand.to_string(), "nand");
+    assert_eq!(StuckAt::One.flipped(), StuckAt::Zero);
+}
+
+#[test]
+fn fanout_counts_include_all_reader_kinds() {
+    let mut b = NetlistBuilder::new();
+    b.enter_component("c");
+    let a = b.input("a");
+    let x = b.not(a); // read by gate, dff, and output below
+    let _y = b.not(x);
+    let _q = b.dff(x, "q");
+    b.output(x, "o");
+    let n = b.finish().unwrap();
+    assert_eq!(n.fanout_count(x), 3);
+}
+
+#[test]
+fn component_queries() {
+    let n = two_component_circuit();
+    assert_eq!(n.num_components(), 2);
+    assert_eq!(n.component_ids().count(), 2);
+    assert_eq!(n.component_name(n.find_component("back").unwrap()), "back");
+    assert!(n.find_component("nope").is_none());
+}
+
+#[test]
+fn gate_levels_are_monotone_along_paths() {
+    let n = two_component_circuit();
+    for g in 0..n.num_gates() {
+        let gid = rescue_netlist::GateId::from_index(g);
+        let gate = n.gate(gid);
+        for &inp in gate.inputs() {
+            if let rescue_netlist::Driver::Gate(src) = n.net_driver(inp) {
+                assert!(n.gate_level(src) < n.gate_level(gid));
+            }
+        }
+    }
+}

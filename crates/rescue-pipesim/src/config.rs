@@ -1,0 +1,334 @@
+//! Simulator configuration: Table 1 parameters, the Rescue/baseline
+//! policy switch, and degraded-core configurations.
+
+/// Which issue/compaction policy the core runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Conventional superscalar: unified compacting queues, combined
+    /// select root, single-cycle compaction.
+    Baseline,
+    /// The ICI-transformed design: split halves, delayed inter-segment
+    /// compaction, per-half selection with overcommit replay, extra shift
+    /// stages.
+    Rescue,
+}
+
+/// Which half replays when the independent per-half selections
+/// overcommit the backend (ablations of the paper's §4.1.2 choice).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReplayPolicy {
+    /// The paper's choice: replay the half that selected fewer.
+    SmallerHalf,
+    /// Always replay the new half (simpler control).
+    NewHalf,
+    /// Replay the half that selected *more* (the anti-heuristic; wastes
+    /// the most issue slots while still guaranteeing progress, since a
+    /// single half can never overcommit alone).
+    LargerHalf,
+}
+
+/// Machine parameters (paper Table 1, reconstructed — see DESIGN.md §5).
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Issue policy under simulation.
+    pub policy: Policy,
+    /// Frontend ways (fetch/decode/rename width).
+    pub frontend_width: usize,
+    /// Backend ways (maximum instructions entering execution per cycle).
+    pub backend_ways: usize,
+    /// Integer issue-queue entries (total across both halves).
+    pub int_iq_entries: usize,
+    /// Floating-point issue-queue entries.
+    pub fp_iq_entries: usize,
+    /// Temporary inter-segment compaction buffer entries (per queue).
+    pub compaction_buffer: usize,
+    /// Reorder-buffer (active list) entries.
+    pub rob_entries: usize,
+    /// Load/store queue entries.
+    pub lsq_entries: usize,
+    /// Branch misprediction penalty in cycles (fetch-redirect to rename).
+    pub mispredict_penalty: u64,
+    /// L1 data-cache hit latency.
+    pub l1_latency: u64,
+    /// L2 hit latency (L1 miss).
+    pub l2_latency: u64,
+    /// Main-memory latency (L2 miss).
+    pub mem_latency: u64,
+    /// Commit width.
+    pub commit_width: usize,
+    /// Integer multiply latency.
+    pub int_mul_latency: u64,
+    /// FP add latency.
+    pub fp_add_latency: u64,
+    /// FP multiply latency.
+    pub fp_mul_latency: u64,
+    /// Extra cycles an issued instruction occupies its queue slot beyond
+    /// `l1_latency` (1 baseline; 2 Rescue — the post-issue shift stage).
+    pub hold_extra: u64,
+    /// Cycles of issued instructions squashed on an L1 miss (1 baseline;
+    /// 2 Rescue).
+    pub squash_window: u64,
+    /// Overcommit replay policy (Rescue only).
+    pub replay_policy: ReplayPolicy,
+}
+
+impl SimConfig {
+    /// The paper's 4-way configuration at the 90nm node.
+    ///
+    /// The Rescue policy carries its structural costs with it: two extra
+    /// cycles of misprediction penalty (the frontend and backend shift
+    /// stages) on top of the baseline's 15.
+    pub fn paper(policy: Policy) -> Self {
+        let extra = match policy {
+            Policy::Baseline => 0,
+            Policy::Rescue => 2,
+        };
+        SimConfig {
+            policy,
+            frontend_width: 4,
+            backend_ways: 4,
+            int_iq_entries: 32,
+            fp_iq_entries: 32,
+            compaction_buffer: 4,
+            rob_entries: 128,
+            lsq_entries: 32,
+            mispredict_penalty: 15 + extra,
+            l1_latency: 2,
+            l2_latency: 15,
+            mem_latency: 250,
+            commit_width: 8,
+            int_mul_latency: 7,
+            fp_add_latency: 4,
+            fp_mul_latency: 8,
+            hold_extra: match policy {
+                Policy::Baseline => 1,
+                Policy::Rescue => 2,
+            },
+            squash_window: match policy {
+                Policy::Baseline => 1,
+                Policy::Rescue => 2,
+            },
+            replay_policy: ReplayPolicy::SmallerHalf,
+        }
+    }
+
+    /// Scale latencies for a later technology node: memory latency grows
+    /// 50% and the misprediction penalty grows 2 cycles per transistor
+    /// area halving (§5).
+    pub fn scaled_to_halvings(&self, halvings: u32) -> Self {
+        let mut c = self.clone();
+        c.mem_latency = (c.mem_latency as f64 * 1.5f64.powi(halvings as i32)).round() as u64;
+        c.mispredict_penalty += 2 * halvings as u64;
+        c
+    }
+}
+
+/// Per-cycle execution resource budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Resources {
+    /// Simple integer ALU slots.
+    pub int_alu: usize,
+    /// Integer multiply/divide slots.
+    pub int_mul: usize,
+    /// Cache ports (loads/stores).
+    pub mem_ports: usize,
+    /// FP adder slots.
+    pub fp_add: usize,
+    /// FP multiplier slots.
+    pub fp_mul: usize,
+    /// Integer-side issue width.
+    pub int_width: usize,
+    /// FP-side issue width.
+    pub fp_width: usize,
+}
+
+impl Resources {
+    fn is_exceeded_by(&self, used: &Resources) -> bool {
+        used.int_alu > self.int_alu
+            || used.int_mul > self.int_mul
+            || used.mem_ports > self.mem_ports
+            || used.fp_add > self.fp_add
+            || used.fp_mul > self.fp_mul
+            || used.int_width > self.int_width
+            || used.fp_width > self.fp_width
+    }
+
+    /// Whether `used` fits in this budget.
+    pub fn fits(&self, used: &Resources) -> bool {
+        !self.is_exceeded_by(used)
+    }
+
+    /// Empty usage counter.
+    pub fn zero() -> Resources {
+        Resources {
+            int_alu: 0,
+            int_mul: 0,
+            mem_ports: 0,
+            fp_add: 0,
+            fp_mul: 0,
+            int_width: 0,
+            fp_width: 0,
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, other: &Resources) -> Resources {
+        Resources {
+            int_alu: self.int_alu + other.int_alu,
+            int_mul: self.int_mul + other.int_mul,
+            mem_ports: self.mem_ports + other.mem_ports,
+            fp_add: self.fp_add + other.fp_add,
+            fp_mul: self.fp_mul + other.fp_mul,
+            int_width: self.int_width + other.int_width,
+            fp_width: self.fp_width + other.fp_width,
+        }
+    }
+}
+
+/// Degraded-core configuration: how many of each redundant resource class
+/// survive (the fault-map register's view of the core, §4).
+///
+/// Each field is 1 or 2; [`CoreConfig::healthy`] is all-2 (except
+/// `frontend_groups`/backend groups which are counts of groups). A core
+/// with any class at zero is dead and never simulated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CoreConfig {
+    /// Healthy frontend groups (each provides `width/2` ways).
+    pub frontend_groups: u8,
+    /// Healthy integer issue-queue halves.
+    pub int_iq_halves: u8,
+    /// Healthy FP issue-queue halves.
+    pub fp_iq_halves: u8,
+    /// Healthy LSQ halves.
+    pub lsq_halves: u8,
+    /// Healthy integer backend groups (2 ALUs + 1 mul + 1 mem port each).
+    pub int_be_groups: u8,
+    /// Healthy FP backend groups (1 add + 1 mul each).
+    pub fp_be_groups: u8,
+}
+
+impl CoreConfig {
+    /// A fault-free core.
+    pub fn healthy() -> Self {
+        CoreConfig {
+            frontend_groups: 2,
+            int_iq_halves: 2,
+            fp_iq_halves: 2,
+            lsq_halves: 2,
+            int_be_groups: 2,
+            fp_be_groups: 2,
+        }
+    }
+
+    /// All 64 live configurations (every class at 1 or 2).
+    pub fn all_degraded() -> Vec<CoreConfig> {
+        let mut v = Vec::with_capacity(64);
+        for fe in [2u8, 1] {
+            for iq in [2u8, 1] {
+                for fq in [2u8, 1] {
+                    for lq in [2u8, 1] {
+                        for ib in [2u8, 1] {
+                            for fb in [2u8, 1] {
+                                v.push(CoreConfig {
+                                    frontend_groups: fe,
+                                    int_iq_halves: iq,
+                                    fp_iq_halves: fq,
+                                    lsq_halves: lq,
+                                    int_be_groups: ib,
+                                    fp_be_groups: fb,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// Validate field ranges.
+    pub fn validate(&self) {
+        for v in [
+            self.frontend_groups,
+            self.int_iq_halves,
+            self.fp_iq_halves,
+            self.lsq_halves,
+            self.int_be_groups,
+            self.fp_be_groups,
+        ] {
+            assert!((1..=2).contains(&v), "core config fields must be 1 or 2");
+        }
+    }
+
+    /// Execution resource budget under this configuration.
+    pub fn resources(&self, cfg: &SimConfig) -> Resources {
+        let ib = self.int_be_groups as usize;
+        let fb = self.fp_be_groups as usize;
+        Resources {
+            int_alu: 2 * ib,
+            int_mul: ib,
+            mem_ports: ib,
+            fp_add: fb,
+            fp_mul: fb,
+            int_width: cfg.backend_ways * ib / 2,
+            fp_width: cfg.backend_ways.min(4) * fb / 2,
+        }
+    }
+
+    /// Effective frontend width.
+    pub fn frontend_width(&self, cfg: &SimConfig) -> usize {
+        cfg.frontend_width * self.frontend_groups as usize / 2
+    }
+
+    /// Effective queue capacities `(int_iq, fp_iq, lsq)`.
+    pub fn capacities(&self, cfg: &SimConfig) -> (usize, usize, usize) {
+        (
+            cfg.int_iq_entries * self.int_iq_halves as usize / 2,
+            cfg.fp_iq_entries * self.fp_iq_halves as usize / 2,
+            cfg.lsq_entries * self.lsq_halves as usize / 2,
+        )
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::healthy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixty_four_configs() {
+        let all = CoreConfig::all_degraded();
+        assert_eq!(all.len(), 64);
+        assert!(all.contains(&CoreConfig::healthy()));
+        for c in &all {
+            c.validate();
+        }
+    }
+
+    #[test]
+    fn degraded_resources_shrink() {
+        let cfg = SimConfig::paper(Policy::Rescue);
+        let full = CoreConfig::healthy().resources(&cfg);
+        let half = CoreConfig {
+            int_be_groups: 1,
+            ..CoreConfig::healthy()
+        }
+        .resources(&cfg);
+        assert_eq!(full.int_alu, 4);
+        assert_eq!(half.int_alu, 2);
+        assert!(half.int_width < full.int_width);
+    }
+
+    #[test]
+    fn node_scaling_increases_latency() {
+        let cfg = SimConfig::paper(Policy::Baseline);
+        let scaled = cfg.scaled_to_halvings(3);
+        assert_eq!(scaled.mispredict_penalty, 15 + 6);
+        assert!((scaled.mem_latency as f64 - 250.0 * 1.5f64.powi(3)).abs() < 1.0);
+    }
+}

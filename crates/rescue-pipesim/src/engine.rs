@@ -1,0 +1,686 @@
+//! The cycle-stepped simulation engine.
+
+use crate::config::{CoreConfig, Policy, Resources, SimConfig};
+use crate::result::SimResult;
+use rescue_workloads::{InstrKind, TraceInstr};
+use std::collections::VecDeque;
+
+/// Ring size for producer-readiness tracking; must exceed twice the
+/// maximum dependence distance a trace can carry (`u16::MAX`).
+const READY_RING: usize = 1 << 17;
+
+/// Result not yet available.
+const NOT_READY: u64 = u64::MAX;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    /// Waiting in an issue-queue half.
+    InQueue,
+    /// In the Rescue inter-segment compaction buffer (wakeable, not
+    /// selectable).
+    InBuffer,
+    /// Issued; occupies its queue slot until the replay shadow passes.
+    Issued,
+    /// Execution finished.
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    instr: TraceInstr,
+    state: State,
+    issue_cycle: u64,
+    done_cycle: u64,
+    /// Still occupies an issue-queue slot (or the compaction buffer).
+    in_queue: bool,
+}
+
+/// One issue queue (int or fp) with its Rescue segmentation.
+#[derive(Debug, Default)]
+struct Queue {
+    old: VecDeque<u64>,
+    new: VecDeque<u64>,
+    buf: VecDeque<u64>,
+    /// Old-half free slots visible to the new half (one cycle delayed —
+    /// the cycle-split compaction request).
+    old_free_prev: usize,
+}
+
+impl Queue {
+    fn occupancy(&self) -> usize {
+        self.old.len() + self.new.len() + self.buf.len()
+    }
+}
+
+/// Run `cfg`/`core` over `trace` until `n_instr` instructions commit.
+///
+/// # Panics
+///
+/// Panics if the configuration deadlocks (a bug, guarded by a watchdog).
+pub fn simulate(
+    cfg: &SimConfig,
+    core: &CoreConfig,
+    trace: impl IntoIterator<Item = TraceInstr>,
+    n_instr: u64,
+) -> SimResult {
+    core.validate();
+    let mut eng = Engine::new(cfg, core, trace.into_iter());
+    eng.run(n_instr)
+}
+
+struct Engine<'c, T: Iterator<Item = TraceInstr>> {
+    cfg: &'c SimConfig,
+    core: &'c CoreConfig,
+    trace: T,
+    trace_done: bool,
+
+    cycle: u64,
+    rob: VecDeque<Slot>,
+    rob_base: u64,
+    next_id: u64,
+
+    ready_at: Vec<u64>,
+    intq: Queue,
+    fpq: Queue,
+    lsq_count: usize,
+
+    fetchq: VecDeque<(u64, TraceInstr)>,
+    fetch_stall: bool,
+    fetch_resume_at: u64,
+    redirect_branch: Option<u64>,
+
+    /// (detection_cycle, load id) for in-flight L1 misses.
+    miss_checks: VecDeque<(u64, u64)>,
+    /// Recently issued (cycle, id), for miss-shadow squashing.
+    recent_issues: VecDeque<(u64, u64)>,
+
+    budget: Resources,
+    int_cap: usize,
+    fp_cap: usize,
+    lsq_cap: usize,
+    fe_width: usize,
+    hold_extra: u64,
+    squash_window: u64,
+
+    stats: SimResult,
+    last_commit_cycle: u64,
+}
+
+impl<'c, T: Iterator<Item = TraceInstr>> Engine<'c, T> {
+    fn new(cfg: &'c SimConfig, core: &'c CoreConfig, trace: T) -> Self {
+        let (int_cap, fp_cap, lsq_cap) = core.capacities(cfg);
+        let (hold_extra, squash_window) = (cfg.hold_extra, cfg.squash_window);
+        Engine {
+            cfg,
+            core,
+            trace,
+            trace_done: false,
+            cycle: 0,
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            rob_base: 0,
+            next_id: 0,
+            ready_at: vec![NOT_READY; READY_RING],
+            intq: Queue::default(),
+            fpq: Queue::default(),
+            lsq_count: 0,
+            fetchq: VecDeque::with_capacity(32),
+            fetch_stall: false,
+            fetch_resume_at: 0,
+            redirect_branch: None,
+            miss_checks: VecDeque::new(),
+            recent_issues: VecDeque::new(),
+            budget: core.resources(cfg),
+            int_cap,
+            fp_cap,
+            lsq_cap,
+            fe_width: core.frontend_width(cfg),
+            hold_extra,
+            squash_window,
+            stats: SimResult::default(),
+            last_commit_cycle: 0,
+        }
+    }
+
+    fn slot(&self, id: u64) -> &Slot {
+        &self.rob[(id - self.rob_base) as usize]
+    }
+
+    fn slot_mut(&mut self, id: u64) -> &mut Slot {
+        &mut self.rob[(id - self.rob_base) as usize]
+    }
+
+    fn run(&mut self, n_instr: u64) -> SimResult {
+        while self.stats.committed < n_instr {
+            self.step();
+            if self.trace_done && self.rob.is_empty() && self.fetchq.is_empty() {
+                break;
+            }
+            assert!(
+                self.cycle - self.last_commit_cycle < 1_000_000,
+                "simulator deadlock at cycle {} (committed {})",
+                self.cycle,
+                self.stats.committed
+            );
+        }
+        self.stats.cycles = self.cycle;
+        self.stats.clone()
+    }
+
+    fn step(&mut self) {
+        self.stats.sum_iq_occupancy += self.intq.occupancy() as u64;
+        self.stats.sum_rob_occupancy += self.rob.len() as u64;
+        self.retire();
+        self.handle_miss_detections();
+        self.select_and_issue();
+        self.remove_safe_entries();
+        self.compact();
+        self.dispatch();
+        self.fetch();
+        self.cycle += 1;
+    }
+
+    // ---- Stage 1: retire.
+    fn retire(&mut self) {
+        let mut n = 0;
+        while n < self.cfg.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if head.state != State::Done || head.done_cycle > self.cycle || head.in_queue {
+                break;
+            }
+            let slot = self.rob.pop_front().expect("head exists");
+            if slot.instr.kind.is_mem() {
+                self.lsq_count -= 1;
+            }
+            if slot.instr.kind == InstrKind::Load && slot.instr.l1_miss {
+                self.stats.l1_misses += 1;
+            }
+            self.rob_base += 1;
+            self.stats.committed += 1;
+            self.last_commit_cycle = self.cycle;
+            n += 1;
+        }
+    }
+
+    // ---- Stage 2: L1-miss detection and issue-shadow squash.
+    fn handle_miss_detections(&mut self) {
+        while let Some(&(when, load_id)) = self.miss_checks.front() {
+            if when > self.cycle {
+                break;
+            }
+            self.miss_checks.pop_front();
+            if load_id < self.rob_base {
+                continue; // already retired (cannot happen for misses)
+            }
+            // Correct the load's readiness to the true latency.
+            let (issue, actual) = {
+                let s = self.slot(load_id);
+                if s.state != State::Issued && s.state != State::Done {
+                    continue; // load itself was squashed; re-check on reissue
+                }
+                (s.issue_cycle, s.done_cycle)
+            };
+            if when != issue + self.cfg.l1_latency {
+                // Stale check from an issue that was squashed and redone.
+                continue;
+            }
+            self.ready_at[(load_id as usize) % READY_RING] = actual;
+
+            // Squash everything issued in the shadow window.
+            let lo = self.cycle.saturating_sub(self.squash_window);
+            let squash: Vec<u64> = self
+                .recent_issues
+                .iter()
+                .filter(|&&(c, id)| c >= lo && c < self.cycle && id != load_id)
+                .map(|&(_, id)| id)
+                .collect();
+            for id in squash {
+                if id < self.rob_base {
+                    continue;
+                }
+                let ring = (id as usize) % READY_RING;
+                let s = self.slot_mut(id);
+                if s.state == State::Issued {
+                    s.state = State::InQueue;
+                    self.ready_at[ring] = NOT_READY;
+                    self.stats.miss_squashes += 1;
+                }
+            }
+        }
+        // Trim the recent-issue history.
+        let keep_from = self.cycle.saturating_sub(self.squash_window + 2);
+        while matches!(self.recent_issues.front(), Some(&(c, _)) if c < keep_from) {
+            self.recent_issues.pop_front();
+        }
+    }
+
+    // ---- Stage 3: wakeup, select, issue.
+    fn select_and_issue(&mut self) {
+        match self.cfg.policy {
+            Policy::Baseline => {
+                let mut used = Resources::zero();
+                let picks_int = self.pick_from(&[QueuePart::IntOld, QueuePart::IntNew], &mut used);
+                let picks_fp = self.pick_from(&[QueuePart::FpOld, QueuePart::FpNew], &mut used);
+                for id in picks_int.into_iter().chain(picks_fp) {
+                    self.issue(id);
+                }
+            }
+            Policy::Rescue => {
+                for fp in [false, true] {
+                    let (halves_present, parts) = if fp {
+                        (
+                            self.core.fp_iq_halves,
+                            [QueuePart::FpOld, QueuePart::FpNew],
+                        )
+                    } else {
+                        (
+                            self.core.int_iq_halves,
+                            [QueuePart::IntOld, QueuePart::IntNew],
+                        )
+                    };
+                    if halves_present == 1 {
+                        // Single surviving half: no cross-half policy.
+                        let mut used = Resources::zero();
+                        let picks = self.pick_from(&parts[..1], &mut used);
+                        for id in picks {
+                            self.issue(id);
+                        }
+                        continue;
+                    }
+                    // Each half selects as if the other selects nothing.
+                    let mut used_old = Resources::zero();
+                    let picks_old = self.pick_from(&parts[..1], &mut used_old);
+                    let mut used_new = Resources::zero();
+                    let picks_new = self.pick_from(&parts[1..], &mut used_new);
+                    let total = used_old.plus(&used_new);
+                    if self.budget.fits(&total) {
+                        for id in picks_old.into_iter().chain(picks_new) {
+                            self.issue(id);
+                        }
+                    } else {
+                        // Overcommit: replay per the configured policy;
+                        // any kept half fits by construction since each
+                        // half obeyed the constraints alone.
+                        use crate::config::ReplayPolicy;
+                        let (keep, drop) = match self.cfg.replay_policy {
+                            ReplayPolicy::SmallerHalf => {
+                                if picks_old.len() < picks_new.len() {
+                                    (picks_new, picks_old)
+                                } else {
+                                    (picks_old, picks_new)
+                                }
+                            }
+                            ReplayPolicy::NewHalf => (picks_old, picks_new),
+                            ReplayPolicy::LargerHalf => {
+                                if picks_old.len() >= picks_new.len() {
+                                    (picks_new, picks_old)
+                                } else {
+                                    (picks_old, picks_new)
+                                }
+                            }
+                        };
+                        self.stats.overcommit_replays += drop.len() as u64;
+                        for id in keep {
+                            self.issue(id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn issue(&mut self, id: u64) {
+        let cycle = self.cycle;
+        let l1 = self.cfg.l1_latency;
+        let l2 = self.cfg.l2_latency;
+        let mem = self.cfg.mem_latency;
+        let (int_mul, fp_add, fp_mul) = (
+            self.cfg.int_mul_latency,
+            self.cfg.fp_add_latency,
+            self.cfg.fp_mul_latency,
+        );
+        let ring = (id as usize) % READY_RING;
+        let is_redirect = self.redirect_branch == Some(id);
+        let mut miss_check = None;
+        let mut resume_at = None;
+        {
+            let s = self.slot_mut(id);
+            debug_assert_eq!(s.state, State::InQueue);
+            s.state = State::Issued;
+            s.issue_cycle = cycle;
+            let (latency, bypass) = match s.instr.kind {
+                InstrKind::IntAlu | InstrKind::Branch | InstrKind::Store => (1, 1),
+                InstrKind::IntMul => (int_mul, int_mul),
+                InstrKind::FpAdd => (fp_add, fp_add),
+                InstrKind::FpMul => (fp_mul, fp_mul),
+                InstrKind::Load => {
+                    let actual = if !s.instr.l1_miss {
+                        l1
+                    } else if !s.instr.l2_miss {
+                        l2
+                    } else {
+                        mem
+                    };
+                    if s.instr.l1_miss {
+                        miss_check = Some((cycle + l1, id));
+                    }
+                    // Speculative wakeup assumes an L1 hit.
+                    (actual, l1)
+                }
+            };
+            s.done_cycle = cycle + latency;
+            self.ready_at[ring] = cycle + bypass;
+            if is_redirect {
+                resume_at = Some(cycle + latency + self.cfg.mispredict_penalty);
+            }
+        }
+        if let Some(mc) = miss_check {
+            // Keep detection queue sorted by time (l1 latency constant, so
+            // pushes are already in order).
+            self.miss_checks.push_back(mc);
+        }
+        if let Some(r) = resume_at {
+            self.fetch_resume_at = r;
+            self.fetch_stall = true; // stays stalled until the resume time
+            self.redirect_branch = None;
+        }
+        self.recent_issues.push_back((cycle, id));
+        self.stats.issued_total += 1;
+    }
+
+    /// Oldest-first pick across the given queue parts under the shared
+    /// budget; also promotes completed entries to Done.
+    fn pick_from(&mut self, parts: &[QueuePart], used: &mut Resources) -> Vec<u64> {
+        let mut picks = Vec::new();
+        for &part in parts {
+            let ids: Vec<u64> = self.part(part).iter().copied().collect();
+            for id in ids {
+                let s = self.slot(id);
+                if s.state != State::InQueue {
+                    // Mark finished execution lazily.
+                    continue;
+                }
+                if !self.sources_ready(id) {
+                    continue;
+                }
+                let need = kind_usage(self.slot(id).instr.kind);
+                let after = used.plus(&need);
+                if !self.budget.fits(&after) {
+                    continue;
+                }
+                *used = after;
+                picks.push(id);
+            }
+        }
+        picks
+    }
+
+    fn sources_ready(&self, id: u64) -> bool {
+        let s = self.slot(id);
+        for dep in s.instr.src_deps.into_iter().flatten() {
+            let producer = id.checked_sub(dep as u64);
+            let Some(p) = producer else { return false };
+            if p < self.rob_base {
+                continue; // producer retired long ago
+            }
+            if self.ready_at[(p as usize) % READY_RING] > self.cycle {
+                return false;
+            }
+        }
+        true
+    }
+
+    // ---- Stage 3b: release queue slots out of the replay shadow, and
+    // promote finished instructions to Done.
+    fn remove_safe_entries(&mut self) {
+        let l1 = self.cfg.l1_latency;
+        let hold = self.hold_extra;
+        let cycle = self.cycle;
+        // Promote Done.
+        for slot in self.rob.iter_mut() {
+            if slot.state == State::Issued && slot.done_cycle <= cycle {
+                slot.state = State::Done;
+            }
+        }
+        let rob = &self.rob;
+        let base = self.rob_base;
+        let removable = |id: &u64| {
+            let s = &rob[(*id - base) as usize];
+            matches!(s.state, State::Issued | State::Done)
+                && cycle >= s.issue_cycle + l1 + hold
+        };
+        let mut removed: Vec<u64> = Vec::new();
+        for dq in [
+            &mut self.intq.old,
+            &mut self.intq.new,
+            &mut self.fpq.old,
+            &mut self.fpq.new,
+        ] {
+            dq.retain(|id| {
+                if removable(id) {
+                    removed.push(*id);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        for id in removed {
+            self.rob[(id - self.rob_base) as usize].in_queue = false;
+        }
+    }
+
+    // ---- Stage 4: compaction.
+    fn compact(&mut self) {
+        match self.cfg.policy {
+            Policy::Baseline => {
+                // Single-cycle inter-segment compaction: the queue behaves
+                // as one FIFO. Entries flow new -> old freely.
+                for (q, cap) in [(&mut self.intq, self.int_cap), (&mut self.fpq, self.fp_cap)] {
+                    let half = cap / 2;
+                    while q.old.len() < half && !q.new.is_empty() {
+                        let id = q.new.pop_front().expect("non-empty");
+                        q.old.push_back(id);
+                    }
+                }
+            }
+            Policy::Rescue => {
+                let buf_cap = self.cfg.compaction_buffer;
+                for (q, cap, halves) in [
+                    (&mut self.intq, self.int_cap, self.core.int_iq_halves),
+                    (&mut self.fpq, self.fp_cap, self.core.fp_iq_halves),
+                ] {
+                    if halves == 1 {
+                        continue; // single surviving half, no movement
+                    }
+                    let half = cap / 2;
+                    // Old half consumes the temporary buffer.
+                    while q.old.len() < half && !q.buf.is_empty() {
+                        let id = q.buf.pop_front().expect("non-empty");
+                        q.old.push_back(id);
+                    }
+                    // New half forwards entries toward the buffer based on
+                    // *last* cycle's free-slot count (cycle-split request).
+                    let mut quota = q.old_free_prev.min(buf_cap - q.buf.len());
+                    while quota > 0 && !q.new.is_empty() {
+                        let id = q.new.pop_front().expect("non-empty");
+                        q.buf.push_back(id);
+                        quota -= 1;
+                    }
+                    q.old_free_prev = half - q.old.len().min(half);
+                }
+                // Buffer residents change state for bookkeeping.
+                let ids: Vec<u64> = self
+                    .intq
+                    .buf
+                    .iter()
+                    .chain(self.fpq.buf.iter())
+                    .copied()
+                    .collect();
+                for id in ids {
+                    let s = self.slot_mut(id);
+                    if s.state == State::InQueue {
+                        s.state = State::InBuffer;
+                    }
+                }
+                // And entries arriving in the old half become selectable.
+                let ids: Vec<u64> = self
+                    .intq
+                    .old
+                    .iter()
+                    .chain(self.fpq.old.iter())
+                    .copied()
+                    .collect();
+                for id in ids {
+                    let s = self.slot_mut(id);
+                    if s.state == State::InBuffer {
+                        s.state = State::InQueue;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Stage 5: dispatch from the fetch queue into the window.
+    fn dispatch(&mut self) {
+        let mut stalled = false;
+        for _ in 0..self.fe_width {
+            let Some(&(id, instr)) = self.fetchq.front() else { break };
+            if self.rob.len() >= self.cfg.rob_entries {
+                stalled = true;
+                break;
+            }
+            if instr.kind.is_mem() && self.lsq_count >= self.lsq_cap {
+                stalled = true;
+                break;
+            }
+            let fp = instr.kind.is_fp();
+            let (q, cap, halves) = if fp {
+                (&mut self.fpq, self.fp_cap, self.core.fp_iq_halves)
+            } else {
+                (&mut self.intq, self.int_cap, self.core.int_iq_halves)
+            };
+            let ok = match self.cfg.policy {
+                Policy::Baseline => q.occupancy() < cap,
+                Policy::Rescue => {
+                    if halves == 1 {
+                        q.old.len() < cap
+                    } else {
+                        // Insertion goes through the new half only.
+                        q.new.len() < cap / 2
+                    }
+                }
+            };
+            if !ok {
+                stalled = true;
+                break;
+            }
+            match self.cfg.policy {
+                Policy::Rescue if halves == 1 => q.old.push_back(id),
+                Policy::Rescue => q.new.push_back(id),
+                Policy::Baseline => {
+                    // FIFO semantics: fill old first, overflow to new.
+                    let half = cap / 2;
+                    if q.old.len() < half {
+                        q.old.push_back(id);
+                    } else {
+                        q.new.push_back(id);
+                    }
+                }
+            }
+            self.fetchq.pop_front();
+            debug_assert_eq!(id, self.next_rob_id());
+            self.ready_at[(id as usize) % READY_RING] = NOT_READY;
+            self.rob.push_back(Slot {
+                instr,
+                state: State::InQueue,
+                issue_cycle: 0,
+                done_cycle: u64::MAX,
+                in_queue: true,
+            });
+            let _ = fp;
+            if instr.kind.is_mem() {
+                self.lsq_count += 1;
+            }
+        }
+        if stalled {
+            self.stats.dispatch_stall_cycles += 1;
+        }
+    }
+
+    fn next_rob_id(&self) -> u64 {
+        self.rob_base + self.rob.len() as u64
+    }
+
+    // ---- Stage 6: fetch.
+    fn fetch(&mut self) {
+        if self.fetch_stall {
+            if self.redirect_branch.is_some() || self.cycle < self.fetch_resume_at {
+                return;
+            }
+            self.fetch_stall = false;
+        }
+        for _ in 0..self.fe_width {
+            if self.fetchq.len() >= 32 || self.trace_done {
+                break;
+            }
+            let Some(instr) = self.trace.next() else {
+                self.trace_done = true;
+                break;
+            };
+            let id = self.next_id;
+            self.next_id += 1;
+            self.fetchq.push_back((id, instr));
+            if instr.kind == InstrKind::Branch && instr.mispredict {
+                self.stats.mispredicts += 1;
+                self.redirect_branch = Some(id);
+                self.fetch_stall = true;
+                self.fetch_resume_at = u64::MAX;
+                break;
+            }
+        }
+    }
+
+    fn part(&self, part: QueuePart) -> &VecDeque<u64> {
+        match part {
+            QueuePart::IntOld => &self.intq.old,
+            QueuePart::IntNew => &self.intq.new,
+            QueuePart::FpOld => &self.fpq.old,
+            QueuePart::FpNew => &self.fpq.new,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum QueuePart {
+    IntOld,
+    IntNew,
+    FpOld,
+    FpNew,
+}
+
+fn kind_usage(kind: InstrKind) -> Resources {
+    let mut r = Resources::zero();
+    match kind {
+        InstrKind::IntAlu | InstrKind::Branch => {
+            r.int_alu = 1;
+            r.int_width = 1;
+        }
+        InstrKind::IntMul => {
+            r.int_mul = 1;
+            r.int_width = 1;
+        }
+        InstrKind::Load | InstrKind::Store => {
+            r.mem_ports = 1;
+            r.int_width = 1;
+        }
+        InstrKind::FpAdd => {
+            r.fp_add = 1;
+            r.fp_width = 1;
+        }
+        InstrKind::FpMul => {
+            r.fp_mul = 1;
+            r.fp_width = 1;
+        }
+    }
+    r
+}

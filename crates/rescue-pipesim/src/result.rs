@@ -1,0 +1,64 @@
+//! Simulation results and counters.
+
+/// Outcome of one simulation run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimResult {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Branch mispredictions encountered.
+    pub mispredicts: u64,
+    /// L1 misses among committed loads.
+    pub l1_misses: u64,
+    /// Overcommit replays forced by the Rescue split-selection policy.
+    pub overcommit_replays: u64,
+    /// Instructions squashed and reissued due to L1-miss shadows.
+    pub miss_squashes: u64,
+    /// Cycles in which dispatch stalled for lack of queue/ROB/LSQ space.
+    pub dispatch_stall_cycles: u64,
+    /// Instructions issued (including ones later squashed/replayed).
+    pub issued_total: u64,
+    /// Sum over cycles of int-issue-queue occupancy (for averages).
+    pub sum_iq_occupancy: u64,
+    /// Sum over cycles of ROB occupancy.
+    pub sum_rob_occupancy: u64,
+}
+
+impl SimResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average integer issue-queue occupancy per cycle.
+    pub fn avg_iq_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.sum_iq_occupancy as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average reorder-buffer occupancy per cycle.
+    pub fn avg_rob_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.sum_rob_occupancy as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of issues that were wasted (squashed or replayed).
+    pub fn wasted_issue_fraction(&self) -> f64 {
+        if self.issued_total == 0 {
+            0.0
+        } else {
+            (self.miss_squashes + self.overcommit_replays) as f64 / self.issued_total as f64
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Behavioural tests for the timing simulator.
+
+use rescue_pipesim::{simulate, CoreConfig, Policy, SimConfig};
+use rescue_workloads::{
+    spec2000_profiles, BenchmarkProfile, InstrKind, TraceGenerator, TraceInstr,
+};
+
+fn alu_stream(n: usize) -> Vec<TraceInstr> {
+    vec![TraceInstr::simple_alu(); n]
+}
+
+#[test]
+fn independent_alus_reach_full_width() {
+    // 4 independent ALU ops/cycle should approach IPC 4 on the baseline.
+    let cfg = SimConfig::paper(Policy::Baseline);
+    let r = simulate(&cfg, &CoreConfig::healthy(), alu_stream(40_000), 40_000);
+    assert!(r.ipc() > 3.5, "ipc = {}", r.ipc());
+}
+
+#[test]
+fn serial_chain_is_ipc_one() {
+    // Every instruction depends on the previous one: IPC ~1 regardless of
+    // width.
+    let cfg = SimConfig::paper(Policy::Baseline);
+    let trace: Vec<TraceInstr> = (0..20_000)
+        .map(|i| TraceInstr {
+            src_deps: [if i == 0 { None } else { Some(1) }, None],
+            ..TraceInstr::simple_alu()
+        })
+        .collect();
+    let r = simulate(&cfg, &CoreConfig::healthy(), trace, 20_000);
+    assert!(r.ipc() < 1.1, "ipc = {}", r.ipc());
+    assert!(r.ipc() > 0.8, "ipc = {}", r.ipc());
+}
+
+#[test]
+fn rescue_never_beats_baseline_by_much() {
+    // The ICI transformations cost IPC; Rescue should be within [0.85, 1.02]
+    // of baseline on every benchmark.
+    for prof in spec2000_profiles() {
+        let n = 30_000;
+        let base = simulate(
+            &SimConfig::paper(Policy::Baseline),
+            &CoreConfig::healthy(),
+            TraceGenerator::new(&prof, 11),
+            n,
+        );
+        let resc = simulate(
+            &SimConfig::paper(Policy::Rescue),
+            &CoreConfig::healthy(),
+            TraceGenerator::new(&prof, 11),
+            n,
+        );
+        let ratio = resc.ipc() / base.ipc();
+        assert!(
+            (0.80..=1.02).contains(&ratio),
+            "{}: rescue/baseline = {ratio:.3} (b={:.3} r={:.3})",
+            prof.name,
+            base.ipc(),
+            resc.ipc()
+        );
+    }
+}
+
+#[test]
+fn degradation_reduces_ipc_monotonically() {
+    let prof = BenchmarkProfile::by_name("gcc").unwrap();
+    let cfg = SimConfig::paper(Policy::Rescue);
+    let n = 30_000;
+    let ipc = |core: &CoreConfig| {
+        simulate(&cfg, core, TraceGenerator::new(&prof, 5), n).ipc()
+    };
+    let full = ipc(&CoreConfig::healthy());
+    let half_fe = ipc(&CoreConfig {
+        frontend_groups: 1,
+        ..CoreConfig::healthy()
+    });
+    let half_all = ipc(&CoreConfig {
+        frontend_groups: 1,
+        int_iq_halves: 1,
+        fp_iq_halves: 1,
+        lsq_halves: 1,
+        int_be_groups: 1,
+        fp_be_groups: 1,
+    });
+    assert!(half_fe < full, "frontend halving must cost IPC");
+    assert!(half_all <= half_fe + 1e-9, "fully degraded must be slowest");
+    assert!(half_all > 0.15 * full, "degraded core still works");
+}
+
+#[test]
+fn l1_misses_cost_cycles() {
+    let cfg = SimConfig::paper(Policy::Baseline);
+    let hit_trace: Vec<TraceInstr> = (0..20_000)
+        .map(|i| TraceInstr {
+            kind: InstrKind::Load,
+            src_deps: [if i == 0 { None } else { Some(1) }, None],
+            mispredict: false,
+            l1_miss: false,
+            l2_miss: false,
+        })
+        .collect();
+    let miss_trace: Vec<TraceInstr> = hit_trace
+        .iter()
+        .map(|t| TraceInstr {
+            l1_miss: true,
+            l2_miss: true,
+            ..*t
+        })
+        .collect();
+    let hits = simulate(&cfg, &CoreConfig::healthy(), hit_trace, 20_000);
+    let misses = simulate(&cfg, &CoreConfig::healthy(), miss_trace, 20_000);
+    assert!(
+        misses.cycles > hits.cycles * 20,
+        "memory-bound chain must be far slower: {} vs {}",
+        misses.cycles,
+        hits.cycles
+    );
+    assert!(misses.l1_misses > 19_000);
+}
+
+#[test]
+fn mispredicts_cost_cycles() {
+    let cfg = SimConfig::paper(Policy::Baseline);
+    let mk = |mp: bool| -> Vec<TraceInstr> {
+        (0..20_000)
+            .map(|i| {
+                if i % 10 == 9 {
+                    TraceInstr {
+                        kind: InstrKind::Branch,
+                        src_deps: [None, None],
+                        mispredict: mp && i % 100 == 99,
+                        l1_miss: false,
+                        l2_miss: false,
+                    }
+                } else {
+                    TraceInstr::simple_alu()
+                }
+            })
+            .collect()
+    };
+    let clean = simulate(&cfg, &CoreConfig::healthy(), mk(false), 20_000);
+    let dirty = simulate(&cfg, &CoreConfig::healthy(), mk(true), 20_000);
+    assert!(dirty.cycles > clean.cycles, "mispredicts must cost cycles");
+    assert!(dirty.mispredicts > 150);
+}
+
+#[test]
+fn rescue_mispredict_penalty_is_larger() {
+    // A branchy trace hurts Rescue (+2-cycle penalty) more than baseline.
+    let mk = || -> Vec<TraceInstr> {
+        (0..30_000)
+            .map(|i| {
+                if i % 8 == 7 {
+                    TraceInstr {
+                        kind: InstrKind::Branch,
+                        src_deps: [None, None],
+                        mispredict: i % 40 == 39,
+                        l1_miss: false,
+                        l2_miss: false,
+                    }
+                } else {
+                    TraceInstr::simple_alu()
+                }
+            })
+            .collect()
+    };
+    let base = simulate(
+        &SimConfig::paper(Policy::Baseline),
+        &CoreConfig::healthy(),
+        mk(),
+        30_000,
+    );
+    let resc = simulate(
+        &SimConfig::paper(Policy::Rescue),
+        &CoreConfig::healthy(),
+        mk(),
+        30_000,
+    );
+    assert!(
+        resc.cycles > base.cycles,
+        "rescue {} must exceed baseline {}",
+        resc.cycles,
+        base.cycles
+    );
+}
+
+#[test]
+fn deterministic_results() {
+    let prof = BenchmarkProfile::by_name("vpr").unwrap();
+    let cfg = SimConfig::paper(Policy::Rescue);
+    let a = simulate(
+        &cfg,
+        &CoreConfig::healthy(),
+        TraceGenerator::new(&prof, 3),
+        20_000,
+    );
+    let b = simulate(
+        &cfg,
+        &CoreConfig::healthy(),
+        TraceGenerator::new(&prof, 3),
+        20_000,
+    );
+    assert_eq!(a, b);
+}
+
+#[test]
+fn all_64_configs_simulate() {
+    let prof = BenchmarkProfile::by_name("swim").unwrap();
+    let cfg = SimConfig::paper(Policy::Rescue);
+    for core in CoreConfig::all_degraded() {
+        let r = simulate(&cfg, &core, TraceGenerator::new(&prof, 2), 3_000);
+        assert!(r.ipc() > 0.02, "config {core:?} produced ipc {}", r.ipc());
+    }
+}

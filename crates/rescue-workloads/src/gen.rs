@@ -1,0 +1,164 @@
+//! Seeded trace generation from a benchmark profile.
+
+use crate::profiles::BenchmarkProfile;
+use crate::{InstrKind, TraceInstr};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Infinite, deterministic instruction stream for one benchmark.
+///
+/// Two generators with the same profile and seed produce identical
+/// streams, so every experiment is reproducible.
+#[derive(Clone, Debug)]
+pub struct TraceGenerator {
+    profile: BenchmarkProfile,
+    rng: SmallRng,
+    /// Index of the next instruction (used to clamp dependence
+    /// distances near the start of the stream).
+    index: u64,
+}
+
+impl TraceGenerator {
+    /// Create a generator for `profile` with a reproducible `seed`.
+    pub fn new(profile: &BenchmarkProfile, seed: u64) -> Self {
+        // Mix the benchmark name into the seed so equal user seeds still
+        // decorrelate different benchmarks.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in profile.name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TraceGenerator {
+            profile: profile.clone(),
+            rng: SmallRng::seed_from_u64(seed ^ h),
+            index: 0,
+        }
+    }
+
+    fn sample_kind(&mut self) -> InstrKind {
+        let p = &self.profile;
+        let x: f64 = self.rng.gen();
+        if x < p.f_load {
+            InstrKind::Load
+        } else if x < p.f_load + p.f_store {
+            InstrKind::Store
+        } else if x < p.f_load + p.f_store + p.f_branch {
+            InstrKind::Branch
+        } else {
+            // Compute op: long or short, int or fp.
+            let long = self.rng.gen_bool(clamp01(p.f_long / p.f_compute()));
+            let fp = self.rng.gen_bool(clamp01(p.f_fp_of_compute));
+            match (long, fp) {
+                (true, true) => InstrKind::FpMul,
+                (true, false) => InstrKind::IntMul,
+                (false, true) => InstrKind::FpAdd,
+                (false, false) => InstrKind::IntAlu,
+            }
+        }
+    }
+
+    fn sample_dep(&mut self) -> Option<u16> {
+        let p = &self.profile;
+        if self.rng.gen_bool(clamp01(p.p_ready_operand)) {
+            return None;
+        }
+        // Geometric distance with the profile's mean, clamped to the
+        // instructions that actually precede this one.
+        let mean = p.mean_dep_distance.max(1.0);
+        let q = 1.0 / mean;
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let d = (u.ln() / (1.0 - q).ln()).ceil().max(1.0) as u64;
+        let d = d.min(self.index).min(u16::MAX as u64);
+        if d == 0 {
+            None
+        } else {
+            Some(d as u16)
+        }
+    }
+}
+
+fn clamp01(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
+
+impl Iterator for TraceGenerator {
+    type Item = TraceInstr;
+
+    fn next(&mut self) -> Option<TraceInstr> {
+        let kind = self.sample_kind();
+        let p = self.profile.clone();
+        let n_src = match kind {
+            InstrKind::Load => 1,
+            InstrKind::Branch => 1,
+            InstrKind::Store => 2,
+            _ => 2,
+        };
+        let mut src_deps = [None, None];
+        for s in src_deps.iter_mut().take(n_src) {
+            *s = self.sample_dep();
+        }
+        let mispredict =
+            kind == InstrKind::Branch && self.rng.gen_bool(clamp01(p.mispredict_rate));
+        let l1_miss = kind == InstrKind::Load && self.rng.gen_bool(clamp01(p.l1_miss_rate));
+        let l2_miss = l1_miss && self.rng.gen_bool(clamp01(p.l2_miss_rate));
+        self.index += 1;
+        Some(TraceInstr {
+            kind,
+            src_deps,
+            mispredict,
+            l1_miss,
+            l2_miss,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec2000_profiles;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let p = &spec2000_profiles()[0];
+        let a: Vec<_> = TraceGenerator::new(p, 7).take(500).collect();
+        let b: Vec<_> = TraceGenerator::new(p, 7).take(500).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = TraceGenerator::new(p, 8).take(500).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mix_tracks_profile() {
+        let p = crate::BenchmarkProfile::by_name("mcf").unwrap();
+        let n = 200_000;
+        let trace: Vec<_> = TraceGenerator::new(&p, 1).take(n).collect();
+        let loads = trace.iter().filter(|i| i.kind == InstrKind::Load).count() as f64;
+        let branches = trace.iter().filter(|i| i.kind == InstrKind::Branch).count() as f64;
+        assert!((loads / n as f64 - p.f_load).abs() < 0.01);
+        assert!((branches / n as f64 - p.f_branch).abs() < 0.01);
+        // Miss rates within tolerance.
+        let misses = trace.iter().filter(|i| i.l1_miss).count() as f64;
+        assert!((misses / loads - p.l1_miss_rate).abs() < 0.02);
+    }
+
+    #[test]
+    fn deps_never_reach_before_stream_start() {
+        let p = &spec2000_profiles()[3];
+        for (i, instr) in TraceGenerator::new(p, 3).take(2000).enumerate() {
+            for d in instr.src_deps.into_iter().flatten() {
+                assert!(
+                    (d as usize) <= i,
+                    "instruction {i} depends {d} back before the stream"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fp_benchmarks_emit_fp_ops() {
+        let p = crate::BenchmarkProfile::by_name("swim").unwrap();
+        let trace: Vec<_> = TraceGenerator::new(&p, 1).take(10_000).collect();
+        let fp = trace.iter().filter(|i| i.kind.is_fp()).count();
+        assert!(fp > 3_000, "swim should be fp-heavy, got {fp}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Per-benchmark statistical profiles for the 23 SPEC2000 programs the
+//! paper simulates (SPEC2000 minus `ammp`, `galgel`, `gap`, which the
+//! authors also exclude).
+//!
+//! Numbers are calibrated to published SPEC2000 characterizations
+//! (instruction mixes and branch/cache behaviour from the SimpleScalar /
+//! SPEC characterization literature); they are approximations, which is
+//! sufficient because the experiments consume only the *sensitivity*
+//! each workload has to queue sizing and pipeline-length changes.
+
+/// Integer or floating-point suite membership.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPECint2000.
+    Int,
+    /// SPECfp2000.
+    Fp,
+}
+
+/// Statistical description of one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (SPEC2000 short name).
+    pub name: &'static str,
+    /// Suite membership.
+    pub suite: Suite,
+    /// Fraction of loads.
+    pub f_load: f64,
+    /// Fraction of stores.
+    pub f_store: f64,
+    /// Fraction of branches.
+    pub f_branch: f64,
+    /// Fraction of long-latency ops (int mul/div or fp mul/div).
+    pub f_long: f64,
+    /// Of the remaining compute, fraction that is FP (vs integer ALU).
+    pub f_fp_of_compute: f64,
+    /// Mean register-dependence distance (geometric); small = serial.
+    pub mean_dep_distance: f64,
+    /// Probability a source operand is already ready at rename.
+    pub p_ready_operand: f64,
+    /// Branch misprediction rate.
+    pub mispredict_rate: f64,
+    /// L1 data-cache miss rate (per load).
+    pub l1_miss_rate: f64,
+    /// L2 miss rate (per L1 miss).
+    pub l2_miss_rate: f64,
+}
+
+macro_rules! profile {
+    ($name:literal, $suite:ident, ld=$ld:literal, st=$st:literal, br=$br:literal,
+     long=$long:literal, fp=$fp:literal, dep=$dep:literal, rdy=$rdy:literal,
+     mp=$mp:literal, l1=$l1:literal, l2=$l2:literal) => {
+        BenchmarkProfile {
+            name: $name,
+            suite: Suite::$suite,
+            f_load: $ld,
+            f_store: $st,
+            f_branch: $br,
+            f_long: $long,
+            f_fp_of_compute: $fp,
+            mean_dep_distance: $dep,
+            p_ready_operand: $rdy,
+            mispredict_rate: $mp,
+            l1_miss_rate: $l1,
+            l2_miss_rate: $l2,
+        }
+    };
+}
+
+/// The 23 paper benchmarks with their profiles.
+pub fn spec2000_profiles() -> Vec<BenchmarkProfile> {
+    vec![
+        // ---- SPECint2000 (11 of 12; gap excluded by the paper).
+        profile!("gzip",    Int, ld=0.20, st=0.08, br=0.17, long=0.01, fp=0.00, dep=6.0,  rdy=0.45, mp=0.070, l1=0.020, l2=0.05),
+        profile!("vpr",     Int, ld=0.28, st=0.12, br=0.13, long=0.02, fp=0.05, dep=5.0,  rdy=0.40, mp=0.090, l1=0.030, l2=0.15),
+        profile!("gcc",     Int, ld=0.25, st=0.13, br=0.16, long=0.01, fp=0.00, dep=7.0,  rdy=0.50, mp=0.065, l1=0.035, l2=0.10),
+        profile!("mcf",     Int, ld=0.31, st=0.09, br=0.19, long=0.01, fp=0.00, dep=4.0,  rdy=0.40, mp=0.090, l1=0.240, l2=0.60),
+        profile!("crafty",  Int, ld=0.29, st=0.09, br=0.11, long=0.02, fp=0.00, dep=7.0,  rdy=0.50, mp=0.080, l1=0.012, l2=0.05),
+        profile!("parser",  Int, ld=0.24, st=0.09, br=0.16, long=0.01, fp=0.00, dep=5.0,  rdy=0.45, mp=0.075, l1=0.030, l2=0.20),
+        profile!("eon",     Int, ld=0.28, st=0.17, br=0.11, long=0.02, fp=0.15, dep=8.0,  rdy=0.55, mp=0.040, l1=0.005, l2=0.05),
+        profile!("perlbmk", Int, ld=0.26, st=0.15, br=0.14, long=0.01, fp=0.00, dep=6.0,  rdy=0.50, mp=0.055, l1=0.015, l2=0.10),
+        profile!("vortex",  Int, ld=0.27, st=0.17, br=0.14, long=0.01, fp=0.00, dep=8.0,  rdy=0.55, mp=0.020, l1=0.015, l2=0.10),
+        profile!("bzip2",   Int, ld=0.24, st=0.10, br=0.13, long=0.01, fp=0.00, dep=4.5,  rdy=0.35, mp=0.070, l1=0.022, l2=0.25),
+        profile!("twolf",   Int, ld=0.26, st=0.08, br=0.14, long=0.03, fp=0.05, dep=5.0,  rdy=0.40, mp=0.110, l1=0.050, l2=0.10),
+        // ---- SPECfp2000 (12 of 14; ammp and galgel excluded).
+        profile!("wupwise", Fp, ld=0.22, st=0.10, br=0.04, long=0.08, fp=0.75, dep=12.0, rdy=0.60, mp=0.015, l1=0.020, l2=0.20),
+        profile!("swim",    Fp, ld=0.27, st=0.08, br=0.01, long=0.07, fp=0.85, dep=20.0, rdy=0.70, mp=0.005, l1=0.090, l2=0.30),
+        profile!("mgrid",   Fp, ld=0.33, st=0.03, br=0.01, long=0.06, fp=0.85, dep=18.0, rdy=0.70, mp=0.005, l1=0.040, l2=0.25),
+        profile!("applu",   Fp, ld=0.30, st=0.08, br=0.01, long=0.09, fp=0.85, dep=16.0, rdy=0.65, mp=0.010, l1=0.060, l2=0.30),
+        profile!("mesa",    Fp, ld=0.24, st=0.13, br=0.09, long=0.04, fp=0.45, dep=9.0,  rdy=0.55, mp=0.030, l1=0.005, l2=0.10),
+        profile!("art",     Fp, ld=0.28, st=0.07, br=0.12, long=0.05, fp=0.60, dep=6.0,  rdy=0.45, mp=0.030, l1=0.330, l2=0.70),
+        profile!("equake",  Fp, ld=0.36, st=0.07, br=0.11, long=0.07, fp=0.60, dep=8.0,  rdy=0.50, mp=0.020, l1=0.060, l2=0.40),
+        profile!("facerec", Fp, ld=0.26, st=0.08, br=0.04, long=0.06, fp=0.70, dep=14.0, rdy=0.60, mp=0.020, l1=0.040, l2=0.35),
+        profile!("lucas",   Fp, ld=0.22, st=0.10, br=0.02, long=0.08, fp=0.80, dep=15.0, rdy=0.65, mp=0.010, l1=0.060, l2=0.40),
+        profile!("fma3d",   Fp, ld=0.28, st=0.12, br=0.06, long=0.07, fp=0.65, dep=10.0, rdy=0.55, mp=0.025, l1=0.030, l2=0.25),
+        profile!("sixtrack",Fp, ld=0.24, st=0.08, br=0.05, long=0.08, fp=0.75, dep=16.0, rdy=0.65, mp=0.015, l1=0.010, l2=0.10),
+        profile!("apsi",    Fp, ld=0.26, st=0.10, br=0.03, long=0.07, fp=0.70, dep=12.0, rdy=0.60, mp=0.015, l1=0.030, l2=0.25),
+    ]
+}
+
+impl BenchmarkProfile {
+    /// Look up a profile by name.
+    pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
+        spec2000_profiles().into_iter().find(|p| p.name == name)
+    }
+
+    /// Fraction of compute (non-memory, non-branch) instructions.
+    pub fn f_compute(&self) -> f64 {
+        1.0 - self.f_load - self.f_store - self.f_branch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_three_benchmarks() {
+        let p = spec2000_profiles();
+        assert_eq!(p.len(), 23);
+        assert_eq!(p.iter().filter(|x| x.suite == Suite::Int).count(), 11);
+        assert_eq!(p.iter().filter(|x| x.suite == Suite::Fp).count(), 12);
+        // Paper-excluded benchmarks are absent.
+        for missing in ["ammp", "galgel", "gap"] {
+            assert!(p.iter().all(|x| x.name != missing));
+        }
+    }
+
+    #[test]
+    fn fractions_are_sane() {
+        for p in spec2000_profiles() {
+            assert!(p.f_compute() > 0.2, "{}: compute fraction too small", p.name);
+            for v in [
+                p.f_load,
+                p.f_store,
+                p.f_branch,
+                p.f_long,
+                p.f_fp_of_compute,
+                p.p_ready_operand,
+                p.mispredict_rate,
+                p.l1_miss_rate,
+                p.l2_miss_rate,
+            ] {
+                assert!((0.0..=1.0).contains(&v), "{}: out of range", p.name);
+            }
+            assert!(p.mean_dep_distance >= 1.0);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(BenchmarkProfile::by_name("mcf").is_some());
+        assert!(BenchmarkProfile::by_name("nonesuch").is_none());
+    }
+}

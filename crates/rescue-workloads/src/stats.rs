@@ -1,0 +1,187 @@
+//! Measured statistics of a generated trace — the feedback loop that
+//! keeps profiles honest (and a tool users need when adding their own
+//! benchmark profiles).
+
+use crate::profiles::BenchmarkProfile;
+use crate::{InstrKind, TraceInstr};
+
+/// Aggregate statistics over a trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceStats {
+    /// Instructions observed.
+    pub n: usize,
+    /// Fraction of loads.
+    pub f_load: f64,
+    /// Fraction of stores.
+    pub f_store: f64,
+    /// Fraction of branches.
+    pub f_branch: f64,
+    /// Fraction of FP operations.
+    pub f_fp: f64,
+    /// Fraction of long-latency ops (int/fp multiply).
+    pub f_long: f64,
+    /// Misprediction rate (per branch).
+    pub mispredict_rate: f64,
+    /// L1 miss rate (per load).
+    pub l1_miss_rate: f64,
+    /// L2 miss rate (per L1 miss).
+    pub l2_miss_rate: f64,
+    /// Mean dependence distance over specified operands.
+    pub mean_dep_distance: f64,
+    /// Fraction of operand slots that were ready at rename.
+    pub p_ready_operand: f64,
+}
+
+/// Measure a trace.
+pub fn measure<'a>(trace: impl IntoIterator<Item = &'a TraceInstr>) -> TraceStats {
+    let mut s = TraceStats::default();
+    let mut branches = 0usize;
+    let mut loads = 0usize;
+    let mut l1_misses = 0usize;
+    let mut mispredicts = 0usize;
+    let mut l2_misses = 0usize;
+    let mut dep_sum = 0u64;
+    let mut dep_n = 0usize;
+    let mut slots = 0usize;
+    let mut ready = 0usize;
+    for i in trace {
+        s.n += 1;
+        match i.kind {
+            InstrKind::Load => loads += 1,
+            InstrKind::Store => s.f_store += 1.0,
+            InstrKind::Branch => branches += 1,
+            InstrKind::IntMul | InstrKind::FpMul => s.f_long += 1.0,
+            _ => {}
+        }
+        if i.kind.is_fp() {
+            s.f_fp += 1.0;
+        }
+        if i.kind == InstrKind::FpMul {
+            // counted in f_long above; nothing extra
+        }
+        if i.mispredict {
+            mispredicts += 1;
+        }
+        if i.l1_miss {
+            l1_misses += 1;
+        }
+        if i.l2_miss {
+            l2_misses += 1;
+        }
+        let n_slots = match i.kind {
+            InstrKind::Load | InstrKind::Branch => 1,
+            _ => 2,
+        };
+        for d in i.src_deps.iter().take(n_slots) {
+            slots += 1;
+            match d {
+                None => ready += 1,
+                Some(dist) => {
+                    dep_sum += *dist as u64;
+                    dep_n += 1;
+                }
+            }
+        }
+    }
+    if s.n == 0 {
+        return s;
+    }
+    let n = s.n as f64;
+    s.f_load = loads as f64 / n;
+    s.f_store /= n;
+    s.f_branch = branches as f64 / n;
+    s.f_fp /= n;
+    s.f_long /= n;
+    s.mispredict_rate = if branches > 0 {
+        mispredicts as f64 / branches as f64
+    } else {
+        0.0
+    };
+    s.l1_miss_rate = if loads > 0 {
+        l1_misses as f64 / loads as f64
+    } else {
+        0.0
+    };
+    s.l2_miss_rate = if l1_misses > 0 {
+        l2_misses as f64 / l1_misses as f64
+    } else {
+        0.0
+    };
+    s.mean_dep_distance = if dep_n > 0 {
+        dep_sum as f64 / dep_n as f64
+    } else {
+        0.0
+    };
+    s.p_ready_operand = if slots > 0 {
+        ready as f64 / slots as f64
+    } else {
+        0.0
+    };
+    s
+}
+
+impl TraceStats {
+    /// Largest absolute deviation between this measurement and a
+    /// profile's target rates (mix and event rates; dependence distance
+    /// is compared relatively).
+    pub fn max_deviation_from(&self, p: &BenchmarkProfile) -> f64 {
+        let mut d: f64 = 0.0;
+        d = d.max((self.f_load - p.f_load).abs());
+        d = d.max((self.f_store - p.f_store).abs());
+        d = d.max((self.f_branch - p.f_branch).abs());
+        d = d.max((self.mispredict_rate - p.mispredict_rate).abs());
+        d = d.max((self.l1_miss_rate - p.l1_miss_rate).abs());
+        d = d.max((self.p_ready_operand - p.p_ready_operand).abs());
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{spec2000_profiles, TraceGenerator};
+
+    #[test]
+    fn empty_trace_measures_zero() {
+        let s = measure(std::iter::empty());
+        assert_eq!(s.n, 0);
+    }
+
+    #[test]
+    fn every_profile_generates_matching_traces() {
+        // The core calibration guarantee: each generated stream's
+        // measured statistics track its profile within tight tolerance.
+        for p in spec2000_profiles() {
+            let trace: Vec<_> = TraceGenerator::new(&p, 99).take(120_000).collect();
+            let s = measure(&trace);
+            let dev = s.max_deviation_from(&p);
+            assert!(
+                dev < 0.015,
+                "{}: max deviation {dev:.4} exceeds tolerance ({s:?})",
+                p.name
+            );
+            // Dependence distance tracks relatively (clamping shortens it
+            // slightly at the stream head).
+            assert!(
+                (s.mean_dep_distance - p.mean_dep_distance).abs() / p.mean_dep_distance
+                    < 0.15,
+                "{}: dep distance {} vs {}",
+                p.name,
+                s.mean_dep_distance,
+                p.mean_dep_distance
+            );
+        }
+    }
+
+    #[test]
+    fn fp_fraction_tracks_suite() {
+        let p = crate::BenchmarkProfile::by_name("swim").unwrap();
+        let trace: Vec<_> = TraceGenerator::new(&p, 1).take(50_000).collect();
+        let s = measure(&trace);
+        assert!(s.f_fp > 0.4, "swim fp fraction {}", s.f_fp);
+        let p = crate::BenchmarkProfile::by_name("gcc").unwrap();
+        let trace: Vec<_> = TraceGenerator::new(&p, 1).take(50_000).collect();
+        let s = measure(&trace);
+        assert!(s.f_fp < 0.02, "gcc fp fraction {}", s.f_fp);
+    }
+}

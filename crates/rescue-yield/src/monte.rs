@@ -1,0 +1,225 @@
+//! Monte Carlo chip fabrication: an independent cross-check of the
+//! analytic YAT quadrature.
+//!
+//! Chips are "fabricated" by sampling the clustered defect process
+//! directly: draw the chip's gamma mixing value, then Poisson fault
+//! counts per region (per core: chipkill area + two groups of each
+//! class). Apply the map-out rules and accumulate throughput. The sample
+//! mean must agree with [`crate::relative_yat`] — any disagreement is a
+//! bug in one of the two implementations, which is exactly why both
+//! exist.
+
+use crate::area::AreaModel;
+use crate::tech::{Scenario, TechNode};
+use crate::yat::{ClassCounts, YatInputs, YatPoint, NUM_CLASSES};
+
+/// Deterministic SplitMix64 RNG (keeps this crate dependency-free).
+#[derive(Clone, Debug)]
+pub struct MonteRng {
+    state: u64,
+}
+
+impl MonteRng {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> Self {
+        MonteRng { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in (0, 1).
+    pub fn uniform(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+    }
+
+    /// Gamma(shape k, scale θ) via Marsaglia–Tsang (k ≥ 1) or boosting.
+    pub fn gamma(&mut self, shape: f64, scale: f64) -> f64 {
+        if shape < 1.0 {
+            // Boost: Gamma(k) = Gamma(k+1) * U^(1/k).
+            let u = self.uniform();
+            return self.gamma(shape + 1.0, scale) * u.powf(1.0 / shape);
+        }
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = self.normal();
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u = self.uniform();
+            if u < 1.0 - 0.0331 * x.powi(4)
+                || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
+            {
+                return d * v * scale;
+            }
+        }
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.uniform();
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Whether a Poisson(λ) draw is zero (all we need: region fault-free?).
+    pub fn poisson_is_zero(&mut self, lambda: f64) -> bool {
+        self.uniform() < (-lambda).exp()
+    }
+}
+
+/// Monte Carlo estimate of the same [`YatPoint`] the quadrature computes.
+///
+/// `samples` chips are fabricated; 100k samples give ≈3 significant
+/// digits. Clustering is honoured by sharing one gamma draw across a
+/// chip.
+pub fn monte_carlo_yat(
+    scenario: &Scenario,
+    node: TechNode,
+    growth: f64,
+    inputs: &YatInputs<'_>,
+    samples: usize,
+    seed: u64,
+) -> YatPoint {
+    let cores = scenario.cores_per_chip(node, growth);
+    let density = scenario.fault_density(node);
+    let shrink = scenario.core_shrink(node, growth);
+
+    let baseline = AreaModel::baseline();
+    let rescue = baseline.rescue();
+    let lam_core_baseline = baseline.total_mm2() * shrink * density;
+    let lam_chipkill = rescue.chipkill_mm2 * shrink * density;
+    let lam_group: Vec<f64> = (0..NUM_CLASSES)
+        .map(|i| rescue.group_mm2(i) * shrink * density)
+        .collect();
+
+    let mut rng = MonteRng::new(seed);
+    let ipc_b = inputs.ipc_baseline;
+    let n = cores as f64;
+
+    let mut acc_none = 0.0;
+    let mut acc_cs = 0.0;
+    let mut acc_rescue = 0.0;
+    for _ in 0..samples {
+        // One mixing draw per chip: Gamma(α, 1/α), mean 1.
+        let x = rng.gamma(scenario.alpha, 1.0 / scenario.alpha);
+
+        // No-redundancy chip: every core must be clean.
+        let whole_clean = (0..cores).all(|_| rng.poisson_is_zero(lam_core_baseline * x));
+        if whole_clean {
+            acc_none += 1.0;
+        }
+
+        // Core sparing and Rescue, per core.
+        let mut cs_cores = 0.0;
+        let mut rescue_ipc_sum = 0.0;
+        for _ in 0..cores {
+            if rng.poisson_is_zero(lam_core_baseline * x) {
+                cs_cores += 1.0;
+            }
+            // Rescue core: chipkill region + 2 groups x 6 classes.
+            if !rng.poisson_is_zero(lam_chipkill * x) {
+                continue; // core dead
+            }
+            let mut counts: ClassCounts = [0; NUM_CLASSES];
+            for (i, c) in counts.iter_mut().enumerate() {
+                let mut ok = 0u8;
+                for _ in 0..2 {
+                    if rng.poisson_is_zero(lam_group[i] * x) {
+                        ok += 1;
+                    }
+                }
+                *c = ok;
+            }
+            if counts.iter().any(|&k| k == 0) {
+                continue; // a whole class lost: core dead
+            }
+            rescue_ipc_sum += (inputs.ipc_rescue)(counts);
+        }
+        acc_cs += cs_cores / n;
+        acc_rescue += rescue_ipc_sum / (n * ipc_b);
+    }
+    let m = samples as f64;
+    YatPoint {
+        cores,
+        none: acc_none / m,
+        core_sparing: acc_cs / m,
+        rescue: acc_rescue / m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yat::relative_yat;
+
+    fn inputs_fn() -> impl Fn(ClassCounts) -> f64 {
+        |c: ClassCounts| {
+            let lost = c.iter().filter(|&&k| k == 1).count() as f64;
+            0.96 * (1.0 - 0.12 * lost)
+        }
+    }
+
+    #[test]
+    fn gamma_sampler_mean_and_variance() {
+        let mut rng = MonteRng::new(99);
+        let n = 200_000;
+        let (mut s, mut s2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = rng.gamma(2.0, 0.5);
+            s += x;
+            s2 += x * x;
+        }
+        let mean = s / n as f64;
+        let var = s2 / n as f64 - mean * mean;
+        // Gamma(2, 0.5): mean 1, variance 0.5.
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        assert!((var - 0.5).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_quadrature() {
+        let sc = Scenario::pwp_stagnates_at_90nm();
+        let f = inputs_fn();
+        for node in [TechNode::NM90, TechNode::NM32, TechNode::NM18] {
+            let inputs = YatInputs {
+                ipc_baseline: 1.0,
+                ipc_rescue: &f,
+            };
+            let analytic = relative_yat(&sc, node, 1.3, &inputs);
+            let inputs = YatInputs {
+                ipc_baseline: 1.0,
+                ipc_rescue: &f,
+            };
+            let mc = monte_carlo_yat(&sc, node, 1.3, &inputs, 60_000, 7);
+            assert_eq!(analytic.cores, mc.cores);
+            for (a, m, tag) in [
+                (analytic.none, mc.none, "none"),
+                (analytic.core_sparing, mc.core_sparing, "cs"),
+                (analytic.rescue, mc.rescue, "rescue"),
+            ] {
+                assert!(
+                    (a - m).abs() < 0.01,
+                    "{tag} at {node:?}: analytic {a} vs monte {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_zero_probability() {
+        let mut rng = MonteRng::new(1);
+        let lam = 0.7;
+        let n = 100_000;
+        let zeros = (0..n).filter(|_| rng.poisson_is_zero(lam)).count();
+        let p = zeros as f64 / n as f64;
+        assert!((p - (-lam as f64).exp()).abs() < 0.01);
+    }
+}

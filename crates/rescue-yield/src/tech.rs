@@ -1,0 +1,155 @@
+//! Technology nodes, defect-density scaling (EQ 1 in reverse), and the
+//! core-growth / core-count model.
+
+/// A CMOS technology node identified by its feature size in nanometres.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct TechNode(pub f64);
+
+impl TechNode {
+    /// 90 nm (the paper's first node).
+    pub const NM90: TechNode = TechNode(90.0);
+    /// 65 nm.
+    pub const NM65: TechNode = TechNode(65.0);
+    /// 32 nm.
+    pub const NM32: TechNode = TechNode(32.0);
+    /// 18 nm (the paper's last node).
+    pub const NM18: TechNode = TechNode(18.0);
+
+    /// The four nodes plotted in Figure 9.
+    pub fn figure9_nodes() -> [TechNode; 4] {
+        [Self::NM90, Self::NM65, Self::NM32, Self::NM18]
+    }
+
+    /// Transistor-area halvings since 90 nm:
+    /// `h = log2((90/f)^2)`.
+    pub fn halvings(self) -> f64 {
+        (90.0 / self.0).powi(2).log2()
+    }
+
+    /// Halvings relative to another node.
+    pub fn halvings_since(self, base: TechNode) -> f64 {
+        self.halvings() - base.halvings()
+    }
+}
+
+/// ITRS random-defect budget: the fault density that yields 83% on a
+/// 140 mm² chip under the negative binomial model with α = 2:
+/// `A·D = α(Y^(-1/α) − 1)`.
+pub fn calibrated_fault_density(chip_area_mm2: f64, yield_target: f64, alpha: f64) -> f64 {
+    alpha * (yield_target.powf(-1.0 / alpha) - 1.0) / chip_area_mm2
+}
+
+/// A PWP-stagnation scenario (paper §5): particles-per-wafer-pass stop
+/// improving at `stagnation`, after which faults per area scale as
+/// `1/s²` per linear-shrink factor `s` (i.e. ×2 per area halving).
+#[derive(Clone, Copy, Debug)]
+pub struct Scenario {
+    /// Node where PWP stops improving.
+    pub stagnation: TechNode,
+    /// Node at which the core count is anchored.
+    pub base_node: TechNode,
+    /// Cores per chip at the anchor node.
+    pub base_cores: f64,
+    /// Fault density at (and before) the stagnation node, per mm².
+    pub base_density: f64,
+    /// Total chip area budget (all cores + L1s), mm².
+    pub chip_area: f64,
+    /// Clustering parameter α (ITRS projects 2).
+    pub alpha: f64,
+}
+
+impl Scenario {
+    /// Figure 9a: PWP stagnates at 90 nm; one core per chip at 90 nm.
+    pub fn pwp_stagnates_at_90nm() -> Scenario {
+        Scenario {
+            stagnation: TechNode::NM90,
+            base_node: TechNode::NM90,
+            base_cores: 1.0,
+            base_density: calibrated_fault_density(140.0, 0.83, 2.0),
+            chip_area: 140.0,
+            alpha: 2.0,
+        }
+    }
+
+    /// Figure 9b: PWP scales until 65 nm then stagnates; two cores per
+    /// chip at 65 nm.
+    pub fn pwp_stagnates_at_65nm() -> Scenario {
+        Scenario {
+            stagnation: TechNode::NM65,
+            base_node: TechNode::NM65,
+            base_cores: 2.0,
+            base_density: calibrated_fault_density(140.0, 0.83, 2.0),
+            chip_area: 140.0,
+            alpha: 2.0,
+        }
+    }
+
+    /// Fault density (per mm²) at `node`: constant up to the stagnation
+    /// node, then growing as the square of the linear shrink.
+    pub fn fault_density(&self, node: TechNode) -> f64 {
+        if node.0 >= self.stagnation.0 {
+            self.base_density
+        } else {
+            self.base_density * (self.stagnation.0 / node.0).powi(2)
+        }
+    }
+
+    /// Total area of one core (with its L1s) at `node` under a per-halving
+    /// functionality `growth` (e.g. 1.3 = 30% growth per area halving).
+    pub fn core_area(&self, node: TechNode, growth: f64) -> f64 {
+        let h = node.halvings_since(self.base_node);
+        (self.chip_area / self.base_cores) * (growth / 2.0).powf(h)
+    }
+
+    /// Cores fabricated per chip at `node` (the table under Figure 9).
+    pub fn cores_per_chip(&self, node: TechNode, growth: f64) -> usize {
+        (self.chip_area / self.core_area(node, growth)).round().max(1.0) as usize
+    }
+
+    /// The fraction of the 90nm-scale component areas remaining at
+    /// `node` (used to scale per-component fault rates with the core).
+    pub fn core_shrink(&self, node: TechNode, growth: f64) -> f64 {
+        self.core_area(node, growth) / 140.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halvings_match_known_nodes() {
+        assert!((TechNode::NM90.halvings() - 0.0).abs() < 1e-12);
+        assert!((TechNode::NM65.halvings() - 0.94).abs() < 0.01);
+        assert!((TechNode::NM32.halvings() - 2.98).abs() < 0.01);
+        assert!((TechNode::NM18.halvings() - 4.64).abs() < 0.01);
+    }
+
+    #[test]
+    fn calibration_hits_83_percent() {
+        let d = calibrated_fault_density(140.0, 0.83, 2.0);
+        let y = (1.0 + 140.0 * d / 2.0).powf(-2.0);
+        assert!((y - 0.83).abs() < 1e-9);
+    }
+
+    #[test]
+    fn core_counts_match_paper_table_at_18nm() {
+        // Paper: 11 / 7 / 5 / 4 cores at 18nm for 20/30/40/50% growth
+        // (90nm stagnation scenario).
+        let sc = Scenario::pwp_stagnates_at_90nm();
+        assert_eq!(sc.cores_per_chip(TechNode::NM18, 1.2), 11);
+        assert_eq!(sc.cores_per_chip(TechNode::NM18, 1.3), 7);
+        assert_eq!(sc.cores_per_chip(TechNode::NM18, 1.4), 5);
+        assert_eq!(sc.cores_per_chip(TechNode::NM18, 1.5), 4);
+    }
+
+    #[test]
+    fn density_constant_before_stagnation() {
+        let sc = Scenario::pwp_stagnates_at_65nm();
+        assert_eq!(
+            sc.fault_density(TechNode::NM90),
+            sc.fault_density(TechNode::NM65)
+        );
+        assert!(sc.fault_density(TechNode::NM32) > sc.fault_density(TechNode::NM65));
+    }
+}

@@ -1,0 +1,76 @@
+//! Quickstart: the full Rescue flow on a small custom circuit.
+//!
+//! Builds a two-component circuit, inserts a scan chain, runs ATPG,
+//! injects a stuck-at fault, and shows scan-based isolation naming the
+//! faulty component — the paper's core claim in ~60 lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rescue_core::atpg::{Atpg, AtpgConfig, Isolator};
+use rescue_core::netlist::{scan::insert_scan, Fault, NetlistBuilder, StuckAt};
+
+fn main() {
+    // Two logic components that communicate only through a pipeline
+    // latch: the circuit satisfies intra-cycle logic independence.
+    let mut b = NetlistBuilder::new();
+
+    b.enter_component("adder");
+    let x = b.input_bus("x", 4);
+    let y = b.input_bus("y", 4);
+    let mut carry = b.const0();
+    let mut sums = Vec::new();
+    for i in 0..4 {
+        let p = b.xor2(x[i], y[i]);
+        let s = b.xor2(p, carry);
+        let g1 = b.and2(x[i], y[i]);
+        let g2 = b.and2(p, carry);
+        carry = b.or2(g1, g2);
+        sums.push(s);
+    }
+    let sum_q = b.dff_bus(&sums, "sum");
+
+    b.enter_component("zero_detect");
+    let any = b.or(&sum_q);
+    let zero = b.not(any);
+    let zq = b.dff(zero, "is_zero");
+    b.output(zq, "zero_flag");
+
+    let netlist = b.finish().expect("well-formed circuit");
+    println!(
+        "circuit: {} gates, {} flip-flops, {} components",
+        netlist.num_gates(),
+        netlist.num_dffs(),
+        netlist.num_components()
+    );
+
+    // Full-scan insertion: every flip-flop becomes a muxed-FF scan cell.
+    let scanned = insert_scan(&netlist);
+    println!("scan chain: {} cells", scanned.chain.len());
+
+    // ATPG: PODEM + parallel-pattern fault simulation.
+    let run = Atpg::new(&scanned, AtpgConfig::default()).run();
+    println!(
+        "ATPG: {} vectors, {:.1}% coverage, {} tester cycles",
+        run.stats.vectors,
+        run.coverage() * 100.0,
+        run.stats.cycles
+    );
+
+    // Inject a stuck-at-0 on one of the adder's sum bits and isolate it.
+    let fault = Fault::net(sums[2], StuckAt::Zero);
+    let _ = carry;
+    let iso = Isolator::new(&scanned, &run.vectors);
+    let outcome = iso.isolate(fault);
+    let names: Vec<&str> = outcome
+        .candidates
+        .iter()
+        .map(|&c| scanned.netlist.component_name(c))
+        .collect();
+    println!(
+        "injected {fault} -> detected at {} scan bits, isolated to {:?}",
+        outcome.failing_bits.len(),
+        names
+    );
+    assert_eq!(names, ["adder"], "ICI guarantees single-lookup isolation");
+    println!("isolation succeeded: the faulty component can be mapped out");
+}
