@@ -112,11 +112,7 @@ impl MemoryArray {
 
     /// The ground-truth defective cells, for validating test coverage.
     pub fn defective_cells(&self) -> Vec<(usize, usize)> {
-        let mut v: Vec<(usize, usize)> = self
-            .cell_faults
-            .iter()
-            .map(|f| (f.row, f.col))
-            .collect();
+        let mut v: Vec<(usize, usize)> = self.cell_faults.iter().map(|f| (f.row, f.col)).collect();
         for &r in &self.row_faults {
             for c in 0..self.cfg.cols {
                 v.push((r, c));

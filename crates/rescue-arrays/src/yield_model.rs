@@ -43,12 +43,7 @@ fn binom(n: usize, k: usize) -> f64 {
 /// Monte Carlo yield through the *actual* BIST + repair flow, for
 /// cross-checking the closed forms (and exercising column spares, which
 /// the closed form above ignores).
-pub fn monte_carlo_repair_yield(
-    cfg: ArrayConfig,
-    p_cell: f64,
-    samples: usize,
-    seed: u64,
-) -> f64 {
+pub fn monte_carlo_repair_yield(cfg: ArrayConfig, p_cell: f64, samples: usize, seed: u64) -> f64 {
     let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
     let mut next = move || {
         state ^= state << 13;

@@ -1,63 +1,73 @@
-//! Property-based tests for the BIST + repair flow.
+//! Property-based tests for the BIST + repair flow, driven by a seeded
+//! [`SplitMix64`] case generator.
 
-use proptest::prelude::*;
 use rescue_arrays::{march_cminus, repair_allocate, ArrayConfig, MemoryArray};
+use rescue_obs::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Soundness of repair: whenever the allocator returns a plan, the
-    /// plan covers every failing cell (each fail lies on a replaced row
-    /// or column), and it never burns more spares than provisioned.
-    #[test]
-    fn repair_plans_cover_all_failures(
-        rows in 4usize..24,
-        cols in 4usize..24,
-        spare_rows in 0usize..3,
-        spare_cols in 0usize..3,
-        cell_faults in proptest::collection::vec((any::<u16>(), any::<u16>(), any::<bool>()), 0..10),
-        line_faults in proptest::collection::vec((any::<u16>(), any::<bool>()), 0..3),
-    ) {
-        let cfg = ArrayConfig { rows, cols, spare_rows, spare_cols };
+/// Soundness of repair: whenever the allocator returns a plan, the plan
+/// covers every failing cell (each fail lies on a replaced row or
+/// column), and it never burns more spares than provisioned.
+#[test]
+fn repair_plans_cover_all_failures() {
+    let mut rng = SplitMix64::new(0xa88a_0001);
+    for _ in 0..128 {
+        let rows = 4 + rng.below(20);
+        let cols = 4 + rng.below(20);
+        let spare_rows = rng.below(3);
+        let spare_cols = rng.below(3);
+        let cfg = ArrayConfig {
+            rows,
+            cols,
+            spare_rows,
+            spare_cols,
+        };
         let mut a = MemoryArray::new(cfg);
-        for &(r, c, v) in &cell_faults {
-            a.inject_cell_fault(r as usize % rows, c as usize % cols, v);
+        for _ in 0..rng.below(10) {
+            a.inject_cell_fault(rng.below(rows), rng.below(cols), rng.next_bool());
         }
-        for &(i, is_row) in &line_faults {
-            if is_row {
-                a.inject_row_fault(i as usize % rows);
+        for _ in 0..rng.below(3) {
+            if rng.next_bool() {
+                a.inject_row_fault(rng.below(rows));
             } else {
-                a.inject_col_fault(i as usize % cols);
+                a.inject_col_fault(rng.below(cols));
             }
         }
         let bitmap = march_cminus(&mut a);
         // March C- finds exactly the ground-truth defects.
-        prop_assert_eq!(&bitmap.fails, &a.defective_cells());
+        assert_eq!(&bitmap.fails, &a.defective_cells());
 
         if let Ok(plan) = repair_allocate(&bitmap, cfg) {
-            prop_assert!(plan.rows.len() <= spare_rows);
-            prop_assert!(plan.cols.len() <= spare_cols);
+            assert!(plan.rows.len() <= spare_rows);
+            assert!(plan.cols.len() <= spare_cols);
             for &(r, c) in &bitmap.fails {
-                prop_assert!(
+                assert!(
                     plan.rows.contains(&r) || plan.cols.contains(&c),
                     "fail ({r},{c}) uncovered by {plan:?}"
                 );
             }
         } else {
             // Unrepairable must at least mean there were failures.
-            prop_assert!(!bitmap.fails.is_empty());
+            assert!(!bitmap.fails.is_empty());
         }
     }
+}
 
-    /// Clean arrays are always repairable with the empty plan, regardless
-    /// of provisioning.
-    #[test]
-    fn clean_arrays_need_nothing(rows in 1usize..16, cols in 1usize..16) {
-        let cfg = ArrayConfig { rows, cols, spare_rows: 0, spare_cols: 0 };
+/// Clean arrays are always repairable with the empty plan, regardless of
+/// provisioning.
+#[test]
+fn clean_arrays_need_nothing() {
+    let mut rng = SplitMix64::new(0xa88a_0002);
+    for _ in 0..128 {
+        let cfg = ArrayConfig {
+            rows: 1 + rng.below(15),
+            cols: 1 + rng.below(15),
+            spare_rows: 0,
+            spare_cols: 0,
+        };
         let mut a = MemoryArray::new(cfg);
         let bitmap = march_cminus(&mut a);
-        prop_assert!(bitmap.clean());
+        assert!(bitmap.clean());
         let plan = repair_allocate(&bitmap, cfg).unwrap();
-        prop_assert!(plan.rows.is_empty() && plan.cols.is_empty());
+        assert!(plan.rows.is_empty() && plan.cols.is_empty());
     }
 }

@@ -140,10 +140,7 @@ mod tests {
     #[test]
     fn stuck_scan_enable_fails_flush() {
         let s = scanned();
-        let r = chain_flush_test(
-            &s,
-            Some(Fault::net(s.chain.scan_enable, StuckAt::Zero)),
-        );
+        let r = chain_flush_test(&s, Some(Fault::net(s.chain.scan_enable, StuckAt::Zero)));
         assert!(!r.passed(), "a dead scan_enable means nothing shifts");
     }
 }

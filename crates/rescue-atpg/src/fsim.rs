@@ -6,11 +6,10 @@
 //! is the standard high-throughput architecture of commercial fault
 //! simulators.
 
-use rescue_netlist::{
-    Fault, FaultSite, GateId, Netlist, PatternBlock, SimOutput,
-};
-use std::collections::BinaryHeap;
+use rescue_netlist::{Fault, FaultSite, GateId, Netlist, PatternBlock, SimOutput};
+use rescue_obs::metrics::Counter;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Where a fault effect was observed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -20,6 +19,20 @@ pub enum Observation {
     ScanCell(usize),
     /// Visible at the primary output with this index.
     PrimaryOutput(usize),
+}
+
+/// Live counters for one fault simulator, aggregated across blocks.
+#[derive(Debug, Default)]
+pub struct FsimStats {
+    /// Pattern blocks loaded (good-machine simulations).
+    pub blocks_loaded: Counter,
+    /// Faults simulated (difference-propagation runs).
+    pub faults_simulated: Counter,
+    /// Simulated faults that were detected under their block.
+    pub faults_detected: Counter,
+    /// Gate re-evaluations in the event-driven propagation (the unit of
+    /// fault-simulation work).
+    pub gate_evals: Counter,
 }
 
 /// Fault simulator bound to a netlist, reusable across pattern blocks.
@@ -33,6 +46,7 @@ pub struct FaultSim<'a> {
     touched_epoch: Vec<u32>,
     epoch: u32,
     queued: Vec<u32>,
+    stats: FsimStats,
 }
 
 impl<'a> FaultSim<'a> {
@@ -46,13 +60,20 @@ impl<'a> FaultSim<'a> {
             touched_epoch: vec![0; n],
             epoch: 0,
             queued: vec![0; netlist.num_gates()],
+            stats: FsimStats::default(),
         }
+    }
+
+    /// Counters aggregated across every block and fault simulated.
+    pub fn stats(&self) -> &FsimStats {
+        &self.stats
     }
 
     /// Load a pattern block: runs the good-machine simulation.
     pub fn load_block(&mut self, block: &PatternBlock) {
         let out: SimOutput = self.netlist.simulate(block);
         self.good = out.nets;
+        self.stats.blocks_loaded.inc();
     }
 
     /// Good-machine value of a net under the loaded block.
@@ -65,6 +86,9 @@ impl<'a> FaultSim<'a> {
     pub fn detect_mask(&mut self, fault: Fault) -> u64 {
         let mut mask = 0u64;
         self.run(fault, |_, m| mask |= m);
+        if mask != 0 {
+            self.stats.faults_detected.inc();
+        }
         mask
     }
 
@@ -88,6 +112,7 @@ impl<'a> FaultSim<'a> {
 
     /// Core event-driven difference propagation.
     fn run(&mut self, fault: Fault, mut on_observe: impl FnMut(Observation, u64)) {
+        self.stats.faults_simulated.inc();
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             // Wrapped: clear the lazily-reset maps.
@@ -101,22 +126,20 @@ impl<'a> FaultSim<'a> {
         // Heap of gates to (re)evaluate, ordered by logic level.
         let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
 
-        let seed_net = |sim: &mut Self,
-                            heap: &mut BinaryHeap<Reverse<(u32, u32)>>,
-                            net: usize,
-                            value: u64| {
-            sim.faulty[net] = value;
-            sim.touched_epoch[net] = sim.epoch;
-            if value != sim.good[net] {
-                let id = rescue_netlist::NetId::from_index(net);
-                for &g in sim.netlist.fanout_gates(id) {
-                    if sim.queued[g.index()] != sim.epoch {
-                        sim.queued[g.index()] = sim.epoch;
-                        heap.push(Reverse((sim.netlist.gate_level(g), g.index() as u32)));
+        let seed_net =
+            |sim: &mut Self, heap: &mut BinaryHeap<Reverse<(u32, u32)>>, net: usize, value: u64| {
+                sim.faulty[net] = value;
+                sim.touched_epoch[net] = sim.epoch;
+                if value != sim.good[net] {
+                    let id = rescue_netlist::NetId::from_index(net);
+                    for &g in sim.netlist.fanout_gates(id) {
+                        if sim.queued[g.index()] != sim.epoch {
+                            sim.queued[g.index()] = sim.epoch;
+                            heap.push(Reverse((sim.netlist.gate_level(g), g.index() as u32)));
+                        }
                     }
                 }
-            }
-        };
+            };
 
         match fault.site {
             FaultSite::Net(site) => {
@@ -133,6 +156,7 @@ impl<'a> FaultSim<'a> {
 
         let mut in_buf: Vec<u64> = Vec::with_capacity(8);
         while let Some(Reverse((_, gidx))) = heap.pop() {
+            self.stats.gate_evals.inc();
             let gid = GateId::from_index(gidx as usize);
             let gate = n.gate(gid);
             in_buf.clear();

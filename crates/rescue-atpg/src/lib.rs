@@ -47,8 +47,11 @@ mod threeval;
 mod tpg;
 
 pub use chain::{chain_flush_test, flush_pattern, ChainTestResult};
-pub use fsim::{FaultSim, Observation};
+pub use fsim::{FaultSim, FsimStats, Observation};
 pub use isolation::{IsolationOutcome, Isolator};
-pub use podem::{Podem, PodemConfig, PodemResult, TestCube};
+pub use podem::{Podem, PodemConfig, PodemResult, PodemStats, TestCube};
 pub use threeval::V3;
-pub use tpg::{merge_cubes, Atpg, AtpgConfig, AtpgRun, FaultClass, ScanTestStats};
+pub use tpg::{
+    merge_cubes, Atpg, AtpgConfig, AtpgCounts, AtpgMetrics, AtpgRun, AtpgTiming, FaultClass,
+    ScanTestStats,
+};

@@ -10,6 +10,7 @@
 
 use crate::threeval::{controlling_value, eval_gate_v3, V3};
 use rescue_netlist::{Driver, Fault, FaultSite, GateKind, NetId, Netlist};
+use rescue_obs::metrics::{Counter, Histogram};
 
 /// Tuning knobs for PODEM.
 #[derive(Clone, Copy, Debug)]
@@ -48,6 +49,27 @@ pub enum PodemResult {
     Aborted,
 }
 
+/// Live counters for one PODEM engine, aggregated across `generate`
+/// calls. Updates are relaxed atomics, so `generate` keeps its `&self`
+/// receiver and the counters cost ~1 ns each in the decision loop.
+#[derive(Debug, Default)]
+pub struct PodemStats {
+    /// Faults targeted (total `generate` calls).
+    pub faults_targeted: Counter,
+    /// Calls that produced a test cube.
+    pub tests_found: Counter,
+    /// Calls that proved the fault untestable.
+    pub untestable: Counter,
+    /// Calls that hit the backtrack limit.
+    pub aborted: Counter,
+    /// Decision-stack pushes (branch decisions taken).
+    pub decisions: Counter,
+    /// Backtracks across all calls.
+    pub backtracks: Counter,
+    /// Backtracks per fault (distribution over `generate` calls).
+    pub backtracks_per_fault: Histogram,
+}
+
 /// PODEM engine bound to one netlist + pin-constraint set.
 #[derive(Debug)]
 pub struct Podem<'a> {
@@ -58,6 +80,7 @@ pub struct Podem<'a> {
     cc0: Vec<u32>,
     cc1: Vec<u32>,
     config: PodemConfig,
+    stats: PodemStats,
 }
 
 /// Scratch simulation state for one `generate` call.
@@ -80,11 +103,30 @@ impl<'a> Podem<'a> {
             cc0,
             cc1,
             config,
+            stats: PodemStats::default(),
         }
+    }
+
+    /// Counters aggregated across every `generate` call on this engine.
+    pub fn stats(&self) -> &PodemStats {
+        &self.stats
     }
 
     /// Generate a test for `fault`.
     pub fn generate(&self, fault: Fault) -> PodemResult {
+        self.stats.faults_targeted.inc();
+        let mut backtracks = 0usize;
+        let result = self.search(fault, &mut backtracks);
+        self.stats.backtracks_per_fault.record(backtracks as u64);
+        match &result {
+            PodemResult::Test(_) => self.stats.tests_found.inc(),
+            PodemResult::Untestable => self.stats.untestable.inc(),
+            PodemResult::Aborted => self.stats.aborted.inc(),
+        }
+        result
+    }
+
+    fn search(&self, fault: Fault, backtracks: &mut usize) -> PodemResult {
         let n = self.netlist;
         let mut m = Machine {
             good: vec![V3::X; n.num_nets()],
@@ -94,7 +136,6 @@ impl<'a> Podem<'a> {
         let mut stack: Vec<(NetId, bool, bool)> = Vec::new();
         // Current assignments to free-variable nets.
         let mut assign: Vec<V3> = vec![V3::X; n.num_nets()];
-        let mut backtracks = 0usize;
 
         loop {
             self.imply(&mut m, &assign, fault);
@@ -111,6 +152,7 @@ impl<'a> Podem<'a> {
 
             match next {
                 Some((net, value)) => {
+                    self.stats.decisions.inc();
                     stack.push((net, value, false));
                     assign[net.index()] = V3::from_bool(value);
                 }
@@ -122,8 +164,9 @@ impl<'a> Podem<'a> {
                             Some((net, v, tried_both)) => {
                                 assign[net.index()] = V3::X;
                                 if !tried_both {
-                                    backtracks += 1;
-                                    if backtracks > self.config.max_backtracks {
+                                    *backtracks += 1;
+                                    self.stats.backtracks.inc();
+                                    if *backtracks > self.config.max_backtracks {
                                         return PodemResult::Aborted;
                                     }
                                     stack.push((net, !v, true));
@@ -432,11 +475,12 @@ fn scoap(netlist: &Netlist, constraints: &[Option<bool>]) -> (Vec<u32>, Vec<u32>
         let i0 = |n: NetId| cc0[n.index()];
         let i1 = |n: NetId| cc1[n.index()];
         let sum = |vals: Vec<u32>| -> u32 {
-            vals.iter().fold(0u32, |a, &b| a.saturating_add(b)).saturating_add(1)
+            vals.iter()
+                .fold(0u32, |a, &b| a.saturating_add(b))
+                .saturating_add(1)
         };
-        let min1 = |vals: Vec<u32>| -> u32 {
-            vals.into_iter().min().unwrap_or(INF).saturating_add(1)
-        };
+        let min1 =
+            |vals: Vec<u32>| -> u32 { vals.into_iter().min().unwrap_or(INF).saturating_add(1) };
         let (c0, c1) = match g.kind() {
             GateKind::Const0 => (0, INF),
             GateKind::Const1 => (INF, 0),

@@ -36,15 +36,6 @@ impl V3 {
         }
     }
 
-    /// Three-valued complement.
-    pub fn not(self) -> V3 {
-        match self {
-            V3::Zero => V3::One,
-            V3::One => V3::Zero,
-            V3::X => V3::X,
-        }
-    }
-
     /// Three-valued AND.
     pub fn and(self, other: V3) -> V3 {
         match (self, other) {
@@ -72,19 +63,32 @@ impl V3 {
     }
 }
 
+impl std::ops::Not for V3 {
+    type Output = V3;
+
+    /// Three-valued complement.
+    fn not(self) -> V3 {
+        match self {
+            V3::Zero => V3::One,
+            V3::One => V3::Zero,
+            V3::X => V3::X,
+        }
+    }
+}
+
 /// Evaluate a gate over three-valued inputs.
 pub fn eval_gate_v3(kind: GateKind, inputs: &[V3]) -> V3 {
     match kind {
         GateKind::Const0 => V3::Zero,
         GateKind::Const1 => V3::One,
         GateKind::Buf => inputs[0],
-        GateKind::Not => inputs[0].not(),
+        GateKind::Not => !inputs[0],
         GateKind::And => inputs.iter().fold(V3::One, |a, &b| a.and(b)),
-        GateKind::Nand => inputs.iter().fold(V3::One, |a, &b| a.and(b)).not(),
+        GateKind::Nand => !inputs.iter().fold(V3::One, |a, &b| a.and(b)),
         GateKind::Or => inputs.iter().fold(V3::Zero, |a, &b| a.or(b)),
-        GateKind::Nor => inputs.iter().fold(V3::Zero, |a, &b| a.or(b)).not(),
+        GateKind::Nor => !inputs.iter().fold(V3::Zero, |a, &b| a.or(b)),
         GateKind::Xor => inputs.iter().fold(V3::Zero, |a, &b| a.xor(b)),
-        GateKind::Xnor => inputs.iter().fold(V3::Zero, |a, &b| a.xor(b)).not(),
+        GateKind::Xnor => !inputs.iter().fold(V3::Zero, |a, &b| a.xor(b)),
         GateKind::Mux => match inputs[0] {
             V3::Zero => inputs[1],
             V3::One => inputs[2],
@@ -112,7 +116,10 @@ pub fn controlling_value(kind: GateKind) -> Option<bool> {
 /// Whether the gate inverts its (non-controlling) inputs.
 #[allow(dead_code)]
 pub fn inverts(kind: GateKind) -> bool {
-    matches!(kind, GateKind::Not | GateKind::Nand | GateKind::Nor | GateKind::Xnor)
+    matches!(
+        kind,
+        GateKind::Not | GateKind::Nand | GateKind::Nor | GateKind::Xnor
+    )
 }
 
 #[cfg(test)]
@@ -127,7 +134,7 @@ mod tests {
         assert_eq!(V3::Zero.or(V3::X), V3::X);
         assert_eq!(V3::X.xor(V3::One), V3::X);
         assert_eq!(V3::One.xor(V3::One), V3::Zero);
-        assert_eq!(V3::X.not(), V3::X);
+        assert_eq!((!V3::X), V3::X);
     }
 
     #[test]

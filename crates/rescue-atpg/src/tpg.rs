@@ -4,7 +4,10 @@ use crate::fsim::FaultSim;
 use crate::podem::{Podem, PodemConfig, PodemResult, TestCube};
 use crate::threeval::V3;
 use rescue_netlist::{Driver, Fault, FaultSite, PatternBlock, ScanNetlist};
+use rescue_obs::metrics::HistogramSnapshot;
+use rescue_obs::SplitMix64;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Classification of each collapsed fault after a run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -77,6 +80,84 @@ pub struct AtpgRun {
     pub classes: HashMap<Fault, FaultClass>,
     /// Table 3 statistics.
     pub stats: ScanTestStats,
+    /// Engine counters and phase timing for the run.
+    pub metrics: AtpgMetrics,
+}
+
+/// Deterministic engine counters for one ATPG run. Two runs with the
+/// same design, config, and seed produce byte-identical counts, so the
+/// struct is `Eq`-comparable for determinism guards.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AtpgCounts {
+    /// Collapsed faults in the universe.
+    pub faults_total: u64,
+    /// Faults on the scan path, covered by the chain-integrity test.
+    pub chain_tested: u64,
+    /// Faults detected (by their own vector or dropped by simulation).
+    pub detected: u64,
+    /// Faults proven untestable under capture constraints.
+    pub untestable: u64,
+    /// Faults abandoned at the PODEM backtrack limit.
+    pub aborted: u64,
+    /// PODEM decision-stack pushes across all targets.
+    pub podem_decisions: u64,
+    /// PODEM backtracks across all targets.
+    pub podem_backtracks: u64,
+    /// Distribution of backtracks per targeted fault.
+    pub backtracks_per_fault: HistogramSnapshot,
+    /// Capture vectors generated after compaction and fill.
+    pub vectors: u64,
+    /// Test cubes that entered the static-compaction merge search.
+    pub merges_attempted: u64,
+    /// Cubes absorbed into an earlier pending cube (vectors saved).
+    pub merges_merged: u64,
+    /// 64-wide pattern blocks run through fault simulation.
+    pub blocks_flushed: u64,
+    /// Patterns simulated (vectors occupying bit lanes of those blocks).
+    pub patterns_simulated: u64,
+    /// Faults dropped by fault simulation rather than targeted by PODEM.
+    pub faults_dropped_by_sim: u64,
+    /// Distribution of faults dropped per simulated block.
+    pub drops_per_block: HistogramSnapshot,
+    /// Gate re-evaluations inside the fault simulator.
+    pub fsim_gate_evals: u64,
+}
+
+impl AtpgCounts {
+    /// Fraction of bit lanes used across all simulated blocks (1.0 means
+    /// every block carried 64 live patterns).
+    pub fn word_utilization(&self) -> f64 {
+        if self.blocks_flushed == 0 {
+            0.0
+        } else {
+            self.patterns_simulated as f64 / (self.blocks_flushed * 64) as f64
+        }
+    }
+}
+
+/// Wall-clock nanoseconds per ATPG phase. Excluded from determinism
+/// comparisons (timing varies run to run; counts do not).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AtpgTiming {
+    /// Time inside PODEM test generation.
+    pub generate_ns: u64,
+    /// Time inside static cube compaction (merge search).
+    pub compact_ns: u64,
+    /// Time random-filling don't-care bits.
+    pub fill_ns: u64,
+    /// Time inside fault simulation (good-machine loads + drops).
+    pub fsim_ns: u64,
+    /// End-to-end run time.
+    pub total_ns: u64,
+}
+
+/// Counters plus timing for one ATPG run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AtpgMetrics {
+    /// Deterministic engine counters.
+    pub counts: AtpgCounts,
+    /// Wall-clock phase breakdown.
+    pub timing: AtpgTiming,
 }
 
 /// One fully-specified capture vector.
@@ -205,13 +286,19 @@ impl<'a> Atpg<'a> {
 
     /// Run the full flow; see the crate docs for the phases.
     pub fn run(&self) -> AtpgRun {
+        let _span = rescue_obs::span("atpg.run");
+        let t_run = Instant::now();
+        let mut counts = AtpgCounts::default();
+        let mut timing = AtpgTiming::default();
         let n = &self.scanned.netlist;
         let constraints = self.capture_constraints();
         let podem = Podem::new(n, constraints, self.config.podem);
         let faults = n.collapse_faults();
 
-        let mut classes: HashMap<Fault, FaultClass> =
-            faults.iter().map(|&f| (f, FaultClass::Undetected)).collect();
+        let mut classes: HashMap<Fault, FaultClass> = faults
+            .iter()
+            .map(|&f| (f, FaultClass::Undetected))
+            .collect();
         let mut remaining: Vec<Fault> = Vec::new();
         for &f in &faults {
             if self.is_chain_fault(f) {
@@ -224,34 +311,45 @@ impl<'a> Atpg<'a> {
         let mut sim = FaultSim::new(n);
         let mut vectors: Vec<PatternVector> = Vec::new();
         let mut pending: Vec<TestCube> = Vec::new();
-        let mut rng = SplitMix::new(self.config.fill_seed);
+        let mut rng = SplitMix64::new(self.config.fill_seed);
 
-        let flush =
-            |pending: &mut Vec<TestCube>,
-             vectors: &mut Vec<PatternVector>,
-             remaining: &mut Vec<Fault>,
-             classes: &mut HashMap<Fault, FaultClass>,
-             rng: &mut SplitMix,
-             sim: &mut FaultSim| {
-                if pending.is_empty() {
-                    return;
-                }
-                let mut filled: Vec<PatternVector> =
-                    pending.drain(..).map(|c| self.fill(&c, rng)).collect();
-                let blocks = vectors_to_blocks(&filled, self.scanned);
-                for block in &blocks {
-                    sim.load_block(block);
-                    remaining.retain(|&f| {
-                        if sim.detect_mask(f) != 0 {
-                            classes.insert(f, FaultClass::Detected);
-                            false
-                        } else {
-                            true
-                        }
-                    });
-                }
-                vectors.append(&mut filled);
-            };
+        let flush = |pending: &mut Vec<TestCube>,
+                     vectors: &mut Vec<PatternVector>,
+                     remaining: &mut Vec<Fault>,
+                     classes: &mut HashMap<Fault, FaultClass>,
+                     rng: &mut SplitMix64,
+                     sim: &mut FaultSim,
+                     counts: &mut AtpgCounts,
+                     timing: &mut AtpgTiming| {
+            if pending.is_empty() {
+                return;
+            }
+            let t = Instant::now();
+            let mut filled: Vec<PatternVector> =
+                pending.drain(..).map(|c| self.fill(&c, rng)).collect();
+            timing.fill_ns += t.elapsed().as_nanos() as u64;
+            counts.patterns_simulated += filled.len() as u64;
+            let blocks = vectors_to_blocks(&filled, self.scanned);
+            let t = Instant::now();
+            for block in &blocks {
+                sim.load_block(block);
+                let before = remaining.len();
+                remaining.retain(|&f| {
+                    if sim.detect_mask(f) != 0 {
+                        classes.insert(f, FaultClass::Detected);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                let dropped = (before - remaining.len()) as u64;
+                counts.blocks_flushed += 1;
+                counts.faults_dropped_by_sim += dropped;
+                counts.drops_per_block.record(dropped);
+            }
+            timing.fsim_ns += t.elapsed().as_nanos() as u64;
+            vectors.append(&mut filled);
+        };
 
         // Deterministic phase: PODEM per remaining fault, batched fault
         // simulation for dropping. Every iteration consumes the front
@@ -261,18 +359,25 @@ impl<'a> Atpg<'a> {
             // A fault already covered by a pending-but-unsimulated vector
             // still gets a PODEM call; real tools accept the same waste
             // between fill boundaries.
-            match podem.generate(fault) {
+            let t = Instant::now();
+            let generated = podem.generate(fault);
+            timing.generate_ns += t.elapsed().as_nanos() as u64;
+            match generated {
                 PodemResult::Test(cube) => {
                     let mut placed = false;
                     if self.config.merge_cubes {
+                        counts.merges_attempted += 1;
+                        let t = Instant::now();
                         let start = pending.len().saturating_sub(self.config.merge_window);
                         for existing in pending[start..].iter_mut() {
                             if let Some(merged) = merge_cubes(existing, &cube) {
                                 *existing = merged;
                                 placed = true;
+                                counts.merges_merged += 1;
                                 break;
                             }
                         }
+                        timing.compact_ns += t.elapsed().as_nanos() as u64;
                     }
                     if !placed {
                         pending.push(cube);
@@ -287,6 +392,8 @@ impl<'a> Atpg<'a> {
                             &mut classes,
                             &mut rng,
                             &mut sim,
+                            &mut counts,
+                            &mut timing,
                         );
                     }
                 }
@@ -307,6 +414,8 @@ impl<'a> Atpg<'a> {
             &mut classes,
             &mut rng,
             &mut sim,
+            &mut counts,
+            &mut timing,
         );
 
         let cells = self.scanned.chain.len();
@@ -321,15 +430,35 @@ impl<'a> Atpg<'a> {
             vectors: vectors.len(),
             cycles,
         };
+
+        counts.faults_total = faults.len() as u64;
+        counts.vectors = vectors.len() as u64;
+        for class in classes.values() {
+            match class {
+                FaultClass::ChainTested => counts.chain_tested += 1,
+                FaultClass::Detected => counts.detected += 1,
+                FaultClass::Untestable => counts.untestable += 1,
+                FaultClass::Aborted => counts.aborted += 1,
+                FaultClass::Undetected => {}
+            }
+        }
+        let ps = podem.stats();
+        counts.podem_decisions = ps.decisions.get();
+        counts.podem_backtracks = ps.backtracks.get();
+        counts.backtracks_per_fault = ps.backtracks_per_fault.snapshot();
+        counts.fsim_gate_evals = sim.stats().gate_evals.get();
+        timing.total_ns = t_run.elapsed().as_nanos() as u64;
+
         AtpgRun {
             vectors,
             classes,
             stats,
+            metrics: AtpgMetrics { counts, timing },
         }
     }
 
     /// Random-fill a cube's don't-cares into a full vector.
-    fn fill(&self, cube: &TestCube, rng: &mut SplitMix) -> PatternVector {
+    fn fill(&self, cube: &TestCube, rng: &mut SplitMix64) -> PatternVector {
         let inputs = cube
             .inputs
             .iter()
@@ -372,36 +501,6 @@ pub fn merge_cubes(a: &TestCube, b: &TestCube) -> Option<TestCube> {
         inputs: merge_lane(&a.inputs, &b.inputs)?,
         state: merge_lane(&a.state, &b.state)?,
     })
-}
-
-/// Minimal deterministic RNG (SplitMix64) so the crate has no `rand`
-/// dependency in its library path.
-#[derive(Clone, Debug)]
-pub(crate) struct SplitMix {
-    state: u64,
-}
-
-impl SplitMix {
-    pub(crate) fn new(seed: u64) -> Self {
-        SplitMix { state: seed }
-    }
-
-    pub(crate) fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    pub(crate) fn next_bool(&mut self) -> bool {
-        self.next_u64() & 1 == 1
-    }
-
-    #[allow(dead_code)]
-    pub(crate) fn below(&mut self, n: usize) -> usize {
-        (self.next_u64() % n as u64) as usize
-    }
 }
 
 #[cfg(test)]

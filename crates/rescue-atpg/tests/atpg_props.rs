@@ -1,10 +1,23 @@
-//! Property-based tests for the ATPG stack.
+//! Property-based tests for the ATPG stack, driven by a seeded
+//! [`SplitMix64`] case generator (the sandbox has no `proptest`).
 
-use proptest::prelude::*;
 use rescue_atpg::{merge_cubes, Podem, PodemConfig, PodemResult, TestCube, V3};
-use rescue_netlist::{
-    Fault, GateId, NetId, Netlist, NetlistBuilder, PatternBlock, StuckAt,
-};
+use rescue_netlist::{Fault, GateId, NetId, Netlist, NetlistBuilder, PatternBlock, StuckAt};
+use rescue_obs::SplitMix64;
+
+/// Random gate picks, the shape `random_circuit` consumes.
+fn random_picks(rng: &mut SplitMix64, lo: usize, hi: usize) -> Vec<(u8, u16, u16)> {
+    let len = lo + rng.below(hi - lo);
+    (0..len)
+        .map(|_| {
+            (
+                rng.next_u64() as u8,
+                rng.next_u64() as u16,
+                rng.next_u64() as u16,
+            )
+        })
+        .collect()
+}
 
 /// Random two-component DAG circuit with a couple of flops.
 fn random_circuit(picks: &[(u8, u16, u16)]) -> Netlist {
@@ -73,46 +86,47 @@ fn detected(n: &Netlist, block: &PatternBlock, fault: Fault) -> bool {
             .any(|(_, net)| good.nets[net.index()] != bad.nets[net.index()])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// PODEM soundness: every generated cube detects its target fault,
-    /// for any fill of the don't-care bits.
-    #[test]
-    fn podem_cubes_detect_their_faults(
-        picks in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 2..24),
-        fault_pick in any::<u32>(),
-        sa1 in any::<bool>(),
-    ) {
+/// PODEM soundness: every generated cube detects its target fault, for
+/// any fill of the don't-care bits.
+#[test]
+fn podem_cubes_detect_their_faults() {
+    let mut rng = SplitMix64::new(0xa791);
+    for _ in 0..64 {
+        let picks = random_picks(&mut rng, 2, 24);
         let n = random_circuit(&picks);
         let faults = n.collapse_faults();
         let fault = {
-            let mut f = faults[fault_pick as usize % faults.len()];
-            f.stuck_at = if sa1 { StuckAt::One } else { StuckAt::Zero };
+            let mut f = faults[rng.below(faults.len())];
+            f.stuck_at = if rng.next_bool() {
+                StuckAt::One
+            } else {
+                StuckAt::Zero
+            };
             f
         };
         let podem = Podem::new(&n, vec![None; n.inputs().len()], PodemConfig::default());
         if let PodemResult::Test(cube) = podem.generate(fault) {
             for polarity in [false, true] {
                 let block = fill(&cube, polarity);
-                prop_assert!(
+                assert!(
                     detected(&n, &block, fault),
                     "cube with fill={polarity} misses {fault}"
                 );
             }
         }
     }
+}
 
-    /// PODEM completeness on small circuits: exhaustive simulation and
-    /// PODEM agree on testability (no Aborted cases at this size).
-    #[test]
-    fn podem_untestable_faults_really_are(
-        picks in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 2..10),
-        fault_pick in any::<u32>(),
-    ) {
+/// PODEM completeness on small circuits: exhaustive simulation and PODEM
+/// agree on testability (no Aborted cases at this size).
+#[test]
+fn podem_untestable_faults_really_are() {
+    let mut rng = SplitMix64::new(0xa792);
+    for _ in 0..64 {
+        let picks = random_picks(&mut rng, 2, 10);
         let n = random_circuit(&picks);
         let faults = n.collapse_faults();
-        let fault = faults[fault_pick as usize % faults.len()];
+        let fault = faults[rng.below(faults.len())];
         let podem = Podem::new(&n, vec![None; n.inputs().len()], PodemConfig::default());
         if podem.generate(fault) == PodemResult::Untestable {
             // Exhaustively try every input/state assignment (4 PIs + <=2
@@ -120,7 +134,9 @@ proptest! {
             let n_in = n.inputs().len();
             let n_ff = n.num_dffs();
             let total = n_in + n_ff;
-            prop_assume!(total <= 6);
+            if total > 6 {
+                continue;
+            }
             let mut inputs = vec![0u64; n_in];
             let mut state = vec![0u64; n_ff];
             for pattern in 0..(1u64 << total) {
@@ -136,37 +152,39 @@ proptest! {
                 }
             }
             let block = PatternBlock { inputs, state };
-            prop_assert!(
+            assert!(
                 !detected(&n, &block, fault),
                 "PODEM said untestable but exhaustive simulation detects {fault}"
             );
         }
     }
+}
 
-    /// Cube merging is sound: a merged cube still detects both original
-    /// target faults.
-    #[test]
-    fn merged_cubes_detect_both_faults(
-        picks in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 4..24),
-        fp1 in any::<u32>(),
-        fp2 in any::<u32>(),
-    ) {
+/// Cube merging is sound: a merged cube still detects both original
+/// target faults.
+#[test]
+fn merged_cubes_detect_both_faults() {
+    let mut rng = SplitMix64::new(0xa793);
+    for _ in 0..64 {
+        let picks = random_picks(&mut rng, 4, 24);
         let n = random_circuit(&picks);
         let faults = n.collapse_faults();
-        let f1 = faults[fp1 as usize % faults.len()];
-        let f2 = faults[fp2 as usize % faults.len()];
-        prop_assume!(f1 != f2);
+        let f1 = faults[rng.below(faults.len())];
+        let f2 = faults[rng.below(faults.len())];
+        if f1 == f2 {
+            continue;
+        }
         let podem = Podem::new(&n, vec![None; n.inputs().len()], PodemConfig::default());
         let (PodemResult::Test(c1), PodemResult::Test(c2)) =
             (podem.generate(f1), podem.generate(f2))
         else {
-            return Ok(());
+            continue;
         };
         if let Some(merged) = merge_cubes(&c1, &c2) {
             for polarity in [false, true] {
                 let block = fill(&merged, polarity);
-                prop_assert!(detected(&n, &block, f1), "merged cube misses {f1}");
-                prop_assert!(detected(&n, &block, f2), "merged cube misses {f2}");
+                assert!(detected(&n, &block, f1), "merged cube misses {f1}");
+                assert!(detected(&n, &block, f2), "merged cube misses {f2}");
             }
         }
     }

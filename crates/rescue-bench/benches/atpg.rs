@@ -1,39 +1,30 @@
 //! ATPG and fault-simulation throughput on the tiny pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rescue_core::atpg::{Atpg, AtpgConfig, FaultSim};
 use rescue_core::model::{build_pipeline, ModelParams, Variant};
 use rescue_core::netlist::scan::insert_scan;
 use std::hint::black_box;
 
-fn bench_atpg(c: &mut Criterion) {
-    let mut c = c.benchmark_group("atpg");
-    c.sample_size(10);
+fn main() {
     let model = build_pipeline(&ModelParams::tiny(), Variant::Rescue);
     let scanned = insert_scan(&model.netlist);
 
-    c.bench_function("atpg_full_run_tiny", |b| {
-        b.iter(|| Atpg::new(black_box(&scanned), AtpgConfig::default()).run())
+    rescue_bench::bench("atpg_full_run_tiny", 10, 1, || {
+        black_box(Atpg::new(black_box(&scanned), AtpgConfig::default()).run());
     });
 
     let run = Atpg::new(&scanned, AtpgConfig::default()).run();
     let blocks = run.blocks(&scanned);
     let faults = scanned.netlist.collapse_faults();
-    c.bench_function("fault_sim_block_all_faults_tiny", |b| {
-        b.iter(|| {
-            let mut sim = FaultSim::new(&scanned.netlist);
-            sim.load_block(&blocks[0]);
-            let mut detected = 0u32;
-            for &f in &faults {
-                if sim.detect_mask(f) != 0 {
-                    detected += 1;
-                }
+    rescue_bench::bench("fault_sim_block_all_faults_tiny", 10, 1, || {
+        let mut sim = FaultSim::new(&scanned.netlist);
+        sim.load_block(&blocks[0]);
+        let mut detected = 0u32;
+        for &f in &faults {
+            if sim.detect_mask(f) != 0 {
+                detected += 1;
             }
-            black_box(detected)
-        })
+        }
+        black_box(detected);
     });
-    c.finish();
 }
-
-criterion_group!(benches, bench_atpg);
-criterion_main!(benches);

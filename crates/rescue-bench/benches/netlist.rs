@@ -1,31 +1,27 @@
 //! Substrate benchmarks: netlist construction, simulation, scan insertion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rescue_core::model::{build_pipeline, ModelParams, Variant};
 use rescue_core::netlist::{scan::insert_scan, PatternBlock};
 use std::hint::black_box;
 
-fn bench_netlist(c: &mut Criterion) {
-    let mut c = c.benchmark_group("netlist");
-    c.sample_size(20);
-    c.bench_function("build_pipeline_tiny_rescue", |b| {
-        b.iter(|| build_pipeline(black_box(&ModelParams::tiny()), Variant::Rescue))
+fn main() {
+    rescue_bench::bench("build_pipeline_tiny_rescue", 20, 1, || {
+        black_box(build_pipeline(
+            black_box(&ModelParams::tiny()),
+            Variant::Rescue,
+        ));
     });
 
     let model = build_pipeline(&ModelParams::tiny(), Variant::Rescue);
-    c.bench_function("scan_insertion_tiny", |b| {
-        b.iter(|| insert_scan(black_box(&model.netlist)))
+    rescue_bench::bench("scan_insertion_tiny", 20, 1, || {
+        black_box(insert_scan(black_box(&model.netlist)));
     });
 
     let block = PatternBlock {
         inputs: vec![0xdead_beef_dead_beef; model.netlist.inputs().len()],
         state: vec![0x0123_4567_89ab_cdef; model.netlist.num_dffs()],
     };
-    c.bench_function("simulate_64_patterns_tiny", |b| {
-        b.iter(|| model.netlist.simulate(black_box(&block)))
+    rescue_bench::bench("simulate_64_patterns_tiny", 20, 10, || {
+        black_box(model.netlist.simulate(black_box(&block)));
     });
-    c.finish();
 }
-
-criterion_group!(benches, bench_netlist);
-criterion_main!(benches);

@@ -1,29 +1,24 @@
 //! Timing-simulator throughput: baseline vs Rescue policies, healthy vs
 //! degraded cores.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rescue_core::pipesim::{simulate, CoreConfig, Policy, SimConfig};
 use rescue_core::workloads::{BenchmarkProfile, TraceGenerator};
 use std::hint::black_box;
 
-fn bench_pipesim(c: &mut Criterion) {
-    let mut c = c.benchmark_group("pipesim");
-    c.sample_size(20);
+fn main() {
     let prof = BenchmarkProfile::by_name("gcc").unwrap();
     for (name, policy) in [
         ("pipesim_10k_baseline", Policy::Baseline),
         ("pipesim_10k_rescue", Policy::Rescue),
     ] {
         let cfg = SimConfig::paper(policy);
-        c.bench_function(name, |b| {
-            b.iter(|| {
-                simulate(
-                    black_box(&cfg),
-                    &CoreConfig::healthy(),
-                    TraceGenerator::new(&prof, 1),
-                    10_000,
-                )
-            })
+        rescue_bench::bench(name, 20, 1, || {
+            black_box(simulate(
+                black_box(&cfg),
+                &CoreConfig::healthy(),
+                TraceGenerator::new(&prof, 1),
+                10_000,
+            ));
         });
     }
     let cfg = SimConfig::paper(Policy::Rescue);
@@ -32,18 +27,12 @@ fn bench_pipesim(c: &mut Criterion) {
         int_iq_halves: 1,
         ..CoreConfig::healthy()
     };
-    c.bench_function("pipesim_10k_rescue_degraded", |b| {
-        b.iter(|| {
-            simulate(
-                black_box(&cfg),
-                &degraded,
-                TraceGenerator::new(&prof, 1),
-                10_000,
-            )
-        })
+    rescue_bench::bench("pipesim_10k_rescue_degraded", 20, 1, || {
+        black_box(simulate(
+            black_box(&cfg),
+            &degraded,
+            TraceGenerator::new(&prof, 1),
+            10_000,
+        ));
     });
-    c.finish();
 }
-
-criterion_group!(benches, bench_pipesim);
-criterion_main!(benches);

@@ -1,16 +1,15 @@
 //! Yield-math benchmarks: mixture quadrature and a full YAT point.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rescue_core::yield_model::{
     gamma_mixture_integrate, relative_yat, ClassCounts, Scenario, TechNode, YatInputs,
 };
 use std::hint::black_box;
 
-fn bench_yield(c: &mut Criterion) {
-    let mut c = c.benchmark_group("yield");
-    c.sample_size(30);
-    c.bench_function("gamma_mixture_integrate", |b| {
-        b.iter(|| gamma_mixture_integrate(black_box(2.0), |x| (-0.3 * x).exp()))
+fn main() {
+    rescue_bench::bench("gamma_mixture_integrate", 30, 100, || {
+        black_box(gamma_mixture_integrate(black_box(2.0), |x| {
+            (-0.3 * x).exp()
+        }));
     });
 
     let sc = Scenario::pwp_stagnates_at_90nm();
@@ -18,17 +17,11 @@ fn bench_yield(c: &mut Criterion) {
         let lost = cfg.iter().filter(|&&k| k == 1).count() as f64;
         0.96 * (1.0 - 0.12 * lost)
     };
-    c.bench_function("relative_yat_point_18nm", |b| {
-        b.iter(|| {
-            let inputs = YatInputs {
-                ipc_baseline: 1.0,
-                ipc_rescue: &ipc,
-            };
-            relative_yat(black_box(&sc), TechNode::NM18, 1.3, &inputs)
-        })
+    rescue_bench::bench("relative_yat_point_18nm", 30, 10, || {
+        let inputs = YatInputs {
+            ipc_baseline: 1.0,
+            ipc_rescue: &ipc,
+        };
+        black_box(relative_yat(black_box(&sc), TechNode::NM18, 1.3, &inputs));
     });
-    c.finish();
 }
-
-criterion_group!(benches, bench_yield);
-criterion_main!(benches);

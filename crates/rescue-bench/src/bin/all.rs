@@ -1,34 +1,75 @@
 //! Regenerate every table and figure in sequence (EXPERIMENTS.md source).
+//!
+//! Always writes the combined machine-readable report to
+//! `BENCH_metrics.json` in the current directory; `--metrics` also
+//! renders it to stderr and `--trace-json <path>` streams the spans.
 
 use rescue_core::experiments::{self, Fig8Params, Fig9Params};
 use rescue_core::model::{ModelParams, Variant};
 use rescue_core::render;
 use rescue_core::yield_model::Scenario;
+use rescue_obs::Report;
 
 fn main() {
+    let obs = rescue_bench::obs_init();
+    // The JSON artifact always carries span timings, so collect them
+    // even without --metrics.
+    rescue_obs::global().set_enabled(true);
     let quick = rescue_bench::quick_mode();
-    let params = if quick { ModelParams::tiny() } else { ModelParams::paper() };
+    let params = if quick {
+        ModelParams::tiny()
+    } else {
+        ModelParams::paper()
+    };
+    let mut report = Report::new("all");
 
-    print!("{}", render::table1_text(&experiments::table1()));
+    let t1 = experiments::table1();
+    print!("{}", render::table1_text(&t1));
     println!();
+    report.section("table1").u64("rows", t1.len() as u64);
+
     let (bt, ra) = experiments::table2();
     print!("{}", render::table2_text(bt, &ra));
     println!();
+    report.section("table2").f64("baseline_total_mm2", bt);
+
     let t3 = experiments::table3(&params);
     print!("{}", render::table3_text(&t3));
     println!();
+    rescue_bench::atpg_report(&mut report, "table3.baseline", &t3.baseline_metrics);
+    rescue_bench::atpg_report(&mut report, "table3.rescue", &t3.rescue_metrics);
+
     let per_stage = if quick { 50 } else { 1000 };
     for variant in [Variant::Rescue, Variant::Baseline] {
         let e = experiments::isolation(&params, variant, per_stage, 42);
         print!("{}", render::isolation_text(&e));
         println!();
+        let tag = format!("{variant:?}").to_lowercase();
+        report
+            .section(&format!("isolation.{tag}"))
+            .u64("injected", e.total_injected() as u64)
+            .u64("isolated", e.total_isolated() as u64);
     }
+
     let f8 = experiments::fig8(&Fig8Params {
         n_instr: if quick { 10_000 } else { 100_000 },
         ..Default::default()
     });
     print!("{}", render::fig8_text(&f8));
     println!();
+    for row in &f8 {
+        rescue_bench::sim_report(
+            &mut report,
+            &format!("fig8.{}.baseline", row.name),
+            &row.baseline_result,
+        );
+        rescue_bench::sim_report(
+            &mut report,
+            &format!("fig8.{}.rescue", row.name),
+            &row.rescue_result,
+        );
+    }
+
     let p9 = Fig9Params {
         n_instr: if quick { 5_000 } else { 30_000 },
         ..Default::default()
@@ -36,6 +77,16 @@ fn main() {
     let a = experiments::fig9(&Scenario::pwp_stagnates_at_90nm(), &p9);
     print!("{}", render::fig9_text("a: PWP stagnates at 90nm", &a));
     println!();
+    report.section("fig9.panel_a").u64("points", a.len() as u64);
     let b = experiments::fig9(&Scenario::pwp_stagnates_at_65nm(), &p9);
     print!("{}", render::fig9_text("b: PWP stagnates at 65nm", &b));
+    report.section("fig9.panel_b").u64("points", b.len() as u64);
+
+    rescue_bench::obs_finish(&obs, &mut report);
+    let json = report.to_json();
+    if let Err(e) = std::fs::write("BENCH_metrics.json", &json) {
+        eprintln!("error: cannot write BENCH_metrics.json: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote BENCH_metrics.json ({} bytes)", json.len());
 }

@@ -5,18 +5,22 @@
 
 use rescue_core::model::{build_pipeline, ModelParams, Variant};
 use rescue_core::netlist::VerilogOptions;
+use rescue_obs::Report;
 
 fn main() -> std::io::Result<()> {
+    let obs = rescue_bench::obs_init();
     let dir = std::env::args()
         .nth(1)
-        .filter(|a| a != "--quick")
+        .filter(|a| !a.starts_with("--"))
         .unwrap_or_else(|| ".".to_owned());
     let params = if rescue_bench::quick_mode() {
         ModelParams::tiny()
     } else {
         ModelParams::paper()
     };
+    let mut report = Report::new("export_verilog");
     for (variant, tag) in [(Variant::Baseline, "baseline"), (Variant::Rescue, "rescue")] {
+        let _span = rescue_obs::span("export.variant");
         let model = build_pipeline(&params, variant);
         let v = model.netlist.to_verilog(&VerilogOptions {
             module: format!("rescue_{tag}"),
@@ -29,6 +33,11 @@ fn main() -> std::io::Result<()> {
             model.netlist.num_gates(),
             model.netlist.num_dffs()
         );
+        report
+            .section(tag)
+            .u64("gates", model.netlist.num_gates() as u64)
+            .u64("dffs", model.netlist.num_dffs() as u64);
     }
+    rescue_bench::obs_finish(&obs, &mut report);
     Ok(())
 }

@@ -4,14 +4,21 @@
 
 use rescue_core::experiments::{fig9, Fig9Params};
 use rescue_core::yield_model::Scenario;
+use rescue_obs::Report;
 
 fn main() {
-    let n_instr = if rescue_bench::quick_mode() { 5_000 } else { 30_000 };
+    let obs = rescue_bench::obs_init();
+    let n_instr = if rescue_bench::quick_mode() {
+        5_000
+    } else {
+        30_000
+    };
     let p = Fig9Params {
         n_instr,
         ..Default::default()
     };
-    let csv = std::env::args().any(|a| a == "--csv");
+    let csv = rescue_bench::arg_flag("--csv");
+    let mut report = Report::new("fig9");
     let a = fig9(&Scenario::pwp_stagnates_at_90nm(), &p);
     if csv {
         print!("{}", rescue_core::render::fig9_csv(&a));
@@ -22,6 +29,7 @@ fn main() {
         );
         println!();
     }
+    report.section("panel_a").u64("points", a.len() as u64);
     let b = fig9(&Scenario::pwp_stagnates_at_65nm(), &p);
     if csv {
         print!("{}", rescue_core::render::fig9_csv(&b));
@@ -31,4 +39,6 @@ fn main() {
             rescue_core::render::fig9_text("b: PWP stagnates at 65nm", &b)
         );
     }
+    report.section("panel_b").u64("points", b.len() as u64);
+    rescue_bench::obs_finish(&obs, &mut report);
 }

@@ -4,22 +4,33 @@
 //! design to show the ambiguity Rescue eliminates.
 //!
 //! Flags: --quick (tiny model), --faults-per-stage N (default 1000, the
-//! paper's count).
+//! paper's count), --metrics, --trace-json <path>.
 
 use rescue_core::model::{ModelParams, Variant};
+use rescue_obs::Report;
 
 fn main() {
+    let obs = rescue_bench::obs_init();
     let (params, per_stage) = if rescue_bench::quick_mode() {
-        (ModelParams::tiny(), rescue_bench::arg_usize("--faults-per-stage", 50))
+        (
+            ModelParams::tiny(),
+            rescue_bench::arg_usize("--faults-per-stage", 50),
+        )
     } else {
         (
             ModelParams::paper(),
             rescue_bench::arg_usize("--faults-per-stage", 1000),
         )
     };
+    let mut report = Report::new("isolation");
     for variant in [Variant::Rescue, Variant::Baseline] {
         let e = rescue_core::experiments::isolation(&params, variant, per_stage, 42);
         print!("{}", rescue_core::render::isolation_text(&e));
         println!();
+        report
+            .section(&format!("{variant:?}").to_lowercase())
+            .u64("injected", e.total_injected() as u64)
+            .u64("isolated", e.total_isolated() as u64);
     }
+    rescue_bench::obs_finish(&obs, &mut report);
 }

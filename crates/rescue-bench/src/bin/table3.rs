@@ -1,11 +1,14 @@
 //! Regenerate Table 3 (scan chain data): build both pipeline variants,
 //! insert scan, run full ATPG, and report faults / cells / vectors /
 //! cycles. Takes tens of seconds at paper size; pass --quick for the
-//! tiny configuration.
+//! tiny configuration. --metrics adds the per-phase ATPG engine report
+//! (PODEM backtracks/aborts, fault-sim drop statistics) on stderr.
 
 use rescue_core::model::ModelParams;
+use rescue_obs::Report;
 
 fn main() {
+    let obs = rescue_bench::obs_init();
     let params = if rescue_bench::quick_mode() {
         ModelParams::tiny()
     } else {
@@ -13,4 +16,9 @@ fn main() {
     };
     let t = rescue_core::experiments::table3(&params);
     print!("{}", rescue_core::render::table3_text(&t));
+
+    let mut report = Report::new("table3");
+    rescue_bench::atpg_report(&mut report, "baseline", &t.baseline_metrics);
+    rescue_bench::atpg_report(&mut report, "rescue", &t.rescue_metrics);
+    rescue_bench::obs_finish(&obs, &mut report);
 }

@@ -13,23 +13,180 @@
 //! | `all` | everything above in sequence |
 //!
 //! Every binary accepts `--quick` to run a reduced-size configuration
-//! suitable for smoke testing.
+//! suitable for smoke testing, plus two observability flags:
+//!
+//! * `--metrics` — print an engine-counter and span-timing report to
+//!   stderr when the run finishes,
+//! * `--trace-json <path>` — stream spans/events as JSON Lines to
+//!   `path` while the run executes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use rescue_core::atpg::AtpgMetrics;
+use rescue_core::pipesim::{SimResult, IPC_WINDOW_CYCLES};
+use rescue_obs::Report;
+
 /// Whether `--quick` was passed on the command line.
 pub fn quick_mode() -> bool {
-    std::env::args().any(|a| a == "--quick")
+    arg_flag("--quick")
 }
 
-/// Parse `--faults-per-stage N` (isolation binary), defaulting to `dflt`.
-pub fn arg_usize(name: &str, dflt: usize) -> usize {
+/// Whether the bare flag `name` was passed on the command line.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// The value following `name` on the command line, if present. Exits
+/// with an error when the flag is last (no value to take).
+pub fn arg_str(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    for w in args.windows(2) {
-        if w[0] == name {
-            return w[1].parse().unwrap_or(dflt);
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            match args.get(i + 1) {
+                Some(v) => return Some(v.clone()),
+                None => {
+                    eprintln!("error: {name} requires a value");
+                    std::process::exit(2);
+                }
+            }
         }
     }
-    dflt
+    None
+}
+
+/// Parse `name N` (e.g. `--faults-per-stage 100`), defaulting to `dflt`
+/// when absent. A malformed value is an error, not a silent fallback.
+pub fn arg_usize(name: &str, dflt: usize) -> usize {
+    match arg_str(name) {
+        None => dflt,
+        Some(v) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("error: {name} expects an unsigned integer, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// Observability flags shared by every binary (see the crate docs).
+#[derive(Clone, Debug, Default)]
+pub struct ObsFlags {
+    /// `--metrics`: render the report to stderr at exit.
+    pub metrics: bool,
+    /// `--trace-json <path>`: JSONL span sink.
+    pub trace_json: Option<String>,
+}
+
+/// Parse `--metrics` / `--trace-json` and arm the global tracer.
+pub fn obs_init() -> ObsFlags {
+    let flags = ObsFlags {
+        metrics: arg_flag("--metrics"),
+        trace_json: arg_str("--trace-json"),
+    };
+    if let Some(path) = &flags.trace_json {
+        if let Err(e) = rescue_obs::global().set_sink_path(path) {
+            eprintln!("error: cannot open trace sink {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    if flags.metrics {
+        rescue_obs::global().set_enabled(true);
+    }
+    flags
+}
+
+/// Finish a run: attach span summaries, print the report to stderr when
+/// `--metrics` was given, and flush the trace sink.
+pub fn obs_finish(flags: &ObsFlags, report: &mut Report) {
+    report.add_spans(rescue_obs::global().summary());
+    if flags.metrics {
+        eprint!("{}", report.render_text());
+    }
+    rescue_obs::global().flush();
+}
+
+/// Fill one report section per ATPG phase from an [`AtpgMetrics`]: the
+/// PODEM breakdown (decisions, backtracks, aborts), the fault-sim drop
+/// statistics with bit-lane utilization, and the phase timings.
+pub fn atpg_report(report: &mut Report, prefix: &str, m: &AtpgMetrics) {
+    let c = &m.counts;
+    report
+        .section(&format!("{prefix}.podem"))
+        .u64("faults_total", c.faults_total)
+        .u64("chain_tested", c.chain_tested)
+        .u64("detected", c.detected)
+        .u64("untestable", c.untestable)
+        .u64("aborted", c.aborted)
+        .u64("decisions", c.podem_decisions)
+        .u64("backtracks", c.podem_backtracks)
+        .hist("backtracks_per_fault", c.backtracks_per_fault.clone());
+    report
+        .section(&format!("{prefix}.fsim"))
+        .u64("vectors", c.vectors)
+        .u64("merges_attempted", c.merges_attempted)
+        .u64("merges_merged", c.merges_merged)
+        .u64("blocks_flushed", c.blocks_flushed)
+        .u64("patterns_simulated", c.patterns_simulated)
+        .f64("word_utilization", c.word_utilization())
+        .u64("faults_dropped_by_sim", c.faults_dropped_by_sim)
+        .hist("drops_per_block", c.drops_per_block.clone())
+        .u64("gate_evals", c.fsim_gate_evals);
+    let t = &m.timing;
+    report
+        .section(&format!("{prefix}.timing"))
+        .f64("generate_ms", t.generate_ns as f64 / 1e6)
+        .f64("compact_ms", t.compact_ns as f64 / 1e6)
+        .f64("fill_ms", t.fill_ns as f64 / 1e6)
+        .f64("fsim_ms", t.fsim_ns as f64 / 1e6)
+        .f64("total_ms", t.total_ns as f64 / 1e6);
+}
+
+/// Minimal wall-clock benchmark harness for the `benches/` targets
+/// (they build with `harness = false`, so they provide their own
+/// `main`). Runs `f` once as warmup, then `samples` timed batches of
+/// `iters_per_sample` calls, and prints min/median/max ns-per-call in
+/// the spirit of `cargo bench`. Keep return values alive with
+/// [`std::hint::black_box`] inside `f`.
+pub fn bench<F: FnMut()>(name: &str, samples: usize, iters_per_sample: usize, mut f: F) {
+    f();
+    let mut per_call: Vec<u64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = std::time::Instant::now();
+        for _ in 0..iters_per_sample {
+            f();
+        }
+        per_call.push(t.elapsed().as_nanos() as u64 / iters_per_sample.max(1) as u64);
+    }
+    per_call.sort_unstable();
+    let min = per_call.first().copied().unwrap_or(0);
+    let med = per_call[per_call.len() / 2];
+    let max = per_call.last().copied().unwrap_or(0);
+    println!("{name:40} min {min:>12} ns  median {med:>12} ns  max {max:>12} ns");
+}
+
+/// Fill one report section from a pipeline [`SimResult`]: IPC, stall
+/// causes, squash/replay counts, and the windowed-IPC distribution.
+pub fn sim_report(report: &mut Report, name: &str, r: &SimResult) {
+    report
+        .section(name)
+        .u64("cycles", r.cycles)
+        .u64("committed", r.committed)
+        .f64("ipc", r.ipc())
+        .u64("mispredicts", r.mispredicts)
+        .u64("l1_misses", r.l1_misses)
+        .u64("miss_squashes", r.miss_squashes)
+        .u64("overcommit_replays", r.overcommit_replays)
+        .f64("wasted_issue_fraction", r.wasted_issue_fraction())
+        .u64("dispatch_stall_cycles", r.dispatch_stall_cycles)
+        .u64("stall_rob_full", r.stall_rob_full)
+        .u64("stall_lsq_full", r.stall_lsq_full)
+        .u64("stall_iq_full", r.stall_iq_full)
+        .u64("fetch_stall_cycles", r.fetch_stall_cycles)
+        .f64("avg_iq_occupancy", r.avg_iq_occupancy())
+        .f64("avg_fpq_occupancy", r.avg_fpq_occupancy())
+        .f64("avg_rob_occupancy", r.avg_rob_occupancy())
+        .u64("ipc_window_cycles", IPC_WINDOW_CYCLES)
+        .hist("committed_per_window", r.ipc_windows.clone());
 }

@@ -1,13 +1,11 @@
 //! One driver per paper table/figure.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rescue_atpg::{Atpg, AtpgConfig, FaultClass, Isolator, ScanTestStats};
+use rescue_atpg::{Atpg, AtpgConfig, AtpgMetrics, FaultClass, Isolator, ScanTestStats};
 use rescue_model::{build_pipeline, ModelParams, PipelineModel, Stage, Variant};
 use rescue_netlist::scan::{insert_scan, ScanNetlist};
 use rescue_netlist::Fault;
-use rescue_pipesim::{simulate, CoreConfig, Policy, SimConfig};
+use rescue_obs::SplitMix64;
+use rescue_pipesim::{simulate, CoreConfig, Policy, SimConfig, SimResult};
 use rescue_workloads::{spec2000_profiles, BenchmarkProfile, TraceGenerator};
 use rescue_yield::{
     relative_yat, relative_yat_self_healing, AreaModel, ClassCounts, RescueAreas, Scenario,
@@ -28,6 +26,7 @@ pub struct Table1Row {
 
 /// Regenerate Table 1 from the simulator configuration.
 pub fn table1() -> Vec<Table1Row> {
+    let _s = rescue_obs::span("table1");
     let c = SimConfig::paper(Policy::Baseline);
     vec![
         Table1Row {
@@ -40,7 +39,11 @@ pub fn table1() -> Vec<Table1Row> {
         },
         Table1Row {
             name: "int issue queue",
-            value: format!("{} entries (2 x {})", c.int_iq_entries, c.int_iq_entries / 2),
+            value: format!(
+                "{} entries (2 x {})",
+                c.int_iq_entries,
+                c.int_iq_entries / 2
+            ),
         },
         Table1Row {
             name: "fp issue queue",
@@ -56,7 +59,10 @@ pub fn table1() -> Vec<Table1Row> {
         },
         Table1Row {
             name: "branch mispredict penalty",
-            value: format!("{} cycles (+2 for Rescue shift stages)", c.mispredict_penalty),
+            value: format!(
+                "{} cycles (+2 for Rescue shift stages)",
+                c.mispredict_penalty
+            ),
         },
         Table1Row {
             name: "L1 D-cache",
@@ -77,6 +83,7 @@ pub fn table1() -> Vec<Table1Row> {
 
 /// Regenerate Table 2: total areas plus relative component areas.
 pub fn table2() -> (f64, RescueAreas) {
+    let _s = rescue_obs::span("table2");
     let base = AreaModel::baseline();
     (base.total_mm2(), base.rescue())
 }
@@ -90,6 +97,10 @@ pub struct Table3 {
     pub baseline: ScanTestStats,
     /// Rescue design.
     pub rescue: ScanTestStats,
+    /// ATPG engine counters and phase timing, conventional design.
+    pub baseline_metrics: AtpgMetrics,
+    /// ATPG engine counters and phase timing, Rescue design.
+    pub rescue_metrics: AtpgMetrics,
 }
 
 /// Run scan insertion + full ATPG on both variants (paper Table 3).
@@ -97,14 +108,21 @@ pub struct Table3 {
 /// This is the heavyweight experiment (tens of seconds in release mode at
 /// the paper size); pass [`ModelParams::tiny`] for a fast smoke run.
 pub fn table3(params: &ModelParams) -> Table3 {
-    let run = |variant| {
+    let _s = rescue_obs::span("table3");
+    let run = |variant, span: &str| {
+        let _s = rescue_obs::span(span);
         let m = build_pipeline(params, variant);
         let s = insert_scan(&m.netlist);
-        Atpg::new(&s, AtpgConfig::default()).run().stats
+        let r = Atpg::new(&s, AtpgConfig::default()).run();
+        (r.stats, r.metrics)
     };
+    let (baseline, baseline_metrics) = run(Variant::Baseline, "table3.baseline");
+    let (rescue, rescue_metrics) = run(Variant::Rescue, "table3.rescue");
     Table3 {
-        baseline: run(Variant::Baseline),
-        rescue: run(Variant::Rescue),
+        baseline,
+        rescue,
+        baseline_metrics,
+        rescue_metrics,
     }
 }
 
@@ -155,6 +173,7 @@ pub fn isolation(
     per_stage: usize,
     seed: u64,
 ) -> IsolationExperiment {
+    let _s = rescue_obs::span("isolation");
     let m = build_pipeline(params, variant);
     let scanned = insert_scan(&m.netlist);
     let run = Atpg::new(&scanned, AtpgConfig::default()).run();
@@ -167,7 +186,7 @@ pub fn isolation(
         Stage::Execute,
         Stage::Memory,
     ];
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
 
     // Candidate pool: detected faults with a known component per stage.
     let mut pool: HashMap<Stage, Vec<Fault>> = HashMap::new();
@@ -191,15 +210,15 @@ pub fn isolation(
     for stage in stages_wanted {
         let empty = Vec::new();
         let candidates = pool.get(&stage).unwrap_or(&empty);
-        let sample: Vec<Fault> = candidates
-            .choose_multiple(&mut rng, per_stage.min(candidates.len()))
-            .copied()
-            .collect();
+        let sample: Vec<Fault> = rng.choose_multiple(candidates, per_stage);
         let mut isolated = 0;
         let mut ambiguous = 0;
         for fault in &sample {
             let outcome = iso.isolate(*fault);
-            let comp = m.netlist.fault_component(*fault).expect("pooled faults have components");
+            let comp = m
+                .netlist
+                .fault_component(*fault)
+                .expect("pooled faults have components");
             let want_group = m.group_of(comp);
             // Map every failing scan bit to the *map-out groups* its
             // capture cone spans (the paper's isolation granularity).
@@ -228,7 +247,9 @@ pub fn isolation(
                 }
             }
             let unique = !bit_groups.is_empty()
-                && bit_groups.iter().all(|gs| gs.len() == 1 && gs.contains(&want_group));
+                && bit_groups
+                    .iter()
+                    .all(|gs| gs.len() == 1 && gs.contains(&want_group));
             if unique {
                 isolated += 1;
             } else {
@@ -267,11 +288,12 @@ pub fn multi_fault_isolation(
     trials: usize,
     seed: u64,
 ) -> Vec<MultiFaultTrial> {
+    let _s = rescue_obs::span("isolation.multi_fault");
     let m = build_pipeline(params, Variant::Rescue);
     let scanned = insert_scan(&m.netlist);
     let run = Atpg::new(&scanned, AtpgConfig::default()).run();
     let iso = Isolator::new(&scanned, &run.vectors);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
 
     // Detected faults per redundant (non-chipkill) group.
     let mut by_group: HashMap<usize, Vec<Fault>> = HashMap::new();
@@ -299,20 +321,14 @@ pub fn multi_fault_isolation(
 
     let mut out = Vec::with_capacity(trials);
     for _ in 0..trials {
-        let chosen: Vec<usize> = group_ids
-            .choose_multiple(&mut rng, k.min(group_ids.len()))
-            .copied()
-            .collect();
+        let chosen: Vec<usize> = rng.choose_multiple(&group_ids, k);
         let faults: Vec<Fault> = chosen
             .iter()
-            .map(|g| *by_group[g].choose(&mut rng).expect("group has faults"))
+            .map(|g| *rng.choose(&by_group[g]).expect("group has faults"))
             .collect();
         let outcome = iso.isolate_multi(&faults);
-        let implicated_groups: std::collections::BTreeSet<usize> = outcome
-            .candidates
-            .iter()
-            .map(|&c| m.group_of(c))
-            .collect();
+        let implicated_groups: std::collections::BTreeSet<usize> =
+            outcome.candidates.iter().map(|&c| m.group_of(c)).collect();
         let want: std::collections::BTreeSet<usize> = chosen.iter().copied().collect();
         out.push(MultiFaultTrial {
             injected: faults.len(),
@@ -362,6 +378,10 @@ pub struct Fig8Row {
     pub baseline_ipc: f64,
     /// Rescue IPC (fault-free, transformed pipeline).
     pub rescue_ipc: f64,
+    /// Full baseline simulation counters (stalls, squashes, occupancy).
+    pub baseline_result: SimResult,
+    /// Full Rescue simulation counters.
+    pub rescue_result: SimResult,
 }
 
 impl Fig8Row {
@@ -373,10 +393,12 @@ impl Fig8Row {
 
 /// Regenerate Figure 8: per-benchmark IPC for baseline vs Rescue.
 pub fn fig8(p: &Fig8Params) -> Vec<Fig8Row> {
+    let _s = rescue_obs::span("fig8");
     let profiles = selected_profiles(&p.benchmarks);
     profiles
         .iter()
         .map(|prof| {
+            let _s = rescue_obs::span("fig8.benchmark");
             let base = simulate(
                 &SimConfig::paper(Policy::Baseline),
                 &CoreConfig::healthy(),
@@ -393,6 +415,8 @@ pub fn fig8(p: &Fig8Params) -> Vec<Fig8Row> {
                 name: prof.name.to_owned(),
                 baseline_ipc: base.ipc(),
                 rescue_ipc: resc.ipc(),
+                baseline_result: base,
+                rescue_result: resc,
             }
         })
         .collect()
@@ -461,52 +485,52 @@ pub struct Fig9Point {
 /// are simulated once and memoized; the YAT math then averages the
 /// relative YAT across benchmarks (the paper's reporting).
 pub fn fig9(scenario: &Scenario, p: &Fig9Params) -> Vec<Fig9Point> {
+    let _s = rescue_obs::span("fig9");
     let profiles = selected_profiles(&p.benchmarks);
     let mut out = Vec::new();
     for &node in &p.nodes {
+        let _s = rescue_obs::span("fig9.node");
         let halvings = node.halvings().round() as u32;
         let base_cfg = SimConfig::paper(Policy::Baseline).scaled_to_halvings(halvings);
         let resc_cfg = SimConfig::paper(Policy::Rescue).scaled_to_halvings(halvings);
 
         // Memoized per-benchmark IPCs; the 65 simulations per benchmark
         // are independent, so fan the benchmarks out across threads.
-        let per_bench: Vec<(f64, HashMap<ClassCounts, f64>)> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = profiles
-                    .iter()
-                    .map(|prof| {
-                        let base_cfg = &base_cfg;
-                        let resc_cfg = &resc_cfg;
-                        scope.spawn(move |_| {
-                            let base = simulate(
-                                base_cfg,
-                                &CoreConfig::healthy(),
+        let per_bench: Vec<(f64, HashMap<ClassCounts, f64>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = profiles
+                .iter()
+                .map(|prof| {
+                    let base_cfg = &base_cfg;
+                    let resc_cfg = &resc_cfg;
+                    scope.spawn(move || {
+                        let base = simulate(
+                            base_cfg,
+                            &CoreConfig::healthy(),
+                            TraceGenerator::new(prof, p.seed),
+                            p.n_instr,
+                        )
+                        .ipc();
+                        let mut map = HashMap::new();
+                        for cfg in CoreConfig::all_degraded() {
+                            let key = class_counts_of(&cfg);
+                            let ipc = simulate(
+                                resc_cfg,
+                                &cfg,
                                 TraceGenerator::new(prof, p.seed),
                                 p.n_instr,
                             )
                             .ipc();
-                            let mut map = HashMap::new();
-                            for cfg in CoreConfig::all_degraded() {
-                                let key = class_counts_of(&cfg);
-                                let ipc = simulate(
-                                    resc_cfg,
-                                    &cfg,
-                                    TraceGenerator::new(prof, p.seed),
-                                    p.n_instr,
-                                )
-                                .ipc();
-                                map.insert(key, ipc);
-                            }
-                            (base, map)
-                        })
+                            map.insert(key, ipc);
+                        }
+                        (base, map)
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("simulation thread panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope");
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulation thread panicked"))
+                .collect()
+        });
 
         for &growth in &p.growths {
             // Average the relative YAT across benchmarks.
@@ -524,8 +548,7 @@ pub fn fig9(scenario: &Scenario, p: &Fig9Params) -> Vec<Fig9Point> {
                         ipc_baseline: *base_ipc,
                         ipc_rescue: &f,
                     };
-                    acc_heal +=
-                        relative_yat_self_healing(scenario, node, growth, &inputs).rescue;
+                    acc_heal += relative_yat_self_healing(scenario, node, growth, &inputs).rescue;
                 }
                 acc = Some(match acc {
                     None => pt,
@@ -548,9 +571,7 @@ pub fn fig9(scenario: &Scenario, p: &Fig9Params) -> Vec<Fig9Point> {
                     core_sparing: a.core_sparing / n,
                     rescue: a.rescue / n,
                 },
-                rescue_self_healing: p
-                    .include_self_healing
-                    .then_some(acc_heal / n),
+                rescue_self_healing: p.include_self_healing.then_some(acc_heal / n),
             });
         }
     }
@@ -578,6 +599,7 @@ pub struct AblationRow {
 /// Shows where Figure 8's ≈4% IPC tax actually comes from.
 pub fn ablation(n_instr: u64, seed: u64) -> Vec<AblationRow> {
     use rescue_pipesim::ReplayPolicy;
+    let _s = rescue_obs::span("ablation");
     let profiles = spec2000_profiles();
     let base_cfg = SimConfig::paper(Policy::Baseline);
     let base_ipcs: Vec<f64> = profiles

@@ -1,9 +1,7 @@
 //! Plain-text renderers that print each experiment in the shape the paper
 //! reports it.
 
-use crate::experiments::{
-    AblationRow, Fig8Row, Fig9Point, IsolationExperiment, Table1Row, Table3,
-};
+use crate::experiments::{AblationRow, Fig8Row, Fig9Point, IsolationExperiment, Table1Row, Table3};
 use rescue_yield::RescueAreas;
 use std::fmt::Write as _;
 
@@ -19,8 +17,15 @@ pub fn table1_text(rows: &[Table1Row]) -> String {
 /// Render Table 2.
 pub fn table2_text(baseline_total: f64, rescue: &RescueAreas) -> String {
     let mut s = String::from("Table 2: Total areas and component relative areas\n");
-    let _ = writeln!(s, "  Baseline total area          {baseline_total:6.1} mm^2");
-    let _ = writeln!(s, "  Rescue total area            {:6.1} mm^2", rescue.total_mm2);
+    let _ = writeln!(
+        s,
+        "  Baseline total area          {baseline_total:6.1} mm^2"
+    );
+    let _ = writeln!(
+        s,
+        "  Rescue total area            {:6.1} mm^2",
+        rescue.total_mm2
+    );
     for row in rescue.table2() {
         let _ = writeln!(s, "  {:28} {:4.0}%", row.name, row.fraction * 100.0);
     }
@@ -66,10 +71,7 @@ pub fn table3_text(t: &Table3) -> String {
 
 /// Render the §6.1 isolation experiment.
 pub fn isolation_text(e: &IsolationExperiment) -> String {
-    let mut s = format!(
-        "Fault isolation experiment ({:?} design)\n",
-        e.variant
-    );
+    let mut s = format!("Fault isolation experiment ({:?} design)\n", e.variant);
     let _ = writeln!(
         s,
         "  {:10} {:>9} {:>9} {:>10}",
@@ -113,8 +115,7 @@ pub fn fig8_text(rows: &[Fig8Row]) -> String {
         );
     }
     if !rows.is_empty() {
-        let avg: f64 =
-            rows.iter().map(|r| r.degradation_pct()).sum::<f64>() / rows.len() as f64;
+        let avg: f64 = rows.iter().map(|r| r.degradation_pct()).sum::<f64>() / rows.len() as f64;
         let _ = writeln!(s, "  average degradation: {avg:.1}%");
     }
     s
@@ -151,11 +152,7 @@ pub fn fig9_text(title: &str, points: &[Fig9Point]) -> String {
 /// Render the ablation study.
 pub fn ablation_text(rows: &[AblationRow]) -> String {
     let mut s = String::from("Ablation: where Rescue's IPC tax comes from\n");
-    let _ = writeln!(
-        s,
-        "  {:45} {:>8} {:>10}",
-        "variant", "IPC", "vs base"
-    );
+    let _ = writeln!(s, "  {:45} {:>8} {:>10}", "variant", "IPC", "vs base");
     for r in rows {
         let _ = writeln!(
             s,

@@ -1,8 +1,6 @@
 //! End-to-end experiment driver tests (reduced scale for CI speed).
 
-use rescue_core::experiments::{
-    self, class_counts_of, Fig8Params, Fig9Params,
-};
+use rescue_core::experiments::{self, class_counts_of, Fig8Params, Fig9Params};
 use rescue_core::render;
 use rescue_model::{ModelParams, Variant};
 use rescue_pipesim::CoreConfig;

@@ -82,7 +82,7 @@ impl LcGraph {
         let mut groups: Vec<Vec<LcId>> = Vec::new();
         let mut root_to_group: Vec<Option<usize>> = vec![None; n];
         let mut membership = vec![0usize; n];
-        for i in 0..n {
+        for (i, m) in membership.iter_mut().enumerate() {
             let r = find(&mut dsu, i);
             let gi = match root_to_group[r] {
                 Some(g) => g,
@@ -93,7 +93,7 @@ impl LcGraph {
                 }
             };
             groups[gi].push(LcId(i as u32));
-            membership[i] = gi;
+            *m = gi;
         }
         for g in &mut groups {
             g.sort();
@@ -119,9 +119,7 @@ impl LcGraph {
             "one group index per component required"
         );
         self.edges()
-            .filter(|e| {
-                e.kind.is_combinational() && groups[e.from.index()] != groups[e.to.index()]
-            })
+            .filter(|e| e.kind.is_combinational() && groups[e.from.index()] != groups[e.to.index()])
             .map(|e| Violation {
                 edge: e.id,
                 from: e.from,

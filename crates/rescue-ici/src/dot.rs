@@ -56,7 +56,7 @@ impl LcGraph {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+
     use crate::examples::{figure3a, issue_stage_graph};
 
     #[test]
@@ -65,7 +65,10 @@ mod tests {
         let d = g.to_dot("fig3a");
         assert!(d.starts_with("digraph \"fig3a\" {"));
         assert!(d.trim_end().ends_with('}'));
-        assert_eq!(d.matches("subgraph cluster_").count(), g.super_components().len());
+        assert_eq!(
+            d.matches("subgraph cluster_").count(),
+            g.super_components().len()
+        );
         // Combinational edges are red, latched ones gray.
         assert!(d.contains("color=red"));
         assert!(d.contains("LCX"));

@@ -104,8 +104,7 @@ mod tests {
             .edges()
             .filter(|e| {
                 e.kind.is_combinational()
-                    && ((e.from == old && e.to == comp_new)
-                        || (e.from == new && e.to == comp_old))
+                    && ((e.from == old && e.to == comp_new) || (e.from == new && e.to == comp_old))
             })
             .map(|e| e.id)
             .collect();

@@ -176,10 +176,7 @@ impl LcGraph {
             }
         }
 
-        let in_edges: Vec<(LcId, EdgeKind)> = self
-            .edges_to(c)
-            .map(|e| (e.from, e.kind))
-            .collect();
+        let in_edges: Vec<(LcId, EdgeKind)> = self.edges_to(c).map(|e| (e.from, e.kind)).collect();
         let base = self.nodes[c.index()].clone();
         let mut copies = Vec::new();
         let mut extra_area = 0.0;
@@ -197,10 +194,7 @@ impl LcGraph {
             // Rewire this group's reader edges from the original to the copy.
             for e in 0..self.edges.len() {
                 let edge = &mut self.edges[e];
-                if edge.from == c
-                    && edge.kind.is_combinational()
-                    && group.contains(&edge.to)
-                {
+                if edge.from == c && edge.kind.is_combinational() && group.contains(&edge.to) {
                     edge.from = copy;
                 }
             }
@@ -228,9 +222,7 @@ impl LcGraph {
     /// Returns [`RotateError::NoLatchedOutput`] if the pivot has no latched
     /// out-edge (nothing to rotate).
     pub fn rotate_dependence(&mut self, pivot: LcId) -> Result<TransformStep, RotateError> {
-        let has_latched_out = self
-            .edges_from(pivot)
-            .any(|e| e.kind == EdgeKind::Latched);
+        let has_latched_out = self.edges_from(pivot).any(|e| e.kind == EdgeKind::Latched);
         if !has_latched_out {
             return Err(RotateError::NoLatchedOutput(pivot));
         }
@@ -272,7 +264,9 @@ mod tests {
             .privatize(lcx, &[vec![lcy], vec![lcz]])
             .expect("lcy/lcz are the readers");
         let copies = match &step {
-            TransformStep::Privatize { copies, extra_area, .. } => {
+            TransformStep::Privatize {
+                copies, extra_area, ..
+            } => {
                 assert_eq!(*extra_area, g.node(lcx).area);
                 copies.clone()
             }
@@ -350,11 +344,11 @@ mod tests {
         let mut log = TransformLog::default();
         let edges: Vec<EdgeId> = g.edges_from(lcx).map(|e| e.id).collect();
         log.steps.push(g.cycle_split(&edges));
-        log.steps
-            .push(g.privatize(lcy, &[vec![lcz], vec![lcz]]).err().map_or_else(
-                || unreachable!(),
-                |_| TransformStep::Rotate { pivot: lcy },
-            ));
+        log.steps.push(
+            g.privatize(lcy, &[vec![lcz], vec![lcz]])
+                .err()
+                .map_or_else(|| unreachable!(), |_| TransformStep::Rotate { pivot: lcy }),
+        );
         assert_eq!(log.added_latency(), 1);
         assert_eq!(log.added_area(), 0.0);
     }

@@ -1,7 +1,22 @@
-//! Property-based tests for the ICI analysis and transformations.
+//! Property-based tests for the ICI analysis and transformations,
+//! driven by a seeded [`SplitMix64`] case generator.
 
-use proptest::prelude::*;
 use rescue_ici::{EdgeId, EdgeKind, LcGraph, LcId};
+use rescue_obs::SplitMix64;
+
+/// Random edge picks in the shape `random_graph` consumes.
+fn random_edges(rng: &mut SplitMix64, lo: usize, hi: usize) -> Vec<(u16, u16, bool)> {
+    let len = lo + rng.below(hi - lo);
+    (0..len)
+        .map(|_| {
+            (
+                rng.next_u64() as u16,
+                rng.next_u64() as u16,
+                rng.next_bool(),
+            )
+        })
+        .collect()
+}
 
 /// Build a random LC graph from edge picks.
 fn random_graph(n_nodes: usize, edges: &[(u16, u16, bool)]) -> LcGraph {
@@ -28,32 +43,34 @@ fn random_graph(n_nodes: usize, edges: &[(u16, u16, bool)]) -> LcGraph {
     g
 }
 
-proptest! {
-    /// Super-components partition the node set.
-    #[test]
-    fn super_components_partition(
-        n in 2usize..12,
-        edges in proptest::collection::vec((any::<u16>(), any::<u16>(), any::<bool>()), 0..40),
-    ) {
+/// Super-components partition the node set.
+#[test]
+fn super_components_partition() {
+    let mut rng = SplitMix64::new(0x1c1_0001);
+    for _ in 0..128 {
+        let n = 2 + rng.below(10);
+        let edges = random_edges(&mut rng, 0, 40);
         let g = random_graph(n, &edges);
         let sc = g.super_components();
         let mut seen = vec![false; n];
         for group in &sc {
             for c in group {
-                prop_assert!(!seen[c.index()], "node in two super-components");
+                assert!(!seen[c.index()], "node in two super-components");
                 seen[c.index()] = true;
             }
         }
-        prop_assert!(seen.into_iter().all(|s| s), "node missing from partition");
+        assert!(seen.into_iter().all(|s| s), "node missing from partition");
     }
+}
 
-    /// Splitting every combinational edge always yields full isolation
-    /// (one super-component per node) — cycle splitting is universal.
-    #[test]
-    fn full_cycle_split_isolates_everything(
-        n in 2usize..12,
-        edges in proptest::collection::vec((any::<u16>(), any::<u16>(), any::<bool>()), 0..40),
-    ) {
+/// Splitting every combinational edge always yields full isolation
+/// (one super-component per node) — cycle splitting is universal.
+#[test]
+fn full_cycle_split_isolates_everything() {
+    let mut rng = SplitMix64::new(0x1c1_0002);
+    for _ in 0..128 {
+        let n = 2 + rng.below(10);
+        let edges = random_edges(&mut rng, 0, 40);
         let mut g = random_graph(n, &edges);
         let comb: Vec<EdgeId> = g
             .edges()
@@ -61,80 +78,86 @@ proptest! {
             .map(|e| e.id)
             .collect();
         g.cycle_split(&comb);
-        prop_assert_eq!(g.super_components().len(), g.num_components());
+        assert_eq!(g.super_components().len(), g.num_components());
     }
+}
 
-    /// Cycle splitting is monotone: it never merges super-components.
-    #[test]
-    fn cycle_split_never_merges(
-        n in 2usize..10,
-        edges in proptest::collection::vec((any::<u16>(), any::<u16>(), any::<bool>()), 1..30),
-        cut_picks in proptest::collection::vec(any::<u16>(), 1..8),
-    ) {
+/// Cycle splitting is monotone: it never merges super-components.
+#[test]
+fn cycle_split_never_merges() {
+    let mut rng = SplitMix64::new(0x1c1_0003);
+    for _ in 0..128 {
+        let n = 2 + rng.below(8);
+        let edges = random_edges(&mut rng, 1, 30);
         let mut g = random_graph(n, &edges);
-        prop_assume!(g.num_edges() > 0);
+        if g.num_edges() == 0 {
+            continue;
+        }
         let before = g.super_components().len();
         let all_edges: Vec<EdgeId> = g.edges().map(|e| e.id).collect();
-        let cut: Vec<EdgeId> = cut_picks
-            .iter()
-            .map(|&p| all_edges[p as usize % all_edges.len()])
+        let n_cut = 1 + rng.below(7);
+        let cut: Vec<EdgeId> = (0..n_cut)
+            .map(|_| all_edges[rng.below(all_edges.len())])
             .collect();
         g.cycle_split(&cut);
-        prop_assert!(g.super_components().len() >= before);
+        assert!(g.super_components().len() >= before);
     }
+}
 
-    /// Privatization with one group per reader fully separates the
-    /// readers (they stop sharing the privatized component), and the
-    /// total area grows by exactly (copies × area).
-    #[test]
-    fn full_privatization_separates_readers(
-        n in 3usize..10,
-        edges in proptest::collection::vec((any::<u16>(), any::<u16>(), any::<bool>()), 1..30),
-        target_pick in any::<u16>(),
-    ) {
+/// Privatization with one group per reader fully separates the readers
+/// (they stop sharing the privatized component), and the total area
+/// grows by exactly (copies × area).
+#[test]
+fn full_privatization_separates_readers() {
+    let mut rng = SplitMix64::new(0x1c1_0004);
+    for _ in 0..128 {
+        let n = 3 + rng.below(7);
+        let edges = random_edges(&mut rng, 1, 30);
         let mut g = random_graph(n, &edges);
-        let target = LcId::from_index(target_pick as usize % g.num_components());
+        let target = LcId::from_index(rng.below(g.num_components()));
         let readers = g.combinational_readers(target);
-        prop_assume!(readers.len() >= 2);
+        if readers.len() < 2 {
+            continue;
+        }
         // Readers must not read each other through the target's other
         // paths for clean separation; we only check the area invariant
         // and that the call succeeds with per-reader groups.
         let groups: Vec<Vec<LcId>> = readers.iter().map(|&r| vec![r]).collect();
         let area_before = g.total_area();
-        let step = g.privatize(target, &groups).expect("full privatization is valid");
+        let step = g
+            .privatize(target, &groups)
+            .expect("full privatization is valid");
         let extra = match step {
-            rescue_ici::TransformStep::Privatize { extra_area, copies, .. } => {
-                prop_assert_eq!(copies.len(), readers.len() - 1);
+            rescue_ici::TransformStep::Privatize {
+                extra_area, copies, ..
+            } => {
+                assert_eq!(copies.len(), readers.len() - 1);
                 extra_area
             }
-            other => {
-                prop_assert!(false, "unexpected step {:?}", other);
-                unreachable!()
-            }
+            other => panic!("unexpected step {other:?}"),
         };
-        prop_assert!((g.total_area() - area_before - extra).abs() < 1e-9);
+        assert!((g.total_area() - area_before - extra).abs() < 1e-9);
         // The target now has exactly one combinational reader per copy.
-        prop_assert_eq!(g.combinational_readers(target).len(), 1);
+        assert_eq!(g.combinational_readers(target).len(), 1);
     }
+}
 
-    /// Rotation preserves node count and total area (it only retags
-    /// edges), and applying it twice returns the original edge kinds when
-    /// the pivot's edge sets are disjoint.
-    #[test]
-    fn rotation_preserves_structure(
-        n in 2usize..10,
-        edges in proptest::collection::vec((any::<u16>(), any::<u16>(), any::<bool>()), 1..30),
-        pivot_pick in any::<u16>(),
-    ) {
+/// Rotation preserves node count and total area (it only retags edges).
+#[test]
+fn rotation_preserves_structure() {
+    let mut rng = SplitMix64::new(0x1c1_0005);
+    for _ in 0..128 {
+        let n = 2 + rng.below(8);
+        let edges = random_edges(&mut rng, 1, 30);
         let mut g = random_graph(n, &edges);
-        let pivot = LcId::from_index(pivot_pick as usize % g.num_components());
+        let pivot = LcId::from_index(rng.below(g.num_components()));
         let nodes_before = g.num_components();
         let area_before = g.total_area();
         let edges_before = g.num_edges();
         if g.rotate_dependence(pivot).is_ok() {
-            prop_assert_eq!(g.num_components(), nodes_before);
-            prop_assert_eq!(g.num_edges(), edges_before);
-            prop_assert!((g.total_area() - area_before).abs() < 1e-12);
+            assert_eq!(g.num_components(), nodes_before);
+            assert_eq!(g.num_edges(), edges_before);
+            assert!((g.total_area() - area_before).abs() < 1e-12);
         }
     }
 }
@@ -159,10 +182,15 @@ fn partial_privatization_matches_paper_example() {
     // Partial: two groups of two readers -> one copy (LCB).
     let mut partial = g.clone();
     let step = partial
-        .privatize(lca, &[vec![readers[0], readers[1]], vec![readers[2], readers[3]]])
+        .privatize(
+            lca,
+            &[vec![readers[0], readers[1]], vec![readers[2], readers[3]]],
+        )
         .unwrap();
     let (copies, extra) = match step {
-        rescue_ici::TransformStep::Privatize { copies, extra_area, .. } => (copies, extra_area),
+        rescue_ici::TransformStep::Privatize {
+            copies, extra_area, ..
+        } => (copies, extra_area),
         other => panic!("unexpected {other:?}"),
     };
     assert_eq!(copies.len(), 1, "partial privatization creates one copy");
@@ -174,7 +202,10 @@ fn partial_privatization_matches_paper_example() {
     let step = full
         .privatize(lca, &readers.iter().map(|&r| vec![r]).collect::<Vec<_>>())
         .unwrap();
-    if let rescue_ici::TransformStep::Privatize { copies, extra_area, .. } = step {
+    if let rescue_ici::TransformStep::Privatize {
+        copies, extra_area, ..
+    } = step
+    {
         assert_eq!(copies.len(), 3);
         assert_eq!(extra_area, 6.0);
     }

@@ -122,11 +122,7 @@ mod tests {
         let ex = extract_lc_graph(&n);
         let a = ex.graph.find("a").unwrap();
         let bb = ex.graph.find("b").unwrap();
-        let kinds: Vec<_> = ex
-            .graph
-            .edges()
-            .map(|e| (e.from, e.to, e.kind))
-            .collect();
+        let kinds: Vec<_> = ex.graph.edges().map(|e| (e.from, e.to, e.kind)).collect();
         assert!(kinds.contains(&(a, bb, EdgeKind::Combinational)));
         assert!(kinds.contains(&(a, bb, EdgeKind::Latched)));
         assert_eq!(ex.graph.super_components().len(), 1);

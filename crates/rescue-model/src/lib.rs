@@ -48,7 +48,5 @@ mod widgets;
 
 pub use lcx::{extract_lc_graph, LcExtraction};
 pub use params::ModelParams;
-pub use pipeline::{
-    build_pipeline, GroupKind, IsolationGroup, PipelineModel, Stage, Variant,
-};
+pub use pipeline::{build_pipeline, GroupKind, IsolationGroup, PipelineModel, Stage, Variant};
 pub use widgets::Widgets;

@@ -59,13 +59,16 @@ impl ModelParams {
     /// # Panics
     /// Panics when a constraint is violated; generators call this first.
     pub fn validate(&self) {
-        assert!(self.ways >= 2 && self.ways % 2 == 0, "ways must be even and >= 2");
         assert!(
-            self.iq_entries >= 4 && self.iq_entries % 2 == 0,
+            self.ways >= 2 && self.ways.is_multiple_of(2),
+            "ways must be even and >= 2"
+        );
+        assert!(
+            self.iq_entries >= 4 && self.iq_entries.is_multiple_of(2),
             "iq_entries must be even and >= 4"
         );
         assert!(
-            self.lsq_entries >= 2 && self.lsq_entries % 2 == 0,
+            self.lsq_entries >= 2 && self.lsq_entries.is_multiple_of(2),
             "lsq_entries must be even and >= 2"
         );
         assert!(self.data_bits >= 2, "data_bits must be >= 2");

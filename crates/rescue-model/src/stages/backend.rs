@@ -6,6 +6,9 @@
 //! ports; every copy is written by all ways, with write enables computed
 //! *inside* each copy (privatized) and masked by the fault map so faulty
 //! ways never corrupt register state.
+// Generator code walks way/entry indices across several parallel
+// structures at once; index loops are the clearer form here.
+#![allow(clippy::needless_range_loop)]
 
 use super::{ExecWay, IssuedWay};
 use crate::pipeline::Ctx;
@@ -46,9 +49,7 @@ pub(crate) fn build(ctx: &mut Ctx<'_>, issued: &[IssuedWay]) -> Vec<ExecWay> {
         let mut rows_q = Vec::with_capacity(p.arch_regs);
         let mut rows_h = Vec::with_capacity(p.arch_regs);
         for r in 0..p.arch_regs {
-            let (q, h) = ctx
-                .b
-                .dff_feedback_bus(p.data_bits, &format!("{comp}_r{r}"));
+            let (q, h) = ctx.b.dff_feedback_bus(p.data_bits, &format!("{comp}_r{r}"));
             rows_q.push(q);
             rows_h.push(h);
         }
@@ -129,8 +130,7 @@ pub(crate) fn build(ctx: &mut Ctx<'_>, issued: &[IssuedWay]) -> Vec<ExecWay> {
         d.extend(&dst_q);
         d.extend(&value);
         d.push(is_mem);
-        ctx.b
-            .connect_dff_bus(std::mem::take(&mut wb_h[w]), &d);
+        ctx.b.connect_dff_bus(std::mem::take(&mut wb_h[w]), &d);
         results.push(ExecWay {
             valid: wb_q[w].valid,
             dst_tag: wb_q[w].dst_tag.clone(),

@@ -77,11 +77,7 @@ pub(crate) fn build(ctx: &mut Ctx<'_>) -> Vec<InstrFields> {
 
 /// Latch a set of per-way fields into DFFs owned by each way's frontend
 /// group decode component.
-fn latch_per_group(
-    ctx: &mut Ctx<'_>,
-    ways: &[InstrFields],
-    name: &str,
-) -> Vec<InstrFields> {
+fn latch_per_group(ctx: &mut Ctx<'_>, ways: &[InstrFields], name: &str) -> Vec<InstrFields> {
     let half = ctx.p.ways / 2;
     let mut out = Vec::with_capacity(ways.len());
     for (w, f) in ways.iter().enumerate() {

@@ -9,6 +9,9 @@
 //!   free-tag allocation) are **cycle-split** behind a pipeline latch, and
 //!   the map-fixing logic reads only that latch. Hazard matches from ways
 //!   in a faulty group are masked via the fault-map register.
+// Generator code walks way/entry indices across several parallel
+// structures at once; index loops are the clearer form here.
+#![allow(clippy::needless_range_loop)]
 
 use super::{DecodedWay, InstrFields, RenamedWay};
 use crate::pipeline::{Ctx, Variant};
@@ -91,7 +94,9 @@ fn map_table(
     ctx.b.enter_component(component);
 
     // Free-tag counter and per-way allocated tags (counter + w).
-    let (ctr_q, ctr_h) = ctx.b.dff_feedback_bus(p.tag_bits, &format!("{component}_ctr"));
+    let (ctr_q, ctr_h) = ctx
+        .b
+        .dff_feedback_bus(p.tag_bits, &format!("{component}_ctr"));
     let mut alloc_tags: Vec<Vec<NetId>> = Vec::with_capacity(p.ways);
     let mut cur = ctr_q.clone();
     for _ in 0..p.ways {
@@ -201,8 +206,8 @@ fn rename_baseline(ctx: &mut Ctx<'_>, decoded: &[DecodedWay]) -> Vec<RenamedWay>
         let s2 = map_fix(ctx, w, &d.fields.src2, s2m, &dests, &tbl.alloc_tags, false);
         let nop_chk = {
             // valid = op != 0
-            let any = ctx.b.or(&d.fields.op.clone());
-            any
+
+            ctx.b.or(&d.fields.op.clone())
         };
         out.push(latch_renamed(
             ctx,

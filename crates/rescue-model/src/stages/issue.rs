@@ -156,6 +156,8 @@ fn declare_sel_latch(ctx: &mut Ctx<'_>, comp: &str, h: usize) -> (SelLatch, Vec<
     )
 }
 
+// Mirrors the wire bundle crossing the select-latch cycle boundary.
+#[allow(clippy::too_many_arguments)]
 fn connect_sel_latch(
     ctx: &mut Ctx<'_>,
     handles: Vec<DffHandle>,
@@ -355,8 +357,14 @@ fn build_rescue(ctx: &mut Ctx<'_>, renamed: &[RenamedWay]) -> Vec<IssuedWay> {
 
     // ---- Old half datapath.
     ctx.b.enter_component("iq.old");
-    let (old_after, old_ready) =
-        wake_and_clear(ctx, &old_entries, &l_old, replay_comb[0], &btags[0], &bvalids[0]);
+    let (old_after, old_ready) = wake_and_clear(
+        ctx,
+        &old_entries,
+        &l_old,
+        replay_comb[0],
+        &btags[0],
+        &bvalids[0],
+    );
 
     ctx.b.enter_component("iq.old.sel");
     let (g1, g2, any1, any2) = Widgets::select_two(ctx.b, &old_ready);
@@ -398,8 +406,14 @@ fn build_rescue(ctx: &mut Ctx<'_>, renamed: &[RenamedWay]) -> Vec<IssuedWay> {
 
     // ---- New half datapath.
     ctx.b.enter_component("iq.new");
-    let (new_after, new_ready) =
-        wake_and_clear(ctx, &new_entries, &l_new, replay_comb[1], &btags[1], &bvalids[1]);
+    let (new_after, new_ready) = wake_and_clear(
+        ctx,
+        &new_entries,
+        &l_new,
+        replay_comb[1],
+        &btags[1],
+        &bvalids[1],
+    );
 
     ctx.b.enter_component("iq.new.sel");
     let (g1, g2, any1, any2) = Widgets::select_two(ctx.b, &new_ready);
@@ -517,9 +531,7 @@ fn build_baseline(ctx: &mut Ctx<'_>, renamed: &[RenamedWay]) -> Vec<IssuedWay> {
     // both halves' grant masks, all written by the combined select root.
     ctx.b.enter_component("iq.shared");
     let pick_w = Pick::width(t) + 1;
-    let (bq, b_handles) = ctx
-        .b
-        .dff_feedback_bus(4 * pick_w + 2 * h, "iq.shared_B");
+    let (bq, b_handles) = ctx.b.dff_feedback_bus(4 * pick_w + 2 * h, "iq.shared_B");
     let mut picks_q: Vec<Pick> = Vec::new();
     {
         let mut i = 0;
@@ -699,7 +711,13 @@ fn build_baseline(ctx: &mut Ctx<'_>, renamed: &[RenamedWay]) -> Vec<IssuedWay> {
 
 /// Latch an issued instruction into the issue/regread latch owned by the
 /// current component.
-fn latch_issued(ctx: &mut Ctx<'_>, w: usize, valid: NetId, fields: &[NetId], t: usize) -> IssuedWay {
+fn latch_issued(
+    ctx: &mut Ctx<'_>,
+    w: usize,
+    valid: NetId,
+    fields: &[NetId],
+    t: usize,
+) -> IssuedWay {
     let valid = ctx.b.dff(valid, &format!("ir{w}_v"));
     let dst = ctx.b.dff_bus(&fields[0..t], &format!("ir{w}_dst"));
     let s1 = ctx.b.dff_bus(&fields[t..2 * t], &format!("ir{w}_s1"));

@@ -7,6 +7,9 @@
 //! insertion differs between variants: Rescue privatizes it per half,
 //! the baseline keeps one shared tail pointer whose decode drives both
 //! halves within a cycle.
+// Generator code walks way/entry indices across several parallel
+// structures at once; index loops are the clearer form here.
+#![allow(clippy::needless_range_loop)]
 
 use super::ExecWay;
 use crate::pipeline::{Ctx, Variant};
@@ -53,7 +56,11 @@ pub(crate) fn build(ctx: &mut Ctx<'_>, results: &[ExecWay]) {
                 // This half inserts when the tail's MSB selects it (the
                 // queue wraps across halves) and the half is healthy.
                 let msb = tail_q[hb];
-                let in_this_half = if half == 0 { ctx.b.not(msb) } else { ctx.b.buf(msb) };
+                let in_this_half = if half == 0 {
+                    ctx.b.not(msb)
+                } else {
+                    ctx.b.buf(msb)
+                };
                 let healthy = ctx.b.not(ctx.fm.lsq[half]);
                 let active = ctx.b.and2(mem0.valid, mem0.is_mem);
                 let active = ctx.b.and2(active, in_this_half);
@@ -88,7 +95,14 @@ pub(crate) fn build(ctx: &mut Ctx<'_>, results: &[ExecWay]) {
                     .map(|(&inc, &cur)| ctx.b.mux(active, cur, inc))
                     .collect();
                 ctx.b.connect_dff_bus(tail_h, &tail_next);
-                connect_half(ctx, half, &half_entries[half], std::mem::take(&mut half_handles[half]), &wes, mem0);
+                connect_half(
+                    ctx,
+                    half,
+                    &half_entries[half],
+                    std::mem::take(&mut half_handles[half]),
+                    &wes,
+                    mem0,
+                );
             }
         }
         Variant::Baseline => {
@@ -108,7 +122,11 @@ pub(crate) fn build(ctx: &mut Ctx<'_>, results: &[ExecWay]) {
             for half in 0..2 {
                 ctx.b.enter_component("lsq.ins");
                 let msb = tail_q[hb];
-                let in_this_half = if half == 0 { ctx.b.not(msb) } else { ctx.b.buf(msb) };
+                let in_this_half = if half == 0 {
+                    ctx.b.not(msb)
+                } else {
+                    ctx.b.buf(msb)
+                };
                 let act_h = ctx.b.and2(active, in_this_half);
                 let wes: Vec<NetId> = (0..h)
                     .map(|e| {
@@ -125,7 +143,14 @@ pub(crate) fn build(ctx: &mut Ctx<'_>, results: &[ExecWay]) {
                         ctx.b.and2(slot, act_h)
                     })
                     .collect();
-                connect_half(ctx, half, &half_entries[half], std::mem::take(&mut half_handles[half]), &wes, mem0);
+                connect_half(
+                    ctx,
+                    half,
+                    &half_entries[half],
+                    std::mem::take(&mut half_handles[half]),
+                    &wes,
+                    mem0,
+                );
             }
         }
     }

@@ -101,7 +101,7 @@ impl Widgets {
         if sel.is_empty() || data.len() == 1 {
             return data[0].clone();
         }
-        let half = (data.len() + 1) / 2;
+        let half = data.len().div_ceil(2);
         let lo: Vec<Vec<NetId>> = data.iter().step_by(2).cloned().collect();
         let hi: Vec<Vec<NetId>> = data.iter().skip(1).step_by(2).cloned().collect();
         let _ = half;
@@ -144,10 +144,7 @@ mod tests {
     use super::*;
     use rescue_netlist::PatternBlock;
 
-    fn run1(
-        build: impl FnOnce(&mut NetlistBuilder) -> Vec<NetId>,
-        inputs: Vec<u64>,
-    ) -> Vec<u64> {
+    fn run1(build: impl FnOnce(&mut NetlistBuilder) -> Vec<NetId>, inputs: Vec<u64>) -> Vec<u64> {
         let mut b = NetlistBuilder::new();
         b.enter_component("w");
         let outs = build(&mut b);
@@ -240,12 +237,13 @@ mod tests {
         let outs = run1(
             |b| {
                 let sel = b.input_bus("s", 2);
-                let d: Vec<Vec<NetId>> =
-                    (0..4).map(|i| b.input_bus(&format!("d{i}"), 2)).collect();
+                let d: Vec<Vec<NetId>> = (0..4).map(|i| b.input_bus(&format!("d{i}"), 2)).collect();
                 Widgets::mux_tree(b, &sel, &d)
             },
             // sel = 2 (s0=0, s1=1) -> pick d2 = [1, 0].
-            vec![0, 1, /*d0*/ 0, 0, /*d1*/ 0, 1, /*d2*/ 1, 0, /*d3*/ 1, 1],
+            vec![
+                0, 1, /*d0*/ 0, 0, /*d1*/ 0, 1, /*d2*/ 1, 0, /*d3*/ 1, 1,
+            ],
         );
         assert_eq!(outs[0] & 1, 1);
         assert_eq!(outs[1] & 1, 0);

@@ -84,8 +84,7 @@ fn baseline_scan_cells_capture_multiple_groups_somewhere() {
 #[test]
 fn every_stage_is_represented() {
     let model = build_pipeline(&ModelParams::tiny(), Variant::Rescue);
-    let stages: std::collections::BTreeSet<Stage> =
-        model.stage_of.values().copied().collect();
+    let stages: std::collections::BTreeSet<Stage> = model.stage_of.values().copied().collect();
     for s in [
         Stage::Fetch,
         Stage::Decode,

@@ -82,7 +82,8 @@ impl NetlistBuilder {
     /// # Panics
     /// Panics if no component has been set yet.
     pub fn current_component(&self) -> ComponentId {
-        self.current.expect("set_component must be called before adding logic")
+        self.current
+            .expect("set_component must be called before adding logic")
     }
 
     fn new_net(&mut self, name: String, driver: Driver) -> NetId {
@@ -101,7 +102,9 @@ impl NetlistBuilder {
 
     /// Add `n` primary inputs named `name[0..n]`.
     pub fn input_bus(&mut self, name: &str, n: usize) -> Vec<NetId> {
-        (0..n).map(|i| self.input(&format!("{name}[{i}]"))).collect()
+        (0..n)
+            .map(|i| self.input(&format!("{name}[{i}]")))
+            .collect()
     }
 
     /// Mark a net as a primary output.
@@ -224,7 +227,10 @@ impl NetlistBuilder {
     /// Mux over two equal-width buses.
     pub fn mux_bus(&mut self, sel: NetId, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
         assert_eq!(a.len(), b.len(), "mux_bus width mismatch");
-        a.iter().zip(b).map(|(&x, &y)| self.mux(sel, x, y)).collect()
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.mux(sel, x, y))
+            .collect()
     }
 
     /// D flip-flop; returns the Q net.
@@ -412,7 +418,9 @@ pub(crate) fn elaborate(
         // Find a gate still blocked to name the loop.
         let blocked = (0..n_gates).find(|&i| indeg[i] > 0).expect("loop exists");
         let net = gates[blocked].output;
-        return Err(BuildError::CombinationalLoop(nets[net.index()].name.clone()));
+        return Err(BuildError::CombinationalLoop(
+            nets[net.index()].name.clone(),
+        ));
     }
     // Sort fanout lists by consumer level so event-driven fault
     // propagation can scan them in order.

@@ -187,8 +187,7 @@ impl Netlist {
                 // Pin fault on a fanout-1 net collapses into the stem fault
                 // (unless the stem itself collapsed into *its* gate inputs,
                 // in which case keep the pin fault as representative).
-                !(self.fanout_count(driver_net) == 1
-                    && self.net_fault_kept(driver_net, f.stuck_at))
+                !(self.fanout_count(driver_net) == 1 && self.net_fault_kept(driver_net, f.stuck_at))
             }
         }
     }
@@ -204,9 +203,7 @@ impl Netlist {
                 match gate.kind() {
                     // Buf/Not outputs collapse into the driving stem only
                     // when that stem has no other readers.
-                    GateKind::Buf | GateKind::Not => {
-                        self.fanout_count(gate.inputs()[0]) != 1
-                    }
+                    GateKind::Buf | GateKind::Not => self.fanout_count(gate.inputs()[0]) != 1,
                     k => !output_equiv_to_input(k, sa),
                 }
             }
@@ -216,9 +213,7 @@ impl Netlist {
 
     /// Number of readers of a net (gates + flip-flops + primary outputs).
     pub fn fanout_count(&self, net: NetId) -> usize {
-        self.fanout_gates(net).len()
-            + self.fanout_dffs(net).len()
-            + self.fanout_outputs(net).len()
+        self.fanout_gates(net).len() + self.fanout_dffs(net).len() + self.fanout_outputs(net).len()
     }
 }
 

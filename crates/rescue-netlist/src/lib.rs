@@ -47,9 +47,7 @@ pub mod verilog;
 pub use builder::{DffHandle, NetlistBuilder};
 pub use error::BuildError;
 pub use fault::{Fault, FaultSite, StuckAt};
-pub use netlist::{
-    ComponentId, Dff, DffId, Driver, Gate, GateId, GateKind, NetId, Netlist,
-};
+pub use netlist::{ComponentId, Dff, DffId, Driver, Gate, GateId, GateKind, NetId, Netlist};
 pub use scan::{MultiScanNetlist, ScanChain, ScanNetlist};
 pub use sim::{PatternBlock, SimOutput};
 pub use verilog::{to_verilog, VerilogOptions};

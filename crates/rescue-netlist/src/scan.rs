@@ -109,7 +109,10 @@ impl ScanNetlist {
 ///
 /// Panics if the netlist has no flip-flops (nothing to scan).
 pub fn insert_scan(netlist: &Netlist) -> ScanNetlist {
-    assert!(netlist.num_dffs() > 0, "cannot insert scan into a stateless circuit");
+    assert!(
+        netlist.num_dffs() > 0,
+        "cannot insert scan into a stateless circuit"
+    );
     let mut nets: Vec<NetInfo> = netlist.nets.clone();
     let mut gates: Vec<Gate> = netlist.gates.clone();
     let mut dffs: Vec<Dff> = netlist.dffs.clone();
@@ -322,7 +325,11 @@ mod tests {
         assert_eq!(s.netlist.inputs().len(), n.inputs().len() + 2);
         assert_eq!(s.netlist.outputs().len(), n.outputs().len() + 1);
         assert_eq!(
-            s.netlist.gates().iter().filter(|g| g.is_scan_path()).count(),
+            s.netlist
+                .gates()
+                .iter()
+                .filter(|g| g.is_scan_path())
+                .count(),
             2
         );
     }

@@ -47,7 +47,11 @@ impl SimOutput {
     /// Values captured into each flip-flop (its D input) at the end of the
     /// cycle — what scan-out observes.
     pub fn next_state(&self, netlist: &Netlist) -> Vec<u64> {
-        netlist.dffs().iter().map(|d| self.nets[d.d().index()]).collect()
+        netlist
+            .dffs()
+            .iter()
+            .map(|d| self.nets[d.d().index()])
+            .collect()
     }
 
     /// Values on the primary outputs.
@@ -63,7 +67,11 @@ impl SimOutput {
 impl Netlist {
     /// Fault-free combinational evaluation of one cycle.
     pub fn simulate(&self, block: &PatternBlock) -> SimOutput {
-        assert_eq!(block.inputs.len(), self.inputs.len(), "input width mismatch");
+        assert_eq!(
+            block.inputs.len(),
+            self.inputs.len(),
+            "input width mismatch"
+        );
         assert_eq!(block.state.len(), self.dffs.len(), "state width mismatch");
         let mut nets = vec![0u64; self.nets.len()];
         for (i, &net) in self.inputs.iter().enumerate() {

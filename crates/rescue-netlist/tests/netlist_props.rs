@@ -1,10 +1,23 @@
-//! Property-based and integration tests for the netlist substrate.
+//! Property-based and integration tests for the netlist substrate,
+//! driven by a seeded [`SplitMix64`] case generator.
 
-use proptest::prelude::*;
 use rescue_netlist::sim::eval_bool;
-use rescue_netlist::{
-    BuildError, Fault, GateKind, NetlistBuilder, PatternBlock, StuckAt,
-};
+use rescue_netlist::{BuildError, Fault, GateKind, NetlistBuilder, PatternBlock, StuckAt};
+use rescue_obs::SplitMix64;
+
+/// Random gate picks in the shape `random_circuit` consumes.
+fn random_picks(rng: &mut SplitMix64, lo: usize, hi: usize) -> Vec<(u8, u16, u16)> {
+    let len = lo + rng.below(hi - lo);
+    (0..len)
+        .map(|_| {
+            (
+                rng.next_u64() as u8,
+                rng.next_u64() as u16,
+                rng.next_u64() as u16,
+            )
+        })
+        .collect()
+}
 
 /// Build a random DAG circuit: `n_in` inputs, `n_gates` gates each reading
 /// from already-defined nets, a couple of flops, outputs on the last nets.
@@ -37,17 +50,20 @@ fn random_circuit(n_in: usize, picks: &[(u8, u16, u16)]) -> rescue_netlist::Netl
     b.finish().unwrap()
 }
 
-proptest! {
-    /// Bit-parallel simulation agrees with 64 independent single-pattern
-    /// simulations.
-    #[test]
-    fn bit_parallel_matches_scalar(
-        picks in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..40),
-        input_words in proptest::collection::vec(any::<u64>(), 4),
-        state_word in any::<u64>(),
-    ) {
+/// Bit-parallel simulation agrees with 64 independent single-pattern
+/// simulations.
+#[test]
+fn bit_parallel_matches_scalar() {
+    let mut rng = SplitMix64::new(0x11e7_0001);
+    for _ in 0..96 {
+        let picks = random_picks(&mut rng, 1, 40);
+        let input_words: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        let state_word = rng.next_u64();
         let n = random_circuit(4, &picks);
-        let block = PatternBlock { inputs: input_words.clone(), state: vec![state_word] };
+        let block = PatternBlock {
+            inputs: input_words.clone(),
+            state: vec![state_word],
+        };
         let wide = n.simulate(&block);
         for bit in [0usize, 1, 13, 63] {
             let single = PatternBlock {
@@ -56,54 +72,64 @@ proptest! {
             };
             let narrow = n.simulate(&single);
             for net in 0..n.num_nets() {
-                prop_assert_eq!(
+                assert_eq!(
                     (wide.nets[net] >> bit) & 1,
                     narrow.nets[net] & 1,
-                    "net {} bit {}", net, bit
+                    "net {net} bit {bit}"
                 );
             }
         }
     }
+}
 
-    /// A faulty simulation with the fault site forced to its stuck value is
-    /// self-consistent: re-simulating yields the same result (idempotence),
-    /// and fault-free simulation differs only downstream of the site.
-    #[test]
-    fn fault_injection_forces_site(
-        picks in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..30),
-        inputs in proptest::collection::vec(any::<u64>(), 4),
-        net_pick in any::<u16>(),
-        sa1 in any::<bool>(),
-    ) {
+/// A faulty simulation forces the fault site to its stuck value.
+#[test]
+fn fault_injection_forces_site() {
+    let mut rng = SplitMix64::new(0x11e7_0002);
+    for _ in 0..96 {
+        let picks = random_picks(&mut rng, 1, 30);
+        let inputs: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
         let n = random_circuit(4, &picks);
-        let net = rescue_netlist::NetId::from_index(net_pick as usize % n.num_nets());
-        let sa = if sa1 { StuckAt::One } else { StuckAt::Zero };
+        let net = rescue_netlist::NetId::from_index(rng.below(n.num_nets()));
+        let sa = if rng.next_bool() {
+            StuckAt::One
+        } else {
+            StuckAt::Zero
+        };
         let fault = Fault::net(net, sa);
-        let block = PatternBlock { inputs, state: vec![0] };
+        let block = PatternBlock {
+            inputs,
+            state: vec![0],
+        };
         let faulty = n.simulate_faulty(&block, fault);
         let expect = if sa.is_one() { u64::MAX } else { 0 };
-        prop_assert_eq!(faulty.nets[net.index()], expect);
+        assert_eq!(faulty.nets[net.index()], expect);
     }
+}
 
-    /// Collapsed fault list is a subset of the full universe and nonempty.
-    #[test]
-    fn collapse_is_subset(
-        picks in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..30),
-    ) {
+/// Collapsed fault list is a subset of the full universe and nonempty.
+#[test]
+fn collapse_is_subset() {
+    let mut rng = SplitMix64::new(0x11e7_0003);
+    for _ in 0..96 {
+        let picks = random_picks(&mut rng, 1, 30);
         let n = random_circuit(3, &picks);
         let full = n.enumerate_faults();
         let collapsed = n.collapse_faults();
-        prop_assert!(!collapsed.is_empty());
-        prop_assert!(collapsed.len() <= full.len());
+        assert!(!collapsed.is_empty());
+        assert!(collapsed.len() <= full.len());
         for f in &collapsed {
-            prop_assert!(full.contains(f));
+            assert!(full.contains(f));
         }
     }
+}
 
-    /// Gate evaluation truth tables: u64 evaluation matches the boolean
-    /// definition on every kind.
-    #[test]
-    fn gate_eval_truth_tables(a in any::<bool>(), b in any::<bool>(), s in any::<bool>()) {
+/// Gate evaluation truth tables: u64 evaluation matches the boolean
+/// definition on every kind.
+#[test]
+fn gate_eval_truth_tables() {
+    for bits in 0u8..8 {
+        let (a, b, s) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
         assert_eq!(eval_bool(GateKind::And, &[a, b]), a && b);
         assert_eq!(eval_bool(GateKind::Or, &[a, b]), a || b);
         assert_eq!(eval_bool(GateKind::Xor, &[a, b]), a ^ b);
@@ -159,8 +185,7 @@ fn sequence_simulation_latches_state() {
     let q1 = b.dff(q0, "q1");
     b.output(q1, "out");
     let n = b.finish().unwrap();
-    let (outs, final_state) =
-        n.simulate_sequence(&[0, 0], &[vec![1], vec![0], vec![0]]);
+    let (outs, final_state) = n.simulate_sequence(&[0, 0], &[vec![1], vec![0], vec![0]]);
     // a=1 at cycle 0 appears at q1 (the output) two cycles later.
     assert_eq!(outs[0][0], 0);
     assert_eq!(outs[1][0], 0);
@@ -180,8 +205,7 @@ fn feedback_dff_builds_a_toggle() {
     b.output(q, "out");
     let n = b.finish().unwrap();
     // Enable for 3 cycles: q goes 0 -> 1 -> 0 -> 1.
-    let (outs, state) =
-        n.simulate_sequence(&[0], &[vec![1], vec![1], vec![1]]);
+    let (outs, state) = n.simulate_sequence(&[0], &[vec![1], vec![1], vec![1]]);
     assert_eq!(outs.iter().map(|o| o[0]).collect::<Vec<_>>(), vec![0, 1, 0]);
     assert_eq!(state, vec![1]);
 }

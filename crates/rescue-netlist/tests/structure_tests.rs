@@ -1,9 +1,7 @@
 //! Structure/metadata tests: cone analysis, area accounting, fault
 //! statistics, display formats.
 
-use rescue_netlist::{
-    Fault, FaultSite, GateKind, NetId, NetlistBuilder, StuckAt,
-};
+use rescue_netlist::{Fault, FaultSite, GateKind, NetId, NetlistBuilder, StuckAt};
 
 fn two_component_circuit() -> rescue_netlist::Netlist {
     let mut b = NetlistBuilder::new();

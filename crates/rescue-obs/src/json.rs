@@ -1,0 +1,160 @@
+//! Minimal hand-rolled JSON serialization (the sandbox is offline, so no
+//! serde). Only what the tracer and report need: objects, arrays,
+//! strings, integers, floats, booleans.
+
+use std::fmt::Write as _;
+
+/// Escape a string for inclusion inside JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number (`null` for NaN/infinity, which JSON
+/// cannot represent).
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{}` is Rust's shortest round-trip formatting; always contains
+        // a digit, never an empty string.
+        let s = format!("{v}");
+        // Guard against "inf"-style output slipping through.
+        if s.parse::<f64>().is_ok() {
+            s
+        } else {
+            "null".to_owned()
+        }
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Incremental JSON object builder.
+///
+/// ```
+/// use rescue_obs::json::JsonObj;
+/// let mut o = JsonObj::new();
+/// o.str("name", "podem").u64("backtracks", 17);
+/// assert_eq!(o.finish(), r#"{"name":"podem","backtracks":17}"#);
+/// ```
+#[derive(Debug)]
+pub struct JsonObj {
+    buf: String,
+    first: bool,
+}
+
+impl Default for JsonObj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonObj {
+    /// Start an object.
+    pub fn new() -> Self {
+        JsonObj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) -> &mut Self {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+        self
+    }
+
+    /// Add a string field.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Add a signed integer field.
+    pub fn i64(&mut self, k: &str, v: i64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Add a float field (`null` if not finite).
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&fmt_f64(v));
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Add a pre-serialized JSON value verbatim.
+    pub fn raw(&mut self, k: &str, json: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Add an array of unsigned integers.
+    pub fn arr_u64(&mut self, k: &str, vs: &[u64]) -> &mut Self {
+        self.key(k);
+        self.buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "{v}");
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Close the object and return the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Serialize a list of pre-serialized JSON values as a JSON array.
+pub fn array(items: &[String]) -> String {
+    let mut s = String::from("[");
+    for (i, it) in items.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(it);
+    }
+    s.push(']');
+    s
+}

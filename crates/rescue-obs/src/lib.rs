@@ -1,0 +1,51 @@
+//! Zero-dependency observability substrate for the Rescue engines.
+//!
+//! The paper's evaluation is driven by long engine loops — PODEM over
+//! ~10⁴ collapsed faults, bit-parallel fault simulation, cycle-level
+//! pipeline simulation — and this crate is the measurement layer those
+//! loops report through:
+//!
+//! * [`metrics`] — typed counters, gauges, and log₂-bucket histograms
+//!   cheap enough (one relaxed atomic op) to live in the PODEM inner
+//!   loop, plus a name-keyed [`metrics::Registry`] for ad-hoc use;
+//! * [`trace`] — a span/event tracer with monotonic timestamps, an
+//!   optional JSONL sink, and an aggregated per-span summary. A process
+//!   global ([`trace::global`]) lets deep engine code open spans without
+//!   threading a handle through every API;
+//! * [`report`] — a [`report::Report`] builder that renders a
+//!   human-readable end-of-run breakdown and a machine-readable JSON
+//!   document (the `BENCH_metrics.json` artifact);
+//! * [`json`] — the hand-rolled JSON serializer behind both sinks (the
+//!   build environment is offline, so no serde);
+//! * [`rng`] — a seedable SplitMix64 generator replacing the `rand`
+//!   crate everywhere in the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use rescue_obs::metrics::{Counter, Histogram};
+//!
+//! let backtracks = Counter::new();
+//! let per_fault = Histogram::new();
+//! for fault in 0..100u64 {
+//!     let n = fault % 7; // backtracks this fault took
+//!     backtracks.add(n);
+//!     per_fault.record(n);
+//! }
+//! assert_eq!(backtracks.get(), (0..100u64).map(|f| f % 7).sum());
+//! assert_eq!(per_fault.snapshot().count, 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod rng;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use report::Report;
+pub use rng::SplitMix64;
+pub use trace::{global, span, SpanGuard, SpanStat, Tracer};

@@ -1,0 +1,201 @@
+//! End-of-run report assembly: a human-readable breakdown for stderr and
+//! a machine-readable JSON document (the `BENCH_metrics.json` artifact).
+
+use crate::json::{self, JsonObj};
+use crate::metrics::HistogramSnapshot;
+use crate::trace::SpanStat;
+use std::fmt::Write as _;
+
+/// One metric value inside a report section.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Free-form string.
+    Str(String),
+    /// Histogram snapshot.
+    Hist(HistogramSnapshot),
+}
+
+/// A named group of metrics (one engine or phase).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Section {
+    /// Section name (e.g. `"table3.baseline.podem"`).
+    pub name: String,
+    /// Ordered (key, value) entries.
+    pub entries: Vec<(String, Value)>,
+}
+
+impl Section {
+    /// Append an unsigned integer entry.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.entries.push((k.to_owned(), Value::U64(v)));
+        self
+    }
+
+    /// Append a signed integer entry.
+    pub fn i64(&mut self, k: &str, v: i64) -> &mut Self {
+        self.entries.push((k.to_owned(), Value::I64(v)));
+        self
+    }
+
+    /// Append a float entry.
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.entries.push((k.to_owned(), Value::F64(v)));
+        self
+    }
+
+    /// Append a string entry.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.entries.push((k.to_owned(), Value::Str(v.to_owned())));
+        self
+    }
+
+    /// Append a histogram entry.
+    pub fn hist(&mut self, k: &str, v: HistogramSnapshot) -> &mut Self {
+        self.entries.push((k.to_owned(), Value::Hist(v)));
+        self
+    }
+}
+
+/// A full run report: titled sections plus the span-timing table.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    /// Report title (the binary/run name).
+    pub title: String,
+    /// Metric sections in insertion order.
+    pub sections: Vec<Section>,
+    /// Aggregated span timings.
+    pub spans: Vec<SpanStat>,
+}
+
+impl Report {
+    /// An empty report titled `title`.
+    pub fn new(title: &str) -> Self {
+        Report {
+            title: title.to_owned(),
+            ..Report::default()
+        }
+    }
+
+    /// The section named `name`, created at the end if absent.
+    pub fn section(&mut self, name: &str) -> &mut Section {
+        if let Some(i) = self.sections.iter().position(|s| s.name == name) {
+            return &mut self.sections[i];
+        }
+        self.sections.push(Section {
+            name: name.to_owned(),
+            entries: Vec::new(),
+        });
+        self.sections.last_mut().expect("just pushed")
+    }
+
+    /// Attach span summaries (typically [`crate::trace::Tracer::summary`]).
+    pub fn add_spans(&mut self, spans: Vec<SpanStat>) {
+        self.spans.extend(spans);
+    }
+
+    /// Human-readable rendering for stderr.
+    pub fn render_text(&self) -> String {
+        let mut s = format!("== {} metrics ==\n", self.title);
+        for sec in &self.sections {
+            let _ = writeln!(s, "[{}]", sec.name);
+            for (k, v) in &sec.entries {
+                match v {
+                    Value::U64(v) => {
+                        let _ = writeln!(s, "  {k:32} {v}");
+                    }
+                    Value::I64(v) => {
+                        let _ = writeln!(s, "  {k:32} {v}");
+                    }
+                    Value::F64(v) => {
+                        let _ = writeln!(s, "  {k:32} {v:.4}");
+                    }
+                    Value::Str(v) => {
+                        let _ = writeln!(s, "  {k:32} {v}");
+                    }
+                    Value::Hist(h) => {
+                        let _ = writeln!(s, "  {k:32} {}", h.render());
+                    }
+                }
+            }
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(s, "[spans]");
+            let _ = writeln!(
+                s,
+                "  {:40} {:>8} {:>12} {:>12}",
+                "name", "count", "total_ms", "max_ms"
+            );
+            for sp in &self.spans {
+                let _ = writeln!(
+                    s,
+                    "  {:40} {:>8} {:>12.3} {:>12.3}",
+                    sp.name,
+                    sp.count,
+                    sp.total_ns as f64 / 1e6,
+                    sp.max_ns as f64 / 1e6
+                );
+            }
+        }
+        s
+    }
+
+    /// Machine-readable JSON rendering (`BENCH_metrics.json`).
+    ///
+    /// Schema: `{"title", "sections": [{"name", "metrics": {key:
+    /// value|histogram-object}}], "spans": [{"name", "count",
+    /// "total_ns", "max_ns"}]}` where a histogram value is
+    /// `{"count", "sum", "min", "max", "mean", "buckets": [u64]}`.
+    pub fn to_json(&self) -> String {
+        let sections: Vec<String> = self
+            .sections
+            .iter()
+            .map(|sec| {
+                let mut metrics = JsonObj::new();
+                for (k, v) in &sec.entries {
+                    match v {
+                        Value::U64(v) => metrics.u64(k, *v),
+                        Value::I64(v) => metrics.i64(k, *v),
+                        Value::F64(v) => metrics.f64(k, *v),
+                        Value::Str(v) => metrics.str(k, v),
+                        Value::Hist(h) => {
+                            let mut ho = JsonObj::new();
+                            ho.u64("count", h.count)
+                                .u64("sum", h.sum)
+                                .u64("min", h.min)
+                                .u64("max", h.max)
+                                .f64("mean", h.mean())
+                                .arr_u64("buckets", &h.buckets);
+                            metrics.raw(k, &ho.finish())
+                        }
+                    };
+                }
+                let mut o = JsonObj::new();
+                o.str("name", &sec.name).raw("metrics", &metrics.finish());
+                o.finish()
+            })
+            .collect();
+        let spans: Vec<String> = self
+            .spans
+            .iter()
+            .map(|sp| {
+                let mut o = JsonObj::new();
+                o.str("name", &sp.name)
+                    .u64("count", sp.count)
+                    .u64("total_ns", sp.total_ns)
+                    .u64("max_ns", sp.max_ns);
+                o.finish()
+            })
+            .collect();
+        let mut o = JsonObj::new();
+        o.str("title", &self.title)
+            .raw("sections", &json::array(&sections))
+            .raw("spans", &json::array(&spans));
+        o.finish()
+    }
+}

@@ -1,0 +1,151 @@
+//! Seedable SplitMix64 generator.
+//!
+//! The build sandbox has no network access, so the workspace cannot pull
+//! the `rand` crate; every randomized path (don't-care fill, trace
+//! generation, fault sampling, randomized tests) runs on this generator
+//! instead. SplitMix64 passes BigCrush, needs one u64 of state, and two
+//! generators with the same seed produce identical streams on every
+//! platform — which is what the determinism guards in the test suite
+//! rely on.
+
+/// A seedable SplitMix64 pseudo-random generator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 bits of entropy).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A fair coin flip.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be non-zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, or `None` if the slice is empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.below(xs.len())])
+        }
+    }
+
+    /// Sample `k` distinct elements uniformly without replacement (a
+    /// partial Fisher–Yates over indices). Returns fewer when the slice
+    /// is shorter than `k`; order of the sample is the draw order.
+    pub fn choose_multiple<T: Clone>(&mut self, xs: &[T], k: usize) -> Vec<T> {
+        let k = k.min(xs.len());
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        let mut out = Vec::with_capacity(k);
+        for i in 0..k {
+            let j = i + self.below(idx.len() - i);
+            idx.swap(i, j);
+            out.push(xs[idx[i]].clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SplitMix64::new(1);
+        let hits = (0..20_000).filter(|_| r.gen_bool(0.3)).count();
+        let f = hits as f64 / 20_000.0;
+        assert!((f - 0.3).abs() < 0.02, "fraction {f}");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_bounded() {
+        let xs: Vec<u32> = (0..20).collect();
+        let mut r = SplitMix64::new(5);
+        let sample = r.choose_multiple(&xs, 8);
+        assert_eq!(sample.len(), 8);
+        let mut s = sample.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 8, "sample must be distinct");
+        assert_eq!(r.choose_multiple(&xs, 50).len(), 20);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut xs: Vec<u32> = (0..50).collect();
+        let mut r = SplitMix64::new(9);
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+}

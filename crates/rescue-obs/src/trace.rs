@@ -1,0 +1,217 @@
+//! Span/event tracing with monotonic timestamps and a JSONL sink.
+//!
+//! A [`Tracer`] hands out RAII [`SpanGuard`]s; dropping the guard closes
+//! the span, folds its duration into the per-name summary, and — when a
+//! sink is attached — appends one JSON object per line to the trace
+//! file. Timestamps are nanoseconds since the tracer's creation
+//! (monotonic, from [`Instant`]), so a trace is self-consistent even
+//! though it carries no wall-clock times.
+//!
+//! Deep engine code opens spans through the process-global tracer
+//! ([`global`] / [`span`]) so experiment drivers don't have to thread a
+//! handle through every API. The global starts disabled; until a bench
+//! binary enables it, a span open/close is one atomic load.
+
+use crate::json::JsonObj;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+thread_local! {
+    static DEPTH: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Aggregated statistics for one span name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Span name.
+    pub name: String,
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total nanoseconds across all entries.
+    pub total_ns: u64,
+    /// Longest single entry in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// A span/event tracer. See the module docs.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    epoch: Instant,
+    sink: Mutex<Option<BufWriter<File>>>,
+    stats: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// A new, disabled tracer with no sink.
+    pub fn new() -> Self {
+        Tracer {
+            enabled: AtomicBool::new(false),
+            epoch: Instant::now(),
+            sink: Mutex::new(None),
+            stats: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Turn span collection on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether spans are being collected.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Attach a JSONL sink at `path` (truncates) and enable the tracer.
+    pub fn set_sink_path(&self, path: &str) -> std::io::Result<()> {
+        let f = File::create(path)?;
+        *self.sink.lock().expect("tracer sink poisoned") = Some(BufWriter::new(f));
+        self.set_enabled(true);
+        Ok(())
+    }
+
+    /// Nanoseconds since the tracer was created.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Open a span. Close it by dropping the returned guard.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        if !self.enabled() {
+            return SpanGuard {
+                tracer: self,
+                name: String::new(),
+                start_ns: 0,
+                depth: 0,
+                active: false,
+            };
+        }
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        SpanGuard {
+            tracer: self,
+            name: name.to_owned(),
+            start_ns: self.now_ns(),
+            depth,
+            active: true,
+        }
+    }
+
+    /// Emit a point event with optional string fields.
+    pub fn event(&self, name: &str, fields: &[(&str, &str)]) {
+        if !self.enabled() {
+            return;
+        }
+        let mut o = JsonObj::new();
+        o.str("type", "event")
+            .str("name", name)
+            .u64("ts_ns", self.now_ns())
+            .u64("depth", DEPTH.with(|d| d.get()));
+        for (k, v) in fields {
+            o.str(k, v);
+        }
+        self.write_line(&o.finish());
+    }
+
+    fn close_span(&self, name: &str, start_ns: u64, depth: u64) {
+        let end_ns = self.now_ns();
+        let dur = end_ns.saturating_sub(start_ns);
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        {
+            let mut stats = self.stats.lock().expect("tracer stats poisoned");
+            let st = stats.entry(name.to_owned()).or_insert_with(|| SpanStat {
+                name: name.to_owned(),
+                ..SpanStat::default()
+            });
+            st.count += 1;
+            st.total_ns += dur;
+            st.max_ns = st.max_ns.max(dur);
+        }
+        let mut o = JsonObj::new();
+        o.str("type", "span")
+            .str("name", name)
+            .u64("ts_ns", start_ns)
+            .u64("dur_ns", dur)
+            .u64("depth", depth);
+        self.write_line(&o.finish());
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut sink = self.sink.lock().expect("tracer sink poisoned");
+        if let Some(w) = sink.as_mut() {
+            let _ = writeln!(w, "{line}");
+        }
+    }
+
+    /// Flush the sink (call before exiting).
+    pub fn flush(&self) {
+        if let Some(w) = self.sink.lock().expect("tracer sink poisoned").as_mut() {
+            let _ = w.flush();
+        }
+    }
+
+    /// Per-name span summary, sorted by name.
+    pub fn summary(&self) -> Vec<SpanStat> {
+        self.stats
+            .lock()
+            .expect("tracer stats poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Current span nesting depth on this thread (0 outside all spans).
+    pub fn current_depth(&self) -> u64 {
+        DEPTH.with(|d| d.get())
+    }
+}
+
+/// RAII guard for an open span; the span closes when this drops.
+#[derive(Debug)]
+pub struct SpanGuard<'t> {
+    tracer: &'t Tracer,
+    name: String,
+    start_ns: u64,
+    depth: u64,
+    active: bool,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if self.active {
+            self.tracer
+                .close_span(&self.name, self.start_ns, self.depth);
+        }
+    }
+}
+
+/// The process-global tracer (created disabled).
+pub fn global() -> &'static Tracer {
+    static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+    GLOBAL.get_or_init(Tracer::new)
+}
+
+/// Open a span on the global tracer.
+///
+/// ```
+/// let _s = rescue_obs::span("table3.atpg");
+/// // ... phase work ...
+/// ```
+pub fn span(name: &str) -> SpanGuard<'static> {
+    global().span(name)
+}

@@ -1,0 +1,287 @@
+//! Integration tests for the tracer: span nesting, the JSONL sink
+//! (one parseable object per line), and the report's JSON document.
+//!
+//! The sandbox has no serde, so validation uses a minimal recursive
+//! descent JSON parser defined at the bottom of this file.
+
+use rescue_obs::trace::Tracer;
+use rescue_obs::{HistogramSnapshot, Report};
+
+#[test]
+fn disabled_tracer_records_nothing() {
+    let t = Tracer::new();
+    {
+        let _a = t.span("outer");
+        let _b = t.span("inner");
+    }
+    assert!(t.summary().is_empty());
+    assert_eq!(t.current_depth(), 0);
+}
+
+#[test]
+fn span_nesting_depths_and_summary() {
+    let t = Tracer::new();
+    t.set_enabled(true);
+    assert_eq!(t.current_depth(), 0);
+    {
+        let _a = t.span("outer");
+        assert_eq!(t.current_depth(), 1);
+        for _ in 0..3 {
+            let _b = t.span("inner");
+            assert_eq!(t.current_depth(), 2);
+        }
+        assert_eq!(t.current_depth(), 1);
+    }
+    assert_eq!(t.current_depth(), 0);
+
+    let summary = t.summary();
+    assert_eq!(summary.len(), 2);
+    let inner = summary.iter().find(|s| s.name == "inner").unwrap();
+    let outer = summary.iter().find(|s| s.name == "outer").unwrap();
+    assert_eq!(inner.count, 3);
+    assert_eq!(outer.count, 1);
+    // The outer span was open for at least as long as its longest child.
+    assert!(outer.max_ns >= inner.max_ns);
+    assert!(inner.total_ns >= inner.max_ns);
+}
+
+#[test]
+fn jsonl_sink_one_object_per_line() {
+    let path = std::env::temp_dir().join(format!("rescue_obs_trace_{}.jsonl", std::process::id()));
+    let path_s = path.to_str().unwrap();
+
+    let t = Tracer::new();
+    t.set_sink_path(path_s).unwrap();
+    {
+        let _a = t.span("phase.one");
+        let _b = t.span("phase.\"two\"\n"); // name needing escapes
+        t.event("checkpoint", &[("k", "v"), ("newline", "a\nb")]);
+    }
+    t.flush();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "event + two spans: {text:?}");
+    for line in &lines {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+        let obj = match v {
+            json::Value::Object(o) => o,
+            other => panic!("line is not an object: {other:?}"),
+        };
+        let ty = obj.iter().find(|(k, _)| k == "type").expect("type field");
+        match &ty.1 {
+            json::Value::Str(s) if s == "span" => {
+                for field in ["name", "ts_ns", "dur_ns", "depth"] {
+                    assert!(obj.iter().any(|(k, _)| k == field), "missing {field}");
+                }
+            }
+            json::Value::Str(s) if s == "event" => {
+                assert!(obj.iter().any(|(k, _)| k == "newline"));
+            }
+            other => panic!("unexpected type {other:?}"),
+        }
+    }
+    // Spans close inner-first, so line 2 (after the event) is the inner
+    // span at depth 1 and line 3 the outer at depth 0.
+    let depth_of = |line: &str| match json::parse(line).unwrap() {
+        json::Value::Object(o) => o
+            .into_iter()
+            .find(|(k, _)| k == "depth")
+            .map(|(_, v)| v)
+            .unwrap(),
+        _ => unreachable!(),
+    };
+    assert_eq!(depth_of(lines[1]), json::Value::Num(1.0));
+    assert_eq!(depth_of(lines[2]), json::Value::Num(0.0));
+}
+
+#[test]
+fn report_json_is_parseable() {
+    let mut r = Report::new("test \"quoted\"");
+    let mut h = HistogramSnapshot::default();
+    h.record(3);
+    h.record(300);
+    r.section("sec.a")
+        .u64("u", 7)
+        .i64("i", -7)
+        .f64("f", 0.25)
+        .f64("nan", f64::NAN)
+        .str("s", "x\ny")
+        .hist("h", h);
+    let t = Tracer::new();
+    t.set_enabled(true);
+    {
+        let _s = t.span("p");
+    }
+    r.add_spans(t.summary());
+
+    let doc = r.to_json();
+    let v = json::parse(&doc).unwrap_or_else(|e| panic!("bad report json: {e}\n{doc}"));
+    let obj = match v {
+        json::Value::Object(o) => o,
+        _ => panic!("not an object"),
+    };
+    for field in ["title", "sections", "spans"] {
+        assert!(obj.iter().any(|(k, _)| k == field), "missing {field}");
+    }
+    // NaN must serialize as null, not poison the document.
+    assert!(doc.contains("\"nan\":null"));
+}
+
+/// Minimal JSON parser for validation: values, objects with duplicate
+/// keys kept in order, numbers as f64.
+mod json {
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let b = s.as_bytes();
+        let mut i = 0;
+        let v = value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing bytes at {i}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => object(b, i),
+            Some(b'[') => array(b, i),
+            Some(b'"') => Ok(Value::Str(string(b, i)?)),
+            Some(b't') => lit(b, i, "true", Value::Bool(true)),
+            Some(b'f') => lit(b, i, "false", Value::Bool(false)),
+            Some(b'n') => lit(b, i, "null", Value::Null),
+            Some(_) => number(b, i),
+            None => Err("unexpected end".into()),
+        }
+    }
+
+    fn lit(b: &[u8], i: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+        if b[*i..].starts_with(word.as_bytes()) {
+            *i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at {i}"))
+        }
+    }
+
+    fn number(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        let start = *i;
+        while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *i += 1;
+        }
+        std::str::from_utf8(&b[start..*i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at {start}"))
+    }
+
+    fn string(b: &[u8], i: &mut usize) -> Result<String, String> {
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected string at {i}"));
+        }
+        *i += 1;
+        let mut out = Vec::new();
+        while let Some(&c) = b.get(*i) {
+            *i += 1;
+            match c {
+                b'"' => {
+                    return String::from_utf8(out).map_err(|e| e.to_string());
+                }
+                b'\\' => {
+                    let esc = *b.get(*i).ok_or("bad escape")?;
+                    *i += 1;
+                    match esc {
+                        b'"' | b'\\' | b'/' => out.push(esc),
+                        b'n' => out.push(b'\n'),
+                        b'r' => out.push(b'\r'),
+                        b't' => out.push(b'\t'),
+                        b'b' => out.push(0x08),
+                        b'f' => out.push(0x0c),
+                        b'u' => {
+                            let hex = std::str::from_utf8(b.get(*i..*i + 4).ok_or("short \\u")?)
+                                .map_err(|e| e.to_string())?;
+                            *i += 4;
+                            let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            let ch = char::from_u32(cp).ok_or("bad codepoint")?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                        }
+                        _ => return Err(format!("bad escape \\{}", esc as char)),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn array(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        *i += 1; // [
+        let mut items = Vec::new();
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b']') {
+            *i += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(value(b, i)?);
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b']') => {
+                    *i += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected , or ] at {i}")),
+            }
+        }
+    }
+
+    fn object(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        *i += 1; // {
+        let mut fields = Vec::new();
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b'}') {
+            *i += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            skip_ws(b, i);
+            let k = string(b, i)?;
+            skip_ws(b, i);
+            if b.get(*i) != Some(&b':') {
+                return Err(format!("expected : at {i}"));
+            }
+            *i += 1;
+            fields.push((k, value(b, i)?));
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b'}') => {
+                    *i += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(format!("expected , or }} at {i}")),
+            }
+        }
+    }
+}

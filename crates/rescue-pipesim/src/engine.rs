@@ -1,7 +1,7 @@
 //! The cycle-stepped simulation engine.
 
 use crate::config::{CoreConfig, Policy, Resources, SimConfig};
-use crate::result::SimResult;
+use crate::result::{SimResult, IPC_WINDOW_CYCLES};
 use rescue_workloads::{InstrKind, TraceInstr};
 use std::collections::VecDeque;
 
@@ -104,6 +104,16 @@ struct Engine<'c, T: Iterator<Item = TraceInstr>> {
 
     stats: SimResult,
     last_commit_cycle: u64,
+    /// Committed count at the last IPC-window boundary.
+    window_committed_base: u64,
+}
+
+/// Why dispatch blocked this cycle (first blocked instruction's need).
+#[derive(Clone, Copy, Debug)]
+enum StallCause {
+    Rob,
+    Lsq,
+    Iq,
 }
 
 impl<'c, T: Iterator<Item = TraceInstr>> Engine<'c, T> {
@@ -138,6 +148,7 @@ impl<'c, T: Iterator<Item = TraceInstr>> Engine<'c, T> {
             squash_window,
             stats: SimResult::default(),
             last_commit_cycle: 0,
+            window_committed_base: 0,
         }
     }
 
@@ -168,6 +179,7 @@ impl<'c, T: Iterator<Item = TraceInstr>> Engine<'c, T> {
 
     fn step(&mut self) {
         self.stats.sum_iq_occupancy += self.intq.occupancy() as u64;
+        self.stats.sum_fpq_occupancy += self.fpq.occupancy() as u64;
         self.stats.sum_rob_occupancy += self.rob.len() as u64;
         self.retire();
         self.handle_miss_detections();
@@ -177,6 +189,12 @@ impl<'c, T: Iterator<Item = TraceInstr>> Engine<'c, T> {
         self.dispatch();
         self.fetch();
         self.cycle += 1;
+        if self.cycle.is_multiple_of(IPC_WINDOW_CYCLES) {
+            self.stats
+                .ipc_windows
+                .record(self.stats.committed - self.window_committed_base);
+            self.window_committed_base = self.stats.committed;
+        }
     }
 
     // ---- Stage 1: retire.
@@ -267,10 +285,7 @@ impl<'c, T: Iterator<Item = TraceInstr>> Engine<'c, T> {
             Policy::Rescue => {
                 for fp in [false, true] {
                     let (halves_present, parts) = if fp {
-                        (
-                            self.core.fp_iq_halves,
-                            [QueuePart::FpOld, QueuePart::FpNew],
-                        )
+                        (self.core.fp_iq_halves, [QueuePart::FpOld, QueuePart::FpNew])
                     } else {
                         (
                             self.core.int_iq_halves,
@@ -445,8 +460,7 @@ impl<'c, T: Iterator<Item = TraceInstr>> Engine<'c, T> {
         let base = self.rob_base;
         let removable = |id: &u64| {
             let s = &rob[(*id - base) as usize];
-            matches!(s.state, State::Issued | State::Done)
-                && cycle >= s.issue_cycle + l1 + hold
+            matches!(s.state, State::Issued | State::Done) && cycle >= s.issue_cycle + l1 + hold
         };
         let mut removed: Vec<u64> = Vec::new();
         for dq in [
@@ -542,15 +556,17 @@ impl<'c, T: Iterator<Item = TraceInstr>> Engine<'c, T> {
 
     // ---- Stage 5: dispatch from the fetch queue into the window.
     fn dispatch(&mut self) {
-        let mut stalled = false;
+        let mut stalled: Option<StallCause> = None;
         for _ in 0..self.fe_width {
-            let Some(&(id, instr)) = self.fetchq.front() else { break };
+            let Some(&(id, instr)) = self.fetchq.front() else {
+                break;
+            };
             if self.rob.len() >= self.cfg.rob_entries {
-                stalled = true;
+                stalled = Some(StallCause::Rob);
                 break;
             }
             if instr.kind.is_mem() && self.lsq_count >= self.lsq_cap {
-                stalled = true;
+                stalled = Some(StallCause::Lsq);
                 break;
             }
             let fp = instr.kind.is_fp();
@@ -571,7 +587,7 @@ impl<'c, T: Iterator<Item = TraceInstr>> Engine<'c, T> {
                 }
             };
             if !ok {
-                stalled = true;
+                stalled = Some(StallCause::Iq);
                 break;
             }
             match self.cfg.policy {
@@ -602,8 +618,13 @@ impl<'c, T: Iterator<Item = TraceInstr>> Engine<'c, T> {
                 self.lsq_count += 1;
             }
         }
-        if stalled {
+        if let Some(cause) = stalled {
             self.stats.dispatch_stall_cycles += 1;
+            match cause {
+                StallCause::Rob => self.stats.stall_rob_full += 1,
+                StallCause::Lsq => self.stats.stall_lsq_full += 1,
+                StallCause::Iq => self.stats.stall_iq_full += 1,
+            }
         }
     }
 
@@ -615,6 +636,7 @@ impl<'c, T: Iterator<Item = TraceInstr>> Engine<'c, T> {
     fn fetch(&mut self) {
         if self.fetch_stall {
             if self.redirect_branch.is_some() || self.cycle < self.fetch_resume_at {
+                self.stats.fetch_stall_cycles += 1;
                 return;
             }
             self.fetch_stall = false;

@@ -38,4 +38,4 @@ mod result;
 
 pub use config::{CoreConfig, Policy, ReplayPolicy, Resources, SimConfig};
 pub use engine::simulate;
-pub use result::SimResult;
+pub use result::{SimResult, IPC_WINDOW_CYCLES};

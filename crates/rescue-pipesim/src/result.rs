@@ -1,5 +1,10 @@
 //! Simulation results and counters.
 
+use rescue_obs::metrics::HistogramSnapshot;
+
+/// Cycles per IPC-sampling window (power of two so the modulo is free).
+pub const IPC_WINDOW_CYCLES: u64 = 1024;
+
 /// Outcome of one simulation run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimResult {
@@ -17,12 +22,29 @@ pub struct SimResult {
     pub miss_squashes: u64,
     /// Cycles in which dispatch stalled for lack of queue/ROB/LSQ space.
     pub dispatch_stall_cycles: u64,
+    /// Dispatch-stall cycles whose first blocked instruction needed a
+    /// ROB entry.
+    pub stall_rob_full: u64,
+    /// Dispatch-stall cycles whose first blocked instruction needed an
+    /// LSQ entry.
+    pub stall_lsq_full: u64,
+    /// Dispatch-stall cycles whose first blocked instruction needed an
+    /// issue-queue slot (int or fp).
+    pub stall_iq_full: u64,
+    /// Cycles the front end fetched nothing while redirecting after a
+    /// mispredicted branch.
+    pub fetch_stall_cycles: u64,
     /// Instructions issued (including ones later squashed/replayed).
     pub issued_total: u64,
     /// Sum over cycles of int-issue-queue occupancy (for averages).
     pub sum_iq_occupancy: u64,
+    /// Sum over cycles of fp-issue-queue occupancy.
+    pub sum_fpq_occupancy: u64,
     /// Sum over cycles of ROB occupancy.
     pub sum_rob_occupancy: u64,
+    /// Instructions committed per [`IPC_WINDOW_CYCLES`]-cycle window
+    /// (full windows only) — the IPC-over-time distribution.
+    pub ipc_windows: HistogramSnapshot,
 }
 
 impl SimResult {
@@ -41,6 +63,15 @@ impl SimResult {
             0.0
         } else {
             self.sum_iq_occupancy as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average fp issue-queue occupancy per cycle.
+    pub fn avg_fpq_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.sum_fpq_occupancy as f64 / self.cycles as f64
         }
     }
 

@@ -6,7 +6,12 @@ use rescue_workloads::{BenchmarkProfile, InstrKind, TraceGenerator, TraceInstr};
 #[test]
 fn empty_trace_finishes_immediately() {
     let cfg = SimConfig::paper(Policy::Rescue);
-    let r = simulate(&cfg, &CoreConfig::healthy(), Vec::<TraceInstr>::new(), 1_000);
+    let r = simulate(
+        &cfg,
+        &CoreConfig::healthy(),
+        Vec::<TraceInstr>::new(),
+        1_000,
+    );
     assert_eq!(r.committed, 0);
     assert!(r.cycles < 10);
 }
@@ -162,7 +167,11 @@ fn utilization_counters_move() {
         TraceGenerator::new(&prof, 5),
         20_000,
     );
-    assert!(r.avg_iq_occupancy() > 1.0, "iq occupancy {}", r.avg_iq_occupancy());
+    assert!(
+        r.avg_iq_occupancy() > 1.0,
+        "iq occupancy {}",
+        r.avg_iq_occupancy()
+    );
     assert!(r.avg_iq_occupancy() <= cfg.int_iq_entries as f64 + 1e-9);
     assert!(r.avg_rob_occupancy() > 5.0);
     assert!(r.avg_rob_occupancy() <= cfg.rob_entries as f64);

@@ -67,9 +67,7 @@ fn degradation_reduces_ipc_monotonically() {
     let prof = BenchmarkProfile::by_name("gcc").unwrap();
     let cfg = SimConfig::paper(Policy::Rescue);
     let n = 30_000;
-    let ipc = |core: &CoreConfig| {
-        simulate(&cfg, core, TraceGenerator::new(&prof, 5), n).ipc()
-    };
+    let ipc = |core: &CoreConfig| simulate(&cfg, core, TraceGenerator::new(&prof, 5), n).ipc();
     let full = ipc(&CoreConfig::healthy());
     let half_fe = ipc(&CoreConfig {
         frontend_groups: 1,

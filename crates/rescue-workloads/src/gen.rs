@@ -2,8 +2,7 @@
 
 use crate::profiles::BenchmarkProfile;
 use crate::{InstrKind, TraceInstr};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rescue_obs::SplitMix64;
 
 /// Infinite, deterministic instruction stream for one benchmark.
 ///
@@ -12,7 +11,7 @@ use rand::{Rng, SeedableRng};
 #[derive(Clone, Debug)]
 pub struct TraceGenerator {
     profile: BenchmarkProfile,
-    rng: SmallRng,
+    rng: SplitMix64,
     /// Index of the next instruction (used to clamp dependence
     /// distances near the start of the stream).
     index: u64,
@@ -30,14 +29,14 @@ impl TraceGenerator {
         }
         TraceGenerator {
             profile: profile.clone(),
-            rng: SmallRng::seed_from_u64(seed ^ h),
+            rng: SplitMix64::new(seed ^ h),
             index: 0,
         }
     }
 
     fn sample_kind(&mut self) -> InstrKind {
         let p = &self.profile;
-        let x: f64 = self.rng.gen();
+        let x: f64 = self.rng.next_f64();
         if x < p.f_load {
             InstrKind::Load
         } else if x < p.f_load + p.f_store {
@@ -66,7 +65,7 @@ impl TraceGenerator {
         // instructions that actually precede this one.
         let mean = p.mean_dep_distance.max(1.0);
         let q = 1.0 / mean;
-        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u: f64 = self.rng.range_f64(f64::EPSILON, 1.0);
         let d = (u.ln() / (1.0 - q).ln()).ceil().max(1.0) as u64;
         let d = d.min(self.index).min(u16::MAX as u64);
         if d == 0 {
@@ -97,8 +96,7 @@ impl Iterator for TraceGenerator {
         for s in src_deps.iter_mut().take(n_src) {
             *s = self.sample_dep();
         }
-        let mispredict =
-            kind == InstrKind::Branch && self.rng.gen_bool(clamp01(p.mispredict_rate));
+        let mispredict = kind == InstrKind::Branch && self.rng.gen_bool(clamp01(p.mispredict_rate));
         let l1_miss = kind == InstrKind::Load && self.rng.gen_bool(clamp01(p.l1_miss_rate));
         let l2_miss = l1_miss && self.rng.gen_bool(clamp01(p.l2_miss_rate));
         self.index += 1;

@@ -31,8 +31,8 @@ mod profiles;
 pub mod stats;
 
 pub use gen::TraceGenerator;
-pub use stats::{measure, TraceStats};
 pub use profiles::{spec2000_profiles, BenchmarkProfile, Suite};
+pub use stats::{measure, TraceStats};
 
 /// Instruction classes the timing model distinguishes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

@@ -71,30 +71,329 @@ macro_rules! profile {
 pub fn spec2000_profiles() -> Vec<BenchmarkProfile> {
     vec![
         // ---- SPECint2000 (11 of 12; gap excluded by the paper).
-        profile!("gzip",    Int, ld=0.20, st=0.08, br=0.17, long=0.01, fp=0.00, dep=6.0,  rdy=0.45, mp=0.070, l1=0.020, l2=0.05),
-        profile!("vpr",     Int, ld=0.28, st=0.12, br=0.13, long=0.02, fp=0.05, dep=5.0,  rdy=0.40, mp=0.090, l1=0.030, l2=0.15),
-        profile!("gcc",     Int, ld=0.25, st=0.13, br=0.16, long=0.01, fp=0.00, dep=7.0,  rdy=0.50, mp=0.065, l1=0.035, l2=0.10),
-        profile!("mcf",     Int, ld=0.31, st=0.09, br=0.19, long=0.01, fp=0.00, dep=4.0,  rdy=0.40, mp=0.090, l1=0.240, l2=0.60),
-        profile!("crafty",  Int, ld=0.29, st=0.09, br=0.11, long=0.02, fp=0.00, dep=7.0,  rdy=0.50, mp=0.080, l1=0.012, l2=0.05),
-        profile!("parser",  Int, ld=0.24, st=0.09, br=0.16, long=0.01, fp=0.00, dep=5.0,  rdy=0.45, mp=0.075, l1=0.030, l2=0.20),
-        profile!("eon",     Int, ld=0.28, st=0.17, br=0.11, long=0.02, fp=0.15, dep=8.0,  rdy=0.55, mp=0.040, l1=0.005, l2=0.05),
-        profile!("perlbmk", Int, ld=0.26, st=0.15, br=0.14, long=0.01, fp=0.00, dep=6.0,  rdy=0.50, mp=0.055, l1=0.015, l2=0.10),
-        profile!("vortex",  Int, ld=0.27, st=0.17, br=0.14, long=0.01, fp=0.00, dep=8.0,  rdy=0.55, mp=0.020, l1=0.015, l2=0.10),
-        profile!("bzip2",   Int, ld=0.24, st=0.10, br=0.13, long=0.01, fp=0.00, dep=4.5,  rdy=0.35, mp=0.070, l1=0.022, l2=0.25),
-        profile!("twolf",   Int, ld=0.26, st=0.08, br=0.14, long=0.03, fp=0.05, dep=5.0,  rdy=0.40, mp=0.110, l1=0.050, l2=0.10),
+        profile!(
+            "gzip",
+            Int,
+            ld = 0.20,
+            st = 0.08,
+            br = 0.17,
+            long = 0.01,
+            fp = 0.00,
+            dep = 6.0,
+            rdy = 0.45,
+            mp = 0.070,
+            l1 = 0.020,
+            l2 = 0.05
+        ),
+        profile!(
+            "vpr",
+            Int,
+            ld = 0.28,
+            st = 0.12,
+            br = 0.13,
+            long = 0.02,
+            fp = 0.05,
+            dep = 5.0,
+            rdy = 0.40,
+            mp = 0.090,
+            l1 = 0.030,
+            l2 = 0.15
+        ),
+        profile!(
+            "gcc",
+            Int,
+            ld = 0.25,
+            st = 0.13,
+            br = 0.16,
+            long = 0.01,
+            fp = 0.00,
+            dep = 7.0,
+            rdy = 0.50,
+            mp = 0.065,
+            l1 = 0.035,
+            l2 = 0.10
+        ),
+        profile!(
+            "mcf",
+            Int,
+            ld = 0.31,
+            st = 0.09,
+            br = 0.19,
+            long = 0.01,
+            fp = 0.00,
+            dep = 4.0,
+            rdy = 0.40,
+            mp = 0.090,
+            l1 = 0.240,
+            l2 = 0.60
+        ),
+        profile!(
+            "crafty",
+            Int,
+            ld = 0.29,
+            st = 0.09,
+            br = 0.11,
+            long = 0.02,
+            fp = 0.00,
+            dep = 7.0,
+            rdy = 0.50,
+            mp = 0.080,
+            l1 = 0.012,
+            l2 = 0.05
+        ),
+        profile!(
+            "parser",
+            Int,
+            ld = 0.24,
+            st = 0.09,
+            br = 0.16,
+            long = 0.01,
+            fp = 0.00,
+            dep = 5.0,
+            rdy = 0.45,
+            mp = 0.075,
+            l1 = 0.030,
+            l2 = 0.20
+        ),
+        profile!(
+            "eon",
+            Int,
+            ld = 0.28,
+            st = 0.17,
+            br = 0.11,
+            long = 0.02,
+            fp = 0.15,
+            dep = 8.0,
+            rdy = 0.55,
+            mp = 0.040,
+            l1 = 0.005,
+            l2 = 0.05
+        ),
+        profile!(
+            "perlbmk",
+            Int,
+            ld = 0.26,
+            st = 0.15,
+            br = 0.14,
+            long = 0.01,
+            fp = 0.00,
+            dep = 6.0,
+            rdy = 0.50,
+            mp = 0.055,
+            l1 = 0.015,
+            l2 = 0.10
+        ),
+        profile!(
+            "vortex",
+            Int,
+            ld = 0.27,
+            st = 0.17,
+            br = 0.14,
+            long = 0.01,
+            fp = 0.00,
+            dep = 8.0,
+            rdy = 0.55,
+            mp = 0.020,
+            l1 = 0.015,
+            l2 = 0.10
+        ),
+        profile!(
+            "bzip2",
+            Int,
+            ld = 0.24,
+            st = 0.10,
+            br = 0.13,
+            long = 0.01,
+            fp = 0.00,
+            dep = 4.5,
+            rdy = 0.35,
+            mp = 0.070,
+            l1 = 0.022,
+            l2 = 0.25
+        ),
+        profile!(
+            "twolf",
+            Int,
+            ld = 0.26,
+            st = 0.08,
+            br = 0.14,
+            long = 0.03,
+            fp = 0.05,
+            dep = 5.0,
+            rdy = 0.40,
+            mp = 0.110,
+            l1 = 0.050,
+            l2 = 0.10
+        ),
         // ---- SPECfp2000 (12 of 14; ammp and galgel excluded).
-        profile!("wupwise", Fp, ld=0.22, st=0.10, br=0.04, long=0.08, fp=0.75, dep=12.0, rdy=0.60, mp=0.015, l1=0.020, l2=0.20),
-        profile!("swim",    Fp, ld=0.27, st=0.08, br=0.01, long=0.07, fp=0.85, dep=20.0, rdy=0.70, mp=0.005, l1=0.090, l2=0.30),
-        profile!("mgrid",   Fp, ld=0.33, st=0.03, br=0.01, long=0.06, fp=0.85, dep=18.0, rdy=0.70, mp=0.005, l1=0.040, l2=0.25),
-        profile!("applu",   Fp, ld=0.30, st=0.08, br=0.01, long=0.09, fp=0.85, dep=16.0, rdy=0.65, mp=0.010, l1=0.060, l2=0.30),
-        profile!("mesa",    Fp, ld=0.24, st=0.13, br=0.09, long=0.04, fp=0.45, dep=9.0,  rdy=0.55, mp=0.030, l1=0.005, l2=0.10),
-        profile!("art",     Fp, ld=0.28, st=0.07, br=0.12, long=0.05, fp=0.60, dep=6.0,  rdy=0.45, mp=0.030, l1=0.330, l2=0.70),
-        profile!("equake",  Fp, ld=0.36, st=0.07, br=0.11, long=0.07, fp=0.60, dep=8.0,  rdy=0.50, mp=0.020, l1=0.060, l2=0.40),
-        profile!("facerec", Fp, ld=0.26, st=0.08, br=0.04, long=0.06, fp=0.70, dep=14.0, rdy=0.60, mp=0.020, l1=0.040, l2=0.35),
-        profile!("lucas",   Fp, ld=0.22, st=0.10, br=0.02, long=0.08, fp=0.80, dep=15.0, rdy=0.65, mp=0.010, l1=0.060, l2=0.40),
-        profile!("fma3d",   Fp, ld=0.28, st=0.12, br=0.06, long=0.07, fp=0.65, dep=10.0, rdy=0.55, mp=0.025, l1=0.030, l2=0.25),
-        profile!("sixtrack",Fp, ld=0.24, st=0.08, br=0.05, long=0.08, fp=0.75, dep=16.0, rdy=0.65, mp=0.015, l1=0.010, l2=0.10),
-        profile!("apsi",    Fp, ld=0.26, st=0.10, br=0.03, long=0.07, fp=0.70, dep=12.0, rdy=0.60, mp=0.015, l1=0.030, l2=0.25),
+        profile!(
+            "wupwise",
+            Fp,
+            ld = 0.22,
+            st = 0.10,
+            br = 0.04,
+            long = 0.08,
+            fp = 0.75,
+            dep = 12.0,
+            rdy = 0.60,
+            mp = 0.015,
+            l1 = 0.020,
+            l2 = 0.20
+        ),
+        profile!(
+            "swim",
+            Fp,
+            ld = 0.27,
+            st = 0.08,
+            br = 0.01,
+            long = 0.07,
+            fp = 0.85,
+            dep = 20.0,
+            rdy = 0.70,
+            mp = 0.005,
+            l1 = 0.090,
+            l2 = 0.30
+        ),
+        profile!(
+            "mgrid",
+            Fp,
+            ld = 0.33,
+            st = 0.03,
+            br = 0.01,
+            long = 0.06,
+            fp = 0.85,
+            dep = 18.0,
+            rdy = 0.70,
+            mp = 0.005,
+            l1 = 0.040,
+            l2 = 0.25
+        ),
+        profile!(
+            "applu",
+            Fp,
+            ld = 0.30,
+            st = 0.08,
+            br = 0.01,
+            long = 0.09,
+            fp = 0.85,
+            dep = 16.0,
+            rdy = 0.65,
+            mp = 0.010,
+            l1 = 0.060,
+            l2 = 0.30
+        ),
+        profile!(
+            "mesa",
+            Fp,
+            ld = 0.24,
+            st = 0.13,
+            br = 0.09,
+            long = 0.04,
+            fp = 0.45,
+            dep = 9.0,
+            rdy = 0.55,
+            mp = 0.030,
+            l1 = 0.005,
+            l2 = 0.10
+        ),
+        profile!(
+            "art",
+            Fp,
+            ld = 0.28,
+            st = 0.07,
+            br = 0.12,
+            long = 0.05,
+            fp = 0.60,
+            dep = 6.0,
+            rdy = 0.45,
+            mp = 0.030,
+            l1 = 0.330,
+            l2 = 0.70
+        ),
+        profile!(
+            "equake",
+            Fp,
+            ld = 0.36,
+            st = 0.07,
+            br = 0.11,
+            long = 0.07,
+            fp = 0.60,
+            dep = 8.0,
+            rdy = 0.50,
+            mp = 0.020,
+            l1 = 0.060,
+            l2 = 0.40
+        ),
+        profile!(
+            "facerec",
+            Fp,
+            ld = 0.26,
+            st = 0.08,
+            br = 0.04,
+            long = 0.06,
+            fp = 0.70,
+            dep = 14.0,
+            rdy = 0.60,
+            mp = 0.020,
+            l1 = 0.040,
+            l2 = 0.35
+        ),
+        profile!(
+            "lucas",
+            Fp,
+            ld = 0.22,
+            st = 0.10,
+            br = 0.02,
+            long = 0.08,
+            fp = 0.80,
+            dep = 15.0,
+            rdy = 0.65,
+            mp = 0.010,
+            l1 = 0.060,
+            l2 = 0.40
+        ),
+        profile!(
+            "fma3d",
+            Fp,
+            ld = 0.28,
+            st = 0.12,
+            br = 0.06,
+            long = 0.07,
+            fp = 0.65,
+            dep = 10.0,
+            rdy = 0.55,
+            mp = 0.025,
+            l1 = 0.030,
+            l2 = 0.25
+        ),
+        profile!(
+            "sixtrack",
+            Fp,
+            ld = 0.24,
+            st = 0.08,
+            br = 0.05,
+            long = 0.08,
+            fp = 0.75,
+            dep = 16.0,
+            rdy = 0.65,
+            mp = 0.015,
+            l1 = 0.010,
+            l2 = 0.10
+        ),
+        profile!(
+            "apsi",
+            Fp,
+            ld = 0.26,
+            st = 0.10,
+            br = 0.03,
+            long = 0.07,
+            fp = 0.70,
+            dep = 12.0,
+            rdy = 0.60,
+            mp = 0.015,
+            l1 = 0.030,
+            l2 = 0.25
+        ),
     ]
 }
 
@@ -129,7 +428,11 @@ mod tests {
     #[test]
     fn fractions_are_sane() {
         for p in spec2000_profiles() {
-            assert!(p.f_compute() > 0.2, "{}: compute fraction too small", p.name);
+            assert!(
+                p.f_compute() > 0.2,
+                "{}: compute fraction too small",
+                p.name
+            );
             for v in [
                 p.f_load,
                 p.f_store,

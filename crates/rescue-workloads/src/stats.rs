@@ -163,8 +163,7 @@ mod tests {
             // Dependence distance tracks relatively (clamping shortens it
             // slightly at the stream head).
             assert!(
-                (s.mean_dep_distance - p.mean_dep_distance).abs() / p.mean_dep_distance
-                    < 0.15,
+                (s.mean_dep_distance - p.mean_dep_distance).abs() / p.mean_dep_distance < 0.15,
                 "{}: dep distance {} vs {}",
                 p.name,
                 s.mean_dep_distance,

@@ -36,4 +36,6 @@ pub use area::{AreaModel, RescueAreas, Table2Row};
 pub use mixture::{gamma_mixture_integrate, ConfigProb};
 pub use monte::{monte_carlo_yat, MonteRng};
 pub use tech::{Scenario, TechNode};
-pub use yat::{relative_yat, relative_yat_self_healing, ClassCounts, YatInputs, YatPoint, NUM_CLASSES};
+pub use yat::{
+    relative_yat, relative_yat_self_healing, ClassCounts, YatInputs, YatPoint, NUM_CLASSES,
+};

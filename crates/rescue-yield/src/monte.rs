@@ -54,9 +54,7 @@ impl MonteRng {
                 continue;
             }
             let u = self.uniform();
-            if u < 1.0 - 0.0331 * x.powi(4)
-                || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
-            {
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
                 return d * v * scale;
             }
         }
@@ -138,7 +136,7 @@ pub fn monte_carlo_yat(
                 }
                 *c = ok;
             }
-            if counts.iter().any(|&k| k == 0) {
+            if counts.contains(&0) {
                 continue; // a whole class lost: core dead
             }
             rescue_ipc_sum += (inputs.ipc_rescue)(counts);
@@ -220,6 +218,6 @@ mod tests {
         let n = 100_000;
         let zeros = (0..n).filter(|_| rng.poisson_is_zero(lam)).count();
         let p = zeros as f64 / n as f64;
-        assert!((p - (-lam as f64).exp()).abs() < 0.01);
+        assert!((p - (-lam).exp()).abs() < 0.01);
     }
 }

@@ -103,7 +103,9 @@ impl Scenario {
 
     /// Cores fabricated per chip at `node` (the table under Figure 9).
     pub fn cores_per_chip(&self, node: TechNode, growth: f64) -> usize {
-        (self.chip_area / self.core_area(node, growth)).round().max(1.0) as usize
+        (self.chip_area / self.core_area(node, growth))
+            .round()
+            .max(1.0) as usize
     }
 
     /// The fraction of the 90nm-scale component areas remaining at

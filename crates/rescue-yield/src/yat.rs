@@ -114,9 +114,7 @@ fn relative_yat_with_areas(
 
     // --- No redundancy: whole chip must be fault-free. Use the larger of
     // the baseline core areas for all cores.
-    let none = gamma_mixture_integrate(alpha, |x| {
-        (-(n * lam_core_baseline) * x).exp()
-    });
+    let none = gamma_mixture_integrate(alpha, |x| (-(n * lam_core_baseline) * x).exp());
 
     // --- Core sparing: expected fraction of fault-free cores.
     let core_sparing = gamma_mixture_integrate(alpha, |x| (-(lam_core_baseline) * x).exp());
@@ -196,7 +194,7 @@ mod tests {
     }
 
     #[test]
-    fn ordering_none_below_cs_below_one(){
+    fn ordering_none_below_cs_below_one() {
         let sc = Scenario::pwp_stagnates_at_90nm();
         let (b, f) = flat_inputs(0.96);
         let inputs = YatInputs {

@@ -36,7 +36,10 @@ fn main() {
     // Must-repair + greedy allocation maps the failures onto the spares.
     match repair_allocate(&bitmap, cfg) {
         Ok(plan) => {
-            println!("repaired: spare rows -> {:?}, spare cols -> {:?}", plan.rows, plan.cols);
+            println!(
+                "repaired: spare rows -> {:?}, spare cols -> {:?}",
+                plan.rows, plan.cols
+            );
         }
         Err(e) => println!("scrapped: {e}"),
     }

@@ -73,7 +73,10 @@ fn main() {
         TraceGenerator::new(&prof, 7),
         n,
     );
-    println!("benchmark {name}: baseline (pre-Rescue) IPC = {:.3}\n", baseline.ipc());
+    println!(
+        "benchmark {name}: baseline (pre-Rescue) IPC = {:.3}\n",
+        baseline.ipc()
+    );
     println!("{:28} {:>7} {:>12}", "configuration", "IPC", "vs baseline");
     for (label, core) in ladder {
         let r = simulate(&cfg, &core, TraceGenerator::new(&prof, 7), n);
@@ -84,5 +87,7 @@ fn main() {
             100.0 * (r.ipc() / baseline.ipc() - 1.0)
         );
     }
-    println!("\nEven the worst-case core keeps running — that is the YAT advantage over core sparing.");
+    println!(
+        "\nEven the worst-case core keeps running — that is the YAT advantage over core sparing."
+    );
 }

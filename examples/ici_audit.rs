@@ -48,7 +48,8 @@ fn main() {
     // Step 2: dependence rotation moves the select-tree root behind the
     // pipeline latch (cycle splitting here would break back-to-back
     // issue).
-    log.steps.push(g.rotate_dependence(root).expect("root has latched outputs"));
+    log.steps
+        .push(g.rotate_dependence(root).expect("root has latched outputs"));
     show(&g, "after rotating the select root");
 
     // Step 3: privatize the rotated root per queue half.
@@ -67,5 +68,7 @@ fn main() {
 
     let report = g.isolation_report();
     assert!(report.separable(old, new));
-    println!("issue-queue halves are now separately isolable — faults map out half a queue, not a core");
+    println!(
+        "issue-queue halves are now separately isolable — faults map out half a queue, not a core"
+    );
 }

@@ -116,13 +116,24 @@ fn simulated_ipcs_drive_yat_crossover() {
     assert!(p18.none < p18.core_sparing);
 }
 
-/// Determinism across the whole stack: same seeds, same numbers.
+/// Determinism across the whole stack: same seeds, same numbers. This
+/// is the golden test for the observability counters too — every ATPG
+/// count (decisions, backtracks, drops per block, gate evaluations)
+/// must be bit-identical across runs; only wall-clock timings may vary.
 #[test]
 fn full_stack_determinism() {
     let t1 = rescue_core::experiments::table3(&ModelParams::tiny());
     let t2 = rescue_core::experiments::table3(&ModelParams::tiny());
     assert_eq!(t1.baseline, t2.baseline);
     assert_eq!(t1.rescue, t2.rescue);
+    assert_eq!(t1.baseline_metrics.counts, t2.baseline_metrics.counts);
+    assert_eq!(t1.rescue_metrics.counts, t2.rescue_metrics.counts);
+    // The counters must describe real work, not zeros.
+    let c = &t1.rescue_metrics.counts;
+    assert!(c.podem_decisions > 0);
+    assert!(c.blocks_flushed > 0);
+    assert!(c.fsim_gate_evals > 0);
+    assert!(c.word_utilization() > 0.0 && c.word_utilization() <= 1.0);
 }
 
 /// The §3.1 corollary: multiple simultaneous faults — one per map-out
@@ -130,12 +141,7 @@ fn full_stack_determinism() {
 /// set, with no false accusations.
 #[test]
 fn multi_fault_isolation_implicates_all_faulty_groups() {
-    let trials = rescue_core::experiments::multi_fault_isolation(
-        &ModelParams::tiny(),
-        3,
-        8,
-        17,
-    );
+    let trials = rescue_core::experiments::multi_fault_isolation(&ModelParams::tiny(), 3, 8, 17);
     assert_eq!(trials.len(), 8);
     for t in &trials {
         assert_eq!(t.false_positives, 0, "no healthy group may be accused");
@@ -177,9 +183,7 @@ fn chain_faults_fail_the_flush_test() {
         let enable_sa1 = fault.stuck_at == rescue_core::netlist::StuckAt::One
             && match fault.site {
                 FaultSite::Net(n) => n == scanned.chain.scan_enable,
-                FaultSite::GateInput(g, pin) => {
-                    scanned.netlist.gate(g).is_scan_path() && pin == 0
-                }
+                FaultSite::GateInput(g, pin) => scanned.netlist.gate(g).is_scan_path() && pin == 0,
             };
         let on_shift_path = !enable_sa1
             && match fault.site {
@@ -187,9 +191,7 @@ fn chain_faults_fail_the_flush_test() {
                     scanned.netlist.net_driver(n),
                     Driver::Gate(g) if !scanned.netlist.gate(g).is_scan_path()
                 ),
-                FaultSite::GateInput(g, pin) => {
-                    scanned.netlist.gate(g).is_scan_path() && pin != 1
-                }
+                FaultSite::GateInput(g, pin) => scanned.netlist.gate(g).is_scan_path() && pin != 1,
             };
         let r = chain_flush_test(&scanned, Some(fault));
         if on_shift_path {
@@ -205,6 +207,9 @@ fn chain_faults_fail_the_flush_test() {
             functional_pin_checked += 1;
         }
     }
-    assert!(shift_path_checked > 10, "sample must cover shift-path faults");
+    assert!(
+        shift_path_checked > 10,
+        "sample must cover shift-path faults"
+    );
     assert!(functional_pin_checked > 0);
 }
