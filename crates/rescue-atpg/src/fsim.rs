@@ -92,6 +92,19 @@ impl<'a> FaultSim<'a> {
         mask
     }
 
+    /// Bit lane of the first pattern in the loaded block that detects
+    /// `fault` (patterns occupy lanes in vector order), or `None` when
+    /// the block misses it. This is the per-vector provenance the
+    /// coverage curve records.
+    pub fn first_detecting_lane(&mut self, fault: Fault) -> Option<u32> {
+        let mask = self.detect_mask(fault);
+        if mask == 0 {
+            None
+        } else {
+            Some(mask.trailing_zeros())
+        }
+    }
+
     /// Simulate `fault` and report every observation point where a
     /// difference appears, with its pattern mask. This is the data fault
     /// isolation consumes (the failing scan positions).

@@ -4,10 +4,15 @@ use crate::fsim::FaultSim;
 use crate::podem::{Podem, PodemConfig, PodemResult, TestCube};
 use crate::threeval::V3;
 use rescue_netlist::{Driver, Fault, FaultSite, PatternBlock, ScanNetlist};
+use rescue_obs::coverage::{CoverageRecorder, LabelId};
 use rescue_obs::metrics::HistogramSnapshot;
-use rescue_obs::SplitMix64;
+use rescue_obs::{CoverageCurve, SplitMix64};
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// Attribution label for faults on primary inputs (tester-side, no ICI
+/// component).
+const IO_LABEL: &str = "(primary-input)";
 
 /// Classification of each collapsed fault after a run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -158,6 +163,10 @@ pub struct AtpgMetrics {
     pub counts: AtpgCounts,
     /// Wall-clock phase breakdown.
     pub timing: AtpgTiming,
+    /// Per-vector coverage curve with per-component attribution. Like
+    /// [`AtpgCounts`], deterministic for a fixed design/config/seed; its
+    /// final point agrees exactly with [`AtpgRun::coverage`].
+    pub coverage: CoverageCurve,
 }
 
 /// One fully-specified capture vector.
@@ -312,6 +321,18 @@ impl<'a> Atpg<'a> {
         let mut vectors: Vec<PatternVector> = Vec::new();
         let mut pending: Vec<TestCube> = Vec::new();
         let mut rng = SplitMix64::new(self.config.fill_seed);
+        let mut recorder = CoverageRecorder::new();
+        // PODEM detections attributed to a still-pending cube: resolved
+        // to a global vector index when the pending batch flushes.
+        let mut pending_events: Vec<(usize, LabelId)> = Vec::new();
+        // Coverage-so-far counter denominator: faults the capture
+        // vectors initially target (untestables are discovered later).
+        let targetable_initial = remaining.len() as u64;
+
+        let label_of = |rec: &mut CoverageRecorder, f: Fault| match n.fault_component(f) {
+            Some(c) => rec.label(n.component_name(c)),
+            None => rec.label(IO_LABEL),
+        };
 
         let flush = |pending: &mut Vec<TestCube>,
                      vectors: &mut Vec<PatternVector>,
@@ -320,9 +341,15 @@ impl<'a> Atpg<'a> {
                      rng: &mut SplitMix64,
                      sim: &mut FaultSim,
                      counts: &mut AtpgCounts,
-                     timing: &mut AtpgTiming| {
+                     timing: &mut AtpgTiming,
+                     recorder: &mut CoverageRecorder,
+                     pending_events: &mut Vec<(usize, LabelId)>| {
             if pending.is_empty() {
                 return;
+            }
+            let base = vectors.len() as u64;
+            for (slot, label) in pending_events.drain(..) {
+                recorder.detect(base + slot as u64, label);
             }
             let t = Instant::now();
             let mut filled: Vec<PatternVector> =
@@ -331,24 +358,36 @@ impl<'a> Atpg<'a> {
             counts.patterns_simulated += filled.len() as u64;
             let blocks = vectors_to_blocks(&filled, self.scanned);
             let t = Instant::now();
-            for block in &blocks {
+            for (block_idx, block) in blocks.iter().enumerate() {
                 sim.load_block(block);
+                let block_base = base + (block_idx as u64) * 64;
                 let before = remaining.len();
-                remaining.retain(|&f| {
-                    if sim.detect_mask(f) != 0 {
+                remaining.retain(|&f| match sim.first_detecting_lane(f) {
+                    Some(lane) => {
                         classes.insert(f, FaultClass::Detected);
+                        let label = label_of(recorder, f);
+                        recorder.detect(block_base + lane as u64, label);
                         false
-                    } else {
-                        true
                     }
+                    None => true,
                 });
                 let dropped = (before - remaining.len()) as u64;
                 counts.blocks_flushed += 1;
                 counts.faults_dropped_by_sim += dropped;
                 counts.drops_per_block.record(dropped);
+                rescue_obs::counter("atpg.detected", recorder.detected_so_far() as f64);
+                rescue_obs::counter(
+                    "atpg.coverage_so_far",
+                    if targetable_initial == 0 {
+                        1.0
+                    } else {
+                        recorder.detected_so_far() as f64 / targetable_initial as f64
+                    },
+                );
             }
             timing.fsim_ns += t.elapsed().as_nanos() as u64;
             vectors.append(&mut filled);
+            rescue_obs::counter("atpg.vectors", vectors.len() as f64);
         };
 
         // Deterministic phase: PODEM per remaining fault, batched fault
@@ -364,24 +403,27 @@ impl<'a> Atpg<'a> {
             timing.generate_ns += t.elapsed().as_nanos() as u64;
             match generated {
                 PodemResult::Test(cube) => {
-                    let mut placed = false;
+                    let mut placed_slot = None;
                     if self.config.merge_cubes {
                         counts.merges_attempted += 1;
                         let t = Instant::now();
                         let start = pending.len().saturating_sub(self.config.merge_window);
-                        for existing in pending[start..].iter_mut() {
+                        for (off, existing) in pending[start..].iter_mut().enumerate() {
                             if let Some(merged) = merge_cubes(existing, &cube) {
                                 *existing = merged;
-                                placed = true;
+                                placed_slot = Some(start + off);
                                 counts.merges_merged += 1;
                                 break;
                             }
                         }
                         timing.compact_ns += t.elapsed().as_nanos() as u64;
                     }
-                    if !placed {
+                    let slot = placed_slot.unwrap_or_else(|| {
                         pending.push(cube);
-                    }
+                        pending.len() - 1
+                    });
+                    let label = label_of(&mut recorder, fault);
+                    pending_events.push((slot, label));
                     classes.insert(fault, FaultClass::Detected);
                     remaining.swap_remove(cursor);
                     if pending.len() == 64 {
@@ -394,6 +436,8 @@ impl<'a> Atpg<'a> {
                             &mut sim,
                             &mut counts,
                             &mut timing,
+                            &mut recorder,
+                            &mut pending_events,
                         );
                     }
                 }
@@ -416,6 +460,8 @@ impl<'a> Atpg<'a> {
             &mut sim,
             &mut counts,
             &mut timing,
+            &mut recorder,
+            &mut pending_events,
         );
 
         let cells = self.scanned.chain.len();
@@ -449,11 +495,21 @@ impl<'a> Atpg<'a> {
         counts.fsim_gate_evals = sim.stats().gate_evals.get();
         timing.total_ns = t_run.elapsed().as_nanos() as u64;
 
+        // Coverage denominator = the targetable population, exactly as
+        // AtpgRun::coverage counts it (detected + aborted + undetected).
+        let targetable = counts.detected + counts.aborted;
+        let coverage = recorder.finish(targetable, counts.vectors);
+        debug_assert_eq!(coverage.detected_total(), counts.detected);
+
         AtpgRun {
             vectors,
             classes,
             stats,
-            metrics: AtpgMetrics { counts, timing },
+            metrics: AtpgMetrics {
+                counts,
+                timing,
+                coverage,
+            },
         }
     }
 
@@ -560,6 +616,42 @@ mod tests {
                 assert_eq!(*c, FaultClass::ChainTested);
             }
         }
+    }
+
+    #[test]
+    fn coverage_curve_agrees_with_run_outcome() {
+        let s = small_design();
+        let run = Atpg::new(&s, AtpgConfig::default()).run();
+        let c = &run.metrics.coverage;
+        // The curve's endpoint IS the run's coverage, bit for bit.
+        assert_eq!(c.final_coverage(), run.coverage());
+        assert_eq!(c.detected_total(), run.metrics.counts.detected);
+        assert_eq!(c.vectors, run.stats.vectors as u64);
+        // Attribution partitions the detected faults.
+        let sum: u64 = c.attribution.iter().map(|(_, n)| n).sum();
+        assert_eq!(sum, run.metrics.counts.detected);
+        // Both design components must appear as labels.
+        let labels: Vec<&str> = c.attribution.iter().map(|(l, _)| l.as_str()).collect();
+        assert!(labels.contains(&"alu"), "{labels:?}");
+        assert!(labels.contains(&"flag"), "{labels:?}");
+        // Monotone, in-range vector indices.
+        let mut prev_cum = 0;
+        let mut prev_vec = None;
+        for p in &c.points {
+            assert!(p.vector < c.vectors);
+            assert!(Some(p.vector) > prev_vec);
+            assert_eq!(p.cumulative_detected, prev_cum + p.new_detected);
+            prev_cum = p.cumulative_detected;
+            prev_vec = Some(p.vector);
+        }
+    }
+
+    #[test]
+    fn coverage_curve_is_deterministic() {
+        let s = small_design();
+        let a = Atpg::new(&s, AtpgConfig::default()).run();
+        let b = Atpg::new(&s, AtpgConfig::default()).run();
+        assert_eq!(a.metrics.coverage, b.metrics.coverage);
     }
 
     #[test]

@@ -38,6 +38,22 @@ fn main() {
     println!();
     rescue_bench::atpg_report(&mut report, "table3.baseline", &t3.baseline_metrics);
     rescue_bench::atpg_report(&mut report, "table3.rescue", &t3.rescue_metrics);
+    for (prefix, stages) in [
+        ("table3.baseline", &t3.baseline_stage_coverage),
+        ("table3.rescue", &t3.rescue_stage_coverage),
+    ] {
+        let sec = report.section(&format!("{prefix}.coverage.stages"));
+        for (stage, n) in stages {
+            sec.u64(stage, *n);
+        }
+    }
+    rescue_bench::coverage_outputs(
+        &obs,
+        &[
+            ("baseline", &t3.baseline_metrics.coverage),
+            ("rescue", &t3.rescue_metrics.coverage),
+        ],
+    );
 
     let per_stage = if quick { 50 } else { 1000 };
     for variant in [Variant::Rescue, Variant::Baseline] {

@@ -4,7 +4,9 @@
 //! design to show the ambiguity Rescue eliminates.
 //!
 //! Flags: --quick (tiny model), --faults-per-stage N (default 1000, the
-//! paper's count), --metrics, --trace-json <path>.
+//! paper's count), --metrics, --trace-json <path>, --trace-perfetto
+//! <path>, --coverage-csv / --coverage-json <path> (coverage curves of
+//! the underlying ATPG runs, tagged by design).
 
 use rescue_core::model::{ModelParams, Variant};
 use rescue_obs::Report;
@@ -23,14 +25,21 @@ fn main() {
         )
     };
     let mut report = Report::new("isolation");
+    let mut curves = Vec::new();
     for variant in [Variant::Rescue, Variant::Baseline] {
         let e = rescue_core::experiments::isolation(&params, variant, per_stage, 42);
         print!("{}", rescue_core::render::isolation_text(&e));
         println!();
+        let tag = format!("{variant:?}").to_lowercase();
         report
-            .section(&format!("{variant:?}").to_lowercase())
+            .section(&tag)
             .u64("injected", e.total_injected() as u64)
             .u64("isolated", e.total_isolated() as u64);
+        rescue_bench::coverage_report(&mut report, &tag, &e.coverage);
+        curves.push((tag, e.coverage));
     }
+    let tagged: Vec<(&str, &rescue_obs::CoverageCurve)> =
+        curves.iter().map(|(t, c)| (t.as_str(), c)).collect();
+    rescue_bench::coverage_outputs(&obs, &tagged);
     rescue_bench::obs_finish(&obs, &mut report);
 }

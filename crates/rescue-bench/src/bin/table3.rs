@@ -1,8 +1,10 @@
 //! Regenerate Table 3 (scan chain data): build both pipeline variants,
 //! insert scan, run full ATPG, and report faults / cells / vectors /
-//! cycles. Takes tens of seconds at paper size; pass --quick for the
-//! tiny configuration. --metrics adds the per-phase ATPG engine report
-//! (PODEM backtracks/aborts, fault-sim drop statistics) on stderr.
+//! cycles / coverage. Takes tens of seconds at paper size; pass --quick
+//! for the tiny configuration. --metrics adds the per-phase ATPG engine
+//! report (PODEM backtracks/aborts, fault-sim drop statistics, coverage
+//! attribution) on stderr; --coverage-csv / --coverage-json write the
+//! per-vector coverage curves.
 
 use rescue_core::model::ModelParams;
 use rescue_obs::Report;
@@ -20,5 +22,21 @@ fn main() {
     let mut report = Report::new("table3");
     rescue_bench::atpg_report(&mut report, "baseline", &t.baseline_metrics);
     rescue_bench::atpg_report(&mut report, "rescue", &t.rescue_metrics);
+    for (prefix, stages) in [
+        ("baseline", &t.baseline_stage_coverage),
+        ("rescue", &t.rescue_stage_coverage),
+    ] {
+        let sec = report.section(&format!("{prefix}.coverage.stages"));
+        for (stage, n) in stages {
+            sec.u64(stage, *n);
+        }
+    }
+    rescue_bench::coverage_outputs(
+        &obs,
+        &[
+            ("baseline", &t.baseline_metrics.coverage),
+            ("rescue", &t.rescue_metrics.coverage),
+        ],
+    );
     rescue_bench::obs_finish(&obs, &mut report);
 }

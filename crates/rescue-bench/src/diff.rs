@@ -1,0 +1,612 @@
+//! Structural comparison of two `BENCH_metrics.json` documents — the
+//! engine behind the `bench-diff` regression gate.
+//!
+//! Every engine in this workspace is seeded and deterministic, so two
+//! runs of the same binary at the same size must produce *identical*
+//! counters: vector counts, fault classifications, PODEM decisions,
+//! histogram buckets, coverage endpoints. The comparison therefore
+//! defaults to **exact** equality for integers and strings and a tiny
+//! relative tolerance for derived floats (they are quotients of exact
+//! integers, so only the last bits may differ across compilers).
+//!
+//! Wall-clock metrics are the exception: keys ending in `_ns`/`_ms`,
+//! the `*.timing` sections, and span `total_ns`/`max_ns` vary run to
+//! run and machine to machine, so they are reported as informational
+//! deltas and never fail the gate unless an explicit
+//! [`DiffConfig::time_tolerance`] is set.
+//!
+//! A metric or section present in the baseline but missing from the
+//! current document is a failure (a silently dropped counter is exactly
+//! the regression this gate exists to catch); metrics only present in
+//! the current document are warnings (new instrumentation is expected
+//! to update the baseline).
+
+use rescue_obs::json::JsonValue;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// How one compared metric fared.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Values agree under the applicable rule.
+    Match,
+    /// Wall-clock delta, reported but never failing.
+    Info,
+    /// Structural novelty (extra metric/section in the current run).
+    Warn,
+    /// Regression: exact metric changed, tolerance exceeded, or a
+    /// baseline metric disappeared.
+    Fail,
+}
+
+/// One compared metric.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Outcome severity.
+    pub severity: Severity,
+    /// Dotted path (`section.key` or `spans.name.field`).
+    pub path: String,
+    /// Baseline value, rendered ("-" when absent).
+    pub baseline: String,
+    /// Current value, rendered ("-" when absent).
+    pub current: String,
+    /// Short explanation (delta magnitude, rule applied).
+    pub note: String,
+}
+
+/// The full comparison outcome.
+#[derive(Clone, Debug, Default)]
+pub struct DiffResult {
+    /// Every compared metric, in document order.
+    pub deltas: Vec<Delta>,
+}
+
+impl DiffResult {
+    /// True when any delta is a [`Severity::Fail`].
+    pub fn regressed(&self) -> bool {
+        self.deltas.iter().any(|d| d.severity == Severity::Fail)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.deltas.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// Render the delta table. Matching metrics are elided unless
+    /// `show_all`; the summary line always prints.
+    pub fn render(&self, show_all: bool) -> String {
+        let mut s = String::new();
+        let shown: Vec<&Delta> = self
+            .deltas
+            .iter()
+            .filter(|d| show_all || d.severity != Severity::Match)
+            .collect();
+        if !shown.is_empty() {
+            let _ = writeln!(
+                s,
+                "{:5} {:52} {:>16} {:>16}  note",
+                "", "metric", "baseline", "current"
+            );
+            for d in shown {
+                let tag = match d.severity {
+                    Severity::Match => "ok",
+                    Severity::Info => "info",
+                    Severity::Warn => "warn",
+                    Severity::Fail => "FAIL",
+                };
+                let _ = writeln!(
+                    s,
+                    "{:5} {:52} {:>16} {:>16}  {}",
+                    tag, d.path, d.baseline, d.current, d.note
+                );
+            }
+        }
+        let _ = writeln!(
+            s,
+            "{} metrics compared: {} failed, {} warnings, {} informational",
+            self.deltas.len(),
+            self.count(Severity::Fail),
+            self.count(Severity::Warn),
+            self.count(Severity::Info),
+        );
+        s
+    }
+}
+
+/// Tolerance rules for [`diff`].
+#[derive(Clone, Debug)]
+pub struct DiffConfig {
+    /// Relative tolerance for wall-clock metrics. `None` (the default)
+    /// reports them as informational and never fails on them.
+    pub time_tolerance: Option<f64>,
+    /// Relative tolerance for non-time floats (derived quotients of
+    /// exact integers; defaults to 1e-9).
+    pub float_tolerance: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            time_tolerance: None,
+            float_tolerance: 1e-9,
+        }
+    }
+}
+
+fn is_time_path(path: &str) -> bool {
+    path.ends_with("_ns")
+        || path.ends_with("_ms")
+        || path.contains(".timing.")
+        || path.starts_with("spans.") && (path.ends_with(".total") || path.ends_with(".max"))
+}
+
+fn render_value(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Null => "null".into(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Int(i) => i.to_string(),
+        JsonValue::Num(f) => format!("{f:.6}"),
+        JsonValue::Str(s) => {
+            if s.len() > 16 {
+                format!("{}…", &s[..15.min(s.len())])
+            } else {
+                s.clone()
+            }
+        }
+        JsonValue::Arr(a) => format!("[{} items]", a.len()),
+        JsonValue::Obj(o) => format!("{{{} keys}}", o.len()),
+    }
+}
+
+fn rel_delta(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1e-300)
+}
+
+/// Compare two parsed `BENCH_metrics.json` documents under `cfg`.
+///
+/// Returns `Err` only when a document does not have the report schema
+/// at all (no `sections` array) — shape errors inside sections are
+/// reported as failing deltas instead.
+pub fn diff(
+    baseline: &JsonValue,
+    current: &JsonValue,
+    cfg: &DiffConfig,
+) -> Result<DiffResult, String> {
+    let mut out = DiffResult::default();
+
+    let title_b = baseline.get("title").and_then(JsonValue::as_str);
+    let title_c = current.get("title").and_then(JsonValue::as_str);
+    if title_b != title_c {
+        out.deltas.push(Delta {
+            severity: Severity::Fail,
+            path: "title".into(),
+            baseline: title_b.unwrap_or("-").into(),
+            current: title_c.unwrap_or("-").into(),
+            note: "documents come from different binaries".into(),
+        });
+    }
+
+    let sections = |doc: &JsonValue, which: &str| -> Result<BTreeMap<String, JsonValue>, String> {
+        let arr = doc
+            .get("sections")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| format!("{which}: not a report document (no \"sections\" array)"))?;
+        let mut map = BTreeMap::new();
+        for s in arr {
+            let name = s
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("{which}: section without a name"))?;
+            let metrics = s
+                .get("metrics")
+                .cloned()
+                .ok_or_else(|| format!("{which}: section {name:?} without metrics"))?;
+            map.insert(name.to_owned(), metrics);
+        }
+        Ok(map)
+    };
+    let secs_b = sections(baseline, "baseline")?;
+    let secs_c = sections(current, "current")?;
+
+    for (name, metrics_b) in &secs_b {
+        match secs_c.get(name) {
+            None => out.deltas.push(Delta {
+                severity: Severity::Fail,
+                path: name.clone(),
+                baseline: render_value(metrics_b),
+                current: "-".into(),
+                note: "section missing from current run".into(),
+            }),
+            Some(metrics_c) => compare_value(name, metrics_b, metrics_c, cfg, &mut out),
+        }
+    }
+    for (name, metrics_c) in &secs_c {
+        if !secs_b.contains_key(name) {
+            out.deltas.push(Delta {
+                severity: Severity::Warn,
+                path: name.clone(),
+                baseline: "-".into(),
+                current: render_value(metrics_c),
+                note: "new section (update the baseline?)".into(),
+            });
+        }
+    }
+
+    compare_spans(baseline, current, cfg, &mut out);
+    Ok(out)
+}
+
+/// (count, total_ns, max_ns) of one span summary, fields optional.
+type SpanFields = (Option<i128>, Option<f64>, Option<f64>);
+
+fn compare_spans(
+    baseline: &JsonValue,
+    current: &JsonValue,
+    cfg: &DiffConfig,
+    out: &mut DiffResult,
+) {
+    let spans = |doc: &JsonValue| -> BTreeMap<String, SpanFields> {
+        let mut map = BTreeMap::new();
+        if let Some(arr) = doc.get("spans").and_then(JsonValue::as_arr) {
+            for s in arr {
+                if let Some(name) = s.get("name").and_then(JsonValue::as_str) {
+                    map.insert(
+                        name.to_owned(),
+                        (
+                            s.get("count").and_then(JsonValue::as_int),
+                            s.get("total_ns").and_then(JsonValue::as_f64),
+                            s.get("max_ns").and_then(JsonValue::as_f64),
+                        ),
+                    );
+                }
+            }
+        }
+        map
+    };
+    let b = spans(baseline);
+    let c = spans(current);
+    for (name, (count_b, total_b, max_b)) in &b {
+        let path = format!("spans.{name}");
+        let Some((count_c, total_c, max_c)) = c.get(name) else {
+            out.deltas.push(Delta {
+                severity: Severity::Fail,
+                path,
+                baseline: format!("count {}", count_b.unwrap_or(0)),
+                current: "-".into(),
+                note: "span missing from current run".into(),
+            });
+            continue;
+        };
+        // Span *counts* are deterministic (how many times the phase
+        // ran); the timings are wall-clock.
+        if count_b != count_c {
+            out.deltas.push(Delta {
+                severity: Severity::Fail,
+                path: format!("{path}.count"),
+                baseline: count_b.map_or("-".into(), |v| v.to_string()),
+                current: count_c.map_or("-".into(), |v| v.to_string()),
+                note: "span count changed".into(),
+            });
+        } else {
+            out.deltas.push(Delta {
+                severity: Severity::Match,
+                path: format!("{path}.count"),
+                baseline: count_b.map_or("-".into(), |v| v.to_string()),
+                current: count_c.map_or("-".into(), |v| v.to_string()),
+                note: String::new(),
+            });
+        }
+        for (field, vb, vc) in [("total", total_b, total_c), ("max", max_b, max_c)] {
+            if let (Some(vb), Some(vc)) = (vb, vc) {
+                compare_floats(&format!("{path}.{field}"), *vb, *vc, true, cfg, out);
+            }
+        }
+    }
+    for name in c.keys() {
+        if !b.contains_key(name) {
+            out.deltas.push(Delta {
+                severity: Severity::Warn,
+                path: format!("spans.{name}"),
+                baseline: "-".into(),
+                current: "present".into(),
+                note: "new span".into(),
+            });
+        }
+    }
+}
+
+fn compare_floats(
+    path: &str,
+    b: f64,
+    c: f64,
+    is_time: bool,
+    cfg: &DiffConfig,
+    out: &mut DiffResult,
+) {
+    let rel = rel_delta(b, c);
+    let (severity, note) = if is_time {
+        match cfg.time_tolerance {
+            None => (
+                if rel == 0.0 {
+                    Severity::Match
+                } else {
+                    Severity::Info
+                },
+                format!("wall-clock, {:+.1}%", 100.0 * (c - b) / b.abs().max(1e-300)),
+            ),
+            Some(tol) if rel > tol => (
+                Severity::Fail,
+                format!("wall-clock delta {rel:.3e} exceeds tolerance {tol:.3e}"),
+            ),
+            Some(_) => (Severity::Match, String::new()),
+        }
+    } else if rel > cfg.float_tolerance {
+        (
+            Severity::Fail,
+            format!(
+                "delta {rel:.3e} exceeds tolerance {:.3e}",
+                cfg.float_tolerance
+            ),
+        )
+    } else {
+        (Severity::Match, String::new())
+    };
+    out.deltas.push(Delta {
+        severity,
+        path: path.to_owned(),
+        baseline: format!("{b:.6}"),
+        current: format!("{c:.6}"),
+        note,
+    });
+}
+
+fn compare_value(path: &str, b: &JsonValue, c: &JsonValue, cfg: &DiffConfig, out: &mut DiffResult) {
+    match (b, c) {
+        (JsonValue::Obj(kb), JsonValue::Obj(_)) => {
+            for (k, vb) in kb {
+                let child = format!("{path}.{k}");
+                match c.get(k) {
+                    None => out.deltas.push(Delta {
+                        severity: Severity::Fail,
+                        path: child,
+                        baseline: render_value(vb),
+                        current: "-".into(),
+                        note: "metric missing from current run".into(),
+                    }),
+                    Some(vc) => compare_value(&child, vb, vc, cfg, out),
+                }
+            }
+            if let JsonValue::Obj(kc) = c {
+                for (k, vc) in kc {
+                    if b.get(k).is_none() {
+                        out.deltas.push(Delta {
+                            severity: Severity::Warn,
+                            path: format!("{path}.{k}"),
+                            baseline: "-".into(),
+                            current: render_value(vc),
+                            note: "new metric (update the baseline?)".into(),
+                        });
+                    }
+                }
+            }
+        }
+        (JsonValue::Arr(ab), JsonValue::Arr(ac)) => {
+            if ab.len() != ac.len() {
+                out.deltas.push(Delta {
+                    severity: Severity::Fail,
+                    path: path.to_owned(),
+                    baseline: format!("[{} items]", ab.len()),
+                    current: format!("[{} items]", ac.len()),
+                    note: "array length changed".into(),
+                });
+                return;
+            }
+            for (i, (vb, vc)) in ab.iter().zip(ac).enumerate() {
+                compare_value(&format!("{path}[{i}]"), vb, vc, cfg, out);
+            }
+        }
+        (JsonValue::Int(ib), JsonValue::Int(ic)) if !is_time_path(path) => {
+            // Deterministic counter: exact or regression.
+            out.deltas.push(Delta {
+                severity: if ib == ic {
+                    Severity::Match
+                } else {
+                    Severity::Fail
+                },
+                path: path.to_owned(),
+                baseline: ib.to_string(),
+                current: ic.to_string(),
+                note: if ib == ic {
+                    String::new()
+                } else {
+                    format!("counter changed by {:+}", ic - ib)
+                },
+            });
+        }
+        (JsonValue::Str(sb), JsonValue::Str(sc)) => {
+            out.deltas.push(Delta {
+                severity: if sb == sc {
+                    Severity::Match
+                } else {
+                    Severity::Fail
+                },
+                path: path.to_owned(),
+                baseline: render_value(b),
+                current: render_value(c),
+                note: if sb == sc {
+                    String::new()
+                } else {
+                    "string changed".into()
+                },
+            });
+        }
+        (JsonValue::Bool(bb), JsonValue::Bool(bc)) => {
+            out.deltas.push(Delta {
+                severity: if bb == bc {
+                    Severity::Match
+                } else {
+                    Severity::Fail
+                },
+                path: path.to_owned(),
+                baseline: bb.to_string(),
+                current: bc.to_string(),
+                note: String::new(),
+            });
+        }
+        (JsonValue::Null, JsonValue::Null) => out.deltas.push(Delta {
+            severity: Severity::Match,
+            path: path.to_owned(),
+            baseline: "null".into(),
+            current: "null".into(),
+            note: String::new(),
+        }),
+        _ => {
+            // Numeric (or mixed int/float, or time-suffixed integer)
+            // comparison when both sides are numbers; otherwise a type
+            // mismatch is a failure.
+            match (b.as_f64(), c.as_f64()) {
+                (Some(fb), Some(fc)) => compare_floats(path, fb, fc, is_time_path(path), cfg, out),
+                _ => out.deltas.push(Delta {
+                    severity: Severity::Fail,
+                    path: path.to_owned(),
+                    baseline: render_value(b),
+                    current: render_value(c),
+                    note: "value type changed".into(),
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescue_obs::json::parse;
+
+    fn doc(ipc: &str, vectors: u64, fsim_ms: &str) -> JsonValue {
+        parse(&format!(
+            r#"{{"title":"all","sections":[
+                {{"name":"fig8.gcc","metrics":{{"ipc":{ipc},"vectors":{vectors},
+                   "hist":{{"count":3,"buckets":[1,2,0]}}}}}},
+                {{"name":"t.timing","metrics":{{"fsim_ms":{fsim_ms}}}}}],
+               "spans":[{{"name":"atpg","count":2,"total_ns":100,"max_ns":60}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let b = doc("0.5", 10, "1.5");
+        let r = diff(&b, &b, &DiffConfig::default()).unwrap();
+        assert!(!r.regressed(), "{}", r.render(true));
+        // Summary always renders.
+        assert!(r.render(false).contains("0 failed"));
+    }
+
+    #[test]
+    fn perturbed_counter_fails() {
+        let b = doc("0.5", 10, "1.5");
+        let c = doc("0.5", 11, "1.5");
+        let r = diff(&b, &c, &DiffConfig::default()).unwrap();
+        assert!(r.regressed());
+        let fail = r
+            .deltas
+            .iter()
+            .find(|d| d.severity == Severity::Fail)
+            .unwrap();
+        assert_eq!(fail.path, "fig8.gcc.vectors");
+        assert!(r.render(false).contains("FAIL"));
+    }
+
+    #[test]
+    fn wall_clock_changes_are_informational_by_default() {
+        let b = doc("0.5", 10, "1.5");
+        let c = doc("0.5", 10, "99.0");
+        let r = diff(&b, &c, &DiffConfig::default()).unwrap();
+        assert!(!r.regressed(), "{}", r.render(true));
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| d.severity == Severity::Info && d.path == "t.timing.fsim_ms"));
+        // ...but an explicit tolerance turns them into failures.
+        let cfg = DiffConfig {
+            time_tolerance: Some(0.10),
+            ..DiffConfig::default()
+        };
+        assert!(diff(&b, &c, &cfg).unwrap().regressed());
+    }
+
+    #[test]
+    fn float_drift_beyond_tolerance_fails() {
+        let b = doc("0.5", 10, "1.5");
+        let c = doc("0.5000001", 10, "1.5");
+        assert!(diff(&b, &c, &DiffConfig::default()).unwrap().regressed());
+        let close = doc("0.50000000000000004", 10, "1.5");
+        assert!(!diff(&b, &close, &DiffConfig::default())
+            .unwrap()
+            .regressed());
+    }
+
+    #[test]
+    fn missing_metric_fails_extra_warns() {
+        let b =
+            parse(r#"{"title":"t","sections":[{"name":"s","metrics":{"a":1,"b":2}}],"spans":[]}"#)
+                .unwrap();
+        let c =
+            parse(r#"{"title":"t","sections":[{"name":"s","metrics":{"a":1,"c":3}}],"spans":[]}"#)
+                .unwrap();
+        let r = diff(&b, &c, &DiffConfig::default()).unwrap();
+        assert!(r.regressed());
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| d.severity == Severity::Fail && d.path == "s.b"));
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| d.severity == Severity::Warn && d.path == "s.c"));
+    }
+
+    #[test]
+    fn missing_section_and_histogram_bucket_changes_fail() {
+        let b = doc("0.5", 10, "1.5");
+        let missing = parse(r#"{"title":"all","sections":[],"spans":[]}"#).unwrap();
+        let r = diff(&b, &missing, &DiffConfig::default()).unwrap();
+        assert!(r.regressed());
+
+        // Perturb a histogram bucket.
+        let text = r#"{"title":"all","sections":[
+            {"name":"fig8.gcc","metrics":{"ipc":0.5,"vectors":10,
+               "hist":{"count":3,"buckets":[1,1,1]}}},
+            {"name":"t.timing","metrics":{"fsim_ms":1.5}}],
+           "spans":[{"name":"atpg","count":2,"total_ns":100,"max_ns":60}]}"#;
+        let c = parse(text).unwrap();
+        let r = diff(&b, &c, &DiffConfig::default()).unwrap();
+        assert!(r.regressed());
+        assert!(r.deltas.iter().any(|d| d.path.contains("buckets[1]")));
+    }
+
+    #[test]
+    fn span_count_change_fails_timing_change_does_not() {
+        let b = doc("0.5", 10, "1.5");
+        let text = r#"{"title":"all","sections":[
+            {"name":"fig8.gcc","metrics":{"ipc":0.5,"vectors":10,
+               "hist":{"count":3,"buckets":[1,2,0]}}},
+            {"name":"t.timing","metrics":{"fsim_ms":1.5}}],
+           "spans":[{"name":"atpg","count":3,"total_ns":999,"max_ns":60}]}"#;
+        let c = parse(text).unwrap();
+        let r = diff(&b, &c, &DiffConfig::default()).unwrap();
+        let fails: Vec<&Delta> = r
+            .deltas
+            .iter()
+            .filter(|d| d.severity == Severity::Fail)
+            .collect();
+        assert_eq!(fails.len(), 1, "{}", r.render(true));
+        assert_eq!(fails[0].path, "spans.atpg.count");
+    }
+
+    #[test]
+    fn non_report_document_is_an_error() {
+        let junk = parse(r#"{"hello":1}"#).unwrap();
+        assert!(diff(&junk, &junk, &DiffConfig::default()).is_err());
+    }
+}

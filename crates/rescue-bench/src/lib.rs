@@ -13,19 +13,33 @@
 //! | `all` | everything above in sequence |
 //!
 //! Every binary accepts `--quick` to run a reduced-size configuration
-//! suitable for smoke testing, plus two observability flags:
+//! suitable for smoke testing, plus the observability flags:
 //!
 //! * `--metrics` — print an engine-counter and span-timing report to
 //!   stderr when the run finishes,
 //! * `--trace-json <path>` — stream spans/events as JSON Lines to
-//!   `path` while the run executes.
+//!   `path` while the run executes,
+//! * `--trace-perfetto <path>` — write a Chrome trace-event JSON
+//!   document at exit, loadable in `chrome://tracing` /
+//!   [ui.perfetto.dev](https://ui.perfetto.dev),
+//! * `--coverage-csv <path>` / `--coverage-json <path>` — (binaries
+//!   that run ATPG: `table3`, `isolation`, `all`) write the per-vector
+//!   coverage curve with per-component attribution.
+//!
+//! Every output path is probed at argument-parse time: an unwritable
+//! destination aborts with exit code 2 *before* the run, not after it.
+//!
+//! The `bench-diff` binary is the regression gate over the
+//! `BENCH_metrics.json` artifact; see [`diff`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
+
 use rescue_core::atpg::AtpgMetrics;
 use rescue_core::pipesim::{SimResult, IPC_WINDOW_CYCLES};
-use rescue_obs::Report;
+use rescue_obs::{CoverageCurve, Report};
 
 /// Whether `--quick` was passed on the command line.
 pub fn quick_mode() -> bool {
@@ -77,19 +91,48 @@ pub struct ObsFlags {
     pub metrics: bool,
     /// `--trace-json <path>`: JSONL span sink.
     pub trace_json: Option<String>,
+    /// `--trace-perfetto <path>`: trace-event JSON written at exit.
+    pub trace_perfetto: Option<String>,
+    /// `--coverage-csv <path>`: coverage curve as CSV (ATPG binaries).
+    pub coverage_csv: Option<String>,
+    /// `--coverage-json <path>`: coverage curve as JSON (ATPG binaries).
+    pub coverage_json: Option<String>,
 }
 
-/// Parse `--metrics` / `--trace-json` and arm the global tracer.
+/// Parse the observability flags and arm the global tracer. Every
+/// output path is opened here so a typo'd directory or a read-only
+/// destination fails with exit code 2 before any engine work starts.
 pub fn obs_init() -> ObsFlags {
     let flags = ObsFlags {
         metrics: arg_flag("--metrics"),
         trace_json: arg_str("--trace-json"),
+        trace_perfetto: arg_str("--trace-perfetto"),
+        coverage_csv: arg_str("--coverage-csv"),
+        coverage_json: arg_str("--coverage-json"),
     };
     if let Some(path) = &flags.trace_json {
         if let Err(e) = rescue_obs::global().set_sink_path(path) {
             eprintln!("error: cannot open trace sink {path}: {e}");
             std::process::exit(2);
         }
+    }
+    for path in [
+        &flags.trace_perfetto,
+        &flags.coverage_csv,
+        &flags.coverage_json,
+    ]
+    .into_iter()
+    .flatten()
+    {
+        if let Err(e) = std::fs::File::create(path) {
+            eprintln!("error: cannot write output file {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    if flags.trace_perfetto.is_some() {
+        // Keep records in memory so the trace-event document can be
+        // rendered at exit (set_record also enables the tracer).
+        rescue_obs::global().set_record(true);
     }
     if flags.metrics {
         rescue_obs::global().set_enabled(true);
@@ -98,13 +141,46 @@ pub fn obs_init() -> ObsFlags {
 }
 
 /// Finish a run: attach span summaries, print the report to stderr when
-/// `--metrics` was given, and flush the trace sink.
+/// `--metrics` was given, flush the trace sink, and write the Perfetto
+/// document when `--trace-perfetto` was given.
 pub fn obs_finish(flags: &ObsFlags, report: &mut Report) {
     report.add_spans(rescue_obs::global().summary());
     if flags.metrics {
         eprint!("{}", report.render_text());
     }
     rescue_obs::global().flush();
+    if let Some(path) = &flags.trace_perfetto {
+        let records = rescue_obs::global().take_records();
+        let doc = rescue_obs::perfetto::render(&report.title, &records);
+        if let Err(e) = std::fs::write(path, &doc) {
+            eprintln!("error: cannot write perfetto trace {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote perfetto trace {path} ({} records)", records.len());
+    }
+}
+
+/// Write the design-tagged coverage `curves` to the `--coverage-csv` /
+/// `--coverage-json` paths when requested (no-op otherwise).
+pub fn coverage_outputs(flags: &ObsFlags, curves: &[(&str, &CoverageCurve)]) {
+    let write = |path: &str, body: &str, what: &str| {
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("error: cannot write {what} {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {what} {path}");
+    };
+    if let Some(path) = &flags.coverage_csv {
+        let mut s = String::from(CoverageCurve::csv_header());
+        for (design, c) in curves {
+            s.push_str(&c.to_csv(design));
+        }
+        write(path, &s, "coverage CSV");
+    }
+    if let Some(path) = &flags.coverage_json {
+        let docs: Vec<String> = curves.iter().map(|(d, c)| c.to_json(d)).collect();
+        write(path, &rescue_obs::json::array(&docs), "coverage JSON");
+    }
 }
 
 /// Fill one report section per ATPG phase from an [`AtpgMetrics`]: the
@@ -133,6 +209,7 @@ pub fn atpg_report(report: &mut Report, prefix: &str, m: &AtpgMetrics) {
         .u64("faults_dropped_by_sim", c.faults_dropped_by_sim)
         .hist("drops_per_block", c.drops_per_block.clone())
         .u64("gate_evals", c.fsim_gate_evals);
+    coverage_report(report, prefix, &m.coverage);
     let t = &m.timing;
     report
         .section(&format!("{prefix}.timing"))
@@ -141,6 +218,20 @@ pub fn atpg_report(report: &mut Report, prefix: &str, m: &AtpgMetrics) {
         .f64("fill_ms", t.fill_ns as f64 / 1e6)
         .f64("fsim_ms", t.fsim_ns as f64 / 1e6)
         .f64("total_ms", t.total_ns as f64 / 1e6);
+}
+
+/// Fill one report section from a [`CoverageCurve`]: the endpoint, the
+/// curve shape, and the per-component attribution of detected faults.
+pub fn coverage_report(report: &mut Report, prefix: &str, c: &CoverageCurve) {
+    let sec = report.section(&format!("{prefix}.coverage"));
+    sec.u64("targetable", c.targetable)
+        .u64("detected", c.detected_total())
+        .u64("vectors", c.vectors)
+        .u64("curve_points", c.points.len() as u64)
+        .f64("final_coverage", c.final_coverage());
+    for (label, n) in &c.attribution {
+        sec.u64(&format!("attr.{label}"), *n);
+    }
 }
 
 /// Minimal wall-clock benchmark harness for the `benches/` targets

@@ -97,10 +97,17 @@ pub struct Table3 {
     pub baseline: ScanTestStats,
     /// Rescue design.
     pub rescue: ScanTestStats,
-    /// ATPG engine counters and phase timing, conventional design.
+    /// ATPG engine counters, phase timing, and the per-vector coverage
+    /// curve, conventional design.
     pub baseline_metrics: AtpgMetrics,
-    /// ATPG engine counters and phase timing, Rescue design.
+    /// ATPG engine counters, phase timing, and coverage curve, Rescue
+    /// design.
     pub rescue_metrics: AtpgMetrics,
+    /// Detected-fault attribution rolled up from ICI components to
+    /// pipeline stages, conventional design (stage name, faults).
+    pub baseline_stage_coverage: Vec<(String, u64)>,
+    /// Stage-level attribution, Rescue design.
+    pub rescue_stage_coverage: Vec<(String, u64)>,
 }
 
 /// Run scan insertion + full ATPG on both variants (paper Table 3).
@@ -114,16 +121,36 @@ pub fn table3(params: &ModelParams) -> Table3 {
         let m = build_pipeline(params, variant);
         let s = insert_scan(&m.netlist);
         let r = Atpg::new(&s, AtpgConfig::default()).run();
-        (r.stats, r.metrics)
+        let stages = stage_rollup(&m, &r.metrics.coverage);
+        (r.stats, r.metrics, stages)
     };
-    let (baseline, baseline_metrics) = run(Variant::Baseline, "table3.baseline");
-    let (rescue, rescue_metrics) = run(Variant::Rescue, "table3.rescue");
+    let (baseline, baseline_metrics, baseline_stage_coverage) =
+        run(Variant::Baseline, "table3.baseline");
+    let (rescue, rescue_metrics, rescue_stage_coverage) = run(Variant::Rescue, "table3.rescue");
     Table3 {
         baseline,
         rescue,
         baseline_metrics,
         rescue_metrics,
+        baseline_stage_coverage,
+        rescue_stage_coverage,
     }
+}
+
+/// Roll the coverage curve's per-component attribution up to pipeline
+/// stages using the model's component→stage map. Components outside any
+/// stage (and primary-input faults) land in `"other"`.
+pub fn stage_rollup(m: &PipelineModel, curve: &rescue_obs::CoverageCurve) -> Vec<(String, u64)> {
+    let by_name: HashMap<&str, Stage> = m
+        .stage_of
+        .iter()
+        .map(|(&comp, &stage)| (m.netlist.component_name(comp), stage))
+        .collect();
+    curve.rollup(|label| {
+        by_name
+            .get(label)
+            .map_or_else(|| "other".to_owned(), |s| format!("{s:?}"))
+    })
 }
 
 // ----------------------------------------------- §6.1 isolation experiment
@@ -150,6 +177,9 @@ pub struct IsolationExperiment {
     pub variant: Variant,
     /// Per-stage outcomes.
     pub stages: Vec<StageIsolation>,
+    /// Coverage curve of the ATPG run whose vectors the experiment
+    /// replays (provenance for the injected-fault pools).
+    pub coverage: rescue_obs::CoverageCurve,
 }
 
 impl IsolationExperiment {
@@ -263,7 +293,11 @@ pub fn isolation(
             ambiguous,
         });
     }
-    IsolationExperiment { variant, stages }
+    IsolationExperiment {
+        variant,
+        stages,
+        coverage: run.metrics.coverage,
+    }
 }
 
 /// Result of the multi-fault isolation experiment (§3.1 corollary).

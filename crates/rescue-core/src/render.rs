@@ -63,6 +63,13 @@ pub fn table3_text(t: &Table3) -> String {
     );
     let _ = writeln!(
         s,
+        "  {:10} {:>9.2}% {:>9.2}%",
+        "coverage",
+        100.0 * t.baseline_metrics.coverage.final_coverage(),
+        100.0 * t.rescue_metrics.coverage.final_coverage()
+    );
+    let _ = writeln!(
+        s,
         "  test-time increase over baseline: {:+.1}%",
         100.0 * (t.rescue.cycles as f64 / t.baseline.cycles as f64 - 1.0)
     );

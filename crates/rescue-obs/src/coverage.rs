@@ -1,0 +1,309 @@
+//! Per-vector coverage provenance for test-generation engines.
+//!
+//! The ATPG loop detects each fault exactly once — either by the vector
+//! PODEM built for it or by fault simulation of a later vector — and a
+//! [`CoverageRecorder`] captures that moment as a (vector index,
+//! attribution label) event. [`CoverageRecorder::finish`] folds the
+//! events into a [`CoverageCurve`]: the faults newly detected by each
+//! vector, the cumulative coverage after each vector, and a per-label
+//! attribution table (labels are free-form — the netlist's ICI component
+//! names in practice, rolled up to pipeline stages by the caller).
+//!
+//! The curve is plain deterministic data (`Eq`), so it participates in
+//! the workspace's golden determinism tests, and it serializes itself to
+//! CSV and JSON for offline plotting.
+//!
+//! ```
+//! use rescue_obs::coverage::CoverageRecorder;
+//! let mut rec = CoverageRecorder::new();
+//! let alu = rec.label("alu");
+//! let dec = rec.label("decode");
+//! rec.detect(0, alu);
+//! rec.detect(0, dec);
+//! rec.detect(2, alu);
+//! let curve = rec.finish(4, 3);
+//! assert_eq!(curve.detected_total(), 3);
+//! assert_eq!(curve.points.len(), 2); // vectors 0 and 2 detected something
+//! assert!((curve.final_coverage() - 0.75).abs() < 1e-12);
+//! ```
+
+use crate::json::{self, JsonObj};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Interned attribution label handle (cheap to copy into hot loops).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LabelId(u32);
+
+/// Accumulates first-detection events during an engine run.
+#[derive(Clone, Debug, Default)]
+pub struct CoverageRecorder {
+    labels: Vec<String>,
+    by_name: BTreeMap<String, u32>,
+    /// (vector index, label) per newly detected fault, in arrival order.
+    events: Vec<(u64, u32)>,
+}
+
+impl CoverageRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern an attribution label (idempotent).
+    pub fn label(&mut self, name: &str) -> LabelId {
+        if let Some(&i) = self.by_name.get(name) {
+            return LabelId(i);
+        }
+        let i = self.labels.len() as u32;
+        self.labels.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), i);
+        LabelId(i)
+    }
+
+    /// Record one fault first detected by vector `vector`, attributed to
+    /// `label`. Events may arrive out of vector order; [`finish`] sorts.
+    ///
+    /// [`finish`]: CoverageRecorder::finish
+    pub fn detect(&mut self, vector: u64, label: LabelId) {
+        self.events.push((vector, label.0));
+    }
+
+    /// Events recorded so far (one per detected fault).
+    pub fn detected_so_far(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    /// Fold the events into a curve. `targetable` is the coverage
+    /// denominator (detected + never-detected targetable faults) and
+    /// `vectors` the total vector count of the run — both are only known
+    /// once the run completes.
+    pub fn finish(mut self, targetable: u64, vectors: u64) -> CoverageCurve {
+        self.events.sort_unstable();
+        let mut points: Vec<CoveragePoint> = Vec::new();
+        let mut label_counts = vec![0u64; self.labels.len()];
+        let mut cumulative = 0u64;
+        for &(vector, label) in &self.events {
+            cumulative += 1;
+            label_counts[label as usize] += 1;
+            match points.last_mut() {
+                Some(p) if p.vector == vector => {
+                    p.new_detected += 1;
+                    p.cumulative_detected = cumulative;
+                }
+                _ => points.push(CoveragePoint {
+                    vector,
+                    new_detected: 1,
+                    cumulative_detected: cumulative,
+                }),
+            }
+        }
+        let mut attribution: Vec<(String, u64)> = self
+            .labels
+            .into_iter()
+            .zip(label_counts)
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        attribution.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        CoverageCurve {
+            targetable,
+            vectors,
+            points,
+            attribution,
+        }
+    }
+}
+
+/// One step of the coverage curve: a vector that detected at least one
+/// new fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoveragePoint {
+    /// Zero-based vector index.
+    pub vector: u64,
+    /// Faults first detected by this vector.
+    pub new_detected: u64,
+    /// Total faults detected by vectors `0..=vector`.
+    pub cumulative_detected: u64,
+}
+
+/// The finished per-vector coverage curve with attribution. Plain
+/// deterministic data: two runs with the same seed produce equal curves.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoverageCurve {
+    /// Coverage denominator (targetable fault count).
+    pub targetable: u64,
+    /// Total vectors the run generated.
+    pub vectors: u64,
+    /// Vectors that detected at least one new fault, ascending.
+    pub points: Vec<CoveragePoint>,
+    /// (label, faults detected) pairs, by descending count then name.
+    pub attribution: Vec<(String, u64)>,
+}
+
+impl CoverageCurve {
+    /// Total faults detected (the last point's cumulative count).
+    pub fn detected_total(&self) -> u64 {
+        self.points.last().map_or(0, |p| p.cumulative_detected)
+    }
+
+    /// Final coverage: detected / targetable (1.0 when nothing was
+    /// targetable, matching the ATPG convention).
+    pub fn final_coverage(&self) -> f64 {
+        if self.targetable == 0 {
+            1.0
+        } else {
+            self.detected_total() as f64 / self.targetable as f64
+        }
+    }
+
+    /// Re-aggregate the attribution through `map` (e.g. component name →
+    /// pipeline stage). Returns (mapped label, detected) pairs by
+    /// descending count then name.
+    pub fn rollup(&self, map: impl Fn(&str) -> String) -> Vec<(String, u64)> {
+        let mut acc: BTreeMap<String, u64> = BTreeMap::new();
+        for (label, n) in &self.attribution {
+            *acc.entry(map(label)).or_default() += n;
+        }
+        let mut out: Vec<(String, u64)> = acc.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Header line for [`to_csv`] output.
+    ///
+    /// [`to_csv`]: CoverageCurve::to_csv
+    pub fn csv_header() -> &'static str {
+        "design,vector,new_detected,cumulative_detected,cumulative_coverage\n"
+    }
+
+    /// CSV rows (no header) for this curve, tagged with `design` in the
+    /// first column so several curves can share one file.
+    pub fn to_csv(&self, design: &str) -> String {
+        let mut s = String::new();
+        for p in &self.points {
+            let cov = if self.targetable == 0 {
+                1.0
+            } else {
+                p.cumulative_detected as f64 / self.targetable as f64
+            };
+            let _ = writeln!(
+                s,
+                "{design},{},{},{},{}",
+                p.vector,
+                p.new_detected,
+                p.cumulative_detected,
+                json::fmt_f64(cov)
+            );
+        }
+        s
+    }
+
+    /// JSON document for this curve:
+    /// `{"design", "targetable", "detected", "vectors",
+    /// "final_coverage", "points": [{"vector", "new_detected",
+    /// "cumulative_detected"}], "attribution": [{"label", "detected"}]}`.
+    pub fn to_json(&self, design: &str) -> String {
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                let mut o = JsonObj::new();
+                o.u64("vector", p.vector)
+                    .u64("new_detected", p.new_detected)
+                    .u64("cumulative_detected", p.cumulative_detected);
+                o.finish()
+            })
+            .collect();
+        let attribution: Vec<String> = self
+            .attribution
+            .iter()
+            .map(|(label, n)| {
+                let mut o = JsonObj::new();
+                o.str("label", label).u64("detected", *n);
+                o.finish()
+            })
+            .collect();
+        let mut o = JsonObj::new();
+        o.str("design", design)
+            .u64("targetable", self.targetable)
+            .u64("detected", self.detected_total())
+            .u64("vectors", self.vectors)
+            .f64("final_coverage", self.final_coverage())
+            .raw("points", &json::array(&points))
+            .raw("attribution", &json::array(&attribution));
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_curve() -> CoverageCurve {
+        let mut rec = CoverageRecorder::new();
+        let a = rec.label("a");
+        let b = rec.label("b");
+        // Deliberately out of vector order.
+        rec.detect(5, a);
+        rec.detect(0, b);
+        rec.detect(0, a);
+        rec.detect(2, b);
+        rec.finish(8, 6)
+    }
+
+    #[test]
+    fn points_are_sorted_and_cumulative_monotone() {
+        let c = sample_curve();
+        let vectors: Vec<u64> = c.points.iter().map(|p| p.vector).collect();
+        assert_eq!(vectors, vec![0, 2, 5]);
+        let mut prev = 0;
+        for p in &c.points {
+            assert!(p.cumulative_detected > prev, "strictly increasing");
+            assert!(p.new_detected > 0);
+            prev = p.cumulative_detected;
+        }
+        assert_eq!(c.detected_total(), 4);
+        assert!((c.final_coverage() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attribution_sums_to_detected_total() {
+        let c = sample_curve();
+        let sum: u64 = c.attribution.iter().map(|(_, n)| n).sum();
+        assert_eq!(sum, c.detected_total());
+        assert_eq!(c.attribution.len(), 2);
+    }
+
+    #[test]
+    fn rollup_reaggregates() {
+        let c = sample_curve();
+        let rolled = c.rollup(|_| "all".to_owned());
+        assert_eq!(rolled, vec![("all".to_owned(), 4)]);
+    }
+
+    #[test]
+    fn empty_curve_conventions() {
+        let c = CoverageRecorder::new().finish(0, 0);
+        assert_eq!(c.detected_total(), 0);
+        assert_eq!(c.final_coverage(), 1.0);
+        assert!(c.points.is_empty());
+        assert_eq!(c.to_csv("x"), "");
+    }
+
+    #[test]
+    fn csv_and_json_render() {
+        let c = sample_curve();
+        let csv = c.to_csv("rescue");
+        assert_eq!(csv.lines().count(), c.points.len());
+        assert!(csv.starts_with("rescue,0,2,2,0.25"));
+        let doc = crate::json::parse(&c.to_json("rescue")).expect("valid json");
+        assert_eq!(
+            doc.get("detected").and_then(|v| v.as_int()),
+            Some(c.detected_total() as i128)
+        );
+        assert_eq!(
+            doc.get("points").and_then(|v| v.as_arr()).map(|a| a.len()),
+            Some(c.points.len())
+        );
+    }
+}

@@ -15,8 +15,17 @@
 //! * [`report`] — a [`report::Report`] builder that renders a
 //!   human-readable end-of-run breakdown and a machine-readable JSON
 //!   document (the `BENCH_metrics.json` artifact);
-//! * [`json`] — the hand-rolled JSON serializer behind both sinks (the
-//!   build environment is offline, so no serde);
+//! * [`coverage`] — per-vector coverage provenance for the ATPG loop: a
+//!   [`coverage::CoverageRecorder`] turns first-detection events into a
+//!   deterministic [`coverage::CoverageCurve`] with per-component
+//!   attribution, serializable as CSV and JSON;
+//! * [`perfetto`] — converts traces (live records or `--trace-json`
+//!   JSONL) into Chrome trace-event JSON for `chrome://tracing` /
+//!   [ui.perfetto.dev](https://ui.perfetto.dev), including counter
+//!   tracks;
+//! * [`json`] — the hand-rolled JSON serializer and parser behind the
+//!   sinks, the Perfetto converter, and `bench-diff` (the build
+//!   environment is offline, so no serde);
 //! * [`rng`] — a seedable SplitMix64 generator replacing the `rand`
 //!   crate everywhere in the workspace.
 //!
@@ -39,13 +48,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coverage;
 pub mod json;
 pub mod metrics;
+pub mod perfetto;
 pub mod report;
 pub mod rng;
 pub mod trace;
 
+pub use coverage::{CoverageCurve, CoverageRecorder};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use report::Report;
 pub use rng::SplitMix64;
-pub use trace::{global, span, SpanGuard, SpanStat, Tracer};
+pub use trace::{counter, global, span, SpanGuard, SpanStat, TraceRecord, Tracer};

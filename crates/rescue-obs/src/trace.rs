@@ -1,11 +1,18 @@
-//! Span/event tracing with monotonic timestamps and a JSONL sink.
+//! Span/event/counter tracing with monotonic timestamps, a JSONL sink,
+//! and an in-memory record buffer for timeline export.
 //!
 //! A [`Tracer`] hands out RAII [`SpanGuard`]s; dropping the guard closes
-//! the span, folds its duration into the per-name summary, and — when a
-//! sink is attached — appends one JSON object per line to the trace
-//! file. Timestamps are nanoseconds since the tracer's creation
+//! the span, folds its duration into the per-span-name summary, and —
+//! when a sink is attached — appends one JSON object per line to the
+//! trace file. Timestamps are nanoseconds since the tracer's creation
 //! (monotonic, from [`Instant`]), so a trace is self-consistent even
-//! though it carries no wall-clock times.
+//! though it carries no wall-clock times. Every record also carries a
+//! small per-thread id so the Figure 9 thread fan-out renders as
+//! separate tracks.
+//!
+//! Besides spans there are point [`Tracer::event`]s and numeric
+//! [`Tracer::counter`] samples; counters become counter tracks in the
+//! Perfetto export ([`crate::perfetto`]).
 //!
 //! Deep engine code opens spans through the process-global tracer
 //! ([`global`] / [`span`]) so experiment drivers don't have to thread a
@@ -17,12 +24,30 @@ use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 thread_local! {
     static DEPTH: Cell<u64> = const { Cell::new(0) };
+    static TID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Monotonically increasing thread ids, assigned on first trace use per
+/// thread. Id 1 is whichever thread traces first (the main thread in
+/// practice); 0 is never assigned.
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+fn thread_id() -> u64 {
+    TID.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            return v;
+        }
+        let v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        t.set(v);
+        v
+    })
 }
 
 /// Aggregated statistics for one span name.
@@ -38,13 +63,57 @@ pub struct SpanStat {
     pub max_ns: u64,
 }
 
-/// A span/event tracer. See the module docs.
+/// One recorded trace entry, kept in memory when recording is enabled
+/// (see [`Tracer::set_record`]). This is the input to the Perfetto
+/// converter.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceRecord {
+    /// A closed span.
+    Span {
+        /// Span name.
+        name: String,
+        /// Start, nanoseconds since the tracer epoch.
+        ts_ns: u64,
+        /// Duration in nanoseconds.
+        dur_ns: u64,
+        /// Nesting depth at open.
+        depth: u64,
+        /// Originating thread.
+        tid: u64,
+    },
+    /// A point event.
+    Event {
+        /// Event name.
+        name: String,
+        /// Timestamp, nanoseconds since the tracer epoch.
+        ts_ns: u64,
+        /// Originating thread.
+        tid: u64,
+        /// Free-form string fields.
+        fields: Vec<(String, String)>,
+    },
+    /// A numeric counter sample (one point on a counter track).
+    Counter {
+        /// Counter (track) name.
+        name: String,
+        /// Timestamp, nanoseconds since the tracer epoch.
+        ts_ns: u64,
+        /// Sampled value.
+        value: f64,
+        /// Originating thread.
+        tid: u64,
+    },
+}
+
+/// A span/event/counter tracer. See the module docs.
 #[derive(Debug)]
 pub struct Tracer {
     enabled: AtomicBool,
+    recording: AtomicBool,
     epoch: Instant,
     sink: Mutex<Option<BufWriter<File>>>,
     stats: Mutex<BTreeMap<String, SpanStat>>,
+    records: Mutex<Vec<TraceRecord>>,
 }
 
 impl Default for Tracer {
@@ -58,9 +127,11 @@ impl Tracer {
     pub fn new() -> Self {
         Tracer {
             enabled: AtomicBool::new(false),
+            recording: AtomicBool::new(false),
             epoch: Instant::now(),
             sink: Mutex::new(None),
             stats: Mutex::new(BTreeMap::new()),
+            records: Mutex::new(Vec::new()),
         }
     }
 
@@ -72,6 +143,28 @@ impl Tracer {
     /// Whether spans are being collected.
     pub fn enabled(&self) -> bool {
         self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Keep every span/event/counter in memory (for [`take_records`] /
+    /// Perfetto export) in addition to any JSONL sink. Also enables the
+    /// tracer.
+    ///
+    /// [`take_records`]: Tracer::take_records
+    pub fn set_record(&self, on: bool) {
+        self.recording.store(on, Ordering::Relaxed);
+        if on {
+            self.set_enabled(true);
+        }
+    }
+
+    /// Whether in-memory recording is on.
+    pub fn recording(&self) -> bool {
+        self.recording.load(Ordering::Relaxed)
+    }
+
+    /// Drain the in-memory record buffer.
+    pub fn take_records(&self) -> Vec<TraceRecord> {
+        std::mem::take(&mut *self.records.lock().expect("tracer records poisoned"))
     }
 
     /// Attach a JSONL sink at `path` (truncates) and enable the tracer.
@@ -117,15 +210,62 @@ impl Tracer {
         if !self.enabled() {
             return;
         }
+        let ts_ns = self.now_ns();
+        let tid = thread_id();
         let mut o = JsonObj::new();
         o.str("type", "event")
             .str("name", name)
-            .u64("ts_ns", self.now_ns())
-            .u64("depth", DEPTH.with(|d| d.get()));
+            .u64("ts_ns", ts_ns)
+            .u64("depth", DEPTH.with(|d| d.get()))
+            .u64("tid", tid);
         for (k, v) in fields {
             o.str(k, v);
         }
         self.write_line(&o.finish());
+        if self.recording() {
+            self.push_record(TraceRecord::Event {
+                name: name.to_owned(),
+                ts_ns,
+                tid,
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                    .collect(),
+            });
+        }
+    }
+
+    /// Sample a counter track: one (name, value) point at the current
+    /// time. Cheap no-op (one atomic load) while the tracer is disabled,
+    /// so engines may call it from inner loops.
+    pub fn counter(&self, name: &str, value: f64) {
+        if !self.enabled() {
+            return;
+        }
+        let ts_ns = self.now_ns();
+        let tid = thread_id();
+        let mut o = JsonObj::new();
+        o.str("type", "counter")
+            .str("name", name)
+            .u64("ts_ns", ts_ns)
+            .f64("value", value)
+            .u64("tid", tid);
+        self.write_line(&o.finish());
+        if self.recording() {
+            self.push_record(TraceRecord::Counter {
+                name: name.to_owned(),
+                ts_ns,
+                value,
+                tid,
+            });
+        }
+    }
+
+    fn push_record(&self, r: TraceRecord) {
+        self.records
+            .lock()
+            .expect("tracer records poisoned")
+            .push(r);
     }
 
     fn close_span(&self, name: &str, start_ns: u64, depth: u64) {
@@ -142,13 +282,24 @@ impl Tracer {
             st.total_ns += dur;
             st.max_ns = st.max_ns.max(dur);
         }
+        let tid = thread_id();
         let mut o = JsonObj::new();
         o.str("type", "span")
             .str("name", name)
             .u64("ts_ns", start_ns)
             .u64("dur_ns", dur)
-            .u64("depth", depth);
+            .u64("depth", depth)
+            .u64("tid", tid);
         self.write_line(&o.finish());
+        if self.recording() {
+            self.push_record(TraceRecord::Span {
+                name: name.to_owned(),
+                ts_ns: start_ns,
+                dur_ns: dur,
+                depth,
+                tid,
+            });
+        }
     }
 
     fn write_line(&self, line: &str) {
@@ -214,4 +365,9 @@ pub fn global() -> &'static Tracer {
 /// ```
 pub fn span(name: &str) -> SpanGuard<'static> {
     global().span(name)
+}
+
+/// Sample a counter on the global tracer (no-op while disabled).
+pub fn counter(name: &str, value: f64) {
+    global().counter(name, value);
 }

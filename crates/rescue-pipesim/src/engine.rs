@@ -190,10 +190,19 @@ impl<'c, T: Iterator<Item = TraceInstr>> Engine<'c, T> {
         self.fetch();
         self.cycle += 1;
         if self.cycle.is_multiple_of(IPC_WINDOW_CYCLES) {
-            self.stats
-                .ipc_windows
-                .record(self.stats.committed - self.window_committed_base);
+            let window = self.stats.committed - self.window_committed_base;
+            self.stats.ipc_windows.record(window);
             self.window_committed_base = self.stats.committed;
+            // Counter tracks for the Perfetto timeline (no-ops unless the
+            // tracer is enabled; cheap enough for the window boundary).
+            if rescue_obs::global().enabled() {
+                rescue_obs::counter(
+                    "pipesim.window_ipc",
+                    window as f64 / IPC_WINDOW_CYCLES as f64,
+                );
+                rescue_obs::counter("pipesim.int_iq_occupancy", self.intq.occupancy() as f64);
+                rescue_obs::counter("pipesim.rob_occupancy", self.rob.len() as f64);
+            }
         }
     }
 

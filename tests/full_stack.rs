@@ -128,6 +128,18 @@ fn full_stack_determinism() {
     assert_eq!(t1.rescue, t2.rescue);
     assert_eq!(t1.baseline_metrics.counts, t2.baseline_metrics.counts);
     assert_eq!(t1.rescue_metrics.counts, t2.rescue_metrics.counts);
+    // The coverage curve is part of the golden state: identical across
+    // runs, and internally consistent with the engine counters — its
+    // endpoint is the detected count the Table 3 coverage is computed
+    // from (bit-for-bit, not tolerance).
+    assert_eq!(t1.baseline_metrics.coverage, t2.baseline_metrics.coverage);
+    assert_eq!(t1.rescue_metrics.coverage, t2.rescue_metrics.coverage);
+    for m in [&t1.baseline_metrics, &t1.rescue_metrics] {
+        assert_eq!(m.coverage.detected_total(), m.counts.detected);
+        assert_eq!(m.coverage.targetable, m.counts.detected + m.counts.aborted);
+        let attributed: u64 = m.coverage.attribution.iter().map(|(_, n)| n).sum();
+        assert_eq!(attributed, m.counts.detected);
+    }
     // The counters must describe real work, not zeros.
     let c = &t1.rescue_metrics.counts;
     assert!(c.podem_decisions > 0);
