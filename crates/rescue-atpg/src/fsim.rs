@@ -5,8 +5,22 @@
 //! through the fanout cone, stopping as soon as the difference dies. This
 //! is the standard high-throughput architecture of commercial fault
 //! simulators.
+//!
+//! The simulator runs over the [`Levelized`] packed view of the netlist.
+//! Events are ordered by logic level; because a gate only ever schedules
+//! consumers at strictly higher levels, the default queue is a
+//! **level-indexed bucket array** ([`Kernel::Bucket`]) with O(1)
+//! push/pop — no heap rebalancing per event. The original binary-heap
+//! ordering survives as [`Kernel::Heap`] for the `fsim-kernel`
+//! microbench; both kernels evaluate exactly the same gate set for a
+//! given fault, so every counter and detection result is kernel-
+//! independent.
+//!
+//! All per-fault scratch (the input buffer, the touched-net list, the
+//! queues) lives in the `FaultSim` and is reused across calls; a
+//! simulator performs no per-fault allocation in steady state.
 
-use rescue_netlist::{Fault, FaultSite, GateId, Netlist, PatternBlock, SimOutput};
+use rescue_netlist::{Fault, FaultSite, Levelized, Netlist, PatternBlock};
 use rescue_obs::metrics::Counter;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -19,6 +33,19 @@ pub enum Observation {
     ScanCell(usize),
     /// Visible at the primary output with this index.
     PrimaryOutput(usize),
+}
+
+/// Event-queue discipline for the propagation loop. Both kernels produce
+/// identical results and identical `gate_evals` counts; they differ only
+/// in queue cost per event.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Kernel {
+    /// Level-indexed bucket queues: O(1) push/pop. The default.
+    #[default]
+    Bucket,
+    /// Binary heap ordered by (level, position): O(log n) per event.
+    /// Kept as the microbench reference point.
+    Heap,
 }
 
 /// Live counters for one fault simulator, aggregated across blocks.
@@ -35,32 +62,131 @@ pub struct FsimStats {
     pub gate_evals: Counter,
 }
 
+/// How the simulator holds its levelized view: built and owned by
+/// [`FaultSim::new`], or borrowed from a caller that shares one across
+/// many simulators (the fault-sharding layer).
+#[derive(Debug)]
+enum LevHandle<'a> {
+    Owned(Box<Levelized>),
+    Shared(&'a Levelized),
+}
+
+impl LevHandle<'_> {
+    #[inline]
+    fn get(&self) -> &Levelized {
+        match self {
+            LevHandle::Owned(l) => l,
+            LevHandle::Shared(l) => l,
+        }
+    }
+}
+
+/// The fault as seen by the propagation inner loop: the stuck value plus
+/// packed-position overrides, with sentinels instead of `Option`s so the
+/// hot path stays branch-cheap.
+#[derive(Clone, Copy)]
+struct FaultView {
+    /// All-ones for stuck-at-1, all-zeros for stuck-at-0.
+    stuck: u64,
+    /// Packed position whose input pin is forced, or `u32::MAX`.
+    gpos: u32,
+    /// The forced pin index (meaningful when `gpos` is set).
+    pin: usize,
+    /// Net index forced to `stuck`, or `usize::MAX`.
+    net: usize,
+}
+
+impl FaultView {
+    fn new(lev: &Levelized, fault: Fault) -> Self {
+        let stuck = if fault.stuck_at.is_one() { u64::MAX } else { 0 };
+        match fault.site {
+            FaultSite::Net(site) => FaultView {
+                stuck,
+                gpos: u32::MAX,
+                pin: 0,
+                net: site.index(),
+            },
+            FaultSite::GateInput(g, pin) => FaultView {
+                stuck,
+                gpos: lev.pos_of(g),
+                pin: pin as usize,
+                net: usize::MAX,
+            },
+        }
+    }
+}
+
 /// Fault simulator bound to a netlist, reusable across pattern blocks.
+///
+/// Build with [`FaultSim::new`] (owns its levelized view) or
+/// [`FaultSim::with_levelized`] (borrows one shared across workers).
 #[derive(Debug)]
 pub struct FaultSim<'a> {
-    netlist: &'a Netlist,
+    lev: LevHandle<'a>,
+    kernel: Kernel,
     /// Good-machine values for the current block.
     good: Vec<u64>,
     /// Faulty-value overlay, valid where `touched_epoch == epoch`.
     faulty: Vec<u64>,
     touched_epoch: Vec<u32>,
+    /// Nets touched by the current run (indices into `faulty`), so
+    /// observation collection never scans the full net array.
+    touched: Vec<u32>,
     epoch: u32,
+    /// Per packed gate position: epoch when last queued.
     queued: Vec<u32>,
+    /// One event bucket per logic level (bucket kernel).
+    buckets: Vec<Vec<u32>>,
+    /// (level, position) heap (heap kernel).
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    /// Reusable gate-input scratch.
+    in_buf: Vec<u64>,
     stats: FsimStats,
 }
 
+impl FaultSim<'static> {
+    /// Create a simulator for `netlist`, building a private levelized
+    /// view. Prefer [`FaultSim::with_levelized`] when several simulators
+    /// share one netlist.
+    pub fn new(netlist: &Netlist) -> Self {
+        Self::from_handle(
+            LevHandle::Owned(Box::new(Levelized::new(netlist))),
+            Kernel::default(),
+        )
+    }
+}
+
 impl<'a> FaultSim<'a> {
-    /// Create a simulator for `netlist`.
-    pub fn new(netlist: &'a Netlist) -> Self {
-        let n = netlist.num_nets();
+    /// Create a simulator over a shared levelized view.
+    pub fn with_levelized(lev: &'a Levelized) -> Self {
+        Self::from_handle(LevHandle::Shared(lev), Kernel::default())
+    }
+
+    /// Like [`FaultSim::with_levelized`] with an explicit event-queue
+    /// kernel (microbench use).
+    pub fn with_kernel(lev: &'a Levelized, kernel: Kernel) -> Self {
+        Self::from_handle(LevHandle::Shared(lev), kernel)
+    }
+
+    fn from_handle(lev: LevHandle<'a>, kernel: Kernel) -> Self {
+        let l = lev.get();
+        let n = l.num_nets();
+        let num_gates = l.num_gates();
+        let num_levels = l.num_levels() as usize;
+        let max_fanin = l.max_fanin();
         FaultSim {
-            netlist,
+            kernel,
             good: vec![0; n],
             faulty: vec![0; n],
             touched_epoch: vec![0; n],
+            touched: Vec::new(),
             epoch: 0,
-            queued: vec![0; netlist.num_gates()],
+            queued: vec![0; num_gates],
+            buckets: vec![Vec::new(); num_levels],
+            heap: BinaryHeap::new(),
+            in_buf: Vec::with_capacity(max_fanin),
             stats: FsimStats::default(),
+            lev,
         }
     }
 
@@ -69,10 +195,14 @@ impl<'a> FaultSim<'a> {
         &self.stats
     }
 
+    /// The event-queue kernel in use.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
     /// Load a pattern block: runs the good-machine simulation.
     pub fn load_block(&mut self, block: &PatternBlock) {
-        let out: SimOutput = self.netlist.simulate(block);
-        self.good = out.nets;
+        self.lev.get().eval_block_into(block, &mut self.good);
         self.stats.blocks_loaded.inc();
     }
 
@@ -115,17 +245,7 @@ impl<'a> FaultSim<'a> {
         obs
     }
 
-    fn faulty_value(&self, net: usize) -> u64 {
-        if self.touched_epoch[net] == self.epoch {
-            self.faulty[net]
-        } else {
-            self.good[net]
-        }
-    }
-
-    /// Core event-driven difference propagation.
-    fn run(&mut self, fault: Fault, mut on_observe: impl FnMut(Observation, u64)) {
-        self.stats.faults_simulated.inc();
+    fn bump_epoch(&mut self) {
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             // Wrapped: clear the lazily-reset maps.
@@ -133,98 +253,246 @@ impl<'a> FaultSim<'a> {
             self.queued.fill(0);
             self.epoch = 1;
         }
-        let n = self.netlist;
-        let stuck = if fault.stuck_at.is_one() { u64::MAX } else { 0 };
+        self.touched.clear();
+    }
 
-        // Heap of gates to (re)evaluate, ordered by logic level.
-        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
-
-        let seed_net =
-            |sim: &mut Self, heap: &mut BinaryHeap<Reverse<(u32, u32)>>, net: usize, value: u64| {
-                sim.faulty[net] = value;
-                sim.touched_epoch[net] = sim.epoch;
-                if value != sim.good[net] {
-                    let id = rescue_netlist::NetId::from_index(net);
-                    for &g in sim.netlist.fanout_gates(id) {
-                        if sim.queued[g.index()] != sim.epoch {
-                            sim.queued[g.index()] = sim.epoch;
-                            heap.push(Reverse((sim.netlist.gate_level(g), g.index() as u32)));
-                        }
-                    }
-                }
-            };
-
-        match fault.site {
-            FaultSite::Net(site) => {
-                seed_net(self, &mut heap, site.index(), stuck);
-            }
-            FaultSite::GateInput(g, _) => {
-                // Re-evaluate the gate with the pin forced.
-                if self.queued[g.index()] != self.epoch {
-                    self.queued[g.index()] = self.epoch;
-                    heap.push(Reverse((n.gate_level(g), g.index() as u32)));
-                }
-            }
+    /// Core event-driven difference propagation.
+    fn run(&mut self, fault: Fault, mut on_observe: impl FnMut(Observation, u64)) {
+        self.stats.faults_simulated.inc();
+        self.bump_epoch();
+        match self.kernel {
+            Kernel::Bucket => self.propagate_bucket(fault),
+            Kernel::Heap => self.propagate_heap(fault),
         }
-
-        let mut in_buf: Vec<u64> = Vec::with_capacity(8);
-        while let Some(Reverse((_, gidx))) = heap.pop() {
-            self.stats.gate_evals.inc();
-            let gid = GateId::from_index(gidx as usize);
-            let gate = n.gate(gid);
-            in_buf.clear();
-            for &i in gate.inputs() {
-                in_buf.push(self.faulty_value(i.index()));
-            }
-            if let FaultSite::GateInput(fg, pin) = fault.site {
-                if fg == gid {
-                    in_buf[pin as usize] = stuck;
-                }
-            }
-            let mut v = gate.kind().eval_u64(&in_buf);
-            let out = gate.output();
-            if fault.site == FaultSite::Net(out) {
-                v = stuck;
-            }
-            let oi = out.index();
-            let prev = self.faulty_value(oi);
-            if v == prev && self.touched_epoch[oi] == self.epoch {
-                continue;
-            }
-            self.faulty[oi] = v;
-            self.touched_epoch[oi] = self.epoch;
-            if v != self.good[oi] || prev != self.good[oi] {
-                for &cons in n.fanout_gates(out) {
-                    if self.queued[cons.index()] != self.epoch {
-                        self.queued[cons.index()] = self.epoch;
-                        heap.push(Reverse((n.gate_level(cons), cons.index() as u32)));
-                    }
-                }
-            }
-        }
-
         // Collect observations: any touched net with a difference that
-        // feeds a flip-flop D or a primary output.
-        for (net, &te) in self.touched_epoch.iter().enumerate() {
-            if te != self.epoch {
-                continue;
-            }
-            let diff = self.faulty[net] ^ self.good[net];
+        // feeds a flip-flop D or a primary output. A stem fault on a net
+        // that directly feeds state/outputs but is driven by input/DFF is
+        // included because seeding marks the site touched.
+        let lev = self.lev.get();
+        for &net in &self.touched {
+            let ni = net as usize;
+            let diff = self.faulty[ni] ^ self.good[ni];
             if diff == 0 {
                 continue;
             }
-            let id = rescue_netlist::NetId::from_index(net);
-            for &d in n.fanout_dffs(id) {
-                on_observe(Observation::ScanCell(d.index()), diff);
+            for &d in lev.fanout_dffs(ni) {
+                on_observe(Observation::ScanCell(d as usize), diff);
             }
-            for &o in n.fanout_outputs(id) {
+            for &o in lev.fanout_outputs(ni) {
                 on_observe(Observation::PrimaryOutput(o as usize), diff);
             }
         }
-        // A stem fault on a net that directly feeds state/outputs but is
-        // driven by input/DFF is handled above because we seeded it as
-        // touched.
-        let _ = &fault;
+    }
+
+    fn propagate_bucket(&mut self, fault: Fault) {
+        let FaultSim {
+            lev,
+            good,
+            faulty,
+            touched_epoch,
+            touched,
+            epoch,
+            queued,
+            buckets,
+            in_buf,
+            stats,
+            ..
+        } = self;
+        let lev = lev.get();
+        let epoch = *epoch;
+        let fv = FaultView::new(lev, fault);
+
+        let mut pending = 0usize;
+        let mut first_level = lev.num_levels();
+        match fault.site {
+            FaultSite::Net(site) => {
+                let ni = site.index();
+                faulty[ni] = fv.stuck;
+                if touched_epoch[ni] != epoch {
+                    touched_epoch[ni] = epoch;
+                    touched.push(ni as u32);
+                }
+                if fv.stuck != good[ni] {
+                    for &pos in lev.fanout(ni) {
+                        if queued[pos as usize] != epoch {
+                            queued[pos as usize] = epoch;
+                            let l = lev.level(pos);
+                            buckets[l as usize].push(pos);
+                            pending += 1;
+                            first_level = first_level.min(l);
+                        }
+                    }
+                }
+            }
+            FaultSite::GateInput(g, _) => {
+                // Re-evaluate the gate with the pin forced.
+                let pos = lev.pos_of(g);
+                queued[pos as usize] = epoch;
+                let l = lev.level(pos);
+                buckets[l as usize].push(pos);
+                pending += 1;
+                first_level = l;
+            }
+        }
+
+        // A gate only schedules consumers at strictly higher levels, so a
+        // single ascending sweep drains every event; nothing is ever
+        // pushed at or below the level being drained.
+        let mut lvl = first_level;
+        while pending > 0 {
+            let bucket = &mut buckets[lvl as usize];
+            if bucket.is_empty() {
+                lvl += 1;
+                continue;
+            }
+            let mut bucket = std::mem::take(bucket);
+            pending -= bucket.len();
+            for &pos in &bucket {
+                let out = eval_gate(
+                    lev,
+                    pos,
+                    fv,
+                    good,
+                    faulty,
+                    touched_epoch,
+                    touched,
+                    epoch,
+                    in_buf,
+                    stats,
+                );
+                if let Some(out) = out {
+                    for &cons in lev.fanout(out) {
+                        if queued[cons as usize] != epoch {
+                            queued[cons as usize] = epoch;
+                            buckets[lev.level(cons) as usize].push(cons);
+                            pending += 1;
+                        }
+                    }
+                }
+            }
+            bucket.clear();
+            buckets[lvl as usize] = bucket;
+            lvl += 1;
+        }
+    }
+
+    fn propagate_heap(&mut self, fault: Fault) {
+        let FaultSim {
+            lev,
+            good,
+            faulty,
+            touched_epoch,
+            touched,
+            epoch,
+            queued,
+            heap,
+            in_buf,
+            stats,
+            ..
+        } = self;
+        let lev = lev.get();
+        let epoch = *epoch;
+        let fv = FaultView::new(lev, fault);
+
+        heap.clear();
+        match fault.site {
+            FaultSite::Net(site) => {
+                let ni = site.index();
+                faulty[ni] = fv.stuck;
+                if touched_epoch[ni] != epoch {
+                    touched_epoch[ni] = epoch;
+                    touched.push(ni as u32);
+                }
+                if fv.stuck != good[ni] {
+                    for &pos in lev.fanout(ni) {
+                        if queued[pos as usize] != epoch {
+                            queued[pos as usize] = epoch;
+                            heap.push(Reverse((lev.level(pos), pos)));
+                        }
+                    }
+                }
+            }
+            FaultSite::GateInput(g, _) => {
+                let pos = lev.pos_of(g);
+                queued[pos as usize] = epoch;
+                heap.push(Reverse((lev.level(pos), pos)));
+            }
+        }
+
+        while let Some(Reverse((_, pos))) = heap.pop() {
+            let out = eval_gate(
+                lev,
+                pos,
+                fv,
+                good,
+                faulty,
+                touched_epoch,
+                touched,
+                epoch,
+                in_buf,
+                stats,
+            );
+            if let Some(out) = out {
+                for &cons in lev.fanout(out) {
+                    if queued[cons as usize] != epoch {
+                        queued[cons as usize] = epoch;
+                        heap.push(Reverse((lev.level(cons), cons)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Re-evaluate the gate at packed position `pos` under the fault overlay.
+/// Marks the output net touched; returns `Some(out_net)` when the
+/// change must be propagated to the net's consumers.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn eval_gate(
+    lev: &Levelized,
+    pos: u32,
+    fv: FaultView,
+    good: &[u64],
+    faulty: &mut [u64],
+    touched_epoch: &mut [u32],
+    touched: &mut Vec<u32>,
+    epoch: u32,
+    in_buf: &mut Vec<u64>,
+    stats: &FsimStats,
+) -> Option<usize> {
+    stats.gate_evals.inc();
+    in_buf.clear();
+    for &ni in lev.inputs(pos) {
+        let ni = ni as usize;
+        in_buf.push(if touched_epoch[ni] == epoch {
+            faulty[ni]
+        } else {
+            good[ni]
+        });
+    }
+    if pos == fv.gpos {
+        in_buf[fv.pin] = fv.stuck;
+    }
+    let mut v = lev.kind(pos).eval_u64(in_buf);
+    let oi = lev.out_net(pos) as usize;
+    if oi == fv.net {
+        v = fv.stuck;
+    }
+    let was_touched = touched_epoch[oi] == epoch;
+    let prev = if was_touched { faulty[oi] } else { good[oi] };
+    if v == prev && was_touched {
+        return None;
+    }
+    faulty[oi] = v;
+    if !was_touched {
+        touched_epoch[oi] = epoch;
+        touched.push(oi as u32);
+    }
+    if v != good[oi] || prev != good[oi] {
+        Some(oi)
+    } else {
+        None
     }
 }
 
@@ -233,10 +501,7 @@ mod tests {
     use super::*;
     use rescue_netlist::{NetlistBuilder, StuckAt};
 
-    /// Cross-check the event-driven simulator against full faulty
-    /// re-simulation on a small circuit.
-    #[test]
-    fn event_driven_matches_full_resimulation() {
+    fn sample() -> rescue_netlist::Netlist {
         let mut b = NetlistBuilder::new();
         b.enter_component("c");
         let a = b.input("a");
@@ -248,29 +513,63 @@ mod tests {
         let q = b.dff(z, "r");
         b.output(y, "o");
         b.output(q, "oq");
-        let n = b.finish().unwrap();
+        b.finish().unwrap()
+    }
 
+    /// Cross-check the event-driven simulator against full faulty
+    /// re-simulation on a small circuit, under both kernels.
+    #[test]
+    fn event_driven_matches_full_resimulation() {
+        let n = sample();
         let block = PatternBlock {
             inputs: vec![0b1100_1010, 0b1010_0110, 0b0110_0011],
             state: vec![0b0001_1000],
         };
-        let mut sim = FaultSim::new(&n);
-        sim.load_block(&block);
-
-        for fault in n.enumerate_faults() {
-            let mask = sim.detect_mask(fault);
-            let full = n.simulate_faulty(&block, fault);
-            let good = n.simulate(&block);
-            let mut expect = 0u64;
-            for (i, d) in n.dffs().iter().enumerate() {
-                let _ = i;
-                expect |= full.nets[d.d().index()] ^ good.nets[d.d().index()];
+        let lev = rescue_netlist::Levelized::new(&n);
+        for kernel in [Kernel::Bucket, Kernel::Heap] {
+            let mut sim = FaultSim::with_kernel(&lev, kernel);
+            sim.load_block(&block);
+            for fault in n.enumerate_faults() {
+                let mask = sim.detect_mask(fault);
+                let full = n.simulate_faulty(&block, fault);
+                let good = n.simulate(&block);
+                let mut expect = 0u64;
+                for d in n.dffs() {
+                    expect |= full.nets[d.d().index()] ^ good.nets[d.d().index()];
+                }
+                for (_, net) in n.outputs() {
+                    expect |= full.nets[net.index()] ^ good.nets[net.index()];
+                }
+                assert_eq!(mask, expect, "fault {fault} under {kernel:?}");
             }
-            for (_, net) in n.outputs() {
-                expect |= full.nets[net.index()] ^ good.nets[net.index()];
-            }
-            assert_eq!(mask, expect, "fault {fault}");
         }
+    }
+
+    /// Both kernels must agree on every observation *and* on the
+    /// gate-eval count (they evaluate the same gate set).
+    #[test]
+    fn kernels_agree_including_eval_counts() {
+        let n = sample();
+        let block = PatternBlock {
+            inputs: vec![0xdead_beef, 0x0123_4567, 0xffff_0000],
+            state: vec![0xaaaa_5555],
+        };
+        let lev = rescue_netlist::Levelized::new(&n);
+        let mut bucket = FaultSim::with_kernel(&lev, Kernel::Bucket);
+        let mut heap = FaultSim::with_kernel(&lev, Kernel::Heap);
+        bucket.load_block(&block);
+        heap.load_block(&block);
+        for fault in n.enumerate_faults() {
+            assert_eq!(
+                bucket.observations(fault),
+                heap.observations(fault),
+                "fault {fault}"
+            );
+        }
+        assert_eq!(
+            bucket.stats().gate_evals.get(),
+            heap.stats().gate_evals.get()
+        );
     }
 
     #[test]

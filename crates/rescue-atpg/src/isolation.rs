@@ -10,7 +10,7 @@
 
 use crate::fsim::{FaultSim, Observation};
 use crate::tpg::{vectors_to_blocks, PatternVector};
-use rescue_netlist::{ComponentId, Fault, ScanNetlist};
+use rescue_netlist::{ComponentId, Fault, Levelized, ScanNetlist};
 
 /// Result of isolating one injected fault.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -44,6 +44,9 @@ impl IsolationOutcome {
 pub struct Isolator<'a> {
     scanned: &'a ScanNetlist,
     blocks: Vec<rescue_netlist::PatternBlock>,
+    /// Levelized view shared by every replay simulator (and every
+    /// worker of [`Isolator::isolate_many`]).
+    lev: Levelized,
     /// Per scan position: the component labels of its capture cone.
     labels: Vec<Vec<ComponentId>>,
 }
@@ -54,6 +57,7 @@ impl<'a> Isolator<'a> {
         Isolator {
             scanned,
             blocks: vectors_to_blocks(vectors, scanned),
+            lev: Levelized::new(&scanned.netlist),
             labels: scanned.capture_components(),
         }
     }
@@ -123,7 +127,13 @@ impl<'a> Isolator<'a> {
     /// Simulate `fault` against every vector and derive the isolation
     /// outcome.
     pub fn isolate(&self, fault: Fault) -> IsolationOutcome {
-        let mut sim = FaultSim::new(&self.scanned.netlist);
+        let mut sim = FaultSim::with_levelized(&self.lev);
+        self.isolate_with(&mut sim, fault)
+    }
+
+    /// Isolate one fault on a caller-provided simulator (lets workers
+    /// reuse their simulator across many faults).
+    fn isolate_with(&self, sim: &mut FaultSim, fault: Fault) -> IsolationOutcome {
         let mut failing: Vec<Observation> = Vec::new();
         for block in &self.blocks {
             sim.load_block(block);
@@ -135,6 +145,46 @@ impl<'a> Isolator<'a> {
         }
         failing.sort();
         self.outcome_from_failures(failing)
+    }
+
+    /// Isolate many faults, sharded over `threads` workers (resolved via
+    /// [`crate::parallel::resolve_threads`]). Outcomes are returned in
+    /// `faults` order; each fault's replay is independent, so the result
+    /// is bit-identical to mapping [`Isolator::isolate`] sequentially,
+    /// for any worker count.
+    pub fn isolate_many(&self, faults: &[Fault], threads: usize) -> Vec<IsolationOutcome> {
+        let threads = crate::parallel::resolve_threads(threads);
+        let workers = threads.min(faults.len()).max(1);
+        if workers == 1 {
+            let _span = rescue_obs::span("isolation.worker");
+            let mut sim = FaultSim::with_levelized(&self.lev);
+            return faults
+                .iter()
+                .map(|&f| self.isolate_with(&mut sim, f))
+                .collect();
+        }
+        let chunk = faults.len().div_ceil(workers);
+        let mut out: Vec<IsolationOutcome> = Vec::with_capacity(faults.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = faults
+                .chunks(chunk)
+                .map(|shard| {
+                    s.spawn(move || {
+                        let _span = rescue_obs::span("isolation.worker");
+                        let mut sim = FaultSim::with_levelized(&self.lev);
+                        shard
+                            .iter()
+                            .map(|&f| self.isolate_with(&mut sim, f))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            // Join in spawn order: canonical fault order.
+            for h in handles {
+                out.extend(h.join().expect("isolation worker panicked"));
+            }
+        });
+        out
     }
 
     fn outcome_from_failures(&self, failing: Vec<Observation>) -> IsolationOutcome {

@@ -10,7 +10,8 @@
 //!    cube that is random-filled into a full vector,
 //! 3. batch vectors 64 at a time and run the **parallel-pattern
 //!    single-fault-propagation simulator** ([`fsim`]) to drop every other
-//!    fault the batch happens to detect,
+//!    fault the batch happens to detect — sharded across worker threads
+//!    ([`parallel`]) with results bit-identical to the 1-thread run,
 //! 4. account test application cycles with the standard overlapped
 //!    scan-in/scan-out schedule,
 //! 5. for **isolation** ([`isolation`]): replay the vector set against an
@@ -42,13 +43,15 @@
 pub mod chain;
 pub mod fsim;
 pub mod isolation;
+pub mod parallel;
 pub mod podem;
 mod threeval;
 mod tpg;
 
 pub use chain::{chain_flush_test, flush_pattern, ChainTestResult};
-pub use fsim::{FaultSim, FsimStats, Observation};
+pub use fsim::{FaultSim, FsimStats, Kernel, Observation};
 pub use isolation::{IsolationOutcome, Isolator};
+pub use parallel::{resolve_threads, FaultShards, FsimParallel};
 pub use podem::{Podem, PodemConfig, PodemResult, PodemStats, TestCube};
 pub use threeval::V3;
 pub use tpg::{

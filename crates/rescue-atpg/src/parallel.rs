@@ -1,0 +1,246 @@
+//! Deterministic fault-parallel sharding for the PPSFP simulator.
+//!
+//! Fault simulation is embarrassingly parallel across the fault list:
+//! every fault is an independent difference propagation against the same
+//! good-machine block. [`FaultShards`] splits the fault slice into
+//! contiguous index ranges, simulates each range on its own worker (one
+//! [`FaultSim`] per worker over a shared [`Levelized`]), and reduces the
+//! per-fault results **in canonical fault-index order**. Because each
+//! fault's result depends only on the fault and the block — never on
+//! other faults or on scheduling — the reduced output is bit-for-bit
+//! identical for any worker count, including 1. Fault dropping, the
+//! coverage curve, per-vector provenance, and every `AtpgCounts` value
+//! therefore match the sequential run exactly.
+//!
+//! Workers are plain `std::thread::scope` threads (no external deps);
+//! each opens a `fsim.worker` span so the Perfetto export shows one
+//! track per worker, and per-worker busy time is accumulated for the
+//! utilization report.
+
+use crate::fsim::FaultSim;
+use rescue_netlist::{Fault, Levelized, PatternBlock};
+use std::time::Instant;
+
+/// Minimum faults worth giving a spawned worker; spawn overhead would
+/// dominate below this. Depends only on the fault count, never on the
+/// worker count, so scheduling stays a pure implementation detail (the
+/// results are thread-count-invariant regardless).
+const MIN_FAULTS_TO_SPAWN: usize = 32;
+
+/// Resolve a requested worker count: an explicit `requested > 0` wins,
+/// then a positive `RESCUE_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`].
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("RESCUE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Per-worker utilization snapshot of a parallel fault-simulation phase.
+/// Wall-clock data: excluded from determinism comparisons, reported as
+/// informational (timing-class) metrics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FsimParallel {
+    /// Worker count the run was configured with.
+    pub threads: u64,
+    /// Busy nanoseconds per worker (simulation work only).
+    pub worker_busy_ns: Vec<u64>,
+    /// Wall nanoseconds spent inside sharded simulation calls.
+    pub wall_ns: u64,
+}
+
+impl FsimParallel {
+    /// Mean worker busy fraction of the sharded wall time (0 when
+    /// nothing ran).
+    pub fn utilization(&self) -> f64 {
+        if self.wall_ns == 0 || self.threads == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.worker_busy_ns.iter().sum();
+        busy as f64 / (self.wall_ns as f64 * self.threads as f64)
+    }
+
+    /// Total busy time over wall time: the parallelism actually achieved
+    /// (1.0 means no overlap at all).
+    pub fn effective_parallelism(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.worker_busy_ns.iter().sum();
+        busy as f64 / self.wall_ns as f64
+    }
+}
+
+/// A pool of per-worker fault simulators over one shared levelized view.
+/// See the module docs for the determinism argument.
+#[derive(Debug)]
+pub struct FaultShards<'a> {
+    sims: Vec<FaultSim<'a>>,
+    busy_ns: Vec<u64>,
+    wall_ns: u64,
+}
+
+impl<'a> FaultShards<'a> {
+    /// Create `threads` workers (at least 1) over a shared view.
+    pub fn new(lev: &'a Levelized, threads: usize) -> Self {
+        let threads = threads.max(1);
+        FaultShards {
+            sims: (0..threads)
+                .map(|_| FaultSim::with_levelized(lev))
+                .collect(),
+            busy_ns: vec![0; threads],
+            wall_ns: 0,
+        }
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// Gate re-evaluations summed across workers. Deterministic: the
+    /// per-fault eval count is scheduling-independent, so the sum over a
+    /// fixed fault population never varies with the worker count.
+    pub fn gate_evals(&self) -> u64 {
+        self.sims.iter().map(|s| s.stats().gate_evals.get()).sum()
+    }
+
+    /// Utilization snapshot accumulated across all `detect_lanes` calls.
+    pub fn parallel_stats(&self) -> FsimParallel {
+        FsimParallel {
+            threads: self.sims.len() as u64,
+            worker_busy_ns: self.busy_ns.clone(),
+            wall_ns: self.wall_ns,
+        }
+    }
+
+    /// First detecting lane per fault under `block`, in `faults` order.
+    /// Equivalent to calling [`FaultSim::first_detecting_lane`] for each
+    /// fault on one simulator, for any worker count.
+    pub fn detect_lanes(&mut self, block: &PatternBlock, faults: &[Fault]) -> Vec<Option<u32>> {
+        let t_wall = Instant::now();
+        let workers = self
+            .sims
+            .len()
+            .min(faults.len().div_ceil(MIN_FAULTS_TO_SPAWN));
+        let out = if workers <= 1 {
+            // Open the worker span on the serial path too, so the span
+            // *set* in a trace is identical across thread counts (only
+            // the count varies, which the diff gate treats as
+            // informational for `.worker` spans).
+            let _span = rescue_obs::span("fsim.worker");
+            let t = Instant::now();
+            let sim = &mut self.sims[0];
+            sim.load_block(block);
+            let lanes: Vec<Option<u32>> = faults
+                .iter()
+                .map(|&f| sim.first_detecting_lane(f))
+                .collect();
+            self.busy_ns[0] += t.elapsed().as_nanos() as u64;
+            lanes
+        } else {
+            let chunk = faults.len().div_ceil(workers);
+            let FaultShards { sims, busy_ns, .. } = self;
+            let mut lanes: Vec<Option<u32>> = Vec::with_capacity(faults.len());
+            std::thread::scope(|s| {
+                let handles: Vec<_> = sims
+                    .iter_mut()
+                    .zip(faults.chunks(chunk))
+                    .map(|(sim, shard)| {
+                        s.spawn(move || {
+                            let _span = rescue_obs::span("fsim.worker");
+                            let t = Instant::now();
+                            sim.load_block(block);
+                            let lanes: Vec<Option<u32>> =
+                                shard.iter().map(|&f| sim.first_detecting_lane(f)).collect();
+                            (lanes, t.elapsed().as_nanos() as u64)
+                        })
+                    })
+                    .collect();
+                // Join in spawn order: shard results concatenate back
+                // into canonical fault-index order.
+                for (i, h) in handles.into_iter().enumerate() {
+                    let (shard_lanes, busy) = h.join().expect("fsim worker panicked");
+                    lanes.extend(shard_lanes);
+                    busy_ns[i] += busy;
+                }
+            });
+            lanes
+        };
+        self.wall_ns += t_wall.elapsed().as_nanos() as u64;
+        debug_assert_eq!(out.len(), faults.len());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescue_netlist::{scan::insert_scan, NetlistBuilder};
+
+    fn design() -> rescue_netlist::ScanNetlist {
+        let mut b = NetlistBuilder::new();
+        b.enter_component("c");
+        let a = b.input_bus("a", 24);
+        let mut acc = a[0];
+        for &x in &a[1..] {
+            let t = b.xor2(acc, x);
+            let u = b.and2(acc, x);
+            acc = b.or2(t, u);
+        }
+        let q = b.dff(acc, "q");
+        b.output(q, "o");
+        insert_scan(&b.finish().unwrap())
+    }
+
+    #[test]
+    fn sharded_lanes_match_sequential_for_any_worker_count() {
+        let s = design();
+        let n = &s.netlist;
+        let lev = Levelized::new(n);
+        let faults = n.collapse_faults();
+        // Enough faults that multi-worker spawning actually happens.
+        assert!(faults.len() > 2 * MIN_FAULTS_TO_SPAWN, "{}", faults.len());
+        let block = rescue_netlist::PatternBlock {
+            inputs: vec![0x1234_5678_9abc_def0; n.inputs().len()],
+            state: vec![0x0ff0_f00f_aa55_55aa; n.num_dffs()],
+        };
+
+        let mut reference = FaultSim::with_levelized(&lev);
+        reference.load_block(&block);
+        let want: Vec<Option<u32>> = faults
+            .iter()
+            .map(|&f| reference.first_detecting_lane(f))
+            .collect();
+
+        for threads in [1, 2, 3, 8] {
+            let mut shards = FaultShards::new(&lev, threads);
+            assert_eq!(
+                shards.detect_lanes(&block, &faults),
+                want,
+                "{threads} threads"
+            );
+            assert_eq!(
+                shards.gate_evals(),
+                reference.stats().gate_evals.get(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn resolve_threads_priority() {
+        assert_eq!(resolve_threads(3), 3);
+        // requested = 0 falls through to env/available parallelism; both
+        // are positive.
+        assert!(resolve_threads(0) >= 1);
+    }
+}

@@ -1,9 +1,9 @@
 //! The top-level ATPG flow and the scan-test statistics of Table 3.
 
-use crate::fsim::FaultSim;
+use crate::parallel::{resolve_threads, FaultShards, FsimParallel};
 use crate::podem::{Podem, PodemConfig, PodemResult, TestCube};
 use crate::threeval::V3;
-use rescue_netlist::{Driver, Fault, FaultSite, PatternBlock, ScanNetlist};
+use rescue_netlist::{Driver, Fault, FaultSite, Levelized, PatternBlock, ScanNetlist};
 use rescue_obs::coverage::{CoverageRecorder, LabelId};
 use rescue_obs::metrics::HistogramSnapshot;
 use rescue_obs::{CoverageCurve, SplitMix64};
@@ -47,6 +47,12 @@ pub struct AtpgConfig {
     /// into. Real compactors bound this search for runtime; the bound
     /// also controls how aggressive compaction is.
     pub merge_window: usize,
+    /// Fault-simulation worker threads. `0` (the default) resolves via
+    /// the `RESCUE_THREADS` environment variable, then the machine's
+    /// available parallelism. Every result — fault classes, vectors,
+    /// coverage curve, all counters — is bit-identical for any value;
+    /// only wall-clock changes (see [`crate::parallel`]).
+    pub threads: usize,
 }
 
 impl Default for AtpgConfig {
@@ -56,6 +62,7 @@ impl Default for AtpgConfig {
             fill_seed: 0x5eed_cafe_f00d_0001,
             merge_cubes: true,
             merge_window: 6,
+            threads: 0,
         }
     }
 }
@@ -163,6 +170,9 @@ pub struct AtpgMetrics {
     pub counts: AtpgCounts,
     /// Wall-clock phase breakdown.
     pub timing: AtpgTiming,
+    /// Fault-simulation worker utilization. Like [`AtpgTiming`],
+    /// wall-clock data excluded from determinism comparisons.
+    pub parallel: FsimParallel,
     /// Per-vector coverage curve with per-component attribution. Like
     /// [`AtpgCounts`], deterministic for a fixed design/config/seed; its
     /// final point agrees exactly with [`AtpgRun::coverage`].
@@ -317,7 +327,8 @@ impl<'a> Atpg<'a> {
             }
         }
 
-        let mut sim = FaultSim::new(n);
+        let lev = Levelized::new(n);
+        let mut shards = FaultShards::new(&lev, resolve_threads(self.config.threads));
         let mut vectors: Vec<PatternVector> = Vec::new();
         let mut pending: Vec<TestCube> = Vec::new();
         let mut rng = SplitMix64::new(self.config.fill_seed);
@@ -339,7 +350,7 @@ impl<'a> Atpg<'a> {
                      remaining: &mut Vec<Fault>,
                      classes: &mut HashMap<Fault, FaultClass>,
                      rng: &mut SplitMix64,
-                     sim: &mut FaultSim,
+                     shards: &mut FaultShards,
                      counts: &mut AtpgCounts,
                      timing: &mut AtpgTiming,
                      recorder: &mut CoverageRecorder,
@@ -359,10 +370,15 @@ impl<'a> Atpg<'a> {
             let blocks = vectors_to_blocks(&filled, self.scanned);
             let t = Instant::now();
             for (block_idx, block) in blocks.iter().enumerate() {
-                sim.load_block(block);
                 let block_base = base + (block_idx as u64) * 64;
                 let before = remaining.len();
-                remaining.retain(|&f| match sim.first_detecting_lane(f) {
+                // One lane per remaining fault, computed by the worker
+                // pool in canonical fault order; applying them through
+                // `retain` in that same order reproduces the sequential
+                // drop sequence exactly.
+                let lanes = shards.detect_lanes(block, remaining);
+                let mut lanes = lanes.into_iter();
+                remaining.retain(|&f| match lanes.next().expect("one lane per fault") {
                     Some(lane) => {
                         classes.insert(f, FaultClass::Detected);
                         let label = label_of(recorder, f);
@@ -433,7 +449,7 @@ impl<'a> Atpg<'a> {
                             &mut remaining,
                             &mut classes,
                             &mut rng,
-                            &mut sim,
+                            &mut shards,
                             &mut counts,
                             &mut timing,
                             &mut recorder,
@@ -457,7 +473,7 @@ impl<'a> Atpg<'a> {
             &mut remaining,
             &mut classes,
             &mut rng,
-            &mut sim,
+            &mut shards,
             &mut counts,
             &mut timing,
             &mut recorder,
@@ -492,7 +508,7 @@ impl<'a> Atpg<'a> {
         counts.podem_decisions = ps.decisions.get();
         counts.podem_backtracks = ps.backtracks.get();
         counts.backtracks_per_fault = ps.backtracks_per_fault.snapshot();
-        counts.fsim_gate_evals = sim.stats().gate_evals.get();
+        counts.fsim_gate_evals = shards.gate_evals();
         timing.total_ns = t_run.elapsed().as_nanos() as u64;
 
         // Coverage denominator = the targetable population, exactly as
@@ -508,6 +524,7 @@ impl<'a> Atpg<'a> {
             metrics: AtpgMetrics {
                 counts,
                 timing,
+                parallel: shards.parallel_stats(),
                 coverage,
             },
         }
@@ -562,6 +579,7 @@ pub fn merge_cubes(a: &TestCube, b: &TestCube) -> Option<TestCube> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fsim::FaultSim;
     use rescue_netlist::{scan::insert_scan, NetlistBuilder};
 
     fn small_design() -> ScanNetlist {

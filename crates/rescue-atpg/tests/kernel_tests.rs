@@ -1,0 +1,201 @@
+//! Property-style randomized cross-checks of the event-driven fault
+//! simulator: on seeded random netlists, bucket-queue propagation must
+//! match full faulty re-simulation, the heap kernel must agree with the
+//! bucket kernel down to the gate-eval count, and sharded detection
+//! must be invariant to the worker count.
+
+use rescue_atpg::{Atpg, AtpgConfig, FaultShards, FaultSim, Isolator, Kernel, Observation};
+use rescue_netlist::{scan::insert_scan, Levelized, NetId, NetlistBuilder, PatternBlock};
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A random combinational cone over a handful of inputs, with random
+/// flip-flops and primary outputs hanging off it. Gates only reference
+/// earlier nets, so the result is always acyclic.
+fn random_netlist(rng: &mut SplitMix64) -> rescue_netlist::Netlist {
+    let mut b = NetlistBuilder::new();
+    b.enter_component("rand");
+    let n_inputs = 3 + rng.below(5);
+    let mut nets: Vec<NetId> = (0..n_inputs).map(|i| b.input(&format!("i{i}"))).collect();
+    let n_gates = 10 + rng.below(40);
+    for _ in 0..n_gates {
+        let a = nets[rng.below(nets.len())];
+        let c = nets[rng.below(nets.len())];
+        let out = match rng.below(8) {
+            0 => b.and2(a, c),
+            1 => b.or2(a, c),
+            2 => b.xor2(a, c),
+            3 => b.nand2(a, c),
+            4 => b.nor2(a, c),
+            5 => b.xnor2(a, c),
+            6 => b.not(a),
+            _ => {
+                let s = nets[rng.below(nets.len())];
+                b.mux(s, a, c)
+            }
+        };
+        nets.push(out);
+    }
+    for i in 0..(1 + rng.below(4)) {
+        let d = nets[rng.below(nets.len())];
+        b.dff(d, &format!("r{i}"));
+    }
+    for i in 0..(1 + rng.below(3)) {
+        let o = nets[rng.below(nets.len())];
+        b.output(o, &format!("o{i}"));
+    }
+    b.finish().unwrap()
+}
+
+fn random_block(rng: &mut SplitMix64, n: &rescue_netlist::Netlist) -> PatternBlock {
+    PatternBlock {
+        inputs: (0..n.inputs().len()).map(|_| rng.next()).collect(),
+        state: (0..n.num_dffs()).map(|_| rng.next()).collect(),
+    }
+}
+
+/// Reference observations by brute force: re-simulate the whole netlist
+/// with the fault injected and diff every capture point.
+fn reference_observations(
+    n: &rescue_netlist::Netlist,
+    block: &PatternBlock,
+    fault: rescue_netlist::Fault,
+) -> Vec<(Observation, u64)> {
+    let good = n.simulate(block);
+    let full = n.simulate_faulty(block, fault);
+    let mut want: Vec<(Observation, u64)> = Vec::new();
+    for (i, d) in n.dffs().iter().enumerate() {
+        let diff = full.nets[d.d().index()] ^ good.nets[d.d().index()];
+        if diff != 0 {
+            want.push((Observation::ScanCell(i), diff));
+        }
+    }
+    for (oi, (_, net)) in n.outputs().iter().enumerate() {
+        let diff = full.nets[net.index()] ^ good.nets[net.index()];
+        if diff != 0 {
+            want.push((Observation::PrimaryOutput(oi), diff));
+        }
+    }
+    want.sort();
+    want
+}
+
+#[test]
+fn bucket_kernel_matches_full_resimulation_on_random_netlists() {
+    let mut rng = SplitMix64(0x5eed_0001);
+    for round in 0..20 {
+        let n = random_netlist(&mut rng);
+        let block = random_block(&mut rng, &n);
+        let lev = Levelized::new(&n);
+        let mut sim = FaultSim::with_levelized(&lev);
+        sim.load_block(&block);
+        for fault in n.enumerate_faults() {
+            assert_eq!(
+                sim.observations(fault),
+                reference_observations(&n, &block, fault),
+                "round {round}, fault {fault}"
+            );
+        }
+    }
+}
+
+#[test]
+fn kernels_agree_on_random_netlists_including_eval_counts() {
+    let mut rng = SplitMix64(0x5eed_0002);
+    for round in 0..10 {
+        let n = random_netlist(&mut rng);
+        let block = random_block(&mut rng, &n);
+        let lev = Levelized::new(&n);
+        let mut bucket = FaultSim::with_kernel(&lev, Kernel::Bucket);
+        let mut heap = FaultSim::with_kernel(&lev, Kernel::Heap);
+        bucket.load_block(&block);
+        heap.load_block(&block);
+        for fault in n.enumerate_faults() {
+            assert_eq!(
+                bucket.observations(fault),
+                heap.observations(fault),
+                "round {round}, fault {fault}"
+            );
+        }
+        assert_eq!(
+            bucket.stats().gate_evals.get(),
+            heap.stats().gate_evals.get(),
+            "round {round}: the kernels must evaluate the same gate set"
+        );
+    }
+}
+
+#[test]
+fn shard_detection_is_worker_count_invariant_on_random_netlists() {
+    let mut rng = SplitMix64(0x5eed_0003);
+    for round in 0..10 {
+        let n = random_netlist(&mut rng);
+        let block = random_block(&mut rng, &n);
+        let lev = Levelized::new(&n);
+        let faults = n.collapse_faults();
+
+        let mut reference = FaultSim::with_levelized(&lev);
+        reference.load_block(&block);
+        let want: Vec<Option<u32>> = faults
+            .iter()
+            .map(|&f| reference.first_detecting_lane(f))
+            .collect();
+
+        for threads in [1, 2, 8] {
+            let mut shards = FaultShards::new(&lev, threads);
+            assert_eq!(
+                shards.detect_lanes(&block, &faults),
+                want,
+                "round {round}, {threads} threads"
+            );
+        }
+    }
+}
+
+/// The per-fault isolation dictionary (`isolate_many`) is bit-identical
+/// to mapping `isolate` sequentially, for any worker count.
+#[test]
+fn isolate_many_matches_sequential_isolation() {
+    let mut b = NetlistBuilder::new();
+    b.enter_component("LCX");
+    let a = b.input_bus("a", 8);
+    let mut acc = a[0];
+    for &x in &a[1..] {
+        let t = b.xor2(acc, x);
+        let u = b.and2(acc, x);
+        acc = b.or2(t, u);
+    }
+    b.dff(acc, "q");
+    b.enter_component("LCY");
+    let e = b.input("e");
+    let y = b.or2(e, a[0]);
+    b.dff(y, "ry");
+    let scanned = insert_scan(&b.finish().unwrap());
+
+    let run = Atpg::new(&scanned, AtpgConfig::default()).run();
+    let iso = Isolator::new(&scanned, &run.vectors);
+    let faults = scanned.netlist.collapse_faults();
+
+    let want: Vec<_> = faults.iter().map(|&f| iso.isolate(f)).collect();
+    for threads in [1, 2, 8] {
+        assert_eq!(
+            iso.isolate_many(&faults, threads),
+            want,
+            "{threads} threads"
+        );
+    }
+}

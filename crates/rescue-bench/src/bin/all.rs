@@ -3,6 +3,9 @@
 //! Always writes the combined machine-readable report to
 //! `BENCH_metrics.json` in the current directory; `--metrics` also
 //! renders it to stderr and `--trace-json <path>` streams the spans.
+//! `--threads N` picks the fault-simulation worker count (results are
+//! bit-identical for any value); the report ends with the `fsim_kernel`
+//! microbench section and its 1-vs-N thread scaling row.
 
 use rescue_core::experiments::{self, Fig8Params, Fig9Params};
 use rescue_core::model::{ModelParams, Variant};
@@ -16,6 +19,7 @@ fn main() {
     // even without --metrics.
     rescue_obs::global().set_enabled(true);
     let quick = rescue_bench::quick_mode();
+    let threads = rescue_bench::threads_arg();
     let params = if quick {
         ModelParams::tiny()
     } else {
@@ -33,7 +37,7 @@ fn main() {
     println!();
     report.section("table2").f64("baseline_total_mm2", bt);
 
-    let t3 = experiments::table3(&params);
+    let t3 = experiments::table3_with_threads(&params, threads);
     print!("{}", render::table3_text(&t3));
     println!();
     rescue_bench::atpg_report(&mut report, "table3.baseline", &t3.baseline_metrics);
@@ -57,7 +61,7 @@ fn main() {
 
     let per_stage = if quick { 50 } else { 1000 };
     for variant in [Variant::Rescue, Variant::Baseline] {
-        let e = experiments::isolation(&params, variant, per_stage, 42);
+        let e = experiments::isolation_with_threads(&params, variant, per_stage, 42, threads);
         print!("{}", render::isolation_text(&e));
         println!();
         let tag = format!("{variant:?}").to_lowercase();
@@ -69,6 +73,7 @@ fn main() {
 
     let f8 = experiments::fig8(&Fig8Params {
         n_instr: if quick { 10_000 } else { 100_000 },
+        threads,
         ..Default::default()
     });
     print!("{}", render::fig8_text(&f8));
@@ -88,6 +93,7 @@ fn main() {
 
     let p9 = Fig9Params {
         n_instr: if quick { 5_000 } else { 30_000 },
+        threads,
         ..Default::default()
     };
     let a = experiments::fig9(&Scenario::pwp_stagnates_at_90nm(), &p9);
@@ -97,6 +103,10 @@ fn main() {
     let b = experiments::fig9(&Scenario::pwp_stagnates_at_65nm(), &p9);
     print!("{}", render::fig9_text("b: PWP stagnates at 65nm", &b));
     report.section("fig9.panel_b").u64("points", b.len() as u64);
+
+    // Event-kernel microbench + 1-vs-N thread scaling row, tracked in
+    // BENCH_metrics.json across snapshots.
+    rescue_bench::fsim_kernel_report(&mut report, &params, threads);
 
     rescue_bench::obs_finish(&obs, &mut report);
     let json = report.to_json();

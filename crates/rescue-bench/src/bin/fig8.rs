@@ -12,6 +12,7 @@ fn main() {
         } else {
             100_000
         },
+        threads: rescue_bench::threads_arg(),
         ..Default::default()
     };
     let rows = fig8(&p);

@@ -15,6 +15,7 @@ fn main() {
     };
     let p = Fig9Params {
         n_instr,
+        threads: rescue_bench::threads_arg(),
         ..Default::default()
     };
     let csv = rescue_bench::arg_flag("--csv");

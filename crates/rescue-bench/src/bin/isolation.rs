@@ -4,9 +4,10 @@
 //! design to show the ambiguity Rescue eliminates.
 //!
 //! Flags: --quick (tiny model), --faults-per-stage N (default 1000, the
-//! paper's count), --metrics, --trace-json <path>, --trace-perfetto
-//! <path>, --coverage-csv / --coverage-json <path> (coverage curves of
-//! the underlying ATPG runs, tagged by design).
+//! paper's count), --threads N (fault-simulation workers; results are
+//! bit-identical for any value), --metrics, --trace-json <path>,
+//! --trace-perfetto <path>, --coverage-csv / --coverage-json <path>
+//! (coverage curves of the underlying ATPG runs, tagged by design).
 
 use rescue_core::model::{ModelParams, Variant};
 use rescue_obs::Report;
@@ -24,10 +25,13 @@ fn main() {
             rescue_bench::arg_usize("--faults-per-stage", 1000),
         )
     };
+    let threads = rescue_bench::threads_arg();
     let mut report = Report::new("isolation");
     let mut curves = Vec::new();
     for variant in [Variant::Rescue, Variant::Baseline] {
-        let e = rescue_core::experiments::isolation(&params, variant, per_stage, 42);
+        let e = rescue_core::experiments::isolation_with_threads(
+            &params, variant, per_stage, 42, threads,
+        );
         print!("{}", rescue_core::render::isolation_text(&e));
         println!();
         let tag = format!("{variant:?}").to_lowercase();

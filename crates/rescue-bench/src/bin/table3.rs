@@ -4,7 +4,9 @@
 //! for the tiny configuration. --metrics adds the per-phase ATPG engine
 //! report (PODEM backtracks/aborts, fault-sim drop statistics, coverage
 //! attribution) on stderr; --coverage-csv / --coverage-json write the
-//! per-vector coverage curves.
+//! per-vector coverage curves; --threads N picks the fault-simulation
+//! worker count (0/absent = RESCUE_THREADS, then available parallelism)
+//! without changing a single statistic.
 
 use rescue_core::model::ModelParams;
 use rescue_obs::Report;
@@ -16,7 +18,7 @@ fn main() {
     } else {
         ModelParams::paper()
     };
-    let t = rescue_core::experiments::table3(&params);
+    let t = rescue_core::experiments::table3_with_threads(&params, rescue_bench::threads_arg());
     print!("{}", rescue_core::render::table3_text(&t));
 
     let mut report = Report::new("table3");

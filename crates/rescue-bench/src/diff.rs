@@ -135,8 +135,19 @@ impl Default for DiffConfig {
 fn is_time_path(path: &str) -> bool {
     path.ends_with("_ns")
         || path.ends_with("_ms")
+        || path.ends_with("_per_sec")
+        || path.ends_with("speedup")
         || path.contains(".timing.")
+        || path.contains(".parallel.")
         || path.starts_with("spans.") && (path.ends_with(".total") || path.ends_with(".max"))
+}
+
+/// Per-worker spans (`fsim.worker`, `isolation.worker`) fire once per
+/// spawned worker, so their *count* legitimately varies with
+/// `--threads` / the machine's parallelism — unlike every other span,
+/// whose count is a deterministic phase counter.
+fn is_worker_span(name: &str) -> bool {
+    name.ends_with(".worker")
 }
 
 fn render_value(v: &JsonValue) -> String {
@@ -268,7 +279,11 @@ fn compare_spans(
         let path = format!("spans.{name}");
         let Some((count_c, total_c, max_c)) = c.get(name) else {
             out.deltas.push(Delta {
-                severity: Severity::Fail,
+                severity: if is_worker_span(name) {
+                    Severity::Info
+                } else {
+                    Severity::Fail
+                },
                 path,
                 baseline: format!("count {}", count_b.unwrap_or(0)),
                 current: "-".into(),
@@ -277,14 +292,23 @@ fn compare_spans(
             continue;
         };
         // Span *counts* are deterministic (how many times the phase
-        // ran); the timings are wall-clock.
+        // ran); the timings are wall-clock. Worker spans are the
+        // exception: one per spawned worker, thread-count-dependent.
         if count_b != count_c {
             out.deltas.push(Delta {
-                severity: Severity::Fail,
+                severity: if is_worker_span(name) {
+                    Severity::Info
+                } else {
+                    Severity::Fail
+                },
                 path: format!("{path}.count"),
                 baseline: count_b.map_or("-".into(), |v| v.to_string()),
                 current: count_c.map_or("-".into(), |v| v.to_string()),
-                note: "span count changed".into(),
+                note: if is_worker_span(name) {
+                    "worker span count (thread-count-dependent)".into()
+                } else {
+                    "span count changed".into()
+                },
             });
         } else {
             out.deltas.push(Delta {
@@ -602,6 +626,80 @@ mod tests {
             .collect();
         assert_eq!(fails.len(), 1, "{}", r.render(true));
         assert_eq!(fails[0].path, "spans.atpg.count");
+    }
+
+    #[test]
+    fn parallel_sections_and_throughput_keys_are_informational() {
+        let mk = |threads: u64, per_sec: &str, speedup: &str| {
+            parse(&format!(
+                r#"{{"title":"all","sections":[
+                    {{"name":"t.fsim.parallel","metrics":{{"threads":{threads},"wall_ms":3.0}}}},
+                    {{"name":"fsim_kernel","metrics":{{"gate_evals_bucket":500,
+                       "bucket_evals_per_sec":{per_sec},"kernel_speedup":{speedup}}}}}],
+                   "spans":[]}}"#
+            ))
+            .unwrap()
+        };
+        let b = mk(1, "1e6", "1.0");
+        let c = mk(4, "9e6", "2.5");
+        let r = diff(&b, &c, &DiffConfig::default()).unwrap();
+        assert!(!r.regressed(), "{}", r.render(true));
+        // Thread count and throughput differ → informational, not failing.
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| d.severity == Severity::Info && d.path == "t.fsim.parallel.threads"));
+        // ...but a deterministic counter in the kernel section still gates.
+        let c_bad = parse(
+            r#"{"title":"all","sections":[
+                {"name":"t.fsim.parallel","metrics":{"threads":1,"wall_ms":3.0}},
+                {"name":"fsim_kernel","metrics":{"gate_evals_bucket":501,
+                   "bucket_evals_per_sec":1e6,"kernel_speedup":1.0}}],
+               "spans":[]}"#,
+        )
+        .unwrap();
+        assert!(diff(&b, &c_bad, &DiffConfig::default())
+            .unwrap()
+            .regressed());
+    }
+
+    #[test]
+    fn worker_span_count_changes_are_informational() {
+        let mk = |count: u64, spans_extra: &str| {
+            parse(&format!(
+                r#"{{"title":"all","sections":[],
+                   "spans":[{{"name":"fsim.worker","count":{count},"total_ns":10,"max_ns":5}}{spans_extra}]}}"#
+            ))
+            .unwrap()
+        };
+        let b = mk(
+            4,
+            r#",{"name":"isolation.worker","count":4,"total_ns":9,"max_ns":3}"#,
+        );
+        let c = mk(1, "");
+        let r = diff(&b, &c, &DiffConfig::default()).unwrap();
+        // Count 4→1 and a vanished worker span: informational only.
+        assert!(!r.regressed(), "{}", r.render(true));
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| d.severity == Severity::Info && d.path == "spans.fsim.worker.count"));
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| d.severity == Severity::Info && d.path == "spans.isolation.worker"));
+        // A non-worker span count change still fails.
+        let b2 = parse(
+            r#"{"title":"all","sections":[],
+               "spans":[{"name":"atpg","count":2,"total_ns":10,"max_ns":5}]}"#,
+        )
+        .unwrap();
+        let c2 = parse(
+            r#"{"title":"all","sections":[],
+               "spans":[{"name":"atpg","count":3,"total_ns":10,"max_ns":5}]}"#,
+        )
+        .unwrap();
+        assert!(diff(&b2, &c2, &DiffConfig::default()).unwrap().regressed());
     }
 
     #[test]

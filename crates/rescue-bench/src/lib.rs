@@ -13,7 +13,10 @@
 //! | `all` | everything above in sequence |
 //!
 //! Every binary accepts `--quick` to run a reduced-size configuration
-//! suitable for smoke testing, plus the observability flags:
+//! suitable for smoke testing, and the ATPG/simulation binaries accept
+//! `--threads N` to pick the fault-simulation worker count (default:
+//! `RESCUE_THREADS`, then available parallelism — results are
+//! bit-identical for any value), plus the observability flags:
 //!
 //! * `--metrics` — print an engine-counter and span-timing report to
 //!   stderr when the run finishes,
@@ -82,6 +85,16 @@ pub fn arg_usize(name: &str, dflt: usize) -> usize {
             }
         },
     }
+}
+
+/// The `--threads N` flag: fault-simulation worker count. `0` (also the
+/// default when the flag is absent) resolves through the
+/// `RESCUE_THREADS` environment variable, then the machine's available
+/// parallelism — see [`rescue_core::atpg::resolve_threads`]. Every
+/// experiment statistic is bit-identical for any value; only wall-clock
+/// and the utilization telemetry change.
+pub fn threads_arg() -> usize {
+    arg_usize("--threads", 0)
 }
 
 /// Observability flags shared by every binary (see the crate docs).
@@ -218,6 +231,119 @@ pub fn atpg_report(report: &mut Report, prefix: &str, m: &AtpgMetrics) {
         .f64("fill_ms", t.fill_ns as f64 / 1e6)
         .f64("fsim_ms", t.fsim_ns as f64 / 1e6)
         .f64("total_ms", t.total_ns as f64 / 1e6);
+    // Worker utilization of the sharded fault-simulation phase. The
+    // whole `.parallel` section is wall-clock/machine-dependent (the
+    // thread count itself varies with `--threads`), so `bench-diff`
+    // treats every key here as informational.
+    let p = &m.parallel;
+    let busy_ns: u64 = p.worker_busy_ns.iter().sum();
+    let max_busy_ns = p.worker_busy_ns.iter().copied().max().unwrap_or(0);
+    report
+        .section(&format!("{prefix}.fsim.parallel"))
+        .u64("threads", p.threads)
+        .f64("wall_ms", p.wall_ns as f64 / 1e6)
+        .f64("busy_ms", busy_ns as f64 / 1e6)
+        .f64("max_worker_busy_ms", max_busy_ns as f64 / 1e6)
+        .f64("utilization", p.utilization())
+        .f64("effective_parallelism", p.effective_parallelism());
+}
+
+/// The `fsim-kernel` microbench section: heap- vs bucket-queue
+/// throughput on one pattern block of the Rescue (largest) design, plus
+/// the 1-vs-N-thread ATPG scaling row. Deterministic counters
+/// (`gate_evals_*`, `serial_equivalence`) gate exactly in `bench-diff`;
+/// the `_ms` / `_per_sec` / `speedup` keys and everything under
+/// `fsim_kernel.parallel` are informational wall-clock data.
+pub fn fsim_kernel_report(
+    report: &mut Report,
+    params: &rescue_core::model::ModelParams,
+    threads: usize,
+) {
+    use rescue_core::atpg::{resolve_threads, Atpg, AtpgConfig, FaultSim, Kernel};
+    use rescue_core::model::{build_pipeline, Variant};
+    use rescue_core::netlist::{scan::insert_scan, Levelized};
+    use std::time::Instant;
+
+    let _s = rescue_obs::span("fsim_kernel");
+    let threads = resolve_threads(threads);
+    let model = build_pipeline(params, Variant::Rescue);
+    let scanned = insert_scan(&model.netlist);
+    let lev = Levelized::new(&scanned.netlist);
+    let faults = scanned.netlist.collapse_faults();
+
+    // 1-vs-N scaling row: the same full ATPG run, serial then sharded.
+    // Identical results are the serial-equivalence guarantee; the gap in
+    // wall-clock is the speedup the sharding layer buys.
+    let timed_run = |n: usize| {
+        let cfg = AtpgConfig {
+            threads: n,
+            ..AtpgConfig::default()
+        };
+        let t = Instant::now();
+        let r = Atpg::new(&scanned, cfg).run();
+        (r, t.elapsed().as_secs_f64())
+    };
+    let (run_1t, secs_1t) = timed_run(1);
+    let (run_nt, secs_nt) = timed_run(threads);
+    let identical = run_1t.stats == run_nt.stats
+        && run_1t.metrics.counts == run_nt.metrics.counts
+        && run_1t.metrics.coverage.to_csv("x") == run_nt.metrics.coverage.to_csv("x");
+
+    // Kernel comparison: sweep every collapsed fault against the first
+    // generated block under each event-queue discipline. Both kernels
+    // evaluate the same gate set, so the eval counters must be equal —
+    // only the queue cost (and thus evals/sec) differs.
+    let blocks = run_nt.blocks(&scanned);
+    let block = blocks.first().expect("ATPG produced at least one block");
+    let kernel_pass = |kernel: Kernel| {
+        let mut sim = FaultSim::with_kernel(&lev, kernel);
+        sim.load_block(block);
+        let t = Instant::now();
+        let mut detected = 0u64;
+        for &f in &faults {
+            if sim.detect_mask(f) != 0 {
+                detected += 1;
+            }
+        }
+        (
+            detected,
+            sim.stats().gate_evals.get(),
+            t.elapsed().as_secs_f64(),
+        )
+    };
+    let (det_bucket, evals_bucket, secs_bucket) = kernel_pass(Kernel::Bucket);
+    let (det_heap, evals_heap, secs_heap) = kernel_pass(Kernel::Heap);
+
+    report
+        .section("fsim_kernel")
+        .u64("faults", faults.len() as u64)
+        .u64("detected_bucket", det_bucket)
+        .u64("detected_heap", det_heap)
+        .u64("gate_evals_bucket", evals_bucket)
+        .u64("gate_evals_heap", evals_heap)
+        .u64("serial_equivalence", identical as u64)
+        .f64("bucket_ms", secs_bucket * 1e3)
+        .f64("heap_ms", secs_heap * 1e3)
+        .f64(
+            "bucket_evals_per_sec",
+            evals_bucket as f64 / secs_bucket.max(1e-12),
+        )
+        .f64(
+            "heap_evals_per_sec",
+            evals_heap as f64 / secs_heap.max(1e-12),
+        )
+        .f64("kernel_speedup", secs_heap / secs_bucket.max(1e-12));
+    report
+        .section("fsim_kernel.parallel")
+        .u64("threads", threads as u64)
+        .f64("atpg_1t_ms", secs_1t * 1e3)
+        .f64("atpg_nt_ms", secs_nt * 1e3)
+        .f64("atpg_speedup", secs_1t / secs_nt.max(1e-12))
+        .f64("utilization", run_nt.metrics.parallel.utilization())
+        .f64(
+            "effective_parallelism",
+            run_nt.metrics.parallel.effective_parallelism(),
+        );
 }
 
 /// Fill one report section from a [`CoverageCurve`]: the endpoint, the

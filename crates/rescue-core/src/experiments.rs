@@ -110,17 +110,31 @@ pub struct Table3 {
     pub rescue_stage_coverage: Vec<(String, u64)>,
 }
 
+/// Run scan insertion + full ATPG on both variants (paper Table 3) with
+/// the default worker-thread resolution (`RESCUE_THREADS`, then
+/// available parallelism). See [`table3_with_threads`].
+pub fn table3(params: &ModelParams) -> Table3 {
+    table3_with_threads(params, 0)
+}
+
 /// Run scan insertion + full ATPG on both variants (paper Table 3).
 ///
 /// This is the heavyweight experiment (tens of seconds in release mode at
 /// the paper size); pass [`ModelParams::tiny`] for a fast smoke run.
-pub fn table3(params: &ModelParams) -> Table3 {
+/// `threads` selects the fault-simulation worker count (`0` = resolve
+/// via `RESCUE_THREADS`, then available parallelism); every statistic is
+/// bit-identical for any value.
+pub fn table3_with_threads(params: &ModelParams, threads: usize) -> Table3 {
     let _s = rescue_obs::span("table3");
     let run = |variant, span: &str| {
         let _s = rescue_obs::span(span);
         let m = build_pipeline(params, variant);
         let s = insert_scan(&m.netlist);
-        let r = Atpg::new(&s, AtpgConfig::default()).run();
+        let config = AtpgConfig {
+            threads,
+            ..AtpgConfig::default()
+        };
+        let r = Atpg::new(&s, config).run();
         let stages = stage_rollup(&m, &r.metrics.coverage);
         (r.stats, r.metrics, stages)
     };
@@ -196,17 +210,35 @@ impl IsolationExperiment {
 
 /// Inject `per_stage` random detected faults into each of the six §6.1
 /// stages and check that scan-out alone isolates each to its map-out
-/// group.
+/// group. Uses the default worker-thread resolution; see
+/// [`isolation_with_threads`].
 pub fn isolation(
     params: &ModelParams,
     variant: Variant,
     per_stage: usize,
     seed: u64,
 ) -> IsolationExperiment {
+    isolation_with_threads(params, variant, per_stage, seed, 0)
+}
+
+/// [`isolation`] with an explicit fault-simulation worker count (`0` =
+/// resolve via `RESCUE_THREADS`, then available parallelism). The
+/// experiment outcome is bit-identical for any value.
+pub fn isolation_with_threads(
+    params: &ModelParams,
+    variant: Variant,
+    per_stage: usize,
+    seed: u64,
+    threads: usize,
+) -> IsolationExperiment {
     let _s = rescue_obs::span("isolation");
     let m = build_pipeline(params, variant);
     let scanned = insert_scan(&m.netlist);
-    let run = Atpg::new(&scanned, AtpgConfig::default()).run();
+    let config = AtpgConfig {
+        threads,
+        ..AtpgConfig::default()
+    };
+    let run = Atpg::new(&scanned, config).run();
     let iso = Isolator::new(&scanned, &run.vectors);
     let stages_wanted = [
         Stage::Fetch,
@@ -243,8 +275,10 @@ pub fn isolation(
         let sample: Vec<Fault> = rng.choose_multiple(candidates, per_stage);
         let mut isolated = 0;
         let mut ambiguous = 0;
-        for fault in &sample {
-            let outcome = iso.isolate(*fault);
+        // Replay the whole stage sample sharded across workers; outcomes
+        // come back in sample order, identical to per-fault `isolate`.
+        let outcomes = iso.isolate_many(&sample, threads);
+        for (fault, outcome) in sample.iter().zip(&outcomes) {
             let comp = m
                 .netlist
                 .fault_component(*fault)
@@ -391,6 +425,10 @@ pub struct Fig8Params {
     pub seed: u64,
     /// Restrict to these benchmarks (`None` = all 23).
     pub benchmarks: Option<Vec<String>>,
+    /// Worker threads for the per-benchmark fan-out (`0` = resolve via
+    /// `RESCUE_THREADS`, then available parallelism). Results are
+    /// bit-identical for any value.
+    pub threads: usize,
 }
 
 impl Default for Fig8Params {
@@ -399,6 +437,7 @@ impl Default for Fig8Params {
             n_instr: 100_000,
             seed: 7,
             benchmarks: None,
+            threads: 0,
         }
     }
 }
@@ -426,34 +465,56 @@ impl Fig8Row {
 }
 
 /// Regenerate Figure 8: per-benchmark IPC for baseline vs Rescue.
+/// Benchmarks are sharded across worker threads; each row depends only
+/// on its own profile, so joining shards in order reproduces the
+/// sequential row list exactly.
 pub fn fig8(p: &Fig8Params) -> Vec<Fig8Row> {
     let _s = rescue_obs::span("fig8");
     let profiles = selected_profiles(&p.benchmarks);
-    profiles
-        .iter()
-        .map(|prof| {
-            let _s = rescue_obs::span("fig8.benchmark");
-            let base = simulate(
-                &SimConfig::paper(Policy::Baseline),
-                &CoreConfig::healthy(),
-                TraceGenerator::new(prof, p.seed),
-                p.n_instr,
-            );
-            let resc = simulate(
-                &SimConfig::paper(Policy::Rescue),
-                &CoreConfig::healthy(),
-                TraceGenerator::new(prof, p.seed),
-                p.n_instr,
-            );
-            Fig8Row {
-                name: prof.name.to_owned(),
-                baseline_ipc: base.ipc(),
-                rescue_ipc: resc.ipc(),
-                baseline_result: base,
-                rescue_result: resc,
-            }
-        })
-        .collect()
+    let row = |prof: &BenchmarkProfile| {
+        let _s = rescue_obs::span("fig8.benchmark");
+        let base = simulate(
+            &SimConfig::paper(Policy::Baseline),
+            &CoreConfig::healthy(),
+            TraceGenerator::new(prof, p.seed),
+            p.n_instr,
+        );
+        let resc = simulate(
+            &SimConfig::paper(Policy::Rescue),
+            &CoreConfig::healthy(),
+            TraceGenerator::new(prof, p.seed),
+            p.n_instr,
+        );
+        Fig8Row {
+            name: prof.name.to_owned(),
+            baseline_ipc: base.ipc(),
+            rescue_ipc: resc.ipc(),
+            baseline_result: base,
+            rescue_result: resc,
+        }
+    };
+    let workers = worker_count(p.threads, profiles.len());
+    if workers <= 1 {
+        return profiles.iter().map(row).collect();
+    }
+    let chunk = profiles.len().div_ceil(workers);
+    let mut out = Vec::with_capacity(profiles.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = profiles
+            .chunks(chunk)
+            .map(|shard| scope.spawn(|| shard.iter().map(&row).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("fig8 worker panicked"));
+        }
+    });
+    out
+}
+
+/// Shard width for an experiment fan-out: the resolved thread count,
+/// capped by the number of independent work items.
+fn worker_count(threads: usize, items: usize) -> usize {
+    rescue_atpg::resolve_threads(threads).min(items).max(1)
 }
 
 fn selected_profiles(filter: &Option<Vec<String>>) -> Vec<BenchmarkProfile> {
@@ -484,6 +545,10 @@ pub struct Fig9Params {
     pub benchmarks: Option<Vec<String>>,
     /// Also compute the §7 self-healing-array extension series.
     pub include_self_healing: bool,
+    /// Worker threads for the per-benchmark fan-out (`0` = resolve via
+    /// `RESCUE_THREADS`, then available parallelism). Results are
+    /// bit-identical for any value.
+    pub threads: usize,
 }
 
 impl Default for Fig9Params {
@@ -495,6 +560,7 @@ impl Default for Fig9Params {
             nodes: TechNode::figure9_nodes().to_vec(),
             benchmarks: None,
             include_self_healing: false,
+            threads: 0,
         }
     }
 }
@@ -529,42 +595,49 @@ pub fn fig9(scenario: &Scenario, p: &Fig9Params) -> Vec<Fig9Point> {
         let resc_cfg = SimConfig::paper(Policy::Rescue).scaled_to_halvings(halvings);
 
         // Memoized per-benchmark IPCs; the 65 simulations per benchmark
-        // are independent, so fan the benchmarks out across threads.
-        let per_bench: Vec<(f64, HashMap<ClassCounts, f64>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = profiles
-                .iter()
-                .map(|prof| {
-                    let base_cfg = &base_cfg;
-                    let resc_cfg = &resc_cfg;
-                    scope.spawn(move || {
-                        let base = simulate(
-                            base_cfg,
-                            &CoreConfig::healthy(),
-                            TraceGenerator::new(prof, p.seed),
-                            p.n_instr,
-                        )
-                        .ipc();
-                        let mut map = HashMap::new();
-                        for cfg in CoreConfig::all_degraded() {
-                            let key = class_counts_of(&cfg);
-                            let ipc = simulate(
-                                resc_cfg,
-                                &cfg,
-                                TraceGenerator::new(prof, p.seed),
-                                p.n_instr,
-                            )
-                            .ipc();
-                            map.insert(key, ipc);
-                        }
-                        (base, map)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("simulation thread panicked"))
-                .collect()
-        });
+        // are independent, so shard the benchmarks across the configured
+        // worker count (previously one unconditional thread per
+        // benchmark). Joining shards in order keeps `per_bench` in
+        // profile order, so the averaging below is order-identical.
+        let bench_point = |prof: &BenchmarkProfile| {
+            let base = simulate(
+                &base_cfg,
+                &CoreConfig::healthy(),
+                TraceGenerator::new(prof, p.seed),
+                p.n_instr,
+            )
+            .ipc();
+            let mut map = HashMap::new();
+            for cfg in CoreConfig::all_degraded() {
+                let key = class_counts_of(&cfg);
+                let ipc = simulate(
+                    &resc_cfg,
+                    &cfg,
+                    TraceGenerator::new(prof, p.seed),
+                    p.n_instr,
+                )
+                .ipc();
+                map.insert(key, ipc);
+            }
+            (base, map)
+        };
+        let workers = worker_count(p.threads, profiles.len());
+        let per_bench: Vec<(f64, HashMap<ClassCounts, f64>)> = if workers <= 1 {
+            profiles.iter().map(bench_point).collect()
+        } else {
+            let chunk = profiles.len().div_ceil(workers);
+            let mut out = Vec::with_capacity(profiles.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = profiles
+                    .chunks(chunk)
+                    .map(|shard| scope.spawn(|| shard.iter().map(&bench_point).collect::<Vec<_>>()))
+                    .collect();
+                for h in handles {
+                    out.extend(h.join().expect("simulation thread panicked"));
+                }
+            });
+            out
+        };
 
         for &growth in &p.growths {
             // Average the relative YAT across benchmarks.

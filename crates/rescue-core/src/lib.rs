@@ -27,6 +27,7 @@
 //!     n_instr: 5_000,
 //!     seed: 1,
 //!     benchmarks: Some(vec!["gzip".into(), "mcf".into(), "swim".into()]),
+//!     ..Default::default()
 //! });
 //! assert_eq!(rows.len(), 3);
 //! for row in &rows {

@@ -1,0 +1,67 @@
+//! Serial-equivalence determinism suite: the sharded fault simulator
+//! must produce results bit-identical to the 1-thread run for any
+//! worker count. These tests pin the guarantee the bench-diff CI matrix
+//! (`--threads 1` vs `--threads 4` against one baseline) relies on.
+
+use rescue_core::experiments;
+use rescue_model::{ModelParams, Variant};
+
+/// Full Table 3 flow at 1, 2, and 8 fault-simulation threads: scan
+/// statistics, every ATPG counter, the per-vector coverage curve, and
+/// the stage attribution must all be byte-identical.
+#[test]
+fn table3_is_thread_count_invariant() {
+    let p = ModelParams::tiny();
+    let base = experiments::table3_with_threads(&p, 1);
+    for threads in [2, 8] {
+        let t = experiments::table3_with_threads(&p, threads);
+        assert_eq!(base.baseline, t.baseline, "{threads} threads");
+        assert_eq!(base.rescue, t.rescue, "{threads} threads");
+        assert_eq!(
+            base.baseline_metrics.counts, t.baseline_metrics.counts,
+            "{threads} threads"
+        );
+        assert_eq!(
+            base.rescue_metrics.counts, t.rescue_metrics.counts,
+            "{threads} threads"
+        );
+        assert_eq!(
+            base.baseline_metrics.coverage.to_csv("baseline"),
+            t.baseline_metrics.coverage.to_csv("baseline"),
+            "{threads} threads"
+        );
+        assert_eq!(
+            base.rescue_metrics.coverage.to_csv("rescue"),
+            t.rescue_metrics.coverage.to_csv("rescue"),
+            "{threads} threads"
+        );
+        assert_eq!(base.baseline_stage_coverage, t.baseline_stage_coverage);
+        assert_eq!(base.rescue_stage_coverage, t.rescue_stage_coverage);
+    }
+}
+
+/// Full §6.1 isolation flow at 1, 2, and 8 threads: the per-stage
+/// isolation dictionary and the provenance coverage curve must match
+/// the serial run exactly. (Rescue only — the Baseline design drives
+/// the identical sharding code path; the per-fault dictionary itself is
+/// additionally pinned by `isolate_many_matches_sequential_isolation`
+/// in rescue-atpg's kernel_tests.)
+#[test]
+fn isolation_is_thread_count_invariant() {
+    let p = ModelParams::tiny();
+    let variant = Variant::Rescue;
+    let base = experiments::isolation_with_threads(&p, variant, 10, 7, 1);
+    for threads in [2, 8] {
+        let e = experiments::isolation_with_threads(&p, variant, 10, 7, threads);
+        assert_eq!(
+            format!("{:?}", base.stages),
+            format!("{:?}", e.stages),
+            "{variant:?} at {threads} threads"
+        );
+        assert_eq!(
+            base.coverage.to_csv("d"),
+            e.coverage.to_csv("d"),
+            "{variant:?} at {threads} threads"
+        );
+    }
+}

@@ -65,6 +65,7 @@ fn fig8_reduced_run() {
         n_instr: 8_000,
         seed: 5,
         benchmarks: Some(vec!["gzip".into(), "swim".into()]),
+        ..Default::default()
     });
     assert_eq!(rows.len(), 2);
     for r in &rows {
@@ -81,6 +82,7 @@ fn fig9_reduced_run_shows_rescue_advantage_growth() {
         nodes: vec![TechNode::NM90, TechNode::NM18],
         benchmarks: Some(vec!["gcc".into(), "mgrid".into()]),
         include_self_healing: true,
+        ..Default::default()
     };
     let pts = fig9_points(&p);
     assert_eq!(pts.len(), 2);
@@ -110,6 +112,7 @@ fn csv_renderers_are_well_formed() {
         n_instr: 3_000,
         seed: 2,
         benchmarks: Some(vec!["gzip".into()]),
+        ..Default::default()
     });
     let csv = render::fig8_csv(&rows);
     let mut lines = csv.lines();

@@ -13,7 +13,10 @@
 //! * the **stuck-at fault universe** can be enumerated and collapsed
 //!   ([`fault`]),
 //! * circuits can be simulated two-valued and **64-way bit-parallel**
-//!   ([`sim`]), which is what the ATPG fault simulator builds on.
+//!   ([`sim`]), which is what the ATPG fault simulator builds on,
+//! * a **levelized packed view** ([`levelized`]) flattens the gate graph
+//!   into level-ordered CSR arrays, built once per netlist and shared
+//!   immutably across fault-simulation worker threads.
 //!
 //! # Example
 //!
@@ -39,6 +42,7 @@
 mod builder;
 mod error;
 pub mod fault;
+pub mod levelized;
 mod netlist;
 pub mod scan;
 pub mod sim;
@@ -47,6 +51,7 @@ pub mod verilog;
 pub use builder::{DffHandle, NetlistBuilder};
 pub use error::BuildError;
 pub use fault::{Fault, FaultSite, StuckAt};
+pub use levelized::Levelized;
 pub use netlist::{ComponentId, Dff, DffId, Driver, Gate, GateId, GateKind, NetId, Netlist};
 pub use scan::{MultiScanNetlist, ScanChain, ScanNetlist};
 pub use sim::{PatternBlock, SimOutput};
