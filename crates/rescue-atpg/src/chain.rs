@@ -14,7 +14,49 @@
 //! simulation — no abstraction: the pattern physically shifts through
 //! the scan muxes.
 
+use crate::error::AtpgError;
 use rescue_netlist::{Fault, ScanNetlist};
+
+/// Check that a scan-chain description actually matches its netlist:
+/// the chain has cells, every cell names an existing flip-flop, and the
+/// chain pins are wired to real primary inputs/outputs. A
+/// [`ScanNetlist`] produced by `rescue_netlist::scan::insert_scan`
+/// always passes; a hand-assembled one (or a functional netlist dressed
+/// up as scanned) may not.
+pub(crate) fn validate_chain(scanned: &ScanNetlist) -> Result<(), AtpgError> {
+    let n = &scanned.netlist;
+    let chain = &scanned.chain;
+    if chain.is_empty() {
+        return Err(AtpgError::MalformedChain(
+            "chain has no scan cells".to_owned(),
+        ));
+    }
+    for &d in &chain.order {
+        if d.index() >= n.num_dffs() {
+            return Err(AtpgError::MalformedChain(format!(
+                "chain position names flip-flop {} but the netlist has {}",
+                d.index(),
+                n.num_dffs()
+            )));
+        }
+    }
+    if !n.inputs().contains(&chain.scan_in) {
+        return Err(AtpgError::MalformedChain(
+            "scan_in is not a primary input".to_owned(),
+        ));
+    }
+    if !n.inputs().contains(&chain.scan_enable) {
+        return Err(AtpgError::MalformedChain(
+            "scan_enable is not a primary input".to_owned(),
+        ));
+    }
+    if !n.outputs().iter().any(|(_, net)| *net == chain.scan_out) {
+        return Err(AtpgError::MalformedChain(
+            "scan_out is not a primary output".to_owned(),
+        ));
+    }
+    Ok(())
+}
 
 /// Result of a flush test.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -51,24 +93,34 @@ pub fn flush_pattern(chain_len: usize) -> Vec<bool> {
 /// All functional primary inputs are held at 0; `scan_enable` is held
 /// high; the pattern is driven into `scan_in` one bit per cycle and
 /// `scan_out` is sampled each cycle.
-pub fn chain_flush_test(scanned: &ScanNetlist, fault: Option<Fault>) -> ChainTestResult {
+///
+/// # Errors
+///
+/// Returns [`AtpgError::MalformedChain`] when the chain description
+/// does not match the netlist (e.g. a non-scan netlist dressed up as a
+/// [`ScanNetlist`]).
+pub fn chain_flush_test(
+    scanned: &ScanNetlist,
+    fault: Option<Fault>,
+) -> Result<ChainTestResult, AtpgError> {
+    validate_chain(scanned)?;
     let n = &scanned.netlist;
     let pattern = flush_pattern(scanned.chain.len());
     let scan_in_idx = n
         .inputs()
         .iter()
         .position(|&net| net == scanned.chain.scan_in)
-        .expect("scan_in is a primary input");
+        .expect("validate_chain checked scan_in");
     let scan_en_idx = n
         .inputs()
         .iter()
         .position(|&net| net == scanned.chain.scan_enable)
-        .expect("scan_enable is a primary input");
+        .expect("validate_chain checked scan_enable");
     let scan_out_idx = n
         .outputs()
         .iter()
         .position(|(_, net)| *net == scanned.chain.scan_out)
-        .expect("scan_out is a primary output");
+        .expect("validate_chain checked scan_out");
 
     let inputs: Vec<Vec<u64>> = pattern
         .iter()
@@ -89,7 +141,7 @@ pub fn chain_flush_test(scanned: &ScanNetlist, fault: Option<Fault>) -> ChainTes
         None => expected.clone(),
         Some(f) => observe(n.simulate_sequence_faulty(&state0, &inputs, f).0),
     };
-    ChainTestResult { observed, expected }
+    Ok(ChainTestResult { observed, expected })
 }
 
 #[cfg(test)]
@@ -107,13 +159,13 @@ mod tests {
         let y = b.and2(q0, q1);
         let q2 = b.dff(y, "r2");
         b.output(q2, "o");
-        insert_scan(&b.finish().unwrap())
+        insert_scan(&b.finish().unwrap()).unwrap()
     }
 
     #[test]
     fn healthy_chain_passes_and_pattern_emerges_delayed() {
         let s = scanned();
-        let r = chain_flush_test(&s, None);
+        let r = chain_flush_test(&s, None).unwrap();
         assert!(r.passed());
         // After `len` cycles of latency the flush pattern appears at
         // scan_out.
@@ -132,7 +184,7 @@ mod tests {
         // Q of the middle cell stuck at 1: downstream of the break the
         // pattern is destroyed.
         let q1 = s.netlist.dffs()[1].q();
-        let r = chain_flush_test(&s, Some(Fault::net(q1, StuckAt::One)));
+        let r = chain_flush_test(&s, Some(Fault::net(q1, StuckAt::One))).unwrap();
         assert!(!r.passed());
         assert!(r.first_mismatch().is_some());
     }
@@ -140,7 +192,39 @@ mod tests {
     #[test]
     fn stuck_scan_enable_fails_flush() {
         let s = scanned();
-        let r = chain_flush_test(&s, Some(Fault::net(s.chain.scan_enable, StuckAt::Zero)));
+        let r = chain_flush_test(&s, Some(Fault::net(s.chain.scan_enable, StuckAt::Zero))).unwrap();
         assert!(!r.passed(), "a dead scan_enable means nothing shifts");
+    }
+
+    /// A functional (non-scan) netlist dressed up as a `ScanNetlist`
+    /// must produce a typed error, not a panic.
+    #[test]
+    fn non_scan_netlist_fails_gracefully() {
+        let mut b = NetlistBuilder::new();
+        b.enter_component("lc");
+        let a = b.input("a");
+        let q = b.dff(a, "r");
+        b.output(q, "o");
+        let n = b.finish().unwrap();
+        // Pretend an arbitrary net is the chain wiring.
+        let fake = rescue_netlist::ScanNetlist {
+            chain: rescue_netlist::scan::ScanChain {
+                order: vec![rescue_netlist::DffId::from_index(0)],
+                scan_in: a,
+                scan_enable: q, // a Q net, not a primary input
+                scan_out: q,
+            },
+            netlist: n,
+        };
+        let err = chain_flush_test(&fake, None).unwrap_err();
+        assert!(matches!(err, AtpgError::MalformedChain(_)), "{err}");
+
+        // An empty chain is malformed too.
+        let mut empty = fake.clone();
+        empty.chain.order.clear();
+        assert!(matches!(
+            chain_flush_test(&empty, None).unwrap_err(),
+            AtpgError::MalformedChain(_)
+        ));
     }
 }

@@ -238,9 +238,12 @@ mod tests {
         b.dff(y, "ry");
         let n = b.finish().unwrap();
         let lcx = n.find_component("LCX").unwrap();
-        let scanned = insert_scan(&n);
+        let scanned = insert_scan(&n).unwrap();
 
-        let run = Atpg::new(&scanned, AtpgConfig::default()).run();
+        let run = Atpg::new(&scanned, AtpgConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
         let iso = Isolator::new(&scanned, &run.vectors);
 
         // Every label is a singleton: ICI.
@@ -268,9 +271,12 @@ mod tests {
         let y = b.or2(x, e);
         b.dff(y, "ry");
         let n = b.finish().unwrap();
-        let scanned = insert_scan(&n);
+        let scanned = insert_scan(&n).unwrap();
 
-        let run = Atpg::new(&scanned, AtpgConfig::default()).run();
+        let run = Atpg::new(&scanned, AtpgConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
         let iso = Isolator::new(&scanned, &run.vectors);
 
         // The second cell's capture cone spans both components.

@@ -31,9 +31,9 @@
 //! let s = b.xor2(a, c);
 //! let q = b.dff(s, "r");
 //! b.output(q, "out");
-//! let scanned = insert_scan(&b.finish().unwrap());
+//! let scanned = insert_scan(&b.finish().unwrap()).unwrap();
 //!
-//! let run = Atpg::new(&scanned, AtpgConfig::default()).run();
+//! let run = Atpg::new(&scanned, AtpgConfig::default()).unwrap().run().unwrap();
 //! assert!(run.coverage() > 0.9);
 //! ```
 
@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod chain;
+mod error;
 pub mod fsim;
 pub mod isolation;
 pub mod parallel;
@@ -49,6 +50,7 @@ mod threeval;
 mod tpg;
 
 pub use chain::{chain_flush_test, flush_pattern, ChainTestResult};
+pub use error::AtpgError;
 pub use fsim::{FaultSim, FsimStats, Kernel, Observation};
 pub use isolation::{IsolationOutcome, Isolator};
 pub use parallel::{resolve_threads, FaultShards, FsimParallel};

@@ -198,7 +198,7 @@ mod tests {
         }
         let q = b.dff(acc, "q");
         b.output(q, "o");
-        insert_scan(&b.finish().unwrap())
+        insert_scan(&b.finish().unwrap()).unwrap()
     }
 
     #[test]

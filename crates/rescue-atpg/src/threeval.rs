@@ -150,6 +150,107 @@ mod tests {
         );
     }
 
+    /// Precise completion semantics of a three-valued tuple: substitute
+    /// every boolean completion for the `X` positions and evaluate the
+    /// boolean gate. Returns the common result if all completions
+    /// agree, otherwise `V3::X`.
+    fn completion_semantics(kind: GateKind, inputs: &[V3]) -> V3 {
+        use rescue_netlist::sim::eval_bool;
+        let x_positions: Vec<usize> = inputs
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v == V3::X)
+            .map(|(i, _)| i)
+            .collect();
+        let mut results = Vec::new();
+        for combo in 0..(1u32 << x_positions.len()) {
+            let mut bools: Vec<bool> = inputs
+                .iter()
+                .map(|v| v.to_bool().unwrap_or(false))
+                .collect();
+            for (bit, &pos) in x_positions.iter().enumerate() {
+                bools[pos] = combo >> bit & 1 == 1;
+            }
+            results.push(eval_bool(kind, &bools));
+        }
+        if results.iter().all(|&r| r == results[0]) {
+            V3::from_bool(results[0])
+        } else {
+            V3::X
+        }
+    }
+
+    /// Enumerate all `3^arity` input tuples for one kind and check the
+    /// three-valued evaluation against the exhaustive completion
+    /// semantics. This is the full X-propagation table: a result may be
+    /// `X` only when two completions really disagree, and every known
+    /// result must match what all completions produce.
+    fn check_kind_exhaustively(kind: GateKind, arity: usize) {
+        let vals = [V3::Zero, V3::One, V3::X];
+        for tuple in 0..3usize.pow(arity as u32) {
+            let mut t = tuple;
+            let inputs: Vec<V3> = (0..arity)
+                .map(|_| {
+                    let v = vals[t % 3];
+                    t /= 3;
+                    v
+                })
+                .collect();
+            let got = eval_gate_v3(kind, &inputs);
+            let want = completion_semantics(kind, &inputs);
+            assert_eq!(got, want, "{kind:?} over {inputs:?}");
+        }
+    }
+
+    /// All gate kinds × all {0,1,X} input combinations, table-style.
+    /// N-ary kinds are checked at both their minimum arity and a wider
+    /// one, so multi-input X masking (e.g. `and(X, 0, X)`) is covered.
+    #[test]
+    fn x_propagation_is_exact_for_every_kind() {
+        check_kind_exhaustively(GateKind::Const0, 0);
+        check_kind_exhaustively(GateKind::Const1, 0);
+        check_kind_exhaustively(GateKind::Buf, 1);
+        check_kind_exhaustively(GateKind::Not, 1);
+        for kind in [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Xor,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xnor,
+        ] {
+            check_kind_exhaustively(kind, 2);
+            check_kind_exhaustively(kind, 3);
+            check_kind_exhaustively(kind, 4);
+        }
+        check_kind_exhaustively(GateKind::Mux, 3);
+    }
+
+    /// Spot-check rows of the table that PODEM's backtrace logic leans
+    /// on: a controlling value beats an X, a non-controlling value does
+    /// not.
+    #[test]
+    fn controlling_values_dominate_x() {
+        for kind in [GateKind::And, GateKind::Or, GateKind::Nand, GateKind::Nor] {
+            let c = V3::from_bool(controlling_value(kind).unwrap());
+            let non_c = !c;
+            let forced = eval_gate_v3(kind, &[c, V3::X]);
+            assert_ne!(forced, V3::X, "{kind:?}: controlling input decides");
+            assert_eq!(
+                eval_gate_v3(kind, &[non_c, V3::X]),
+                V3::X,
+                "{kind:?}: non-controlling input leaves the output unknown"
+            );
+        }
+        // XOR-family gates have no controlling value: any X poisons.
+        for kind in [GateKind::Xor, GateKind::Xnor] {
+            assert_eq!(controlling_value(kind), None);
+            for v in [V3::Zero, V3::One] {
+                assert_eq!(eval_gate_v3(kind, &[v, V3::X]), V3::X);
+            }
+        }
+    }
+
     #[test]
     fn v3_gate_eval_matches_bool_on_known_values() {
         use rescue_netlist::sim::eval_bool;

@@ -1,5 +1,6 @@
 //! The top-level ATPG flow and the scan-test statistics of Table 3.
 
+use crate::error::AtpgError;
 use crate::parallel::{resolve_threads, FaultShards, FsimParallel};
 use crate::podem::{Podem, PodemConfig, PodemResult, TestCube};
 use crate::threeval::V3;
@@ -259,8 +260,16 @@ pub struct Atpg<'a> {
 
 impl<'a> Atpg<'a> {
     /// Create an engine for a scanned design.
-    pub fn new(scanned: &'a ScanNetlist, config: AtpgConfig) -> Self {
-        Atpg { scanned, config }
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtpgError::MalformedChain`] when the chain description
+    /// does not match the netlist — e.g. a non-scan netlist dressed up
+    /// as a [`ScanNetlist`], or chain pins that are not real primary
+    /// inputs/outputs.
+    pub fn new(scanned: &'a ScanNetlist, config: AtpgConfig) -> Result<Self, AtpgError> {
+        crate::chain::validate_chain(scanned)?;
+        Ok(Atpg { scanned, config })
     }
 
     /// Capture-mode pin constraints: `scan_enable` = 0 (functional capture),
@@ -304,7 +313,14 @@ impl<'a> Atpg<'a> {
     }
 
     /// Run the full flow; see the crate docs for the phases.
-    pub fn run(&self) -> AtpgRun {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtpgError::LaneCountMismatch`] if the parallel
+    /// fault-simulation reduction ever returns a lane count that does
+    /// not match the fault list it was given (a broken invariant that
+    /// would otherwise misclassify faults silently).
+    pub fn run(&self) -> Result<AtpgRun, AtpgError> {
         let _span = rescue_obs::span("atpg.run");
         let t_run = Instant::now();
         let mut counts = AtpgCounts::default();
@@ -354,9 +370,10 @@ impl<'a> Atpg<'a> {
                      counts: &mut AtpgCounts,
                      timing: &mut AtpgTiming,
                      recorder: &mut CoverageRecorder,
-                     pending_events: &mut Vec<(usize, LabelId)>| {
+                     pending_events: &mut Vec<(usize, LabelId)>|
+         -> Result<(), AtpgError> {
             if pending.is_empty() {
-                return;
+                return Ok(());
             }
             let base = vectors.len() as u64;
             for (slot, label) in pending_events.drain(..) {
@@ -373,20 +390,15 @@ impl<'a> Atpg<'a> {
                 let block_base = base + (block_idx as u64) * 64;
                 let before = remaining.len();
                 // One lane per remaining fault, computed by the worker
-                // pool in canonical fault order; applying them through
-                // `retain` in that same order reproduces the sequential
-                // drop sequence exactly.
+                // pool in canonical fault order; applying them in that
+                // same order reproduces the sequential drop sequence
+                // exactly.
                 let lanes = shards.detect_lanes(block, remaining);
-                let mut lanes = lanes.into_iter();
-                remaining.retain(|&f| match lanes.next().expect("one lane per fault") {
-                    Some(lane) => {
-                        classes.insert(f, FaultClass::Detected);
-                        let label = label_of(recorder, f);
-                        recorder.detect(block_base + lane as u64, label);
-                        false
-                    }
-                    None => true,
-                });
+                apply_detect_lanes(&lanes, remaining, |f, lane| {
+                    classes.insert(f, FaultClass::Detected);
+                    let label = label_of(recorder, f);
+                    recorder.detect(block_base + lane as u64, label);
+                })?;
                 let dropped = (before - remaining.len()) as u64;
                 counts.blocks_flushed += 1;
                 counts.faults_dropped_by_sim += dropped;
@@ -404,6 +416,7 @@ impl<'a> Atpg<'a> {
             timing.fsim_ns += t.elapsed().as_nanos() as u64;
             vectors.append(&mut filled);
             rescue_obs::counter("atpg.vectors", vectors.len() as f64);
+            Ok(())
         };
 
         // Deterministic phase: PODEM per remaining fault, batched fault
@@ -454,7 +467,7 @@ impl<'a> Atpg<'a> {
                             &mut timing,
                             &mut recorder,
                             &mut pending_events,
-                        );
+                        )?;
                     }
                 }
                 PodemResult::Untestable => {
@@ -478,7 +491,7 @@ impl<'a> Atpg<'a> {
             &mut timing,
             &mut recorder,
             &mut pending_events,
-        );
+        )?;
 
         let cells = self.scanned.chain.len();
         // Chain-integrity test: shift a 00110011… flush pattern through the
@@ -517,7 +530,7 @@ impl<'a> Atpg<'a> {
         let coverage = recorder.finish(targetable, counts.vectors);
         debug_assert_eq!(coverage.detected_total(), counts.detected);
 
-        AtpgRun {
+        Ok(AtpgRun {
             vectors,
             classes,
             stats,
@@ -527,7 +540,7 @@ impl<'a> Atpg<'a> {
                 parallel: shards.parallel_stats(),
                 coverage,
             },
-        }
+        })
     }
 
     /// Random-fill a cube's don't-cares into a full vector.
@@ -552,6 +565,35 @@ impl<'a> Atpg<'a> {
             .collect();
         PatternVector { inputs, state }
     }
+}
+
+/// Apply one block's per-fault detection lanes to the remaining-fault
+/// list in canonical order: detected faults are passed to `on_detect`
+/// and removed, the rest stay in `remaining` (original order).
+///
+/// The worker pool promises one lane per fault; a count mismatch is a
+/// corrupted reduction and is surfaced as
+/// [`AtpgError::LaneCountMismatch`] (with `remaining` untouched) rather
+/// than letting faults be silently misclassified.
+fn apply_detect_lanes(
+    lanes: &[Option<u32>],
+    remaining: &mut Vec<Fault>,
+    mut on_detect: impl FnMut(Fault, u32),
+) -> Result<(), AtpgError> {
+    if lanes.len() != remaining.len() {
+        return Err(AtpgError::LaneCountMismatch {
+            faults: remaining.len(),
+            lanes: lanes.len(),
+        });
+    }
+    let old = std::mem::take(remaining);
+    for (f, &lane) in old.into_iter().zip(lanes) {
+        match lane {
+            Some(l) => on_detect(f, l),
+            None => remaining.push(f),
+        }
+    }
+    Ok(())
 }
 
 /// Merge two test cubes when they agree on every specified bit; `X`
@@ -603,13 +645,13 @@ mod tests {
         let z = b.or(&q.clone());
         let zq = b.dff(z, "zflag");
         b.output(zq, "zero");
-        insert_scan(&b.finish().unwrap())
+        insert_scan(&b.finish().unwrap()).unwrap()
     }
 
     #[test]
     fn full_run_reaches_high_coverage() {
         let s = small_design();
-        let run = Atpg::new(&s, AtpgConfig::default()).run();
+        let run = Atpg::new(&s, AtpgConfig::default()).unwrap().run().unwrap();
         assert!(
             run.coverage() > 0.98,
             "coverage {} too low; aborted={}",
@@ -625,8 +667,8 @@ mod tests {
     #[test]
     fn chain_faults_are_classified_not_targeted() {
         let s = small_design();
-        let atpg = Atpg::new(&s, AtpgConfig::default());
-        let run = atpg.run();
+        let atpg = Atpg::new(&s, AtpgConfig::default()).unwrap();
+        let run = atpg.run().unwrap();
         let chain = run.count(FaultClass::ChainTested);
         assert!(chain > 0, "scan muxes must contribute chain faults");
         for (f, c) in &run.classes {
@@ -639,7 +681,7 @@ mod tests {
     #[test]
     fn coverage_curve_agrees_with_run_outcome() {
         let s = small_design();
-        let run = Atpg::new(&s, AtpgConfig::default()).run();
+        let run = Atpg::new(&s, AtpgConfig::default()).unwrap().run().unwrap();
         let c = &run.metrics.coverage;
         // The curve's endpoint IS the run's coverage, bit for bit.
         assert_eq!(c.final_coverage(), run.coverage());
@@ -667,15 +709,67 @@ mod tests {
     #[test]
     fn coverage_curve_is_deterministic() {
         let s = small_design();
-        let a = Atpg::new(&s, AtpgConfig::default()).run();
-        let b = Atpg::new(&s, AtpgConfig::default()).run();
+        let a = Atpg::new(&s, AtpgConfig::default()).unwrap().run().unwrap();
+        let b = Atpg::new(&s, AtpgConfig::default()).unwrap().run().unwrap();
         assert_eq!(a.metrics.coverage, b.metrics.coverage);
+    }
+
+    #[test]
+    fn lane_count_mismatch_is_an_error_and_preserves_faults() {
+        let s = small_design();
+        let faults = s.netlist.collapse_faults();
+        let mut remaining = faults[..4.min(faults.len())].to_vec();
+        let before = remaining.clone();
+        // Three lanes for four faults: corrupted reduction.
+        let lanes = vec![None, Some(1), None];
+        let err = apply_detect_lanes(&lanes, &mut remaining, |_, _| {
+            panic!("no fault may be classified on a mismatch");
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            AtpgError::LaneCountMismatch {
+                faults: before.len(),
+                lanes: 3
+            }
+        );
+        assert_eq!(remaining, before, "fault list must be untouched");
+    }
+
+    #[test]
+    fn apply_detect_lanes_partitions_in_order() {
+        let s = small_design();
+        let faults = s.netlist.collapse_faults();
+        let mut remaining = faults[..3].to_vec();
+        let lanes = vec![Some(7), None, Some(0)];
+        let mut detected = Vec::new();
+        apply_detect_lanes(&lanes, &mut remaining, |f, lane| detected.push((f, lane))).unwrap();
+        assert_eq!(detected, vec![(faults[0], 7), (faults[2], 0)]);
+        assert_eq!(remaining, vec![faults[1]]);
+    }
+
+    #[test]
+    fn atpg_on_malformed_chain_is_an_error() {
+        let s = small_design();
+        let mut fake = s.clone();
+        fake.chain.order.clear();
+        assert!(matches!(
+            Atpg::new(&fake, AtpgConfig::default()).unwrap_err(),
+            AtpgError::MalformedChain(_)
+        ));
+        // scan_enable pointing at a non-input net is malformed too.
+        let mut fake2 = s.clone();
+        fake2.chain.scan_enable = s.netlist.dffs()[0].q();
+        assert!(matches!(
+            Atpg::new(&fake2, AtpgConfig::default()).unwrap_err(),
+            AtpgError::MalformedChain(_)
+        ));
     }
 
     #[test]
     fn detected_faults_really_fail_some_vector() {
         let s = small_design();
-        let run = Atpg::new(&s, AtpgConfig::default()).run();
+        let run = Atpg::new(&s, AtpgConfig::default()).unwrap().run().unwrap();
         let mut sim = FaultSim::new(&s.netlist);
         let blocks = run.blocks(&s);
         for (&f, &class) in &run.classes {

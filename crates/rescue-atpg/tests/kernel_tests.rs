@@ -184,9 +184,12 @@ fn isolate_many_matches_sequential_isolation() {
     let e = b.input("e");
     let y = b.or2(e, a[0]);
     b.dff(y, "ry");
-    let scanned = insert_scan(&b.finish().unwrap());
+    let scanned = insert_scan(&b.finish().unwrap()).unwrap();
 
-    let run = Atpg::new(&scanned, AtpgConfig::default()).run();
+    let run = Atpg::new(&scanned, AtpgConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
     let iso = Isolator::new(&scanned, &run.vectors);
     let faults = scanned.netlist.collapse_faults();
 

@@ -7,13 +7,21 @@ use std::hint::black_box;
 
 fn main() {
     let model = build_pipeline(&ModelParams::tiny(), Variant::Rescue);
-    let scanned = insert_scan(&model.netlist);
+    let scanned = insert_scan(&model.netlist).expect("model has state");
 
     rescue_bench::bench("atpg_full_run_tiny", 10, 1, || {
-        black_box(Atpg::new(black_box(&scanned), AtpgConfig::default()).run());
+        black_box(
+            Atpg::new(black_box(&scanned), AtpgConfig::default())
+                .unwrap()
+                .run()
+                .unwrap(),
+        );
     });
 
-    let run = Atpg::new(&scanned, AtpgConfig::default()).run();
+    let run = Atpg::new(&scanned, AtpgConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
     let blocks = run.blocks(&scanned);
     let faults = scanned.netlist.collapse_faults();
     rescue_bench::bench("fault_sim_block_all_faults_tiny", 10, 1, || {

@@ -11,10 +11,13 @@ use std::hint::black_box;
 
 fn main() {
     let model = build_pipeline(&ModelParams::tiny(), Variant::Rescue);
-    let scanned = insert_scan(&model.netlist);
+    let scanned = insert_scan(&model.netlist).expect("model has state");
     let lev = Levelized::new(&scanned.netlist);
     let faults = scanned.netlist.collapse_faults();
-    let run = Atpg::new(&scanned, AtpgConfig::default()).run();
+    let run = Atpg::new(&scanned, AtpgConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
     let blocks = run.blocks(&scanned);
     let block = blocks.first().expect("ATPG produced at least one block");
 

@@ -14,7 +14,7 @@ fn main() {
 
     let model = build_pipeline(&ModelParams::tiny(), Variant::Rescue);
     rescue_bench::bench("scan_insertion_tiny", 20, 1, || {
-        black_box(insert_scan(black_box(&model.netlist)));
+        black_box(insert_scan(black_box(&model.netlist)).expect("model has state"));
     });
 
     let block = PatternBlock {

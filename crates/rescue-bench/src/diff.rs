@@ -132,13 +132,18 @@ impl Default for DiffConfig {
     }
 }
 
-fn is_time_path(path: &str) -> bool {
+/// Paths compared informationally rather than gated: wall-clock and
+/// throughput keys, and the `fuzz.*` counters — fuzzing scale (cases,
+/// oracle subset, gate cap) is a CLI knob, so its tallies legitimately
+/// differ between runs that are both healthy.
+fn is_informational_path(path: &str) -> bool {
     path.ends_with("_ns")
         || path.ends_with("_ms")
         || path.ends_with("_per_sec")
         || path.ends_with("speedup")
         || path.contains(".timing.")
         || path.contains(".parallel.")
+        || path.starts_with("fuzz.")
         || path.starts_with("spans.") && (path.ends_with(".total") || path.ends_with(".max"))
 }
 
@@ -428,7 +433,7 @@ fn compare_value(path: &str, b: &JsonValue, c: &JsonValue, cfg: &DiffConfig, out
                 compare_value(&format!("{path}[{i}]"), vb, vc, cfg, out);
             }
         }
-        (JsonValue::Int(ib), JsonValue::Int(ic)) if !is_time_path(path) => {
+        (JsonValue::Int(ib), JsonValue::Int(ic)) if !is_informational_path(path) => {
             // Deterministic counter: exact or regression.
             out.deltas.push(Delta {
                 severity: if ib == ic {
@@ -488,7 +493,9 @@ fn compare_value(path: &str, b: &JsonValue, c: &JsonValue, cfg: &DiffConfig, out
             // comparison when both sides are numbers; otherwise a type
             // mismatch is a failure.
             match (b.as_f64(), c.as_f64()) {
-                (Some(fb), Some(fc)) => compare_floats(path, fb, fc, is_time_path(path), cfg, out),
+                (Some(fb), Some(fc)) => {
+                    compare_floats(path, fb, fc, is_informational_path(path), cfg, out)
+                }
                 _ => out.deltas.push(Delta {
                     severity: Severity::Fail,
                     path: path.to_owned(),
@@ -661,6 +668,29 @@ mod tests {
         assert!(diff(&b, &c_bad, &DiffConfig::default())
             .unwrap()
             .regressed());
+    }
+
+    #[test]
+    fn fuzz_counters_are_informational() {
+        let mk = |runs: u64, div: u64| {
+            parse(&format!(
+                r#"{{"title":"fuzz","sections":[
+                    {{"name":"fuzz","metrics":{{"cases":{runs},"divergences":{div}}}}},
+                    {{"name":"fuzz.engines","metrics":{{"runs":{runs},"divergences":{div}}}}}],
+                   "spans":[]}}"#
+            ))
+            .unwrap()
+        };
+        // A different fuzzing scale (1000 vs 50 cases) must not gate —
+        // the smoke job picks its own budget per seed.
+        let b = mk(1000, 0);
+        let c = mk(50, 0);
+        let r = diff(&b, &c, &DiffConfig::default()).unwrap();
+        assert!(!r.regressed(), "{}", r.render(true));
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| d.severity == Severity::Info && d.path == "fuzz.engines.runs"));
     }
 
     #[test]

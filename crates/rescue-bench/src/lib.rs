@@ -267,7 +267,7 @@ pub fn fsim_kernel_report(
     let _s = rescue_obs::span("fsim_kernel");
     let threads = resolve_threads(threads);
     let model = build_pipeline(params, Variant::Rescue);
-    let scanned = insert_scan(&model.netlist);
+    let scanned = insert_scan(&model.netlist).expect("model has state");
     let lev = Levelized::new(&scanned.netlist);
     let faults = scanned.netlist.collapse_faults();
 
@@ -280,7 +280,10 @@ pub fn fsim_kernel_report(
             ..AtpgConfig::default()
         };
         let t = Instant::now();
-        let r = Atpg::new(&scanned, cfg).run();
+        let r = Atpg::new(&scanned, cfg)
+            .expect("scan design is well-formed")
+            .run()
+            .expect("atpg run");
         (r, t.elapsed().as_secs_f64())
     };
     let (run_1t, secs_1t) = timed_run(1);

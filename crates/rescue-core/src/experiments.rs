@@ -129,12 +129,15 @@ pub fn table3_with_threads(params: &ModelParams, threads: usize) -> Table3 {
     let run = |variant, span: &str| {
         let _s = rescue_obs::span(span);
         let m = build_pipeline(params, variant);
-        let s = insert_scan(&m.netlist);
+        let s = insert_scan(&m.netlist).expect("model has state");
         let config = AtpgConfig {
             threads,
             ..AtpgConfig::default()
         };
-        let r = Atpg::new(&s, config).run();
+        let r = Atpg::new(&s, config)
+            .expect("scan design is well-formed")
+            .run()
+            .expect("atpg run");
         let stages = stage_rollup(&m, &r.metrics.coverage);
         (r.stats, r.metrics, stages)
     };
@@ -233,12 +236,15 @@ pub fn isolation_with_threads(
 ) -> IsolationExperiment {
     let _s = rescue_obs::span("isolation");
     let m = build_pipeline(params, variant);
-    let scanned = insert_scan(&m.netlist);
+    let scanned = insert_scan(&m.netlist).expect("model has state");
     let config = AtpgConfig {
         threads,
         ..AtpgConfig::default()
     };
-    let run = Atpg::new(&scanned, config).run();
+    let run = Atpg::new(&scanned, config)
+        .expect("scan design is well-formed")
+        .run()
+        .expect("atpg run");
     let iso = Isolator::new(&scanned, &run.vectors);
     let stages_wanted = [
         Stage::Fetch,
@@ -358,8 +364,11 @@ pub fn multi_fault_isolation(
 ) -> Vec<MultiFaultTrial> {
     let _s = rescue_obs::span("isolation.multi_fault");
     let m = build_pipeline(params, Variant::Rescue);
-    let scanned = insert_scan(&m.netlist);
-    let run = Atpg::new(&scanned, AtpgConfig::default()).run();
+    let scanned = insert_scan(&m.netlist).expect("model has state");
+    let run = Atpg::new(&scanned, AtpgConfig::default())
+        .expect("scan design is well-formed")
+        .run()
+        .expect("atpg run");
     let iso = Isolator::new(&scanned, &run.vectors);
     let mut rng = SplitMix64::new(seed);
 
@@ -410,7 +419,7 @@ pub fn multi_fault_isolation(
 /// Access to the built model + scan view for custom experiments.
 pub fn build_scanned(params: &ModelParams, variant: Variant) -> (PipelineModel, ScanNetlist) {
     let m = build_pipeline(params, variant);
-    let s = insert_scan(&m.netlist);
+    let s = insert_scan(&m.netlist).expect("model has state");
     (m, s)
 }
 

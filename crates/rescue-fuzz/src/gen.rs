@@ -1,0 +1,207 @@
+//! Seeded random generation of fuzz cases.
+//!
+//! Everything is driven by the workspace's [`SplitMix64`] generator, so
+//! a `(seed, case index)` pair always produces the same [`CaseIr`] — on
+//! any machine, at any thread count. The generator is biased toward the
+//! shapes that stress the engines: deep cones (inputs drawn with a
+//! recency bias), reconvergent fanout (signals reused freely), muxes
+//! (the scan-path gate kind), and sequential feedback through
+//! flip-flops.
+
+use crate::ir::{CaseIr, GateIr};
+use rescue_netlist::GateKind;
+use rescue_obs::rng::SplitMix64;
+
+/// Size and shape knobs for one generated case.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Upper bound on the number of gates (at least 1 is generated).
+    pub max_gates: usize,
+    /// Upper bound on primary inputs (at least 1).
+    pub max_inputs: usize,
+    /// Upper bound on flip-flops (at least 1 — every case is scannable).
+    pub max_dffs: usize,
+    /// Upper bound on the fanin of one n-ary gate.
+    pub max_fanin: usize,
+}
+
+impl GenConfig {
+    /// The main-harness shape: up to `max_gates` gates, wide-ish cones.
+    pub fn sized(max_gates: usize) -> GenConfig {
+        GenConfig {
+            max_gates: max_gates.max(1),
+            max_inputs: 8,
+            max_dffs: 6,
+            max_fanin: 4,
+        }
+    }
+
+    /// Small shape for the brute-force equivalence oracle: few enough
+    /// free variables (inputs + flip-flops ≤ 6) that all assignments
+    /// fit in one 64-pattern block.
+    pub fn small() -> GenConfig {
+        GenConfig {
+            max_gates: 10,
+            max_inputs: 4,
+            max_dffs: 2,
+            max_fanin: 3,
+        }
+    }
+}
+
+/// Deterministic per-case RNG seed.
+pub fn case_seed(seed: u64, case_index: u64) -> u64 {
+    // One SplitMix64 step keyed by both values: cheap, and adjacent
+    // (seed, index) pairs land far apart.
+    SplitMix64::new(seed ^ case_index.wrapping_mul(0x9e37_79b9_7f4a_7c15)).next_u64()
+}
+
+const KINDS: [GateKind; 9] = [
+    GateKind::Buf,
+    GateKind::Not,
+    GateKind::And,
+    GateKind::Or,
+    GateKind::Xor,
+    GateKind::Nand,
+    GateKind::Nor,
+    GateKind::Xnor,
+    GateKind::Mux,
+];
+
+/// Pick a source signal among `avail` declared ones, biased toward
+/// recent signals so cones get deep instead of flat.
+fn pick_signal(rng: &mut SplitMix64, avail: usize) -> u32 {
+    debug_assert!(avail > 0);
+    if avail > 4 && rng.gen_bool(0.6) {
+        // Recency-biased: one of the latest quarter.
+        let lo = avail - (avail / 4).max(1);
+        (lo + rng.below(avail - lo)) as u32
+    } else {
+        rng.below(avail) as u32
+    }
+}
+
+/// Generate one case from an explicit RNG (the shrinker's tests reuse
+/// this with hand-made streams).
+pub fn generate_with(rng: &mut SplitMix64, cfg: &GenConfig) -> CaseIr {
+    let n_inputs = 1 + rng.below(cfg.max_inputs);
+    let n_dffs = 1 + rng.below(cfg.max_dffs);
+    let n_gates = 1 + rng.below(cfg.max_gates);
+    let gate_base = n_inputs + n_dffs;
+
+    let mut gates = Vec::with_capacity(n_gates);
+    for i in 0..n_gates {
+        let avail = gate_base + i;
+        let kind = KINDS[rng.below(KINDS.len())];
+        let arity = match kind {
+            GateKind::Buf | GateKind::Not => 1,
+            GateKind::Mux => 3,
+            _ => 2 + rng.below(cfg.max_fanin.max(2) - 1),
+        };
+        let inputs = (0..arity).map(|_| pick_signal(rng, avail)).collect();
+        gates.push(GateIr { kind, inputs });
+    }
+
+    let n_sig = gate_base + n_gates;
+    // Flip-flop D pins may reach any signal, including later gates:
+    // sequential feedback.
+    let dff_d = (0..n_dffs).map(|_| rng.below(n_sig) as u32).collect();
+    // Outputs favour late gates so most of the circuit is observable.
+    let n_outputs = 1 + rng.below(4);
+    let outputs = (0..n_outputs).map(|_| pick_signal(rng, n_sig)).collect();
+
+    CaseIr {
+        n_inputs,
+        dff_d,
+        gates,
+        outputs,
+        stim_inputs: (0..n_inputs).map(|_| rng.next_u64()).collect(),
+        stim_state: (0..n_dffs).map(|_| rng.next_u64()).collect(),
+    }
+}
+
+/// Generate the case for `(seed, case_index)` under `cfg`.
+pub fn generate(seed: u64, case_index: u64, cfg: &GenConfig) -> CaseIr {
+    let mut rng = SplitMix64::new(case_seed(seed, case_index));
+    generate_with(&mut rng, cfg)
+}
+
+/// Exhaustive stimulus for a small case: lane *k* applies assignment
+/// *k* to the free variables (inputs then state). Only meaningful when
+/// `free_vars() ≤ 6`; higher variables are driven by lane index modulo
+/// 64, which still covers every assignment when the bound holds.
+pub fn exhaustive_stim(case: &mut CaseIr) {
+    for (i, w) in case.stim_inputs.iter_mut().enumerate() {
+        *w = broadcast_var(i);
+    }
+    let n = case.stim_inputs.len();
+    for (j, w) in case.stim_state.iter_mut().enumerate() {
+        *w = broadcast_var(n + j);
+    }
+}
+
+/// Word whose bit *k* is bit `var` of the lane index *k* — the standard
+/// exhaustive-enumeration packing for up to 6 variables.
+fn broadcast_var(var: usize) -> u64 {
+    let mut w = 0u64;
+    for lane in 0..64u64 {
+        if (lane >> (var % 6)) & 1 == 1 {
+            w |= 1 << lane;
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::sized(32);
+        for idx in 0..20 {
+            assert_eq!(generate(7, idx, &cfg), generate(7, idx, &cfg));
+        }
+        assert_ne!(generate(7, 0, &cfg), generate(8, 0, &cfg));
+    }
+
+    #[test]
+    fn every_generated_case_builds() {
+        let cfg = GenConfig::sized(48);
+        for idx in 0..200 {
+            let case = generate(42, idx, &cfg);
+            let n = case.build().unwrap_or_else(|e| panic!("case {idx}: {e}"));
+            assert!(n.num_dffs() >= 1, "scan insertion needs state");
+            assert!(!n.outputs().is_empty());
+        }
+    }
+
+    #[test]
+    fn small_shape_fits_one_exhaustive_block() {
+        let cfg = GenConfig::small();
+        for idx in 0..100 {
+            let case = generate(3, idx, &cfg);
+            assert!(case.n_inputs + case.dff_d.len() <= 6);
+        }
+    }
+
+    #[test]
+    fn exhaustive_stim_enumerates_all_assignments() {
+        // 2 inputs + 1 dff: every one of the 8 assignments must appear
+        // among the 64 lanes.
+        let mut case = generate(9, 0, &GenConfig::small());
+        case.n_inputs = 2;
+        case.stim_inputs = vec![0, 0];
+        case.dff_d = vec![0];
+        case.stim_state = vec![0];
+        exhaustive_stim(&mut case);
+        let mut seen = [false; 8];
+        for lane in 0..64 {
+            let a = (case.stim_inputs[0] >> lane) & 1;
+            let b = (case.stim_inputs[1] >> lane) & 1;
+            let s = (case.stim_state[0] >> lane) & 1;
+            seen[(a | b << 1 | s << 2) as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+}

@@ -1,0 +1,250 @@
+//! Greedy delta-debugging shrinker for failing cases.
+//!
+//! Given a case and a predicate "still fails", the shrinker repeatedly
+//! tries structure-removing mutations — bypass a gate, drop a
+//! flip-flop, drop an input or output, narrow a gate's fanin, zero a
+//! stimulus word — and keeps any mutant that still fails, iterating to
+//! a fixpoint. The result is the small repro that lands in
+//! `tests/regressions/`.
+//!
+//! Mutations are pure index surgery on [`CaseIr`]; a mutant that no
+//! longer builds simply fails the predicate (via the oracle's build
+//! error path) and is discarded, so the shrinker never needs to reason
+//! about circuit validity itself.
+
+use crate::ir::{CaseIr, GateIr};
+use rescue_netlist::GateKind;
+
+/// Hard cap on predicate evaluations per shrink, so a pathological
+/// case cannot stall the harness.
+const MAX_PROBES: usize = 4096;
+
+/// Statistics from one shrink run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Predicate evaluations spent.
+    pub probes: usize,
+    /// Mutations accepted (each strictly shrinks the case).
+    pub accepted: usize,
+}
+
+/// Remap a signal index after deleting signal `removed`: references to
+/// the deleted signal become `replacement` (pre-deletion numbering),
+/// and everything above shifts down.
+fn remap(s: u32, removed: u32, replacement: u32) -> u32 {
+    let s = if s == removed { replacement } else { s };
+    if s > removed {
+        s - 1
+    } else {
+        s
+    }
+}
+
+fn remap_all(case: &mut CaseIr, removed: u32, replacement: u32) {
+    for g in &mut case.gates {
+        for s in &mut g.inputs {
+            *s = remap(*s, removed, replacement);
+        }
+    }
+    for d in &mut case.dff_d {
+        *d = remap(*d, removed, replacement);
+    }
+    for o in &mut case.outputs {
+        *o = remap(*o, removed, replacement);
+    }
+}
+
+/// Delete gate `g`, rerouting its consumers to its first input.
+fn bypass_gate(case: &CaseIr, g: usize) -> Option<CaseIr> {
+    let replacement = *case.gates[g].inputs.first()?;
+    let removed = (case.gate_base() + g) as u32;
+    let mut c = case.clone();
+    c.gates.remove(g);
+    remap_all(&mut c, removed, replacement);
+    Some(c)
+}
+
+/// Delete flip-flop `j`, rerouting consumers of its Q to input 0.
+/// Declined when it is the last flip-flop (scan insertion needs state)
+/// or there are no inputs to stand in.
+fn drop_dff(case: &CaseIr, j: usize) -> Option<CaseIr> {
+    if case.dff_d.len() <= 1 || case.n_inputs == 0 {
+        return None;
+    }
+    let removed = (case.n_inputs + j) as u32;
+    let mut c = case.clone();
+    c.dff_d.remove(j);
+    c.stim_state.remove(j);
+    remap_all(&mut c, removed, 0);
+    Some(c)
+}
+
+/// Delete primary input `i`, rerouting consumers to another input.
+fn drop_input(case: &CaseIr, i: usize) -> Option<CaseIr> {
+    if case.n_inputs <= 1 {
+        return None;
+    }
+    let replacement = if i == 0 { 1 } else { 0 };
+    let mut c = case.clone();
+    c.n_inputs -= 1;
+    c.stim_inputs.remove(i);
+    remap_all(&mut c, i as u32, replacement as u32);
+    Some(c)
+}
+
+fn drop_output(case: &CaseIr, k: usize) -> Option<CaseIr> {
+    if case.outputs.len() <= 1 {
+        return None;
+    }
+    let mut c = case.clone();
+    c.outputs.remove(k);
+    Some(c)
+}
+
+/// Narrow an n-ary gate by removing one input pin (keeps arity ≥ 2;
+/// Buf/Not/Mux have fixed shapes and are skipped).
+fn drop_gate_input(case: &CaseIr, g: usize, pin: usize) -> Option<CaseIr> {
+    let gate = &case.gates[g];
+    match gate.kind {
+        GateKind::Buf | GateKind::Not | GateKind::Mux | GateKind::Const0 | GateKind::Const1 => None,
+        _ if gate.inputs.len() <= 2 => None,
+        _ => {
+            let mut c = case.clone();
+            c.gates[g].inputs.remove(pin);
+            Some(c)
+        }
+    }
+}
+
+/// Demote a gate to a buffer of its first input — keeps the signal
+/// count (so no remap) while deleting the gate's logic.
+fn demote_gate(case: &CaseIr, g: usize) -> Option<CaseIr> {
+    let gate = &case.gates[g];
+    if gate.kind == GateKind::Buf || gate.inputs.is_empty() {
+        return None;
+    }
+    let mut c = case.clone();
+    c.gates[g] = GateIr {
+        kind: GateKind::Buf,
+        inputs: vec![gate.inputs[0]],
+    };
+    Some(c)
+}
+
+fn zero_stim(case: &CaseIr, idx: usize) -> Option<CaseIr> {
+    let mut c = case.clone();
+    let w = if idx < c.stim_inputs.len() {
+        &mut c.stim_inputs[idx]
+    } else {
+        &mut c.stim_state[idx - c.stim_inputs.len()]
+    };
+    if *w == 0 {
+        return None;
+    }
+    *w = 0;
+    Some(c)
+}
+
+/// All single-step mutants of `case`, most aggressive first.
+fn mutants(case: &CaseIr) -> Vec<CaseIr> {
+    let mut out = Vec::new();
+    for g in (0..case.gates.len()).rev() {
+        out.extend(bypass_gate(case, g));
+    }
+    for j in (0..case.dff_d.len()).rev() {
+        out.extend(drop_dff(case, j));
+    }
+    for i in (0..case.n_inputs).rev() {
+        out.extend(drop_input(case, i));
+    }
+    for k in (0..case.outputs.len()).rev() {
+        out.extend(drop_output(case, k));
+    }
+    for g in 0..case.gates.len() {
+        for pin in (0..case.gates[g].inputs.len()).rev() {
+            out.extend(drop_gate_input(case, g, pin));
+        }
+        out.extend(demote_gate(case, g));
+    }
+    for idx in 0..case.stim_inputs.len() + case.stim_state.len() {
+        out.extend(zero_stim(case, idx));
+    }
+    out
+}
+
+/// Shrink `case` while `still_fails` holds, returning the fixpoint and
+/// the effort spent. The input case itself must satisfy the predicate.
+pub fn shrink(
+    case: &CaseIr,
+    mut still_fails: impl FnMut(&CaseIr) -> bool,
+) -> (CaseIr, ShrinkStats) {
+    let mut best = case.clone();
+    let mut stats = ShrinkStats::default();
+    'outer: loop {
+        for mutant in mutants(&best) {
+            if stats.probes >= MAX_PROBES {
+                break 'outer;
+            }
+            stats.probes += 1;
+            if still_fails(&mutant) {
+                best = mutant;
+                stats.accepted += 1;
+                continue 'outer; // restart from the smaller case
+            }
+        }
+        break;
+    }
+    (best, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    /// Predicate: the case still contains an XOR gate. The shrinker
+    /// must strip everything else and leave a minimal circuit that
+    /// still builds.
+    #[test]
+    fn shrinks_to_a_minimal_case_preserving_the_predicate() {
+        let has_xor =
+            |c: &CaseIr| c.build().is_ok() && c.gates.iter().any(|g| g.kind == GateKind::Xor);
+        let case = (0..50)
+            .map(|idx| generate(11, idx, &GenConfig::sized(40)))
+            .find(|c| has_xor(c))
+            .expect("some case among 50 contains an XOR gate");
+        let (small, stats) = shrink(&case, has_xor);
+        assert!(has_xor(&small));
+        assert!(stats.accepted > 0, "{stats:?}");
+        // Minimality within the mutation set: only the XOR gate (plus
+        // the mandatory flip-flop, input, and output) can remain.
+        assert_eq!(small.gates.len(), 1);
+        assert_eq!(small.dff_d.len(), 1);
+        assert_eq!(small.n_inputs, 1);
+        assert_eq!(small.outputs.len(), 1);
+        assert!(small.stim_inputs.iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn index_remapping_keeps_cases_buildable() {
+        // Every accepted mutant of a buildable case must stay
+        // buildable when the predicate demands it.
+        for idx in 0..30 {
+            let case = generate(5, idx, &GenConfig::sized(24));
+            let (small, _) = shrink(&case, |c| c.build().is_ok());
+            small.build().unwrap();
+        }
+    }
+
+    #[test]
+    fn probe_budget_is_respected() {
+        let case = generate(5, 1, &GenConfig::sized(40));
+        let mut calls = 0usize;
+        let (_, stats) = shrink(&case, |c| {
+            calls += 1;
+            c.build().is_ok()
+        });
+        assert!(stats.probes <= MAX_PROBES);
+        assert_eq!(calls, stats.probes);
+    }
+}

@@ -1,0 +1,41 @@
+//! Replay every committed fuzz repro against its oracle.
+//!
+//! A repro lands in `tests/regressions/` together with the fix for the
+//! divergence it witnessed, so each file must now *pass* its oracle.
+//! If an engine change re-introduces the bug, this test pinpoints the
+//! exact shrunk circuit and oracle instead of a distant statistical
+//! failure.
+
+use rescue_fuzz::repro::load_dir;
+use std::path::Path;
+
+fn regressions_dir() -> &'static Path {
+    Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/regressions"
+    ))
+}
+
+#[test]
+fn every_committed_repro_passes_its_oracle() {
+    let repros = load_dir(regressions_dir()).expect("regressions dir is readable");
+    for (path, repro) in &repros {
+        if let Err(detail) = repro.oracle.run(&repro.case) {
+            panic!(
+                "{} regressed (oracle {}): {detail}",
+                path.display(),
+                repro.oracle.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_committed_repro_still_builds() {
+    for (path, repro) in load_dir(regressions_dir()).expect("readable") {
+        repro
+            .case
+            .build()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+}

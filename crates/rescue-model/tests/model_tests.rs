@@ -45,7 +45,7 @@ fn baseline_violates_ici_where_the_paper_says() {
 #[test]
 fn rescue_scan_cells_capture_single_groups() {
     let model = build_pipeline(&ModelParams::tiny(), Variant::Rescue);
-    let scanned = insert_scan(&model.netlist);
+    let scanned = insert_scan(&model.netlist).expect("model has state");
     for (pos, comps) in scanned.capture_components().iter().enumerate() {
         let groups: std::collections::BTreeSet<usize> =
             comps.iter().map(|&c| model.group_of(c)).collect();
@@ -65,7 +65,7 @@ fn rescue_scan_cells_capture_single_groups() {
 #[test]
 fn baseline_scan_cells_capture_multiple_groups_somewhere() {
     let model = build_pipeline(&ModelParams::tiny(), Variant::Baseline);
-    let scanned = insert_scan(&model.netlist);
+    let scanned = insert_scan(&model.netlist).expect("model has state");
     let ambiguous = scanned
         .capture_components()
         .iter()
@@ -169,7 +169,7 @@ fn wider_machines_still_satisfy_ici() {
     };
     let model = build_pipeline(&wide, Variant::Rescue);
     assert!(model.check_ici().is_empty());
-    let scanned = insert_scan(&model.netlist);
+    let scanned = insert_scan(&model.netlist).expect("model has state");
     for comps in scanned.capture_components() {
         let groups: std::collections::BTreeSet<usize> =
             comps.iter().map(|&c| model.group_of(c)).collect();

@@ -19,6 +19,13 @@ pub struct DffHandle(DffId);
 /// [`NetlistBuilder::set_component`]); the structural generators in
 /// `rescue-model` use this to label each microarchitectural block.
 ///
+/// Construction methods never panic on malformed input. Instead, the
+/// first mistake (an empty n-ary gate, a bus width mismatch, a
+/// double-connected flip-flop, logic added before any component was
+/// set, …) is recorded, the method returns a placeholder so building
+/// can continue, and [`NetlistBuilder::finish`] reports the recorded
+/// error.
+///
 /// # Example
 ///
 /// ```
@@ -43,6 +50,8 @@ pub struct NetlistBuilder {
     outputs: Vec<(String, NetId)>,
     components: Vec<String>,
     current: Option<ComponentId>,
+    /// First construction mistake, surfaced by [`NetlistBuilder::finish`].
+    first_error: Option<BuildError>,
 }
 
 impl NetlistBuilder {
@@ -61,12 +70,14 @@ impl NetlistBuilder {
     }
 
     /// Set the component that subsequently created gates and flip-flops
-    /// belong to.
+    /// belong to. Passing a component id that was not declared on this
+    /// builder is recorded as [`BuildError::UnknownComponent`] and the
+    /// current component is left unchanged.
     pub fn set_component(&mut self, c: ComponentId) {
-        assert!(
-            c.index() < self.components.len(),
-            "component {c} was not declared on this builder"
-        );
+        if c.index() >= self.components.len() {
+            self.record_error(BuildError::UnknownComponent(c.to_string()));
+            return;
+        }
         self.current = Some(c);
     }
 
@@ -77,13 +88,36 @@ impl NetlistBuilder {
         c
     }
 
-    /// Currently active component.
-    ///
-    /// # Panics
-    /// Panics if no component has been set yet.
-    pub fn current_component(&self) -> ComponentId {
+    /// Currently active component, if any has been set.
+    pub fn current_component(&self) -> Option<ComponentId> {
         self.current
-            .expect("set_component must be called before adding logic")
+    }
+
+    /// Record the first construction mistake; later ones are dropped
+    /// (they are usually knock-on effects of the first).
+    fn record_error(&mut self, e: BuildError) {
+        if self.first_error.is_none() {
+            self.first_error = Some(e);
+        }
+    }
+
+    /// Component to tag new logic with. If none is active, records
+    /// [`BuildError::NoActiveComponent`] and falls back to a placeholder
+    /// so construction can continue (the error still fails `finish`).
+    fn active_component(&mut self) -> ComponentId {
+        if let Some(c) = self.current {
+            return c;
+        }
+        self.record_error(BuildError::NoActiveComponent);
+        let c = self.component("<unattributed>");
+        self.current = Some(c);
+        c
+    }
+
+    /// Placeholder net returned after a recorded construction error.
+    /// Never survives into a [`Netlist`]: `finish` fails first.
+    fn error_net(&mut self) -> NetId {
+        self.new_net("<error>".to_owned(), Driver::Input(u32::MAX))
     }
 
     fn new_net(&mut self, name: String, driver: Driver) -> NetId {
@@ -119,10 +153,9 @@ impl NetlistBuilder {
         }
     }
 
-    /// Add a gate of arbitrary kind.
-    ///
-    /// # Panics
-    /// Panics if no component is active.
+    /// Add a gate of arbitrary kind. Adding logic before any component
+    /// is active records [`BuildError::NoActiveComponent`] (reported by
+    /// [`NetlistBuilder::finish`]).
     pub fn gate(&mut self, kind: GateKind, inputs: &[NetId]) -> NetId {
         self.gate_tagged(kind, inputs, false)
     }
@@ -133,7 +166,7 @@ impl NetlistBuilder {
         inputs: &[NetId],
         scan_path: bool,
     ) -> NetId {
-        let component = self.current_component();
+        let component = self.active_component();
         let gid = GateId(self.gates.len() as u32);
         let out = self.new_net(format!("{kind}_{gid}"), Driver::Gate(gid));
         self.gates.push(Gate {
@@ -213,7 +246,12 @@ impl NetlistBuilder {
 
     fn nary(&mut self, kind: GateKind, inputs: &[NetId]) -> NetId {
         match inputs.len() {
-            0 => panic!("n-ary gate needs at least one input"),
+            0 => {
+                self.record_error(BuildError::EmptyGate {
+                    kind: kind.to_string(),
+                });
+                self.error_net()
+            }
             1 => self.buf(inputs[0]),
             _ => self.gate(kind, inputs),
         }
@@ -224,9 +262,17 @@ impl NetlistBuilder {
         self.gate(GateKind::Mux, &[sel, a, b])
     }
 
-    /// Mux over two equal-width buses.
+    /// Mux over two equal-width buses. A width mismatch is recorded as
+    /// [`BuildError::WidthMismatch`] and the overlapping prefix is muxed
+    /// so construction can continue.
     pub fn mux_bus(&mut self, sel: NetId, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
-        assert_eq!(a.len(), b.len(), "mux_bus width mismatch");
+        if a.len() != b.len() {
+            self.record_error(BuildError::WidthMismatch {
+                what: "mux_bus",
+                left: a.len(),
+                right: b.len(),
+            });
+        }
         a.iter()
             .zip(b)
             .map(|(&x, &y)| self.mux(sel, x, y))
@@ -235,7 +281,7 @@ impl NetlistBuilder {
 
     /// D flip-flop; returns the Q net.
     pub fn dff(&mut self, d: NetId, name: &str) -> NetId {
-        let component = self.current_component();
+        let component = self.active_component();
         let id = DffId(self.dffs.len() as u32);
         let q = self.new_net(format!("{name}.q"), Driver::Dff(id));
         self.dffs.push(Dff {
@@ -276,7 +322,7 @@ impl NetlistBuilder {
     /// assert_eq!(n.num_dffs(), 1);
     /// ```
     pub fn dff_feedback(&mut self, name: &str) -> (NetId, DffHandle) {
-        let component = self.current_component();
+        let component = self.active_component();
         let id = DffId(self.dffs.len() as u32);
         let q = self.new_net(format!("{name}.q"), Driver::Dff(id));
         self.dffs.push(Dff {
@@ -289,13 +335,16 @@ impl NetlistBuilder {
     }
 
     /// Wire the D input of a flip-flop created by
-    /// [`NetlistBuilder::dff_feedback`].
-    ///
-    /// # Panics
-    /// Panics if the handle was already connected.
+    /// [`NetlistBuilder::dff_feedback`]. Connecting the same flip-flop
+    /// twice is recorded as [`BuildError::DoubleConnectedDff`] and the
+    /// first connection is kept.
     pub fn connect_dff(&mut self, handle: DffHandle, d: NetId) {
         let dff = &mut self.dffs[handle.0.index()];
-        assert_eq!(dff.d, UNCONNECTED, "flip-flop {} connected twice", dff.name);
+        if dff.d != UNCONNECTED {
+            let name = dff.name.clone();
+            self.record_error(BuildError::DoubleConnectedDff(name));
+            return;
+        }
         dff.d = d;
     }
 
@@ -306,9 +355,17 @@ impl NetlistBuilder {
             .unzip()
     }
 
-    /// Bus variant of [`NetlistBuilder::connect_dff`].
+    /// Bus variant of [`NetlistBuilder::connect_dff`]. A width mismatch
+    /// is recorded as [`BuildError::WidthMismatch`]; the overlapping
+    /// prefix is still connected.
     pub fn connect_dff_bus(&mut self, handles: Vec<DffHandle>, d: &[NetId]) {
-        assert_eq!(handles.len(), d.len(), "connect_dff_bus width mismatch");
+        if handles.len() != d.len() {
+            self.record_error(BuildError::WidthMismatch {
+                what: "connect_dff_bus",
+                left: handles.len(),
+                right: d.len(),
+            });
+        }
         for (h, &net) in handles.into_iter().zip(d) {
             self.connect_dff(h, net);
         }
@@ -328,11 +385,18 @@ impl NetlistBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`BuildError::BadArity`] for malformed gates,
+    /// Returns the first construction mistake recorded while building
+    /// (e.g. [`BuildError::EmptyGate`], [`BuildError::WidthMismatch`],
+    /// [`BuildError::DoubleConnectedDff`],
+    /// [`BuildError::NoActiveComponent`]), then
+    /// [`BuildError::BadArity`] for malformed gates,
     /// [`BuildError::CombinationalLoop`] if gate logic forms a cycle not
     /// broken by a flip-flop, and [`BuildError::NothingObservable`] for a
     /// circuit with neither outputs nor state.
     pub fn finish(self) -> Result<Netlist, BuildError> {
+        if let Some(e) = self.first_error {
+            return Err(e);
+        }
         elaborate(
             self.nets,
             self.gates,
@@ -441,4 +505,119 @@ pub(crate) fn elaborate(
         fanout_dffs,
         fanout_outputs,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_nary_gate_is_an_error_not_a_panic() {
+        let mut b = NetlistBuilder::new();
+        b.enter_component("c");
+        let x = b.input("x");
+        let _ = b.and(&[]);
+        b.output(x, "o");
+        assert_eq!(
+            b.finish().unwrap_err(),
+            BuildError::EmptyGate {
+                kind: "and".to_owned()
+            }
+        );
+    }
+
+    #[test]
+    fn mux_bus_width_mismatch_is_an_error() {
+        let mut b = NetlistBuilder::new();
+        b.enter_component("c");
+        let sel = b.input("sel");
+        let a = b.input_bus("a", 3);
+        let bb = b.input_bus("b", 2);
+        let out = b.mux_bus(sel, &a, &bb);
+        b.output_bus(&out, "o");
+        assert_eq!(
+            b.finish().unwrap_err(),
+            BuildError::WidthMismatch {
+                what: "mux_bus",
+                left: 3,
+                right: 2
+            }
+        );
+    }
+
+    #[test]
+    fn connect_dff_bus_width_mismatch_is_an_error() {
+        let mut b = NetlistBuilder::new();
+        b.enter_component("c");
+        let d = b.input_bus("d", 2);
+        let (_q, h) = b.dff_feedback_bus(3, "r");
+        b.connect_dff_bus(h, &d);
+        assert_eq!(
+            b.finish().unwrap_err(),
+            BuildError::WidthMismatch {
+                what: "connect_dff_bus",
+                left: 3,
+                right: 2
+            }
+        );
+    }
+
+    #[test]
+    fn double_connected_dff_is_an_error() {
+        let mut b = NetlistBuilder::new();
+        b.enter_component("c");
+        let x = b.input("x");
+        let (_q, h) = b.dff_feedback("r");
+        b.connect_dff(h, x);
+        b.connect_dff(DffHandle(DffId(0)), x);
+        assert_eq!(
+            b.finish().unwrap_err(),
+            BuildError::DoubleConnectedDff("r".to_owned())
+        );
+    }
+
+    #[test]
+    fn logic_before_any_component_is_an_error() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x");
+        let y = b.not(x);
+        b.output(y, "o");
+        assert_eq!(b.finish().unwrap_err(), BuildError::NoActiveComponent);
+    }
+
+    #[test]
+    fn undeclared_component_id_is_an_error() {
+        let mut other = NetlistBuilder::new();
+        other.component("a");
+        let foreign = other.component("b");
+
+        let mut b = NetlistBuilder::new();
+        b.enter_component("c");
+        b.set_component(foreign);
+        let x = b.input("x");
+        b.output(x, "o");
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            BuildError::UnknownComponent(_)
+        ));
+    }
+
+    #[test]
+    fn first_error_wins_over_knock_on_effects() {
+        let mut b = NetlistBuilder::new();
+        b.enter_component("c");
+        // Width mismatch leaves one flip-flop unconnected; the mismatch,
+        // not UnconnectedDff, must be reported.
+        let d = b.input_bus("d", 1);
+        let (_q, h) = b.dff_feedback_bus(2, "r");
+        b.connect_dff_bus(h, &d);
+        assert_eq!(
+            b.finish().unwrap_err(),
+            BuildError::WidthMismatch {
+                what: "connect_dff_bus",
+                left: 2,
+                right: 1
+            }
+        );
+    }
 }

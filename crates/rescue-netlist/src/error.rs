@@ -21,6 +21,37 @@ pub enum BuildError {
     NothingObservable,
     /// A flip-flop created with `dff_feedback` was never connected.
     UnconnectedDff(String),
+    /// An n-ary gate constructor was given zero inputs.
+    EmptyGate {
+        /// Kind of the offending gate.
+        kind: String,
+    },
+    /// Two buses that must be equal-width were not.
+    WidthMismatch {
+        /// Operation that required matching widths.
+        what: &'static str,
+        /// Width of the first operand.
+        left: usize,
+        /// Width of the second operand.
+        right: usize,
+    },
+    /// A `dff_feedback` handle was connected twice.
+    DoubleConnectedDff(String),
+    /// Logic was added before any component was set on the builder.
+    NoActiveComponent,
+    /// `set_component` was called with a component id not declared on
+    /// this builder.
+    UnknownComponent(String),
+    /// Scan insertion was requested on a netlist without flip-flops.
+    NoState,
+    /// Scan-chain partitioning was requested with an impossible shape
+    /// (zero chains, or more chains than flip-flops).
+    BadChainCount {
+        /// Flip-flops available.
+        dffs: usize,
+        /// Chains requested.
+        chains: usize,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -37,6 +68,30 @@ impl fmt::Display for BuildError {
             }
             BuildError::UnconnectedDff(name) => {
                 write!(f, "flip-flop {name} was never connected to a D input")
+            }
+            BuildError::EmptyGate { kind } => {
+                write!(f, "n-ary {kind} gate needs at least one input")
+            }
+            BuildError::WidthMismatch { what, left, right } => {
+                write!(f, "{what} width mismatch: {left} vs {right}")
+            }
+            BuildError::DoubleConnectedDff(name) => {
+                write!(f, "flip-flop {name} connected twice")
+            }
+            BuildError::NoActiveComponent => {
+                write!(f, "set_component must be called before adding logic")
+            }
+            BuildError::UnknownComponent(c) => {
+                write!(f, "component {c} was not declared on this builder")
+            }
+            BuildError::NoState => {
+                write!(f, "cannot insert scan into a netlist without flip-flops")
+            }
+            BuildError::BadChainCount { dffs, chains } => {
+                write!(
+                    f,
+                    "cannot split {dffs} flip-flops into {chains} scan chains"
+                )
             }
         }
     }

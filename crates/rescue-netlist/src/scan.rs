@@ -18,6 +18,7 @@
 //! which matches Table 3's `cycles ≈ vectors × cells` relation.
 
 use crate::builder::elaborate;
+use crate::error::BuildError;
 use crate::netlist::{Dff, DffId, Driver, Gate, GateId, GateKind, NetId, NetInfo, Netlist};
 
 /// Order and wiring of a single scan chain.
@@ -105,14 +106,14 @@ impl ScanNetlist {
 /// structural generators arrange to be component-contiguous (as a layout
 /// tool would for wire length).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the netlist has no flip-flops (nothing to scan).
-pub fn insert_scan(netlist: &Netlist) -> ScanNetlist {
-    assert!(
-        netlist.num_dffs() > 0,
-        "cannot insert scan into a stateless circuit"
-    );
+/// Returns [`BuildError::NoState`] if the netlist has no flip-flops
+/// (nothing to scan).
+pub fn insert_scan(netlist: &Netlist) -> Result<ScanNetlist, BuildError> {
+    if netlist.num_dffs() == 0 {
+        return Err(BuildError::NoState);
+    }
     let mut nets: Vec<NetInfo> = netlist.nets.clone();
     let mut gates: Vec<Gate> = netlist.gates.clone();
     let mut dffs: Vec<Dff> = netlist.dffs.clone();
@@ -163,9 +164,8 @@ pub fn insert_scan(netlist: &Netlist) -> ScanNetlist {
     let scan_out = prev_q;
     outputs.push(("scan_out".to_owned(), scan_out));
 
-    let netlist = elaborate(nets, gates, dffs, inputs, outputs, components)
-        .expect("scan insertion preserves well-formedness");
-    ScanNetlist {
+    let netlist = elaborate(nets, gates, dffs, inputs, outputs, components)?;
+    Ok(ScanNetlist {
         netlist,
         chain: ScanChain {
             order,
@@ -173,7 +173,7 @@ pub fn insert_scan(netlist: &Netlist) -> ScanNetlist {
             scan_enable,
             scan_out,
         },
-    }
+    })
 }
 
 /// A netlist with `n` balanced scan chains (shared `scan_enable`,
@@ -222,14 +222,20 @@ impl MultiScanNetlist {
 /// may hold fewer chains than requested — check
 /// [`MultiScanNetlist::chains`]`.len()`.
 ///
-/// # Panics
-/// Panics if the netlist has no flip-flops or `n_chains == 0`.
-pub fn insert_scan_chains(netlist: &Netlist, n_chains: usize) -> MultiScanNetlist {
-    assert!(n_chains > 0, "need at least one chain");
-    assert!(
-        netlist.num_dffs() >= n_chains,
-        "cannot have more chains than flip-flops"
-    );
+/// # Errors
+/// Returns [`BuildError::BadChainCount`] if `n_chains == 0` or the
+/// netlist has fewer flip-flops than requested chains (including none
+/// at all).
+pub fn insert_scan_chains(
+    netlist: &Netlist,
+    n_chains: usize,
+) -> Result<MultiScanNetlist, BuildError> {
+    if n_chains == 0 || netlist.num_dffs() < n_chains {
+        return Err(BuildError::BadChainCount {
+            dffs: netlist.num_dffs(),
+            chains: n_chains,
+        });
+    }
     let mut nets: Vec<NetInfo> = netlist.nets.clone();
     let mut gates: Vec<Gate> = netlist.gates.clone();
     let mut dffs: Vec<Dff> = netlist.dffs.clone();
@@ -295,9 +301,8 @@ pub fn insert_scan_chains(netlist: &Netlist, n_chains: usize) -> MultiScanNetlis
         });
     }
 
-    let netlist = elaborate(nets, gates, dffs, inputs, outputs, components)
-        .expect("scan insertion preserves well-formedness");
-    MultiScanNetlist { netlist, chains }
+    let netlist = elaborate(nets, gates, dffs, inputs, outputs, components)?;
+    Ok(MultiScanNetlist { netlist, chains })
 }
 
 #[cfg(test)]
@@ -320,7 +325,7 @@ mod tests {
     #[test]
     fn scan_adds_pins_and_muxes() {
         let n = two_ff_circuit();
-        let s = insert_scan(&n);
+        let s = insert_scan(&n).unwrap();
         assert_eq!(s.chain.len(), 2);
         assert_eq!(s.netlist.inputs().len(), n.inputs().len() + 2);
         assert_eq!(s.netlist.outputs().len(), n.outputs().len() + 1);
@@ -337,7 +342,7 @@ mod tests {
     #[test]
     fn functional_mode_matches_original() {
         let n = two_ff_circuit();
-        let s = insert_scan(&n);
+        let s = insert_scan(&n).unwrap();
         // scan_enable = 0: behave exactly like the original.
         let block = PatternBlock {
             inputs: vec![0b1010],
@@ -355,7 +360,7 @@ mod tests {
     #[test]
     fn shift_mode_forms_a_shift_register() {
         let n = two_ff_circuit();
-        let s = insert_scan(&n);
+        let s = insert_scan(&n).unwrap();
         // scan_enable = 1, scan_in = 1, state = 0 -> after one cycle the
         // first cell holds 1 and the second holds the old first cell (0).
         let r = s.netlist.simulate(&PatternBlock {
@@ -379,8 +384,8 @@ mod tests {
         }
         b.output(prev, "out");
         let n = b.finish().unwrap();
-        let single = insert_scan(&n);
-        let multi = insert_scan_chains(&n, 2);
+        let single = insert_scan(&n).unwrap();
+        let multi = insert_scan_chains(&n, 2).unwrap();
         assert_eq!(multi.chains.len(), 2);
         assert_eq!(multi.chains[0].len(), 3);
         assert_eq!(multi.chains[1].len(), 2);
@@ -398,7 +403,7 @@ mod tests {
     #[test]
     fn multi_chain_functional_mode_matches_original() {
         let n = two_ff_circuit();
-        let m = insert_scan_chains(&n, 2);
+        let m = insert_scan_chains(&n, 2).unwrap();
         let orig = n.simulate(&PatternBlock {
             inputs: vec![0b1010],
             state: vec![0b0011, 0b0101],
@@ -411,9 +416,37 @@ mod tests {
     }
 
     #[test]
+    fn scanning_a_stateless_circuit_is_an_error() {
+        let mut b = NetlistBuilder::new();
+        b.enter_component("lc");
+        let a = b.input("a");
+        let x = b.not(a);
+        b.output(x, "o");
+        let n = b.finish().unwrap();
+        assert_eq!(insert_scan(&n).unwrap_err(), BuildError::NoState);
+        assert_eq!(
+            insert_scan_chains(&n, 1).unwrap_err(),
+            BuildError::BadChainCount { dffs: 0, chains: 1 }
+        );
+    }
+
+    #[test]
+    fn bad_chain_counts_are_errors() {
+        let n = two_ff_circuit();
+        assert_eq!(
+            insert_scan_chains(&n, 0).unwrap_err(),
+            BuildError::BadChainCount { dffs: 2, chains: 0 }
+        );
+        assert_eq!(
+            insert_scan_chains(&n, 3).unwrap_err(),
+            BuildError::BadChainCount { dffs: 2, chains: 3 }
+        );
+    }
+
+    #[test]
     fn test_cycle_schedule() {
         let n = two_ff_circuit();
-        let s = insert_scan(&n);
+        let s = insert_scan(&n).unwrap();
         assert_eq!(s.chain.test_cycles(0), 0);
         // (v+1)*c + v with c=2, v=3 -> 8 + 3 = 11.
         assert_eq!(s.chain.test_cycles(3), 11);

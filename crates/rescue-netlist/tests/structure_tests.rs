@@ -40,7 +40,7 @@ fn area_units_count_pins_and_flops() {
     assert_eq!(comb, 5.0);
     assert_eq!(seq, 12.0);
     assert_eq!(scan, 0.0);
-    let scanned = rescue_netlist::scan::insert_scan(&n);
+    let scanned = rescue_netlist::scan::insert_scan(&n).unwrap();
     let (_c2, _s2, scan2) = scanned.netlist.area_units();
     assert_eq!(scan2, 6.0, "two 3-pin scan muxes");
 }

@@ -44,11 +44,14 @@ fn main() {
     );
 
     // Full-scan insertion: every flip-flop becomes a muxed-FF scan cell.
-    let scanned = insert_scan(&netlist);
+    let scanned = insert_scan(&netlist).expect("design has flip-flops");
     println!("scan chain: {} cells", scanned.chain.len());
 
     // ATPG: PODEM + parallel-pattern fault simulation.
-    let run = Atpg::new(&scanned, AtpgConfig::default()).run();
+    let run = Atpg::new(&scanned, AtpgConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
     println!(
         "ATPG: {} vectors, {:.1}% coverage, {} tester cycles",
         run.stats.vectors,

@@ -19,8 +19,11 @@ fn end_to_end_issue_queue_fault_isolation() {
     let model = build_pipeline(&params, Variant::Rescue);
     assert!(model.check_ici().is_empty());
 
-    let scanned = insert_scan(&model.netlist);
-    let run = Atpg::new(&scanned, AtpgConfig::default()).run();
+    let scanned = insert_scan(&model.netlist).expect("model has state");
+    let run = Atpg::new(&scanned, AtpgConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(run.coverage() > 0.95, "coverage {}", run.coverage());
 
     // Pick a detected fault inside the old issue-queue half.
@@ -175,8 +178,8 @@ fn chain_faults_fail_the_flush_test() {
     use rescue_core::netlist::{Driver, FaultSite};
 
     let model = build_pipeline(&ModelParams::tiny(), Variant::Rescue);
-    let scanned = insert_scan(&model.netlist);
-    let atpg = Atpg::new(&scanned, AtpgConfig::default());
+    let scanned = insert_scan(&model.netlist).expect("model has state");
+    let atpg = Atpg::new(&scanned, AtpgConfig::default()).unwrap();
 
     let mut shift_path_checked = 0;
     let mut functional_pin_checked = 0;
@@ -205,7 +208,7 @@ fn chain_faults_fail_the_flush_test() {
                 ),
                 FaultSite::GateInput(g, pin) => scanned.netlist.gate(g).is_scan_path() && pin != 1,
             };
-        let r = chain_flush_test(&scanned, Some(fault));
+        let r = chain_flush_test(&scanned, Some(fault)).unwrap();
         if on_shift_path {
             assert!(
                 !r.passed(),
