@@ -104,6 +104,20 @@ fn main() {
     print!("{}", render::fig9_text("b: PWP stagnates at 65nm", &b));
     report.section("fig9.panel_b").u64("points", b.len() as u64);
 
+    // Static DFT lint over both variants (pre- and post-scan): the
+    // diagnostic counts gate exactly in bench-diff, the SCOAP
+    // aggregates ride along as informational testability telemetry.
+    let lint_designs = rescue_bench::lint_report(&mut report, &params);
+    for (label, lr) in &lint_designs {
+        println!(
+            "lint {label}: {} errors, {} warnings, {} infos",
+            lr.count(rescue_lint::Severity::Error),
+            lr.count(rescue_lint::Severity::Warning),
+            lr.count(rescue_lint::Severity::Info),
+        );
+    }
+    println!();
+
     // Event-kernel microbench + 1-vs-N thread scaling row, tracked in
     // BENCH_metrics.json across snapshots.
     rescue_bench::fsim_kernel_report(&mut report, &params, threads);

@@ -1,5 +1,5 @@
 //! Differential fuzzing entry point: seeded random scan designs run
-//! through the four cross-engine oracles (`crates/rescue-fuzz`).
+//! through the five cross-engine oracles (`crates/rescue-fuzz`).
 //!
 //! ```text
 //! fuzz [--seed N] [--cases N] [--max-gates N] [--oracle a,b,...]
@@ -10,7 +10,7 @@
 //!   deterministic case stream; `--max-gates` (default 48) bounds the
 //!   generated circuit size.
 //! * `--oracle` restricts the run to a comma-separated subset of
-//!   `engines,shards,atpg,collapse` (default: all four).
+//!   `engines,shards,atpg,collapse,lint` (default: all five).
 //! * Divergences are shrunk and written to `--repro-dir` (default
 //!   `tests/regressions`); the process exits 1 so CI fails loudly.
 //! * `--replay FILE` re-runs one committed repro instead of fuzzing.
@@ -37,7 +37,7 @@ fn main() {
             .map(|n| match OracleKind::of_name(n.trim()) {
                 Ok(o) => o,
                 Err(e) => {
-                    eprintln!("error: {e} (expected engines,shards,atpg,collapse)");
+                    eprintln!("error: {e} (expected engines,shards,atpg,collapse,lint)");
                     std::process::exit(2);
                 }
             })
@@ -54,6 +54,11 @@ fn main() {
                 .into(),
         ),
     };
+    if let Some(dir) = &cfg.repro_dir {
+        // Fail fast on an unwritable repro destination, like every
+        // other output path.
+        rescue_bench::probe_output_dir(dir);
+    }
 
     let r = run_fuzz(&cfg);
     print!("{}", r.render_text());

@@ -135,7 +135,10 @@ impl Default for DiffConfig {
 /// Paths compared informationally rather than gated: wall-clock and
 /// throughput keys, and the `fuzz.*` counters — fuzzing scale (cases,
 /// oracle subset, gate cap) is a CLI knob, so its tallies legitimately
-/// differ between runs that are both healthy.
+/// differ between runs that are both healthy. SCOAP aggregates
+/// (`lint.*.scoap.*`) are testability telemetry, not correctness
+/// counters; the `lint.*` diagnostic counts themselves still gate
+/// exactly.
 fn is_informational_path(path: &str) -> bool {
     path.ends_with("_ns")
         || path.ends_with("_ms")
@@ -143,6 +146,7 @@ fn is_informational_path(path: &str) -> bool {
         || path.ends_with("speedup")
         || path.contains(".timing.")
         || path.contains(".parallel.")
+        || path.contains(".scoap.")
         || path.starts_with("fuzz.")
         || path.starts_with("spans.") && (path.ends_with(".total") || path.ends_with(".max"))
 }
@@ -691,6 +695,39 @@ mod tests {
             .deltas
             .iter()
             .any(|d| d.severity == Severity::Info && d.path == "fuzz.engines.runs"));
+    }
+
+    #[test]
+    fn lint_counts_gate_exactly_but_scoap_aggregates_are_informational() {
+        let mk = |errors: u64, co_mean: &str, co_max: u64| {
+            parse(&format!(
+                r#"{{"title":"lint","sections":[
+                    {{"name":"lint.baseline.scan","metrics":{{"errors":{errors},
+                       "warnings":3,"rule.comb-loop":0}}}},
+                    {{"name":"lint.baseline.scan.scoap","metrics":{{"co_mean":{co_mean},
+                       "co_max":{co_max},"components":31}}}}],
+                   "spans":[]}}"#
+            ))
+            .unwrap()
+        };
+        // SCOAP aggregates drifting (model resize, formula refinement)
+        // must not gate on their own...
+        let b = mk(0, "9.08", 59);
+        let c = mk(0, "11.5", 64);
+        let r = diff(&b, &c, &DiffConfig::default()).unwrap();
+        assert!(!r.regressed(), "{}", r.render(true));
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| d.severity == Severity::Info && d.path == "lint.baseline.scan.scoap.co_mean"));
+        // ...but a diagnostic count changing is a regression.
+        let c_bad = mk(1, "9.08", 59);
+        let r = diff(&b, &c_bad, &DiffConfig::default()).unwrap();
+        assert!(r.regressed());
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| d.severity == Severity::Fail && d.path == "lint.baseline.scan.errors"));
     }
 
     #[test]

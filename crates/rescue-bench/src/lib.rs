@@ -112,6 +112,37 @@ pub struct ObsFlags {
     pub coverage_json: Option<String>,
 }
 
+/// Probe an output file path by creating (truncating) it, exiting with
+/// code 2 on failure. Every binary calls this at argument-parse time so
+/// a typo'd directory or read-only destination aborts *before* the run,
+/// not after minutes of engine work.
+pub fn probe_output_file(path: &str) {
+    if let Err(e) = std::fs::File::create(path) {
+        eprintln!("error: cannot write output file {path}: {e}");
+        std::process::exit(2);
+    }
+}
+
+/// Probe an output directory: create it (and parents) if missing, then
+/// verify a file can be created inside it. Exits with code 2 on
+/// failure, like [`probe_output_file`].
+pub fn probe_output_dir(path: &std::path::Path) {
+    if let Err(e) = std::fs::create_dir_all(path) {
+        eprintln!("error: cannot create output dir {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    let probe = path.join(".probe");
+    match std::fs::File::create(&probe) {
+        Ok(_) => {
+            let _ = std::fs::remove_file(&probe);
+        }
+        Err(e) => {
+            eprintln!("error: cannot write into dir {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Parse the observability flags and arm the global tracer. Every
 /// output path is opened here so a typo'd directory or a read-only
 /// destination fails with exit code 2 before any engine work starts.
@@ -137,10 +168,7 @@ pub fn obs_init() -> ObsFlags {
     .into_iter()
     .flatten()
     {
-        if let Err(e) = std::fs::File::create(path) {
-            eprintln!("error: cannot write output file {path}: {e}");
-            std::process::exit(2);
-        }
+        probe_output_file(path);
     }
     if flags.trace_perfetto.is_some() {
         // Keep records in memory so the trace-event document can be
@@ -347,6 +375,53 @@ pub fn fsim_kernel_report(
             "effective_parallelism",
             run_nt.metrics.parallel.effective_parallelism(),
         );
+}
+
+/// Run the static DFT linter over the model's baseline and Rescue
+/// pipeline netlists, pre-scan and post-scan, filling one
+/// `lint.<variant>.<phase>` section per design (diagnostic counts are
+/// deterministic and gate exactly in `bench-diff`) plus a
+/// `...scoap` subsection with the SCOAP aggregates (informational).
+///
+/// Returns the linted designs as `(label, report)` pairs so callers can
+/// also serialize the full JSON documents or enforce `--fail-on`.
+pub fn lint_report(
+    report: &mut Report,
+    params: &rescue_core::model::ModelParams,
+) -> Vec<(String, rescue_lint::LintReport)> {
+    use rescue_core::model::{build_pipeline, Variant};
+    use rescue_core::netlist::scan::insert_scan;
+
+    let _s = rescue_obs::span("lint");
+    let mut designs = Vec::new();
+    for variant in [Variant::Baseline, Variant::Rescue] {
+        let tag = format!("{variant:?}").to_lowercase();
+        let model = build_pipeline(params, variant);
+        let scanned = insert_scan(&model.netlist).expect("model has state");
+        designs.push((
+            format!("{tag}.prescan"),
+            rescue_lint::lint_netlist(&model.netlist),
+        ));
+        designs.push((format!("{tag}.scan"), rescue_lint::lint_scan(&scanned)));
+    }
+    for (label, lr) in &designs {
+        let sec = report.section(&format!("lint.{label}"));
+        sec.u64("errors", lr.count(rescue_lint::Severity::Error) as u64)
+            .u64("warnings", lr.count(rescue_lint::Severity::Warning) as u64)
+            .u64("infos", lr.count(rescue_lint::Severity::Info) as u64)
+            .u64("stuck_nets", lr.stuck_nets.len() as u64);
+        for rule in rescue_lint::Rule::ALL {
+            sec.u64(&format!("rule.{}", rule.name()), lr.count_rule(rule) as u64);
+        }
+        if let Some(s) = &lr.scoap {
+            report
+                .section(&format!("lint.{label}.scoap"))
+                .f64("co_mean", s.co_mean())
+                .u64("co_max", s.co_max())
+                .u64("components", s.per_component.len() as u64);
+        }
+    }
+    designs
 }
 
 /// Fill one report section from a [`CoverageCurve`]: the endpoint, the

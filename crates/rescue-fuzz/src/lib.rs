@@ -4,7 +4,8 @@
 //! same semantics: a naive full-re-evaluation simulator, a levelized
 //! packed evaluator, two event-driven fault-propagation kernels, a
 //! multi-threaded sharding layer, structural fault-equivalence
-//! collapsing, and the PODEM test generator that consumes them all.
+//! collapsing, the PODEM test generator that consumes them all, and
+//! the static DFT lint that predicts untestability without simulating.
 //! This crate pits them against each other on seeded random scan
 //! designs — any disagreement is a bug in one of the engines.
 //!
@@ -51,7 +52,7 @@ pub struct FuzzConfig {
     pub cases: u64,
     /// Gate-count cap for the main generator shape.
     pub max_gates: usize,
-    /// Oracles to run (default: all four).
+    /// Oracles to run (default: all five).
     pub oracles: Vec<OracleKind>,
     /// Where to write repro files for divergences (`None` = don't).
     pub repro_dir: Option<PathBuf>,
@@ -211,7 +212,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
 mod tests {
     use super::*;
 
-    /// The headline guarantee, at smoke scale: all four oracles agree
+    /// The headline guarantee, at smoke scale: all five oracles agree
     /// on every generated case. The CI `fuzz-smoke` job runs the same
     /// check at 1000 cases per seed.
     #[test]

@@ -1,4 +1,4 @@
-//! The four cross-engine oracles.
+//! The five cross-engine oracles.
 //!
 //! Each oracle checks one agreement property between independent
 //! implementations of the same semantics, so a bug in either side shows
@@ -17,6 +17,10 @@
 //!   brute force: on exhaustively-stimulated small circuits, every
 //!   enumerated fault's full detection signature must be exhibited by
 //!   some collapsed representative.
+//! * [`lint_clean`] — every generated circuit must pass the static DFT
+//!   design-rule checks error-clean, pre- and post-scan, and any net
+//!   lint proves constant must never have its stuck-at-constant fault
+//!   classified `Detected` by ATPG.
 
 use crate::ir::CaseIr;
 use rescue_atpg::{Atpg, AtpgConfig, FaultClass, FaultShards, FaultSim, Kernel};
@@ -35,15 +39,19 @@ pub enum OracleKind {
     AtpgConfirm,
     /// Fault-equivalence collapsing vs. brute-force signatures.
     Collapse,
+    /// Static DFT lint cleanliness, plus lint-vs-ATPG agreement on
+    /// constant-net untestability.
+    Lint,
 }
 
 impl OracleKind {
     /// All oracles, in run order.
-    pub const ALL: [OracleKind; 4] = [
+    pub const ALL: [OracleKind; 5] = [
         OracleKind::Engines,
         OracleKind::Shards,
         OracleKind::AtpgConfirm,
         OracleKind::Collapse,
+        OracleKind::Lint,
     ];
 
     /// Stable name used in repro files and metrics keys.
@@ -53,6 +61,7 @@ impl OracleKind {
             OracleKind::Shards => "shards",
             OracleKind::AtpgConfirm => "atpg",
             OracleKind::Collapse => "collapse",
+            OracleKind::Lint => "lint",
         }
     }
 
@@ -63,6 +72,7 @@ impl OracleKind {
             "shards" => OracleKind::Shards,
             "atpg" => OracleKind::AtpgConfirm,
             "collapse" => OracleKind::Collapse,
+            "lint" => OracleKind::Lint,
             other => return Err(format!("unknown oracle: {other}")),
         })
     }
@@ -75,6 +85,7 @@ impl OracleKind {
             OracleKind::Shards => shards(case),
             OracleKind::AtpgConfirm => atpg_confirm(case),
             OracleKind::Collapse => collapse(case),
+            OracleKind::Lint => lint_clean(case),
         }
     }
 }
@@ -246,6 +257,74 @@ pub fn collapse(case: &CaseIr) -> Result<(), String> {
     Ok(())
 }
 
+/// Oracle (e): the generator must only produce circuits the static DFT
+/// lint accepts error-clean, both pre-scan and after `insert_scan`.
+/// When lint's constant-propagation pass proves nets stuck, those
+/// structurally-untestable faults are cross-checked against ATPG: a
+/// collapsed representative for a provably-constant net may be absent
+/// or `Untestable`, but never `Detected`.
+pub fn lint_clean(case: &CaseIr) -> Result<(), String> {
+    let netlist = case.build()?;
+    let pre = rescue_lint::lint_netlist(&netlist);
+    if !pre.passes(rescue_lint::Severity::Error) {
+        let worst = pre
+            .diagnostics
+            .iter()
+            .find(|d| d.severity >= rescue_lint::Severity::Error);
+        return Err(format!(
+            "pre-scan netlist fails lint: {} error(s), first: {}",
+            pre.count(rescue_lint::Severity::Error),
+            worst.map_or_else(String::new, |d| d.message.clone()),
+        ));
+    }
+
+    let scanned = insert_scan(&netlist).map_err(|e| format!("insert_scan: {e}"))?;
+    let post = rescue_lint::lint_scan(&scanned);
+    if !post.passes(rescue_lint::Severity::Error) {
+        let worst = post
+            .diagnostics
+            .iter()
+            .find(|d| d.severity >= rescue_lint::Severity::Error);
+        return Err(format!(
+            "post-scan netlist fails lint: {} error(s), first: {}",
+            post.count(rescue_lint::Severity::Error),
+            worst.map_or_else(String::new, |d| d.message.clone()),
+        ));
+    }
+
+    if pre.stuck_nets.is_empty() {
+        return Ok(());
+    }
+    // Lint proved some nets constant; ATPG must agree those stuck-at
+    // faults are untestable. The collapsed fault list may have merged a
+    // stem fault into an equivalent representative, so only faults that
+    // still appear in the run's classification map are checked.
+    let run = Atpg::new(&scanned, AtpgConfig::default())
+        .map_err(|e| format!("Atpg::new: {e}"))?
+        .run()
+        .map_err(|e| format!("Atpg::run: {e}"))?;
+    for &(net, value) in &pre.stuck_nets {
+        let fault = Fault::net(
+            rescue_netlist::NetId::from_index(net as usize),
+            if value {
+                rescue_netlist::StuckAt::One
+            } else {
+                rescue_netlist::StuckAt::Zero
+            },
+        );
+        if let Some(&class) = run.classes.get(&fault) {
+            if class == FaultClass::Detected {
+                return Err(format!(
+                    "lint proves net {net} constant {} but ATPG classifies \
+                     its stuck-at fault Detected",
+                    u8::from(value),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,8 +344,10 @@ mod tests {
         engines(&case).unwrap();
         shards(&case).unwrap();
         atpg_confirm(&case).unwrap();
+        lint_clean(&case).unwrap();
         let small = generate(1, 0, &GenConfig::small());
         collapse(&small).unwrap();
+        lint_clean(&small).unwrap();
     }
 
     /// A deliberately broken "reference": flipping one stimulus bit

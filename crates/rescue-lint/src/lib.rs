@@ -1,0 +1,142 @@
+//! Static DFT lint for Rescue netlists: design-rule checks plus SCOAP
+//! testability analysis.
+//!
+//! Commercial test flows run design-rule checking before ATPG ever
+//! starts — structural problems (combinational loops, undriven nets,
+//! state unreachable from the scan chain) are cheap to find statically
+//! and expensive to debug dynamically. This crate is that layer for the
+//! Rescue workspace:
+//!
+//! * [`rules`] implements the design rules over an unvalidated
+//!   [`ir::LintNetlist`] view, producing [`diag::Diagnostic`]s at three
+//!   severities (see [`diag::Rule`] for the catalog).
+//! * [`scoap`] computes SCOAP controllability/observability (CC0, CC1,
+//!   CO) per net with per-ICI-component aggregates, turning the paper's
+//!   "ICI improves testability" claim into a statically checkable
+//!   metric.
+//!
+//! Entry points: [`lint`] on a raw view, or the conveniences
+//! [`lint_netlist`] / [`lint_scan`] / [`lint_multi_scan`] straight from
+//! the validated types.
+//!
+//! ```
+//! use rescue_netlist::NetlistBuilder;
+//!
+//! let mut b = NetlistBuilder::new();
+//! b.enter_component("lc");
+//! let a = b.input("a");
+//! let x = b.not(a);
+//! b.output(x, "o");
+//! let netlist = b.finish().unwrap();
+//!
+//! let report = rescue_lint::lint_netlist(&netlist);
+//! assert_eq!(report.count(rescue_lint::Severity::Error), 0);
+//! assert!(report.scoap.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod ir;
+pub mod rules;
+pub mod scoap;
+
+pub use diag::{Diagnostic, LintReport, Rule, Severity};
+pub use ir::{LintChain, LintDff, LintDriver, LintGate, LintNetlist, NO_NET};
+pub use scoap::{ScoapAnalysis, SCOAP_INF};
+
+use rescue_netlist::scan::{MultiScanNetlist, ScanNetlist};
+use rescue_netlist::Netlist;
+
+/// Lint a raw netlist view: run every design rule, then — when the
+/// structure is sound enough to levelize — SCOAP analysis.
+pub fn lint(netlist: &LintNetlist) -> LintReport {
+    let outcome = rules::run_rules(netlist);
+    let scoap = match (&outcome.topo, outcome.sound) {
+        (Some(topo), true) => Some(ScoapAnalysis::compute(netlist, topo)),
+        _ => None,
+    };
+    LintReport {
+        diagnostics: outcome.diagnostics,
+        stuck_nets: outcome.stuck_nets,
+        scoap,
+    }
+}
+
+/// Lint a validated pre-scan [`Netlist`].
+pub fn lint_netlist(netlist: &Netlist) -> LintReport {
+    lint(&LintNetlist::from_netlist(netlist))
+}
+
+/// Lint a single-chain scan netlist, including the scan-integrity
+/// rules.
+pub fn lint_scan(scan: &ScanNetlist) -> LintReport {
+    lint(&LintNetlist::from_scan(scan))
+}
+
+/// Lint a multi-chain scan netlist, including the scan-integrity rules.
+pub fn lint_multi_scan(scan: &MultiScanNetlist) -> LintReport {
+    lint(&LintNetlist::from_multi_scan(scan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescue_netlist::scan::{insert_scan, insert_scan_chains};
+    use rescue_netlist::NetlistBuilder;
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        b.enter_component("lc");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.and2(a, c);
+        let q = b.dff(x, "r0");
+        let y = b.xor2(q, a);
+        let q1 = b.dff(y, "r1");
+        b.output(q1, "o");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn valid_netlists_lint_clean() {
+        let n = sample();
+        let r = lint_netlist(&n);
+        assert_eq!(r.count(Severity::Error), 0, "{}", r.render_text("pre", 50));
+        assert!(r.scoap.is_some());
+
+        let s = insert_scan(&n).unwrap();
+        let rs = lint_scan(&s);
+        assert_eq!(
+            rs.count(Severity::Error),
+            0,
+            "{}",
+            rs.render_text("scan", 50)
+        );
+
+        let m = insert_scan_chains(&n, 2).unwrap();
+        let rm = lint_multi_scan(&m);
+        assert_eq!(
+            rm.count(Severity::Error),
+            0,
+            "{}",
+            rm.render_text("multi", 50)
+        );
+    }
+
+    #[test]
+    fn scan_insertion_preserves_scoap_functional_observability() {
+        // Scan makes state a pseudo-port in both views, so the
+        // functional nets' controllability must not get worse.
+        let n = sample();
+        let pre = lint_netlist(&n);
+        let post = lint_scan(&insert_scan(&n).unwrap());
+        let s_pre = pre.scoap.unwrap();
+        let s_post = post.scoap.unwrap();
+        for net in 0..n.num_nets() {
+            assert!(s_post.cc0[net] <= s_pre.cc0[net]);
+            assert!(s_post.cc1[net] <= s_pre.cc1[net]);
+        }
+    }
+}
