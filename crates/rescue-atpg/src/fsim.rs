@@ -21,7 +21,7 @@
 //! simulator performs no per-fault allocation in steady state.
 
 use rescue_netlist::{Fault, FaultSite, Levelized, Netlist, PatternBlock};
-use rescue_obs::metrics::Counter;
+use rescue_obs::metrics::{Counter, Gauge};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -60,6 +60,22 @@ pub struct FsimStats {
     /// Gate re-evaluations in the event-driven propagation (the unit of
     /// fault-simulation work).
     pub gate_evals: Counter,
+    /// Events pushed onto the propagation queue (queue pressure; equal
+    /// for both kernels on the same fault set).
+    pub events_queued: Counter,
+    /// High-water mark of pending propagation events at any instant.
+    pub queue_peak: Gauge,
+}
+
+impl FsimStats {
+    /// Fold a measured queue high-water mark into the gauge (keeps the
+    /// max across faults).
+    fn note_queue_peak(&self, peak: usize) {
+        let peak = peak as i64;
+        if peak > self.queue_peak.get() {
+            self.queue_peak.set(peak);
+        }
+    }
 }
 
 /// How the simulator holds its levelized view: built and owned by
@@ -303,6 +319,8 @@ impl<'a> FaultSim<'a> {
         let fv = FaultView::new(lev, fault);
 
         let mut pending = 0usize;
+        let mut pushes = 0u64;
+        let mut peak = 0usize;
         let mut first_level = lev.num_levels();
         match fault.site {
             FaultSite::Net(site) => {
@@ -334,6 +352,8 @@ impl<'a> FaultSim<'a> {
                 first_level = l;
             }
         }
+        pushes += pending as u64;
+        peak = peak.max(pending);
 
         // A gate only schedules consumers at strictly higher levels, so a
         // single ascending sweep drains every event; nothing is ever
@@ -346,8 +366,11 @@ impl<'a> FaultSim<'a> {
                 continue;
             }
             let mut bucket = std::mem::take(bucket);
-            pending -= bucket.len();
             for &pos in &bucket {
+                // `pending` counts unprocessed events (the rest of this
+                // bucket plus all higher levels), so the peak below is
+                // the exact queue high-water mark.
+                pending -= 1;
                 let out = eval_gate(
                     lev,
                     pos,
@@ -366,14 +389,18 @@ impl<'a> FaultSim<'a> {
                             queued[cons as usize] = epoch;
                             buckets[lev.level(cons) as usize].push(cons);
                             pending += 1;
+                            pushes += 1;
                         }
                     }
+                    peak = peak.max(pending);
                 }
             }
             bucket.clear();
             buckets[lvl as usize] = bucket;
             lvl += 1;
         }
+        stats.events_queued.add(pushes);
+        stats.note_queue_peak(peak);
     }
 
     fn propagate_heap(&mut self, fault: Fault) {
@@ -418,6 +445,8 @@ impl<'a> FaultSim<'a> {
                 heap.push(Reverse((lev.level(pos), pos)));
             }
         }
+        let mut pushes = heap.len() as u64;
+        let mut peak = heap.len();
 
         while let Some(Reverse((_, pos))) = heap.pop() {
             let out = eval_gate(
@@ -437,10 +466,14 @@ impl<'a> FaultSim<'a> {
                     if queued[cons as usize] != epoch {
                         queued[cons as usize] = epoch;
                         heap.push(Reverse((lev.level(cons), cons)));
+                        pushes += 1;
                     }
                 }
+                peak = peak.max(heap.len());
             }
         }
+        stats.events_queued.add(pushes);
+        stats.note_queue_peak(peak);
     }
 }
 
@@ -570,6 +603,13 @@ mod tests {
             bucket.stats().gate_evals.get(),
             heap.stats().gate_evals.get()
         );
+        // Same dedup discipline → both kernels push the same event set.
+        assert_eq!(
+            bucket.stats().events_queued.get(),
+            heap.stats().events_queued.get()
+        );
+        assert!(bucket.stats().queue_peak.get() > 0);
+        assert!(heap.stats().queue_peak.get() > 0);
     }
 
     #[test]

@@ -19,7 +19,45 @@
 
 use crate::fsim::FaultSim;
 use rescue_netlist::{Fault, Levelized, PatternBlock};
+use rescue_obs::live::LiveCounter;
 use std::time::Instant;
+
+/// Live counters published per worker pass, paired with the
+/// [`crate::fsim::FsimStats`] field each one mirrors.
+const LIVE_FSIM: [LiveCounter; 4] = [
+    LiveCounter::FsimGateEvals,
+    LiveCounter::FsimFaultsSimulated,
+    LiveCounter::FsimEventsQueued,
+    LiveCounter::FsimBlocksLoaded,
+];
+
+/// Current values of the mirrored stats counters, in [`LIVE_FSIM`] order.
+fn live_stats(sim: &FaultSim<'_>) -> [u64; 4] {
+    let st = sim.stats();
+    [
+        st.gate_evals.get(),
+        st.faults_simulated.get(),
+        st.events_queued.get(),
+        st.blocks_loaded.get(),
+    ]
+}
+
+/// Publish one worker pass's stats delta into that worker's live
+/// progress ring (worker `i` owns ring slot `i + 1`; slot 0 belongs to
+/// the main thread). One atomic load and out when live telemetry is off.
+fn publish_live(worker: usize, sim: &FaultSim<'_>, before: [u64; 4]) {
+    let hub = rescue_obs::live::global();
+    let Some(ring) = hub.ring(worker + 1) else {
+        return;
+    };
+    let now = hub.now_ns();
+    for (i, after) in live_stats(sim).into_iter().enumerate() {
+        let delta = after.saturating_sub(before[i]);
+        if delta > 0 {
+            ring.record(LIVE_FSIM[i], delta, now);
+        }
+    }
+}
 
 /// Minimum faults worth giving a spawned worker; spawn overhead would
 /// dominate below this. Depends only on the fault count, never on the
@@ -139,11 +177,13 @@ impl<'a> FaultShards<'a> {
             let _span = rescue_obs::span("fsim.worker");
             let t = Instant::now();
             let sim = &mut self.sims[0];
+            let before = live_stats(sim);
             sim.load_block(block);
             let lanes: Vec<Option<u32>> = faults
                 .iter()
                 .map(|&f| sim.first_detecting_lane(f))
                 .collect();
+            publish_live(0, sim, before);
             self.busy_ns[0] += t.elapsed().as_nanos() as u64;
             lanes
         } else {
@@ -154,13 +194,16 @@ impl<'a> FaultShards<'a> {
                 let handles: Vec<_> = sims
                     .iter_mut()
                     .zip(faults.chunks(chunk))
-                    .map(|(sim, shard)| {
+                    .enumerate()
+                    .map(|(worker, (sim, shard))| {
                         s.spawn(move || {
                             let _span = rescue_obs::span("fsim.worker");
                             let t = Instant::now();
+                            let before = live_stats(sim);
                             sim.load_block(block);
                             let lanes: Vec<Option<u32>> =
                                 shard.iter().map(|&f| sim.first_detecting_lane(f)).collect();
+                            publish_live(worker, sim, before);
                             (lanes, t.elapsed().as_nanos() as u64)
                         })
                     })

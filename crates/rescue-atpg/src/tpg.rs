@@ -403,6 +403,9 @@ impl<'a> Atpg<'a> {
                 counts.blocks_flushed += 1;
                 counts.faults_dropped_by_sim += dropped;
                 counts.drops_per_block.record(dropped);
+                let hub = rescue_obs::live::global();
+                hub.record(rescue_obs::LiveCounter::AtpgFaultsClassified, dropped);
+                hub.record(rescue_obs::LiveCounter::AtpgFaultsDetected, dropped);
                 rescue_obs::counter("atpg.detected", recorder.detected_so_far() as f64);
                 rescue_obs::counter(
                     "atpg.coverage_so_far",
@@ -414,6 +417,8 @@ impl<'a> Atpg<'a> {
                 );
             }
             timing.fsim_ns += t.elapsed().as_nanos() as u64;
+            rescue_obs::live::global()
+                .record(rescue_obs::LiveCounter::AtpgVectors, filled.len() as u64);
             vectors.append(&mut filled);
             rescue_obs::counter("atpg.vectors", vectors.len() as f64);
             Ok(())
@@ -422,7 +427,9 @@ impl<'a> Atpg<'a> {
         // Deterministic phase: PODEM per remaining fault, batched fault
         // simulation for dropping. Every iteration consumes the front
         // fault one way or another; flushing may shrink the list further.
+        let mut meter = rescue_obs::ProgressMeter::new("atpg");
         while let Some(&fault) = remaining.first() {
+            meter.tick(1);
             let cursor = 0usize;
             // A fault already covered by a pending-but-unsimulated vector
             // still gets a PODEM call; real tools accept the same waste
@@ -473,10 +480,14 @@ impl<'a> Atpg<'a> {
                 PodemResult::Untestable => {
                     classes.insert(fault, FaultClass::Untestable);
                     remaining.swap_remove(cursor);
+                    rescue_obs::live::global()
+                        .record(rescue_obs::LiveCounter::AtpgFaultsClassified, 1);
                 }
                 PodemResult::Aborted => {
                     classes.insert(fault, FaultClass::Aborted);
                     remaining.swap_remove(cursor);
+                    rescue_obs::live::global()
+                        .record(rescue_obs::LiveCounter::AtpgFaultsClassified, 1);
                 }
             }
         }

@@ -5,7 +5,12 @@
 //! renders it to stderr and `--trace-json <path>` streams the spans.
 //! `--threads N` picks the fault-simulation worker count (results are
 //! bit-identical for any value); the report ends with the `fsim_kernel`
-//! microbench section and its 1-vs-N thread scaling row.
+//! microbench section, its 1-vs-N thread scaling row, and the
+//! `obs.overhead` self-benchmark (instrumented vs uninstrumented
+//! kernel throughput). `--serve-metrics ADDR` exposes live progress at
+//! `http://ADDR/metrics` while the run is in flight, and
+//! `--progress-every N` mirrors the same counters as JSONL progress
+//! frames into the trace sink.
 
 use rescue_core::experiments::{self, Fig8Params, Fig9Params};
 use rescue_core::model::{ModelParams, Variant};
@@ -121,6 +126,11 @@ fn main() {
     // Event-kernel microbench + 1-vs-N thread scaling row, tracked in
     // BENCH_metrics.json across snapshots.
     rescue_bench::fsim_kernel_report(&mut report, &params, threads);
+
+    // How much does live telemetry cost? Sweep the same faults with
+    // the hub on and off; the ratio lands in BENCH_metrics.json as
+    // informational `obs.overhead.*` rows.
+    rescue_bench::obs_overhead_report(&mut report, &params);
 
     rescue_bench::obs_finish(&obs, &mut report);
     let json = report.to_json();

@@ -7,7 +7,9 @@
 //! paper's count), --threads N (fault-simulation workers; results are
 //! bit-identical for any value), --metrics, --trace-json <path>,
 //! --trace-perfetto <path>, --coverage-csv / --coverage-json <path>
-//! (coverage curves of the underlying ATPG runs, tagged by design).
+//! (coverage curves of the underlying ATPG runs, tagged by design),
+//! --serve-metrics ADDR (live /metrics endpoint during the run), and
+//! --progress-every N (JSONL progress frames in the trace sink).
 
 use rescue_core::model::{ModelParams, Variant};
 use rescue_obs::Report;

@@ -6,7 +6,9 @@
 //! attribution) on stderr; --coverage-csv / --coverage-json write the
 //! per-vector coverage curves; --threads N picks the fault-simulation
 //! worker count (0/absent = RESCUE_THREADS, then available parallelism)
-//! without changing a single statistic.
+//! without changing a single statistic. --serve-metrics ADDR exposes
+//! live ATPG/fault-sim progress at http://ADDR/metrics during the run;
+//! --progress-every N mirrors it as JSONL frames in the trace sink.
 
 use rescue_core::model::ModelParams;
 use rescue_obs::Report;

@@ -138,7 +138,9 @@ impl Default for DiffConfig {
 /// differ between runs that are both healthy. SCOAP aggregates
 /// (`lint.*.scoap.*`) are testability telemetry, not correctness
 /// counters; the `lint.*` diagnostic counts themselves still gate
-/// exactly.
+/// exactly. The observability self-benchmark (`obs.overhead.*`) is
+/// wall-clock by nature, and the `live.*` ring totals only exist on
+/// runs started with `--serve-metrics` / `--progress-every`.
 fn is_informational_path(path: &str) -> bool {
     path.ends_with("_ns")
         || path.ends_with("_ms")
@@ -148,6 +150,8 @@ fn is_informational_path(path: &str) -> bool {
         || path.contains(".parallel.")
         || path.contains(".scoap.")
         || path.starts_with("fuzz.")
+        || path.starts_with("obs.overhead.")
+        || path.starts_with("live.")
         || path.starts_with("spans.") && (path.ends_with(".total") || path.ends_with(".max"))
 }
 
@@ -695,6 +699,41 @@ mod tests {
             .deltas
             .iter()
             .any(|d| d.severity == Severity::Info && d.path == "fuzz.engines.runs"));
+    }
+
+    #[test]
+    fn obs_overhead_and_live_sections_are_informational() {
+        let mk = |ratio: &str, evals: u64, classified: u64| {
+            parse(&format!(
+                r#"{{"title":"all","sections":[
+                    {{"name":"obs.overhead","metrics":{{"faults":100,
+                       "gate_evals":{evals},"overhead_ratio":{ratio}}}}},
+                    {{"name":"live","metrics":{{"uptime_ms":9.0,
+                       "atpg.faults_classified":{classified}}}}}],
+                   "spans":[]}}"#
+            ))
+            .unwrap()
+        };
+        // The overhead ratio is wall-clock; the live ring totals only
+        // exist on `--serve-metrics` runs. Neither may gate, even when
+        // the integer values move.
+        let b = mk("1.01", 5000, 400);
+        let c = mk("1.04", 5300, 800);
+        let r = diff(&b, &c, &DiffConfig::default()).unwrap();
+        assert!(!r.regressed(), "{}", r.render(true));
+        for path in [
+            "obs.overhead.overhead_ratio",
+            "obs.overhead.gate_evals",
+            "live.atpg.faults_classified",
+        ] {
+            assert!(
+                r.deltas
+                    .iter()
+                    .any(|d| d.severity == Severity::Info && d.path == path),
+                "{path} not informational: {}",
+                r.render(true)
+            );
+        }
     }
 
     #[test]

@@ -27,7 +27,15 @@
 //!   [ui.perfetto.dev](https://ui.perfetto.dev),
 //! * `--coverage-csv <path>` / `--coverage-json <path>` — (binaries
 //!   that run ATPG: `table3`, `isolation`, `all`) write the per-vector
-//!   coverage curve with per-component attribution.
+//!   coverage curve with per-component attribution,
+//! * `--serve-metrics <addr>` — start the live telemetry endpoint
+//!   ([`rescue_obs::TelemetryServer`]) on `addr` (port `0` = ephemeral;
+//!   the bound address is printed to stderr) serving `GET /metrics`
+//!   (Prometheus text exposition), `GET /snapshot.json`, and
+//!   `GET /healthz` for the whole run,
+//! * `--progress-every <n>` — enable live progress collection and emit
+//!   one progress frame per `n` loop units (ATPG targets, fuzz cases)
+//!   to the trace sink / Perfetto counter tracks when tracing is armed.
 //!
 //! Every output path is probed at argument-parse time: an unwritable
 //! destination aborts with exit code 2 *before* the run, not after it.
@@ -110,7 +118,15 @@ pub struct ObsFlags {
     pub coverage_csv: Option<String>,
     /// `--coverage-json <path>`: coverage curve as JSON (ATPG binaries).
     pub coverage_json: Option<String>,
+    /// `--serve-metrics <addr>`: live telemetry HTTP endpoint address.
+    pub serve_metrics: Option<String>,
+    /// `--progress-every <n>`: progress-frame period (0 = off).
+    pub progress_every: u64,
 }
+
+/// The running telemetry server, held for the duration of the run and
+/// shut down (gracefully, joining its thread) by [`obs_finish`].
+static SERVER: std::sync::Mutex<Option<rescue_obs::TelemetryServer>> = std::sync::Mutex::new(None);
 
 /// Probe an output file path by creating (truncating) it, exiting with
 /// code 2 on failure. Every binary calls this at argument-parse time so
@@ -153,6 +169,8 @@ pub fn obs_init() -> ObsFlags {
         trace_perfetto: arg_str("--trace-perfetto"),
         coverage_csv: arg_str("--coverage-csv"),
         coverage_json: arg_str("--coverage-json"),
+        serve_metrics: arg_str("--serve-metrics"),
+        progress_every: arg_usize("--progress-every", 0) as u64,
     };
     if let Some(path) = &flags.trace_json {
         if let Err(e) = rescue_obs::global().set_sink_path(path) {
@@ -178,13 +196,35 @@ pub fn obs_init() -> ObsFlags {
     if flags.metrics {
         rescue_obs::global().set_enabled(true);
     }
+    if flags.progress_every > 0 {
+        let hub = rescue_obs::live::global();
+        hub.set_progress_every(flags.progress_every);
+        hub.set_enabled(true);
+    }
+    if let Some(addr) = &flags.serve_metrics {
+        let title = std::env::args().next().unwrap_or_else(|| "rescue".into());
+        match rescue_obs::TelemetryServer::start(addr, &title) {
+            Ok(server) => {
+                // Machine-greppable line (the CI smoke job parses it to
+                // find the ephemeral port).
+                eprintln!("serving metrics on http://{}/metrics", server.addr());
+                *SERVER.lock().expect("server slot poisoned") = Some(server);
+            }
+            Err(e) => {
+                eprintln!("error: cannot serve metrics on {addr}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     flags
 }
 
-/// Finish a run: attach span summaries, print the report to stderr when
-/// `--metrics` was given, flush the trace sink, and write the Perfetto
-/// document when `--trace-perfetto` was given.
+/// Finish a run: fold live-telemetry totals into the report, attach
+/// span summaries, print the report to stderr when `--metrics` was
+/// given, flush the trace sink, write the Perfetto document when
+/// `--trace-perfetto` was given, and shut the telemetry server down.
 pub fn obs_finish(flags: &ObsFlags, report: &mut Report) {
+    live_report(report);
     report.add_spans(rescue_obs::global().summary());
     if flags.metrics {
         eprint!("{}", report.render_text());
@@ -198,6 +238,28 @@ pub fn obs_finish(flags: &ObsFlags, report: &mut Report) {
             std::process::exit(1);
         }
         eprintln!("wrote perfetto trace {path} ({} records)", records.len());
+    }
+    // Last, so /metrics stays scrapable while the report is assembled.
+    if let Some(mut server) = SERVER.lock().expect("server slot poisoned").take() {
+        server.shutdown();
+    }
+}
+
+/// Fill the `live` report section with the final per-counter totals
+/// from the progress rings (name-sorted; only when live telemetry was
+/// enabled this run). The whole section is informational in
+/// `bench-diff`: it only exists on runs with `--serve-metrics` /
+/// `--progress-every`.
+fn live_report(report: &mut Report) {
+    let hub = rescue_obs::live::global();
+    if !hub.enabled() {
+        return;
+    }
+    let snap = hub.snapshot();
+    let sec = report.section("live");
+    sec.f64("uptime_ms", snap.uptime_ns as f64 / 1e6);
+    for c in &snap.counters {
+        sec.u64(c.name, c.total);
     }
 }
 
@@ -377,6 +439,106 @@ pub fn fsim_kernel_report(
         );
 }
 
+/// The `obs.overhead` self-benchmark: the cost of live telemetry,
+/// itself measured. Sweeps every collapsed fault of the Rescue design
+/// against one deterministic pattern block on the bucket kernel — once
+/// with the live hub disabled, once with it enabled *and* a per-fault
+/// ring record (strictly more record traffic than the per-shard records
+/// production code emits) — and reports both throughputs plus their
+/// ratio. Best-of-3 per arm, arms interleaved. Wall-clock data: the
+/// whole `obs.overhead` section is informational in `bench-diff`.
+pub fn obs_overhead_report(report: &mut Report, params: &rescue_core::model::ModelParams) {
+    use rescue_core::atpg::{FaultSim, Kernel};
+    use rescue_core::model::{build_pipeline, Variant};
+    use rescue_core::netlist::{scan::insert_scan, Levelized, PatternBlock};
+    use std::time::Instant;
+
+    let _s = rescue_obs::span("obs_overhead");
+    let model = build_pipeline(params, Variant::Rescue);
+    let scanned = insert_scan(&model.netlist).expect("model has state");
+    let lev = Levelized::new(&scanned.netlist);
+    let faults = scanned.netlist.collapse_faults();
+    let block = PatternBlock {
+        inputs: vec![0x1234_5678_9abc_def0; scanned.netlist.inputs().len()],
+        state: vec![0x0ff0_f00f_aa55_55aa; scanned.netlist.num_dffs()],
+    };
+
+    let hub = rescue_obs::live::global();
+    let was_enabled = hub.enabled();
+    // The instrumented arm publishes at PPSFP-block granularity (one
+    // `hub.record` per 64 faults) — still far more often than the
+    // production path, which publishes once per shard per batch, so
+    // the measured ratio is a conservative upper bound. Each arm
+    // repeats the full-fault sweep until it has run for at least
+    // `MIN_ARM_SECS`, so tiny --quick circuits still give a stable
+    // per-eval rate.
+    const RECORD_EVERY_FAULTS: usize = 64;
+    const MIN_ARM_SECS: f64 = 0.05;
+    let sweep = |instrumented: bool| -> (u64, f64) {
+        hub.set_enabled(instrumented);
+        let mut sim = FaultSim::with_kernel(&lev, Kernel::Bucket);
+        sim.load_block(&block);
+        let mut evals = 0u64;
+        let t = Instant::now();
+        loop {
+            let mut pending_delta = 0u64;
+            for (i, &f) in faults.iter().enumerate() {
+                let before = sim.stats().gate_evals.get();
+                std::hint::black_box(sim.detect_mask(f));
+                evals += sim.stats().gate_evals.get() - before;
+                if instrumented {
+                    pending_delta += sim.stats().gate_evals.get() - before;
+                    if i.is_multiple_of(RECORD_EVERY_FAULTS) {
+                        hub.record(rescue_obs::LiveCounter::FsimGateEvals, pending_delta);
+                        pending_delta = 0;
+                    }
+                }
+            }
+            if instrumented && pending_delta > 0 {
+                hub.record(rescue_obs::LiveCounter::FsimGateEvals, pending_delta);
+            }
+            if t.elapsed().as_secs_f64() >= MIN_ARM_SECS {
+                break;
+            }
+        }
+        (evals, t.elapsed().as_secs_f64())
+    };
+    let mut evals = 0u64;
+    let mut best_uninstr = f64::MAX;
+    let mut best_instr = f64::MAX;
+    for _ in 0..3 {
+        let (e, secs) = sweep(false);
+        evals = e;
+        best_uninstr = best_uninstr.min(secs / e.max(1) as f64);
+        let (e, secs) = sweep(true);
+        best_instr = best_instr.min(secs / e.max(1) as f64);
+    }
+    hub.set_enabled(was_enabled);
+    // Normalize per-eval (arms may run different sweep counts).
+    let best_uninstr = best_uninstr * evals as f64;
+    let best_instr = best_instr * evals as f64;
+
+    report
+        .section("obs.overhead")
+        .u64("faults", faults.len() as u64)
+        .u64("gate_evals", evals)
+        .f64("uninstrumented_ms", best_uninstr * 1e3)
+        .f64("instrumented_ms", best_instr * 1e3)
+        .f64(
+            "uninstrumented_evals_per_sec",
+            evals as f64 / best_uninstr.max(1e-12),
+        )
+        .f64(
+            "instrumented_evals_per_sec",
+            evals as f64 / best_instr.max(1e-12),
+        )
+        .f64("overhead_ratio", best_instr / best_uninstr.max(1e-12))
+        .f64(
+            "overhead_pct",
+            (best_instr / best_uninstr.max(1e-12) - 1.0) * 100.0,
+        );
+}
+
 /// Run the static DFT linter over the model's baseline and Rescue
 /// pipeline netlists, pre-scan and post-scan, filling one
 /// `lint.<variant>.<phase>` section per design (diagnostic counts are
@@ -405,6 +567,10 @@ pub fn lint_report(
         designs.push((format!("{tag}.scan"), rescue_lint::lint_scan(&scanned)));
     }
     for (label, lr) in &designs {
+        let findings = lr.count(rescue_lint::Severity::Error)
+            + lr.count(rescue_lint::Severity::Warning)
+            + lr.count(rescue_lint::Severity::Info);
+        rescue_obs::live::global().record(rescue_obs::LiveCounter::LintFindings, findings as u64);
         let sec = report.section(&format!("lint.{label}"));
         sec.u64("errors", lr.count(rescue_lint::Severity::Error) as u64)
             .u64("warnings", lr.count(rescue_lint::Severity::Warning) as u64)

@@ -157,11 +157,15 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
     };
     let main_cfg = GenConfig::sized(cfg.max_gates);
     let small_cfg = GenConfig::small();
+    let hub = rescue_obs::live::global();
+    let mut meter = rescue_obs::ProgressMeter::new("fuzz");
 
     for idx in 0..cfg.cases {
         let main_case = generate(cfg.seed, idx, &main_cfg);
         let small_case = generate(cfg.seed ^ SMALL_STREAM, idx, &small_cfg);
         report.gates_generated += (main_case.gates.len() + small_case.gates.len()) as u64;
+        hub.record(rescue_obs::LiveCounter::FuzzCases, 1);
+        meter.tick(1);
 
         for &oracle in &cfg.oracles {
             let case = match oracle {
@@ -178,6 +182,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                 continue;
             };
             slot.1.divergences += 1;
+            hub.record(rescue_obs::LiveCounter::FuzzDivergences, 1);
 
             let (shrunk, stats) = shrink(case, |c| oracle.run(c).is_err());
             report.shrink_probes += stats.probes as u64;

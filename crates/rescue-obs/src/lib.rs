@@ -26,6 +26,15 @@
 //! * [`json`] — the hand-rolled JSON serializer and parser behind the
 //!   sinks, the Perfetto converter, and `bench-diff` (the build
 //!   environment is offline, so no serde);
+//! * [`live`] — lock-free per-worker progress rings plus a snapshot
+//!   aggregator: the pull-able live-progress surface for long engine
+//!   loops, and the [`live::ProgressMeter`] that mirrors progress as
+//!   JSONL frames and Perfetto counter tracks;
+//! * [`prometheus`] — pure renderer for the Prometheus text exposition
+//!   served at `/metrics`;
+//! * [`server`] — [`server::TelemetryServer`], a hand-rolled HTTP/1.1
+//!   listener on `std::net` serving `/metrics`, `/snapshot.json`, and
+//!   `/healthz` on its own thread;
 //! * [`rng`] — a seedable SplitMix64 generator replacing the `rand`
 //!   crate everywhere in the workspace.
 //!
@@ -50,14 +59,19 @@
 
 pub mod coverage;
 pub mod json;
+pub mod live;
 pub mod metrics;
 pub mod perfetto;
+pub mod prometheus;
 pub mod report;
 pub mod rng;
+pub mod server;
 pub mod trace;
 
 pub use coverage::{CoverageCurve, CoverageRecorder};
+pub use live::{LiveCounter, LiveSnapshot, ProgressMeter, ProgressRing};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use report::Report;
 pub use rng::SplitMix64;
+pub use server::TelemetryServer;
 pub use trace::{counter, global, span, SpanGuard, SpanStat, TraceRecord, Tracer};

@@ -303,14 +303,28 @@ impl Registry {
 }
 
 /// Plain-data snapshot of a [`Registry`].
+///
+/// Every list is sorted by name (the registry stores metrics in
+/// `BTreeMap`s), so consumers — `/metrics`, `/snapshot.json`,
+/// `BENCH_metrics.json` — are deterministic without re-sorting.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RegistrySnapshot {
-    /// (name, value) per counter.
+    /// (name, value) per counter, sorted by name.
     pub counters: Vec<(String, u64)>,
-    /// (name, value) per gauge.
+    /// (name, value) per gauge, sorted by name.
     pub gauges: Vec<(String, i64)>,
-    /// (name, snapshot) per histogram.
+    /// (name, snapshot) per histogram, sorted by name.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// The process-global registry, served live at `/metrics` and
+/// `/snapshot.json` by [`crate::server::TelemetryServer`]. Engines with
+/// typed metric structs don't need it; it exists so ad-hoc
+/// instrumentation anywhere in the workspace shows up on the telemetry
+/// endpoint without plumbing.
+pub fn global() -> &'static Registry {
+    static GLOBAL: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
 }
 
 #[cfg(test)]
@@ -396,6 +410,33 @@ mod tests {
                 assert!(v >= HistogramSnapshot::bucket_limit(b - 1));
             }
         }
+    }
+
+    #[test]
+    fn registry_snapshot_is_sorted_regardless_of_insertion_order() {
+        let r = Registry::new();
+        for name in ["zeta", "alpha", "mid.dle", "Alpha2"] {
+            r.counter(name).inc();
+            r.gauge(name).set(1);
+            r.histogram(name).record(1);
+        }
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["Alpha2", "alpha", "mid.dle", "zeta"]);
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        let gauge_names: Vec<&str> = snap.gauges.iter().map(|(k, _)| k.as_str()).collect();
+        let hist_names: Vec<&str> = snap.histograms.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(gauge_names, names);
+        assert_eq!(hist_names, names);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = global().counter("metrics.test.global");
+        c.add(3);
+        assert_eq!(global().counter("metrics.test.global").get(), c.get());
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Prometheus text exposition (version 0.0.4) rendering for the
+//! `/metrics` endpoint.
+//!
+//! Pure functions over plain-data snapshots — no I/O, no globals — so
+//! the exact bytes served by [`crate::server::TelemetryServer`] are
+//! golden-testable. Families render sorted by name: live counters first
+//! (as `rescue_live_<name>_total` plus a `_per_sec` rate gauge), then
+//! registry counters, gauges, and histograms (log₂ buckets become
+//! cumulative `_bucket{le="..."}` series).
+
+use crate::live::LiveSnapshot;
+use crate::metrics::{HistogramSnapshot, RegistrySnapshot};
+use std::fmt::Write as _;
+
+/// Prefix applied to every exported family name.
+const PREFIX: &str = "rescue_";
+
+/// Sanitize a dotted metric name into a Prometheus metric name: every
+/// character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit
+/// gets an underscore prefix.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(c),
+            '0'..='9' => {
+                if i == 0 {
+                    out.push('_');
+                }
+                out.push(c);
+            }
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+/// Escape a `# HELP` text or label value: backslash, newline, and (for
+/// label values) double quote.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '"' => out.push_str("\\\""),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn family(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {}", escape(help));
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    family(out, name, "Log2-bucket histogram.", "histogram");
+    let mut cumulative = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cumulative += c;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            HistogramSnapshot::bucket_limit(i)
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Render one full exposition document from a live-hub snapshot plus a
+/// registry snapshot. Both snapshot types are already sorted by name;
+/// the output preserves that ordering, so two scrapes of an idle
+/// process are byte-identical.
+pub fn render(live: &LiveSnapshot, reg: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    family(
+        &mut out,
+        "rescue_uptime_seconds",
+        "Seconds since telemetry started.",
+        "gauge",
+    );
+    let _ = writeln!(
+        &mut out,
+        "rescue_uptime_seconds {}",
+        crate::json::fmt_f64(live.uptime_ns as f64 / 1e9)
+    );
+    for c in &live.counters {
+        let base = format!("{PREFIX}live_{}", sanitize(c.name));
+        let help = crate::live::LiveCounter::ALL
+            .iter()
+            .find(|lc| lc.name() == c.name)
+            .map_or("Live progress counter.", |lc| lc.help());
+        family(&mut out, &format!("{base}_total"), help, "counter");
+        let _ = writeln!(&mut out, "{base}_total {}", c.total);
+        family(
+            &mut out,
+            &format!("{base}_per_sec"),
+            "Recent-window rate of the matching live counter.",
+            "gauge",
+        );
+        let _ = writeln!(
+            &mut out,
+            "{base}_per_sec {}",
+            crate::json::fmt_f64(c.rate_per_sec)
+        );
+    }
+    for (name, v) in &reg.counters {
+        let base = format!("{PREFIX}{}", sanitize(name));
+        family(
+            &mut out,
+            &format!("{base}_total"),
+            "Registry counter.",
+            "counter",
+        );
+        let _ = writeln!(&mut out, "{base}_total {v}");
+    }
+    for (name, v) in &reg.gauges {
+        let base = format!("{PREFIX}{}", sanitize(name));
+        family(&mut out, &base, "Registry gauge.", "gauge");
+        let _ = writeln!(&mut out, "{base} {v}");
+    }
+    for (name, h) in &reg.histograms {
+        histogram(&mut out, &format!("{PREFIX}{}", sanitize(name)), h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_maps_dots_and_leading_digits() {
+        assert_eq!(sanitize("atpg.faults_classified"), "atpg_faults_classified");
+        assert_eq!(sanitize("3sat"), "_3sat");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+        assert_eq!(sanitize("ok_name:x9"), "ok_name:x9");
+    }
+
+    #[test]
+    fn escape_help_text() {
+        assert_eq!(escape("a\\b\nc\"d"), "a\\\\b\\nc\\\"d");
+    }
+}

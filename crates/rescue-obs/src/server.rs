@@ -1,0 +1,227 @@
+//! `TelemetryServer`: a hand-rolled HTTP/1.1 listener on
+//! [`std::net::TcpListener`] (zero external dependencies, matching the
+//! workspace rule) that exposes the live telemetry surface while an
+//! experiment runs:
+//!
+//! * `GET /metrics` — Prometheus text exposition ([`crate::prometheus`])
+//!   over the live-hub rings plus the global [`crate::metrics::Registry`].
+//! * `GET /snapshot.json` — the same state as a JSON document built with
+//!   the existing [`crate::json`] module.
+//! * `GET /healthz` — liveness probe (`ok`).
+//!
+//! The server runs on its own thread with a non-blocking accept loop and
+//! shuts down gracefully on [`TelemetryServer::shutdown`] (or drop). It
+//! binds any address `std::net` accepts; port `0` picks an ephemeral
+//! port, reported by [`TelemetryServer::addr`] — which is how the CI
+//! smoke job and the in-process tests avoid port collisions.
+
+use crate::json::{self, JsonObj};
+use crate::live::LiveSnapshot;
+use crate::metrics::RegistrySnapshot;
+use std::io::{ErrorKind, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Accept-loop poll interval while idle.
+const POLL: Duration = Duration::from_millis(15);
+
+/// Per-connection read timeout.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Maximum accepted request head size.
+const MAX_REQUEST: usize = 8 * 1024;
+
+/// A running telemetry endpoint. See the module docs.
+#[derive(Debug)]
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9200`, or port `0` for ephemeral),
+    /// enable the global live hub, and start serving on a new thread.
+    /// `title` is echoed in `/snapshot.json`.
+    pub fn start(addr: &str, title: &str) -> std::io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        crate::live::global().set_enabled(true);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let title = title.to_owned();
+        let handle = std::thread::Builder::new()
+            .name("telemetry".to_owned())
+            .spawn(move || serve(listener, &stop2, &title))?;
+        Ok(TelemetryServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (the actual port when started with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, finish in-flight responses, and join the serve
+    /// thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve(listener: TcpListener, stop: &AtomicBool, title: &str) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: responses are small and generated from
+                // in-memory snapshots, so a slow scraper can only delay
+                // the next scrape, never the engines.
+                let _ = handle(stream, title);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+fn handle(mut stream: TcpStream, title: &str) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() >= MAX_REQUEST {
+            return respond(
+                &mut stream,
+                "431 Request Header Fields Too Large",
+                "text/plain",
+                "too large\n",
+            );
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(e) => return Err(e),
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or_default();
+    let request_line = String::from_utf8_lossy(request_line);
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "GET only\n",
+        );
+    }
+    match path {
+        "/healthz" => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
+        "/metrics" => {
+            let body = crate::prometheus::render(
+                &crate::live::global().snapshot(),
+                &crate::metrics::global().snapshot(),
+            );
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/snapshot.json" => {
+            let body = snapshot_json(
+                title,
+                &crate::live::global().snapshot(),
+                &crate::metrics::global().snapshot(),
+            );
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Build the `/snapshot.json` document: run title, hub uptime, live
+/// counter aggregates, and the full registry snapshot (all name-sorted).
+pub fn snapshot_json(title: &str, live: &LiveSnapshot, reg: &RegistrySnapshot) -> String {
+    let live_counters: Vec<String> = live
+        .counters
+        .iter()
+        .map(|c| {
+            let mut o = JsonObj::new();
+            o.str("name", c.name)
+                .u64("total", c.total)
+                .f64("rate_per_sec", c.rate_per_sec)
+                .u64("last_ts_ns", c.last_ts_ns);
+            o.finish()
+        })
+        .collect();
+    let mut counters = JsonObj::new();
+    for (name, v) in &reg.counters {
+        counters.u64(name, *v);
+    }
+    let mut gauges = JsonObj::new();
+    for (name, v) in &reg.gauges {
+        gauges.i64(name, *v);
+    }
+    let mut histograms = JsonObj::new();
+    for (name, h) in &reg.histograms {
+        let mut ho = JsonObj::new();
+        ho.u64("count", h.count)
+            .u64("sum", h.sum)
+            .u64("min", h.min)
+            .u64("max", h.max)
+            .f64("mean", h.mean())
+            .arr_u64("buckets", &h.buckets);
+        histograms.raw(name, &ho.finish());
+    }
+    let mut live_obj = JsonObj::new();
+    live_obj.raw("counters", &json::array(&live_counters));
+    let mut reg_obj = JsonObj::new();
+    reg_obj
+        .raw("counters", &counters.finish())
+        .raw("gauges", &gauges.finish())
+        .raw("histograms", &histograms.finish());
+    let mut o = JsonObj::new();
+    o.str("title", title)
+        .u64("uptime_ns", live.uptime_ns)
+        .raw("live", &live_obj.finish())
+        .raw("registry", &reg_obj.finish());
+    o.finish()
+}

@@ -25,8 +25,26 @@ use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, Once, OnceLock};
 use std::time::Instant;
+
+/// Flush the JSONL sink every this many lines, so a run that dies
+/// mid-flight (panic, kill, OOM) still leaves a parseable trace file
+/// missing at most the newest few records.
+const FLUSH_EVERY_LINES: u64 = 32;
+
+/// Sink buffer capacity. Large enough that `BufWriter` never fills up
+/// between explicit line-boundary flushes, so a flush can never land
+/// mid-line and every flushed prefix of the file is valid JSONL.
+const SINK_BUF_BYTES: usize = 64 * 1024;
+
+/// A JSONL sink: the buffered writer plus a line counter driving the
+/// periodic line-aligned flush.
+#[derive(Debug)]
+struct Sink {
+    w: BufWriter<File>,
+    lines: u64,
+}
 
 thread_local! {
     static DEPTH: Cell<u64> = const { Cell::new(0) };
@@ -111,9 +129,18 @@ pub struct Tracer {
     enabled: AtomicBool,
     recording: AtomicBool,
     epoch: Instant,
-    sink: Mutex<Option<BufWriter<File>>>,
+    sink: Mutex<Option<Sink>>,
     stats: Mutex<BTreeMap<String, SpanStat>>,
     records: Mutex<Vec<TraceRecord>>,
+}
+
+impl Drop for Tracer {
+    fn drop(&mut self) {
+        // Local tracers (tests, tools) flush their sink on the way out;
+        // the process-global tracer is covered by the panic hook and
+        // the periodic flush instead, since statics never drop.
+        self.flush();
+    }
 }
 
 impl Default for Tracer {
@@ -168,10 +195,20 @@ impl Tracer {
     }
 
     /// Attach a JSONL sink at `path` (truncates) and enable the tracer.
+    ///
+    /// Attaching a sink to the process-global tracer also installs (a
+    /// chained) panic hook that flushes it, so a panicking run still
+    /// leaves a parseable trace file.
     pub fn set_sink_path(&self, path: &str) -> std::io::Result<()> {
         let f = File::create(path)?;
-        *self.sink.lock().expect("tracer sink poisoned") = Some(BufWriter::new(f));
+        *self.sink.lock().expect("tracer sink poisoned") = Some(Sink {
+            w: BufWriter::with_capacity(SINK_BUF_BYTES, f),
+            lines: 0,
+        });
         self.set_enabled(true);
+        if std::ptr::eq(self, global()) {
+            install_panic_flush();
+        }
         Ok(())
     }
 
@@ -304,15 +341,26 @@ impl Tracer {
 
     fn write_line(&self, line: &str) {
         let mut sink = self.sink.lock().expect("tracer sink poisoned");
-        if let Some(w) = sink.as_mut() {
-            let _ = writeln!(w, "{line}");
+        if let Some(s) = sink.as_mut() {
+            let _ = writeln!(s.w, "{line}");
+            s.lines += 1;
+            if s.lines.is_multiple_of(FLUSH_EVERY_LINES) {
+                let _ = s.w.flush();
+            }
         }
     }
 
     /// Flush the sink (call before exiting).
     pub fn flush(&self) {
-        if let Some(w) = self.sink.lock().expect("tracer sink poisoned").as_mut() {
-            let _ = w.flush();
+        // A poisoned mutex here means the panic hook is flushing after
+        // a panic inside the sink critical section; recover the guard
+        // rather than double-panic.
+        let mut guard = match self.sink.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(s) = guard.as_mut() {
+            let _ = s.w.flush();
         }
     }
 
@@ -355,6 +403,19 @@ impl Drop for SpanGuard<'_> {
 pub fn global() -> &'static Tracer {
     static GLOBAL: OnceLock<Tracer> = OnceLock::new();
     GLOBAL.get_or_init(Tracer::new)
+}
+
+/// Chain a panic hook (once) that flushes the global tracer's sink, so
+/// partial runs still yield parseable JSONL.
+fn install_panic_flush() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            global().flush();
+            prev(info);
+        }));
+    });
 }
 
 /// Open a span on the global tracer.

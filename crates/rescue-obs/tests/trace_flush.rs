@@ -1,0 +1,86 @@
+//! Crash-resilience tests for the trace JSONL sink: a run that dies
+//! mid-span must still leave a parseable trace file. Kept in its own
+//! integration binary because one test attaches a sink (and a panic
+//! hook) to the process-global tracer.
+
+use rescue_obs::{json, Tracer};
+use std::path::PathBuf;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("rescue-trace-{tag}-{}.jsonl", std::process::id()))
+}
+
+fn parse_lines(path: &PathBuf) -> Vec<json::JsonValue> {
+    let text = std::fs::read_to_string(path).expect("trace file readable");
+    text.lines()
+        .map(|line| json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}")))
+        .collect()
+}
+
+#[test]
+fn dropping_a_tracer_flushes_its_sink() {
+    let path = temp_path("drop");
+    {
+        let t = Tracer::new();
+        t.set_sink_path(path.to_str().unwrap()).expect("sink");
+        // Fewer events than the periodic-flush threshold: only the drop
+        // flush can get these to disk.
+        t.event("begin", &[("k", "v")]);
+        t.counter("c", 1.5);
+        let _s = t.span("work");
+    }
+    let lines = parse_lines(&path);
+    assert_eq!(lines.len(), 3);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn periodic_flush_yields_parseable_prefix_without_any_explicit_flush() {
+    let path = temp_path("periodic");
+    let t = Tracer::new();
+    t.set_sink_path(path.to_str().unwrap()).expect("sink");
+    for i in 0..100 {
+        t.event("tick", &[("i", &i.to_string())]);
+    }
+    // No flush, no drop: the every-32-lines policy must have pushed at
+    // least 96 complete lines to disk already.
+    let lines = parse_lines(&path);
+    assert!(lines.len() >= 96, "only {} lines flushed", lines.len());
+    drop(t);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn killing_a_run_mid_span_leaves_parseable_jsonl() {
+    let path = temp_path("panic");
+    let tracer = rescue_obs::trace::global();
+    tracer.set_sink_path(path.to_str().unwrap()).expect("sink");
+    // Quiet the default "thread panicked" stderr noise while keeping
+    // the flush hook (which chains whatever hook is current) active.
+    let result = std::thread::Builder::new()
+        .name("doomed".to_owned())
+        .spawn(|| {
+            let t = rescue_obs::trace::global();
+            for i in 0..5 {
+                t.event("progress", &[("i", &i.to_string())]);
+            }
+            let _mid = t.span("never.closed");
+            panic!("simulated mid-run crash");
+        })
+        .expect("spawn")
+        .join();
+    assert!(result.is_err(), "the doomed thread must panic");
+    // The panic hook flushed the buffered lines; every line on disk is
+    // complete JSON even though the run died inside an open span.
+    let lines = parse_lines(&path);
+    assert!(
+        lines.len() >= 5,
+        "only {} lines survived the crash",
+        lines.len()
+    );
+    let has_progress = lines
+        .iter()
+        .any(|v| matches!(v.get("name"), Some(json::JsonValue::Str(s)) if s == "progress"));
+    assert!(has_progress, "progress events missing from crash trace");
+    let _ = std::fs::remove_file(&path);
+}

@@ -193,6 +193,9 @@ impl<'c, T: Iterator<Item = TraceInstr>> Engine<'c, T> {
             let window = self.stats.committed - self.window_committed_base;
             self.stats.ipc_windows.record(window);
             self.window_committed_base = self.stats.committed;
+            let hub = rescue_obs::live::global();
+            hub.record(rescue_obs::LiveCounter::PipesimCycles, IPC_WINDOW_CYCLES);
+            hub.record(rescue_obs::LiveCounter::PipesimCommitted, window);
             // Counter tracks for the Perfetto timeline (no-ops unless the
             // tracer is enabled; cheap enough for the window boundary).
             if rescue_obs::global().enabled() {
