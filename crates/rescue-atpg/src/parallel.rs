@@ -175,6 +175,9 @@ impl<'a> FaultShards<'a> {
             // the count varies, which the diff gate treats as
             // informational for `.worker` spans).
             let _span = rescue_obs::span("fsim.worker");
+            // Pinned to the profile root for the same reason: the
+            // profile path set must not depend on the thread count.
+            let _prof = rescue_obs::profile::scope_root("fsim_worker");
             let t = Instant::now();
             let sim = &mut self.sims[0];
             let before = live_stats(sim);
@@ -198,6 +201,7 @@ impl<'a> FaultShards<'a> {
                     .map(|(worker, (sim, shard))| {
                         s.spawn(move || {
                             let _span = rescue_obs::span("fsim.worker");
+                            let _prof = rescue_obs::profile::scope_root("fsim_worker");
                             let t = Instant::now();
                             let before = live_stats(sim);
                             sim.load_block(block);

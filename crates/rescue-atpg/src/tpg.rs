@@ -322,6 +322,7 @@ impl<'a> Atpg<'a> {
     /// would otherwise misclassify faults silently).
     pub fn run(&self) -> Result<AtpgRun, AtpgError> {
         let _span = rescue_obs::span("atpg.run");
+        let _prof = rescue_obs::profile::scope("atpg");
         let t_run = Instant::now();
         let mut counts = AtpgCounts::default();
         let mut timing = AtpgTiming::default();
@@ -380,12 +381,15 @@ impl<'a> Atpg<'a> {
                 recorder.detect(base + slot as u64, label);
             }
             let t = Instant::now();
-            let mut filled: Vec<PatternVector> =
-                pending.drain(..).map(|c| self.fill(&c, rng)).collect();
+            let mut filled: Vec<PatternVector> = {
+                let _prof = rescue_obs::profile::scope("fill");
+                pending.drain(..).map(|c| self.fill(&c, rng)).collect()
+            };
             timing.fill_ns += t.elapsed().as_nanos() as u64;
             counts.patterns_simulated += filled.len() as u64;
             let blocks = vectors_to_blocks(&filled, self.scanned);
             let t = Instant::now();
+            let prof_fsim = rescue_obs::profile::scope("fsim");
             for (block_idx, block) in blocks.iter().enumerate() {
                 let block_base = base + (block_idx as u64) * 64;
                 let before = remaining.len();
@@ -416,6 +420,7 @@ impl<'a> Atpg<'a> {
                     },
                 );
             }
+            drop(prof_fsim);
             timing.fsim_ns += t.elapsed().as_nanos() as u64;
             rescue_obs::live::global()
                 .record(rescue_obs::LiveCounter::AtpgVectors, filled.len() as u64);
@@ -435,7 +440,10 @@ impl<'a> Atpg<'a> {
             // still gets a PODEM call; real tools accept the same waste
             // between fill boundaries.
             let t = Instant::now();
-            let generated = podem.generate(fault);
+            let generated = {
+                let _prof = rescue_obs::profile::scope("podem");
+                podem.generate(fault)
+            };
             timing.generate_ns += t.elapsed().as_nanos() as u64;
             match generated {
                 PodemResult::Test(cube) => {
@@ -443,6 +451,7 @@ impl<'a> Atpg<'a> {
                     if self.config.merge_cubes {
                         counts.merges_attempted += 1;
                         let t = Instant::now();
+                        let _prof = rescue_obs::profile::scope("compact");
                         let start = pending.len().saturating_sub(self.config.merge_window);
                         for (off, existing) in pending[start..].iter_mut().enumerate() {
                             if let Some(merged) = merge_cubes(existing, &cube) {
@@ -503,6 +512,7 @@ impl<'a> Atpg<'a> {
             &mut recorder,
             &mut pending_events,
         )?;
+        meter.finish();
 
         let cells = self.scanned.chain.len();
         // Chain-integrity test: shift a 00110011… flush pattern through the

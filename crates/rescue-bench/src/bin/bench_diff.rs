@@ -3,13 +3,18 @@
 //! `BENCH_baseline.json`.
 //!
 //! Usage: `bench-diff <baseline.json> <current.json> [--all]
-//! [--time-tolerance-pct P]`
+//! [--time-tolerance-pct P] [--stats-gate] [--noise-mads K]
+//! [--noise-floor-pct P]`
 //!
 //! Deterministic counters (vector counts, fault classes, histogram
 //! buckets, coverage endpoints) must match exactly; derived floats get a
 //! 1e-9 relative band; wall-clock metrics are informational unless
-//! `--time-tolerance-pct` makes them gating. Exit codes: 0 = no
-//! regression, 1 = regression, 2 = usage/IO/parse error.
+//! `--time-tolerance-pct` makes them gating. Robust-stats metrics from
+//! `--repeat N` runs are informational by default; `--stats-gate` fails
+//! the run when a current median exceeds the baseline median by more
+//! than `max(K·MAD, P%·median)` of the *baseline's* spread (one-sided —
+//! improvements always pass). Exit codes: 0 = no regression, 1 =
+//! regression, 2 = usage/IO/parse error.
 
 use rescue_bench::diff::{diff, DiffConfig};
 
@@ -28,6 +33,23 @@ fn main() {
                 match v {
                     Some(pct) if pct >= 0.0 => cfg.time_tolerance = Some(pct / 100.0),
                     _ => usage("--time-tolerance-pct expects a non-negative number"),
+                }
+            }
+            "--stats-gate" => cfg.stats_gate = true,
+            "--noise-mads" => {
+                i += 1;
+                let v = args.get(i).and_then(|v| v.parse::<f64>().ok());
+                match v {
+                    Some(k) if k >= 0.0 => cfg.noise_mads = k,
+                    _ => usage("--noise-mads expects a non-negative number"),
+                }
+            }
+            "--noise-floor-pct" => {
+                i += 1;
+                let v = args.get(i).and_then(|v| v.parse::<f64>().ok());
+                match v {
+                    Some(pct) if pct >= 0.0 => cfg.noise_floor_rel = pct / 100.0,
+                    _ => usage("--noise-floor-pct expects a non-negative number"),
                 }
             }
             flag if flag.starts_with("--") => usage(&format!("unknown flag {flag}")),
@@ -65,6 +87,9 @@ fn main() {
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: bench-diff <baseline.json> <current.json> [--all] [--time-tolerance-pct P]");
+    eprintln!(
+        "usage: bench-diff <baseline.json> <current.json> [--all] [--time-tolerance-pct P] \
+         [--stats-gate] [--noise-mads K] [--noise-floor-pct P]"
+    );
     std::process::exit(2);
 }

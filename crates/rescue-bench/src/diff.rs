@@ -121,6 +121,16 @@ pub struct DiffConfig {
     /// Relative tolerance for non-time floats (derived quotients of
     /// exact integers; defaults to 1e-9).
     pub float_tolerance: f64,
+    /// Gate robust-stats metrics (`--repeat N` medians) against the
+    /// baseline's own spread. Off by default: medians are always
+    /// reported, but only fail the gate when this is set.
+    pub stats_gate: bool,
+    /// Width of the noise band in baseline MADs (default 8.0).
+    pub noise_mads: f64,
+    /// Relative floor of the noise band as a fraction of the baseline
+    /// median (default 0.10), so a near-zero MAD from a lucky baseline
+    /// cannot make the gate hair-triggered.
+    pub noise_floor_rel: f64,
 }
 
 impl Default for DiffConfig {
@@ -128,6 +138,9 @@ impl Default for DiffConfig {
         DiffConfig {
             time_tolerance: None,
             float_tolerance: 1e-9,
+            stats_gate: false,
+            noise_mads: 8.0,
+            noise_floor_rel: 0.10,
         }
     }
 }
@@ -140,9 +153,14 @@ impl Default for DiffConfig {
 /// counters; the `lint.*` diagnostic counts themselves still gate
 /// exactly. The observability self-benchmark (`obs.overhead.*`) is
 /// wall-clock by nature, and the `live.*` ring totals only exist on
-/// runs started with `--serve-metrics` / `--progress-every`.
+/// runs started with `--serve-metrics` / `--progress-every`. The
+/// `profile.*` phase attribution is wall-clock (and its scope counts
+/// vary with thread scheduling); `bench.*` records harness knobs
+/// (`--repeat`, `--warmup`) that legitimately differ between runs.
 fn is_informational_path(path: &str) -> bool {
-    path.ends_with("_ns")
+    path.starts_with("profile.")
+        || path.starts_with("bench.")
+        || path.ends_with("_ns")
         || path.ends_with("_ms")
         || path.ends_with("_per_sec")
         || path.ends_with("speedup")
@@ -396,7 +414,111 @@ fn compare_floats(
     });
 }
 
+/// `(median, mad, n)` of a robust-stats object, as emitted for
+/// `--repeat N` metrics: `{"n":..,"median":..,"mad":..,...}`.
+fn as_stats(v: &JsonValue) -> Option<(f64, f64, i128)> {
+    let o = match v {
+        JsonValue::Obj(_) => v,
+        _ => return None,
+    };
+    Some((
+        o.get("median").and_then(JsonValue::as_f64)?,
+        o.get("mad").and_then(JsonValue::as_f64)?,
+        o.get("n").and_then(JsonValue::as_int)?,
+    ))
+}
+
+/// Paths whose robust-stats medians never gate even under
+/// `--stats-gate`: self-attribution (`profile.*`, `bench.*`), the
+/// telemetry self-benchmark (`obs.overhead.*` — percentages near zero,
+/// where a median-relative band is meaningless), run-scale-dependent
+/// families (`fuzz.*`, `live.*`), and machine-shape-dependent ones
+/// (`*.parallel.*`, `*.scoap.*`). Plain wall-clock medians (`*_ms`,
+/// `*.timing.*`, throughput) DO gate — banding those against the
+/// baseline's own spread is the point of the stats gate.
+fn is_stats_gate_exempt(path: &str) -> bool {
+    path.starts_with("profile.")
+        || path.starts_with("bench.")
+        || path.starts_with("obs.overhead.")
+        || path.starts_with("fuzz.")
+        || path.starts_with("live.")
+        || path.contains(".parallel.")
+        || path.contains(".scoap.")
+}
+
+/// Compare two robust-stats metrics. The gate is **one-sided**: with
+/// [`DiffConfig::stats_gate`] set, it fails only when the current
+/// median exceeds the baseline median by more than the noise band
+/// `max(noise_mads·MAD, noise_floor_rel·|median|)` derived from the
+/// baseline's own spread. Improvements and within-band drift report as
+/// informational, as does everything [`is_stats_gate_exempt`].
+fn compare_stats(
+    path: &str,
+    (med_b, mad_b, n_b): (f64, f64, i128),
+    (med_c, _mad_c, n_c): (f64, f64, i128),
+    cfg: &DiffConfig,
+    out: &mut DiffResult,
+) {
+    let band = (cfg.noise_mads * mad_b)
+        .max(cfg.noise_floor_rel * med_b.abs())
+        .max(1e-9);
+    let delta_pct = 100.0 * (med_c - med_b) / med_b.abs().max(1e-300);
+    let gateable = cfg.stats_gate && !is_stats_gate_exempt(path);
+    let (severity, note) = if gateable && med_c > med_b + band {
+        (
+            Severity::Fail,
+            format!(
+                "median {delta_pct:+.1}% exceeds noise band (+{:.1}%, n={n_b}/{n_c})",
+                100.0 * band / med_b.abs().max(1e-300)
+            ),
+        )
+    } else {
+        (
+            Severity::Info,
+            format!("median {delta_pct:+.1}% (band ±{band:.3}, n={n_b}/{n_c})"),
+        )
+    };
+    out.deltas.push(Delta {
+        severity,
+        path: path.to_owned(),
+        baseline: format!("{med_b:.6}"),
+        current: format!("{med_c:.6}"),
+        note,
+    });
+}
+
 fn compare_value(path: &str, b: &JsonValue, c: &JsonValue, cfg: &DiffConfig, out: &mut DiffResult) {
+    // Robust-stats objects compare by median + noise band, and a
+    // stats-vs-scalar mismatch (a `--repeat N` run gated against a
+    // single-run baseline, or vice versa) compares the median against
+    // the scalar informationally instead of failing as a type change.
+    match (as_stats(b), as_stats(c)) {
+        (Some(sb), Some(sc)) => {
+            compare_stats(path, sb, sc, cfg, out);
+            return;
+        }
+        (Some((med_b, _, n_b)), None) if c.as_f64().is_some() => {
+            out.deltas.push(Delta {
+                severity: Severity::Info,
+                path: path.to_owned(),
+                baseline: format!("{med_b:.6}"),
+                current: format!("{:.6}", c.as_f64().unwrap_or(0.0)),
+                note: format!("stats (n={n_b}) vs single sample"),
+            });
+            return;
+        }
+        (None, Some((med_c, _, n_c))) if b.as_f64().is_some() => {
+            out.deltas.push(Delta {
+                severity: Severity::Info,
+                path: path.to_owned(),
+                baseline: format!("{:.6}", b.as_f64().unwrap_or(0.0)),
+                current: format!("{med_c:.6}"),
+                note: format!("single sample vs stats (n={n_c})"),
+            });
+            return;
+        }
+        _ => {}
+    }
     match (b, c) {
         (JsonValue::Obj(kb), JsonValue::Obj(_)) => {
             for (k, vb) in kb {
@@ -806,6 +928,110 @@ mod tests {
         )
         .unwrap();
         assert!(diff(&b2, &c2, &DiffConfig::default()).unwrap().regressed());
+    }
+
+    fn stats_doc(median: &str, mad: &str) -> JsonValue {
+        parse(&format!(
+            r#"{{"title":"all","sections":[
+                {{"name":"kern","metrics":{{"gate_evals":1000,
+                   "fsim_ms":{{"n":3,"median":{median},"mad":{mad},
+                               "min":90.0,"max":120.0,"iqr":4.0}}}}}}],
+               "spans":[]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn stats_metrics_are_informational_without_the_gate() {
+        let b = stats_doc("100.0", "2.0");
+        let c = stats_doc("300.0", "2.0");
+        let r = diff(&b, &c, &DiffConfig::default()).unwrap();
+        assert!(!r.regressed(), "{}", r.render(true));
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| d.severity == Severity::Info && d.path == "kern.fsim_ms"));
+    }
+
+    #[test]
+    fn stats_gate_fails_only_beyond_the_noise_band() {
+        let cfg = DiffConfig {
+            stats_gate: true,
+            ..DiffConfig::default()
+        };
+        let b = stats_doc("100.0", "2.0");
+        // Band = max(8·2, 0.10·100) = 16. Median 108 is within it.
+        let within = stats_doc("108.0", "2.5");
+        assert!(!diff(&b, &within, &cfg).unwrap().regressed());
+        // Median 300 is a 3× slowdown: fail.
+        let slow = stats_doc("300.0", "2.0");
+        let r = diff(&b, &slow, &cfg).unwrap();
+        assert!(r.regressed(), "{}", r.render(true));
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| d.severity == Severity::Fail && d.path == "kern.fsim_ms"));
+        // The gate is one-sided: a 3× speedup passes.
+        let fast = stats_doc("33.0", "1.0");
+        assert!(!diff(&b, &fast, &cfg).unwrap().regressed());
+    }
+
+    #[test]
+    fn stats_noise_floor_absorbs_tiny_baseline_mad() {
+        let cfg = DiffConfig {
+            stats_gate: true,
+            ..DiffConfig::default()
+        };
+        // MAD 0 (3 identical timings) would make any drift fail without
+        // the relative floor; +8% stays inside the 10% floor band.
+        let b = stats_doc("100.0", "0.0");
+        let c = stats_doc("108.0", "0.0");
+        assert!(!diff(&b, &c, &cfg).unwrap().regressed());
+    }
+
+    #[test]
+    fn stats_vs_scalar_is_informational_not_a_type_change() {
+        let b = stats_doc("100.0", "2.0");
+        let c = parse(
+            r#"{"title":"all","sections":[
+                {"name":"kern","metrics":{"gate_evals":1000,"fsim_ms":250.0}}],
+               "spans":[]}"#,
+        )
+        .unwrap();
+        let cfg = DiffConfig {
+            stats_gate: true,
+            ..DiffConfig::default()
+        };
+        let r = diff(&b, &c, &cfg).unwrap();
+        assert!(!r.regressed(), "{}", r.render(true));
+        let r = diff(&c, &b, &cfg).unwrap();
+        assert!(!r.regressed(), "{}", r.render(true));
+    }
+
+    #[test]
+    fn exempt_sections_never_gate_even_with_stats_gate() {
+        let mk = |total: &str, count: u64, pct: &str| {
+            parse(&format!(
+                r#"{{"title":"all","sections":[
+                    {{"name":"profile.atpg.fsim","metrics":{{
+                       "total_ms":{{"n":3,"median":{total},"mad":1.0,
+                                    "min":1.0,"max":99.0,"iqr":2.0}},
+                       "count":{count}}}}},
+                    {{"name":"obs.overhead","metrics":{{
+                       "overhead_pct":{{"n":3,"median":{pct},"mad":0.5,
+                                        "min":0.1,"max":9.0,"iqr":1.0}}}}}}],
+                   "spans":[]}}"#
+            ))
+            .unwrap()
+        };
+        let cfg = DiffConfig {
+            stats_gate: true,
+            ..DiffConfig::default()
+        };
+        // A 9× profile-time shift and a 0.9→5.3 overhead-pct swing:
+        // neither is a workload regression, neither may gate.
+        let r = diff(&mk("10.0", 4, "0.9"), &mk("90.0", 7, "5.3"), &cfg).unwrap();
+        assert!(!r.regressed(), "{}", r.render(true));
     }
 
     #[test]

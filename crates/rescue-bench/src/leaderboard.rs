@@ -1,0 +1,243 @@
+//! Render the bench-run history (`BENCH_history.jsonl`) as a
+//! gate-evals/sec leaderboard: the chronological throughput trajectory
+//! plus per-kernel (bucket/heap) standings, as markdown and JSON.
+//!
+//! Quick and full runs are scored separately (a `--quick` circuit is a
+//! different workload), and records missing the kernel throughput
+//! metrics (e.g. a `table3`-only run) appear in the trajectory but not
+//! in the standings.
+
+use crate::history::HistoryRecord;
+use rescue_obs::json::{self, JsonObj};
+use std::fmt::Write as _;
+
+/// One standings row: the best recorded throughput for a kernel in one
+/// mode (quick or full).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Standing {
+    /// `"bucket"` or `"heap"`.
+    pub kernel: String,
+    /// `"quick"` or `"full"`.
+    pub mode: String,
+    /// Best gate-evals/sec recorded.
+    pub best_evals_per_sec: f64,
+    /// SHA of the record holder.
+    pub sha: String,
+    /// Date of the record holder.
+    pub date: String,
+}
+
+/// Compute best-per-kernel-per-mode standings, sorted by kernel then
+/// mode.
+pub fn standings(records: &[HistoryRecord]) -> Vec<Standing> {
+    let mut out: Vec<Standing> = Vec::new();
+    for kernel in ["bucket", "heap"] {
+        let metric = format!("{kernel}_evals_per_sec");
+        for (mode, quick) in [("full", false), ("quick", true)] {
+            let best = records
+                .iter()
+                .filter(|r| r.quick == quick)
+                .filter_map(|r| r.metric(&metric).map(|v| (v, r)))
+                .max_by(|a, b| a.0.total_cmp(&b.0));
+            if let Some((v, r)) = best {
+                out.push(Standing {
+                    kernel: kernel.to_owned(),
+                    mode: mode.to_owned(),
+                    best_evals_per_sec: v,
+                    sha: r.sha.clone(),
+                    date: r.date.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn short_sha(sha: &str) -> &str {
+    &sha[..sha.len().min(7)]
+}
+
+fn mevals(v: f64) -> String {
+    format!("{:.2}", v / 1e6)
+}
+
+/// Render the markdown leaderboard: trajectory table (chronological),
+/// standings, and a latest-vs-best delta line.
+pub fn render_markdown(records: &[HistoryRecord]) -> String {
+    let mut s = String::from("# Rescue gate-evals/sec leaderboard\n\n");
+    if records.is_empty() {
+        s.push_str(
+            "_No history records yet. Run a bench binary with `--history BENCH_history.jsonl`._\n",
+        );
+        return s;
+    }
+    let mut ordered: Vec<&HistoryRecord> = records.iter().collect();
+    ordered.sort_by_key(|r| r.unix_secs);
+
+    s.push_str("## Trajectory\n\n");
+    s.push_str(
+        "| date | sha | title | threads | mode | bucket Mevals/s | heap Mevals/s | speedup |\n",
+    );
+    s.push_str("|---|---|---|---:|---|---:|---:|---:|\n");
+    for r in &ordered {
+        let cell = |name: &str| r.metric(name).map_or("–".to_owned(), mevals);
+        let speedup = r
+            .metric("kernel_speedup")
+            .map_or("–".to_owned(), |v| format!("{v:.2}×"));
+        let _ = writeln!(
+            s,
+            "| {} | `{}` | {} | {} | {} | {} | {} | {} |",
+            r.date,
+            short_sha(&r.sha),
+            r.title,
+            r.threads,
+            if r.quick { "quick" } else { "full" },
+            cell("bucket_evals_per_sec"),
+            cell("heap_evals_per_sec"),
+            speedup,
+        );
+    }
+
+    let st = standings(records);
+    if !st.is_empty() {
+        s.push_str("\n## Standings (best recorded)\n\n");
+        s.push_str("| kernel | mode | best Mevals/s | sha | date |\n");
+        s.push_str("|---|---|---:|---|---|\n");
+        for row in &st {
+            let _ = writeln!(
+                s,
+                "| {} | {} | {} | `{}` | {} |",
+                row.kernel,
+                row.mode,
+                mevals(row.best_evals_per_sec),
+                short_sha(&row.sha),
+                row.date,
+            );
+        }
+    }
+
+    // Latest-vs-best for the bucket kernel in the latest record's mode.
+    if let Some(latest) = ordered.last() {
+        if let Some(now) = latest.metric("bucket_evals_per_sec") {
+            let mode = if latest.quick { "quick" } else { "full" };
+            if let Some(best) = st
+                .iter()
+                .find(|r| r.kernel == "bucket" && r.mode == mode)
+                .map(|r| r.best_evals_per_sec)
+            {
+                let _ = writeln!(
+                    s,
+                    "\nLatest bucket throughput is {} Mevals/s — {:.1}% of the {} record.",
+                    mevals(now),
+                    100.0 * now / best.max(1e-12),
+                    mode,
+                );
+            }
+        }
+    }
+    s
+}
+
+/// Render the JSON leaderboard document:
+/// `{"records": [...], "standings": [...], "latest": {...}}`.
+pub fn render_json(records: &[HistoryRecord]) -> String {
+    let mut ordered: Vec<&HistoryRecord> = records.iter().collect();
+    ordered.sort_by_key(|r| r.unix_secs);
+    let recs: Vec<String> = ordered.iter().map(|r| r.to_json()).collect();
+    let st: Vec<String> = standings(records)
+        .iter()
+        .map(|row| {
+            let mut o = JsonObj::new();
+            o.str("kernel", &row.kernel)
+                .str("mode", &row.mode)
+                .f64("best_evals_per_sec", row.best_evals_per_sec)
+                .str("sha", &row.sha)
+                .str("date", &row.date);
+            o.finish()
+        })
+        .collect();
+    let mut o = JsonObj::new();
+    o.raw("records", &json::array(&recs))
+        .raw("standings", &json::array(&st));
+    if let Some(latest) = ordered.last() {
+        o.raw("latest", &latest.to_json());
+    }
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{parse_history, utc_date};
+
+    fn rec(sha: &str, secs: u64, quick: bool, bucket: f64, heap: f64) -> HistoryRecord {
+        HistoryRecord {
+            sha: sha.to_owned(),
+            date: utc_date(secs),
+            unix_secs: secs,
+            title: "all".to_owned(),
+            threads: 4,
+            quick,
+            metrics: vec![
+                ("bucket_evals_per_sec".to_owned(), bucket),
+                ("heap_evals_per_sec".to_owned(), heap),
+                ("kernel_speedup".to_owned(), heap / bucket),
+            ],
+        }
+    }
+
+    #[test]
+    fn standings_split_by_mode_and_pick_best() {
+        let records = vec![
+            rec("aaaaaaa1", 100, true, 2e6, 1e6),
+            rec("bbbbbbb2", 200, true, 3e6, 1.5e6),
+            rec("ccccccc3", 300, false, 9e6, 5e6),
+        ];
+        let st = standings(&records);
+        let quick_bucket = st
+            .iter()
+            .find(|r| r.kernel == "bucket" && r.mode == "quick")
+            .unwrap();
+        assert_eq!(quick_bucket.best_evals_per_sec, 3e6);
+        assert_eq!(quick_bucket.sha, "bbbbbbb2");
+        let full_heap = st
+            .iter()
+            .find(|r| r.kernel == "heap" && r.mode == "full")
+            .unwrap();
+        assert_eq!(full_heap.best_evals_per_sec, 5e6);
+    }
+
+    #[test]
+    fn markdown_contains_trajectory_and_standings() {
+        let records = vec![
+            rec("aaaaaaa1", 100, true, 2e6, 1e6),
+            rec("bbbbbbb2", 200, true, 3e6, 1.5e6),
+        ];
+        let md = render_markdown(&records);
+        assert!(md.contains("## Trajectory"), "{md}");
+        assert!(md.contains("## Standings"), "{md}");
+        assert!(md.contains("`aaaaaaa`"), "{md}");
+        assert!(md.contains("3.00"), "{md}");
+        assert!(md.contains("Latest bucket throughput"), "{md}");
+    }
+
+    #[test]
+    fn markdown_handles_empty_history() {
+        let md = render_markdown(&[]);
+        assert!(md.contains("No history records"), "{md}");
+    }
+
+    #[test]
+    fn json_document_round_trips_records() {
+        let records = vec![rec("aaaaaaa1", 100, true, 2e6, 1e6)];
+        let doc = render_json(&records);
+        let v = rescue_obs::json::parse(&doc).expect("valid JSON");
+        let recs = v.get("records").and_then(|r| r.as_arr()).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert!(v.get("standings").is_some());
+        assert!(v.get("latest").is_some());
+        // The embedded records parse back through the history parser.
+        let line = records[0].to_json();
+        assert_eq!(parse_history(&line).unwrap(), records);
+    }
+}

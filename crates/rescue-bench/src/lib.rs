@@ -47,6 +47,9 @@
 #![warn(missing_docs)]
 
 pub mod diff;
+pub mod history;
+pub mod leaderboard;
+pub mod stats;
 
 use rescue_core::atpg::AtpgMetrics;
 use rescue_core::pipesim::{SimResult, IPC_WINDOW_CYCLES};
@@ -122,6 +125,20 @@ pub struct ObsFlags {
     pub serve_metrics: Option<String>,
     /// `--progress-every <n>`: progress-frame period (0 = off).
     pub progress_every: u64,
+    /// `--repeat <n>`: measured benchmark runs (default 1). With n > 1
+    /// the varying metrics in the report become median/MAD/min/IQR
+    /// statistics over the n runs.
+    pub repeat: usize,
+    /// `--warmup <k>`: unmeasured warmup runs before the measured ones
+    /// (default 0).
+    pub warmup: usize,
+    /// `--metrics-json <path>`: where to write the report JSON
+    /// (binaries with a conventional default, like `all` →
+    /// `BENCH_metrics.json`, use it when the flag is absent).
+    pub metrics_json: Option<String>,
+    /// `--history <path>`: append one run-history record (git SHA,
+    /// date, metric medians) to this JSONL file at exit.
+    pub history: Option<String>,
 }
 
 /// The running telemetry server, held for the duration of the run and
@@ -135,6 +152,20 @@ static SERVER: std::sync::Mutex<Option<rescue_obs::TelemetryServer>> = std::sync
 pub fn probe_output_file(path: &str) {
     if let Err(e) = std::fs::File::create(path) {
         eprintln!("error: cannot write output file {path}: {e}");
+        std::process::exit(2);
+    }
+}
+
+/// Probe an append-mode output file: create it if missing and verify it
+/// opens for append *without* truncating existing content (the history
+/// file is append-only by contract). Exits with code 2 on failure.
+pub fn probe_append_file(path: &str) {
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        eprintln!("error: cannot append to output file {path}: {e}");
         std::process::exit(2);
     }
 }
@@ -171,7 +202,22 @@ pub fn obs_init() -> ObsFlags {
         coverage_json: arg_str("--coverage-json"),
         serve_metrics: arg_str("--serve-metrics"),
         progress_every: arg_usize("--progress-every", 0) as u64,
+        repeat: arg_usize("--repeat", 1).max(1),
+        warmup: arg_usize("--warmup", 0),
+        metrics_json: arg_str("--metrics-json"),
+        history: arg_str("--history"),
     };
+    // The phase-attribution profiler is on by default: its scopes are
+    // coarse (phase-level, block-level) and its cost is bounded by the
+    // obs.overhead A/B harness, while the profile.* sections it feeds
+    // are part of the standard BENCH_metrics.json artifact.
+    rescue_obs::profile::global().set_enabled(true);
+    if let Some(path) = &flags.metrics_json {
+        probe_output_file(path);
+    }
+    if let Some(path) = &flags.history {
+        probe_append_file(path);
+    }
     if let Some(path) = &flags.trace_json {
         if let Err(e) = rescue_obs::global().set_sink_path(path) {
             eprintln!("error: cannot open trace sink {path}: {e}");
@@ -220,18 +266,41 @@ pub fn obs_init() -> ObsFlags {
 }
 
 /// Finish a run: fold live-telemetry totals into the report, attach
-/// span summaries, print the report to stderr when `--metrics` was
-/// given, flush the trace sink, write the Perfetto document when
-/// `--trace-perfetto` was given, and shut the telemetry server down.
+/// span summaries and the `profile.*` self-time tree (unless
+/// [`run_repeated`] already did), print the report and the flame
+/// summary to stderr when `--metrics` was given, flush the trace sink,
+/// write the Perfetto document (real timelines plus the aggregate
+/// profile track) when `--trace-perfetto` was given, and shut the
+/// telemetry server down.
 pub fn obs_finish(flags: &ObsFlags, report: &mut Report) {
     live_report(report);
-    report.add_spans(rescue_obs::global().summary());
+    if report.spans.is_empty() {
+        report.add_spans(rescue_obs::global().summary());
+    }
+    if !report
+        .sections
+        .iter()
+        .any(|s| s.name.starts_with("profile."))
+    {
+        collect_profile(report, 1);
+    }
     if flags.metrics {
         eprint!("{}", report.render_text());
+        let rows = profile_rows();
+        if !rows.is_empty() {
+            eprint!(
+                "{}",
+                rescue_obs::profile::render_flame(&rescue_obs::profile::resolve_tree(&rows))
+            );
+        }
     }
     rescue_obs::global().flush();
     if let Some(path) = &flags.trace_perfetto {
-        let records = rescue_obs::global().take_records();
+        let mut records = rescue_obs::global().take_records();
+        let rows = profile_rows();
+        records.extend(rescue_obs::profile::to_trace_records(
+            &rescue_obs::profile::resolve_tree(&rows),
+        ));
         let doc = rescue_obs::perfetto::render(&report.title, &records);
         if let Err(e) = std::fs::write(path, &doc) {
             eprintln!("error: cannot write perfetto trace {path}: {e}");
@@ -243,6 +312,127 @@ pub fn obs_finish(flags: &ObsFlags, report: &mut Report) {
     if let Some(mut server) = SERVER.lock().expect("server slot poisoned").take() {
         server.shutdown();
     }
+}
+
+/// Profile rows drained at report time, kept so the flame summary and
+/// the Perfetto aggregate track render from the same tree the
+/// `profile.*` sections were built from.
+static PROFILE_ROWS: std::sync::Mutex<Vec<(String, rescue_obs::profile::PathStat)>> =
+    std::sync::Mutex::new(Vec::new());
+
+fn profile_rows() -> Vec<(String, rescue_obs::profile::PathStat)> {
+    PROFILE_ROWS.lock().expect("profile rows poisoned").clone()
+}
+
+/// Drain the profiler into `profile.*` report sections: one section per
+/// tree path (slashes become dots) carrying per-run total/self
+/// milliseconds and entry count (`divisor` = measured run count). The
+/// whole family is informational in `bench-diff` — it is wall-clock
+/// attribution, not a determinism invariant.
+fn collect_profile(report: &mut Report, divisor: u64) {
+    rescue_obs::profile::flush_thread();
+    let rows = rescue_obs::profile::global().take();
+    if rows.is_empty() {
+        return;
+    }
+    let divisor = divisor.max(1);
+    let tree = rescue_obs::profile::resolve_tree(&rows);
+    for node in &tree {
+        report
+            .section(&format!("profile.{}", node.path.replace('/', ".")))
+            .f64("total_ms", node.total_ns as f64 / divisor as f64 / 1e6)
+            .f64("self_ms", node.self_ns as f64 / divisor as f64 / 1e6)
+            .u64("count", node.count / divisor);
+    }
+    *PROFILE_ROWS.lock().expect("profile rows poisoned") = rows;
+}
+
+/// Per-name `(count, total_ns)` map of a span summary.
+fn span_totals(spans: &[rescue_obs::SpanStat]) -> std::collections::HashMap<String, (u64, u64)> {
+    spans
+        .iter()
+        .map(|s| (s.name.clone(), (s.count, s.total_ns)))
+        .collect()
+}
+
+/// Run `body` `--warmup` times unmeasured, then `--repeat` times
+/// measured, and merge the measured reports: deterministic values stay
+/// scalars (exact gating preserved), varying values become
+/// median/MAD/min/IQR statistics, span timings are per-run averages
+/// over the measured window, and the `profile.*` tree is attributed to
+/// the measured runs only. `body` receives the report to fill and
+/// whether this is the first *measured* run (print tables then, so
+/// stdout artifacts appear exactly once).
+pub fn run_repeated(
+    title: &str,
+    flags: &ObsFlags,
+    mut body: impl FnMut(&mut Report, bool),
+) -> Report {
+    let repeat = flags.repeat.max(1);
+    for _ in 0..flags.warmup {
+        let mut scratch = Report::new(title);
+        body(&mut scratch, false);
+    }
+    // Reset measurement state so warmup work is not attributed.
+    rescue_obs::profile::flush_thread();
+    rescue_obs::profile::global().reset();
+    let before = span_totals(&rescue_obs::global().summary());
+    let mut runs: Vec<Report> = Vec::with_capacity(repeat);
+    for i in 0..repeat {
+        let mut r = Report::new(title);
+        body(&mut r, i == 0);
+        runs.push(r);
+    }
+    let mut merged = stats::merge_reports(&runs);
+    merged
+        .section("bench")
+        .u64("repeat", repeat as u64)
+        .u64("warmup", flags.warmup as u64);
+    let spans: Vec<rescue_obs::SpanStat> = rescue_obs::global()
+        .summary()
+        .into_iter()
+        .map(|s| {
+            let (bc, bt) = before.get(&s.name).copied().unwrap_or((0, 0));
+            rescue_obs::SpanStat {
+                name: s.name.clone(),
+                count: s.count.saturating_sub(bc) / repeat as u64,
+                total_ns: s.total_ns.saturating_sub(bt) / repeat as u64,
+                max_ns: s.max_ns,
+            }
+        })
+        .filter(|s| s.count > 0 || s.total_ns > 0)
+        .collect();
+    merged.spans = spans;
+    collect_profile(&mut merged, repeat as u64);
+    merged
+}
+
+/// Write the report JSON to `--metrics-json` (or `default_path` when
+/// the flag is absent; `None` = only write when asked). Exits with
+/// code 1 on I/O failure.
+pub fn write_metrics_json(flags: &ObsFlags, report: &Report, default_path: Option<&str>) {
+    let path = flags
+        .metrics_json
+        .clone()
+        .or_else(|| default_path.map(str::to_owned));
+    let Some(path) = path else { return };
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("error: cannot write metrics JSON {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote metrics JSON {path}");
+}
+
+/// Append one run-history record to the `--history` file (no-op when
+/// the flag is absent). Exits with code 1 on I/O failure.
+pub fn history_append(flags: &ObsFlags, report: &Report, threads: usize) {
+    let Some(path) = &flags.history else { return };
+    let rec = history::HistoryRecord::from_report(report, threads, quick_mode());
+    if let Err(e) = history::append_record(path, &rec) {
+        eprintln!("error: cannot append history record to {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("appended history record to {path} (sha {})", rec.sha);
 }
 
 /// Fill the `live` report section with the final per-counter totals
@@ -464,37 +654,52 @@ pub fn obs_overhead_report(report: &mut Report, params: &rescue_core::model::Mod
     };
 
     let hub = rescue_obs::live::global();
+    let prof = rescue_obs::profile::global();
     let was_enabled = hub.enabled();
-    // The instrumented arm publishes at PPSFP-block granularity (one
-    // `hub.record` per 64 faults) — still far more often than the
-    // production path, which publishes once per shard per batch, so
-    // the measured ratio is a conservative upper bound. Each arm
-    // repeats the full-fault sweep until it has run for at least
-    // `MIN_ARM_SECS`, so tiny --quick circuits still give a stable
-    // per-eval rate.
+    let prof_was_enabled = prof.enabled();
+    // Three arms, A/B/C: everything off, the live hub alone, and hub
+    // plus the phase profiler. The hub arm publishes at PPSFP-block
+    // granularity (one `hub.record` per 64 faults) — still far more
+    // often than the production path, which publishes once per shard
+    // per batch — and the profiler arm additionally opens one profile
+    // scope per 64-fault chunk, denser than the phase-level scopes
+    // production code uses, so both measured ratios are conservative
+    // upper bounds. Each arm repeats the full-fault sweep until it has
+    // run for at least `MIN_ARM_SECS`, so tiny --quick circuits still
+    // give a stable per-eval rate.
     const RECORD_EVERY_FAULTS: usize = 64;
-    const MIN_ARM_SECS: f64 = 0.05;
-    let sweep = |instrumented: bool| -> (u64, f64) {
-        hub.set_enabled(instrumented);
+    const MIN_ARM_SECS: f64 = 0.1;
+    let sweep = |hub_on: bool, prof_on: bool| -> (u64, f64) {
+        hub.set_enabled(hub_on);
+        prof.set_enabled(prof_on);
         let mut sim = FaultSim::with_kernel(&lev, Kernel::Bucket);
         sim.load_block(&block);
         let mut evals = 0u64;
         let t = Instant::now();
         loop {
             let mut pending_delta = 0u64;
+            let mut chunk_scope = None;
             for (i, &f) in faults.iter().enumerate() {
                 let before = sim.stats().gate_evals.get();
                 std::hint::black_box(sim.detect_mask(f));
                 evals += sim.stats().gate_evals.get() - before;
-                if instrumented {
+                if hub_on {
                     pending_delta += sim.stats().gate_evals.get() - before;
                     if i.is_multiple_of(RECORD_EVERY_FAULTS) {
                         hub.record(rescue_obs::LiveCounter::FsimGateEvals, pending_delta);
                         pending_delta = 0;
                     }
                 }
+                if prof_on && i.is_multiple_of(RECORD_EVERY_FAULTS) {
+                    // Close the previous chunk before opening the next:
+                    // scopes are a LIFO stack, so the old guard must
+                    // drop first.
+                    drop(chunk_scope.take());
+                    chunk_scope = Some(rescue_obs::profile::scope_root("obs_sweep"));
+                }
             }
-            if instrumented && pending_delta > 0 {
+            drop(chunk_scope);
+            if hub_on && pending_delta > 0 {
                 hub.record(rescue_obs::LiveCounter::FsimGateEvals, pending_delta);
             }
             if t.elapsed().as_secs_f64() >= MIN_ARM_SECS {
@@ -504,39 +709,47 @@ pub fn obs_overhead_report(report: &mut Report, params: &rescue_core::model::Mod
         (evals, t.elapsed().as_secs_f64())
     };
     let mut evals = 0u64;
-    let mut best_uninstr = f64::MAX;
-    let mut best_instr = f64::MAX;
+    let mut best_off = f64::MAX;
+    let mut best_hub = f64::MAX;
+    let mut best_full = f64::MAX;
     for _ in 0..3 {
-        let (e, secs) = sweep(false);
+        let (e, secs) = sweep(false, false);
         evals = e;
-        best_uninstr = best_uninstr.min(secs / e.max(1) as f64);
-        let (e, secs) = sweep(true);
-        best_instr = best_instr.min(secs / e.max(1) as f64);
+        best_off = best_off.min(secs / e.max(1) as f64);
+        let (e, secs) = sweep(true, false);
+        best_hub = best_hub.min(secs / e.max(1) as f64);
+        let (e, secs) = sweep(true, true);
+        best_full = best_full.min(secs / e.max(1) as f64);
     }
     hub.set_enabled(was_enabled);
+    prof.set_enabled(prof_was_enabled);
+    // The sweep's chunk scopes stay in the profile under the root-level
+    // `obs_sweep` path — honest attribution of the self-benchmark's own
+    // cost, kept apart from the engine phases.
     // Normalize per-eval (arms may run different sweep counts).
-    let best_uninstr = best_uninstr * evals as f64;
-    let best_instr = best_instr * evals as f64;
+    let best_off = best_off * evals as f64;
+    let best_hub = best_hub * evals as f64;
+    let best_full = best_full * evals as f64;
+    let pct = |num: f64, den: f64| (num / den.max(1e-12) - 1.0) * 100.0;
 
     report
         .section("obs.overhead")
         .u64("faults", faults.len() as u64)
         .u64("gate_evals", evals)
-        .f64("uninstrumented_ms", best_uninstr * 1e3)
-        .f64("instrumented_ms", best_instr * 1e3)
+        .f64("uninstrumented_ms", best_off * 1e3)
+        .f64("instrumented_ms", best_full * 1e3)
         .f64(
             "uninstrumented_evals_per_sec",
-            evals as f64 / best_uninstr.max(1e-12),
+            evals as f64 / best_off.max(1e-12),
         )
         .f64(
             "instrumented_evals_per_sec",
-            evals as f64 / best_instr.max(1e-12),
+            evals as f64 / best_full.max(1e-12),
         )
-        .f64("overhead_ratio", best_instr / best_uninstr.max(1e-12))
-        .f64(
-            "overhead_pct",
-            (best_instr / best_uninstr.max(1e-12) - 1.0) * 100.0,
-        );
+        .f64("overhead_ratio", best_full / best_off.max(1e-12))
+        .f64("overhead_pct", pct(best_full, best_off))
+        .f64("hub_overhead_pct", pct(best_hub, best_off))
+        .f64("profiler_overhead_pct", pct(best_full, best_hub));
 }
 
 /// Run the static DFT linter over the model's baseline and Rescue

@@ -71,6 +71,80 @@ fn wall_clock_drift_alone_does_not_gate() {
     assert_eq!(code, Some(1));
 }
 
+fn fixture(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+        .to_str()
+        .unwrap()
+        .to_owned()
+}
+
+#[test]
+fn stats_gate_fails_the_regression_fixture() {
+    let (code, stdout, stderr) = run(&[
+        &fixture("stats_baseline.json"),
+        &fixture("stats_regression.json"),
+        "--stats-gate",
+    ]);
+    assert_eq!(code, Some(1), "{stdout}{stderr}");
+    assert!(stdout.contains("kern.fsim_ms"), "{stdout}");
+    assert!(stdout.contains("noise band"), "{stdout}");
+}
+
+#[test]
+fn stats_gate_passes_improvement_and_within_noise_fixtures() {
+    for name in ["stats_improvement.json", "stats_within_noise.json"] {
+        let (code, stdout, stderr) = run(&[
+            &fixture("stats_baseline.json"),
+            &fixture(name),
+            "--stats-gate",
+        ]);
+        assert_eq!(code, Some(0), "{name}: {stdout}{stderr}");
+    }
+    // The identical document trivially passes too.
+    let (code, _, _) = run(&[
+        &fixture("stats_baseline.json"),
+        &fixture("stats_baseline.json"),
+        "--stats-gate",
+    ]);
+    assert_eq!(code, Some(0));
+}
+
+#[test]
+fn stats_are_informational_without_the_gate_flag() {
+    let (code, stdout, _) = run(&[
+        &fixture("stats_baseline.json"),
+        &fixture("stats_regression.json"),
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("info"), "{stdout}");
+}
+
+#[test]
+fn noise_knobs_change_the_band() {
+    // A huge MAD multiplier absorbs even the 3x regression...
+    let (code, _, _) = run(&[
+        &fixture("stats_baseline.json"),
+        &fixture("stats_regression.json"),
+        "--stats-gate",
+        "--noise-mads",
+        "200",
+    ]);
+    assert_eq!(code, Some(0));
+    // ...while a zero band makes the within-noise drift fail.
+    let (code, _, _) = run(&[
+        &fixture("stats_baseline.json"),
+        &fixture("stats_within_noise.json"),
+        "--stats-gate",
+        "--noise-mads",
+        "0",
+        "--noise-floor-pct",
+        "0",
+    ]);
+    assert_eq!(code, Some(1));
+}
+
 #[test]
 fn unusable_input_exits_two() {
     let a = write_doc("base_ok.json", DOC);

@@ -1,0 +1,76 @@
+//! Integration test: the phase-attribution profiler captures a real
+//! multi-threaded ATPG run — the expected phase paths appear, worker
+//! scopes from the fault-sim shards merge in under the root (so the
+//! path set is thread-count-invariant), and the tree invariant (the sum
+//! of direct children's total time never exceeds the parent's total)
+//! holds on live data, not just synthetic scopes.
+
+use rescue_core::atpg::{Atpg, AtpgConfig};
+use rescue_core::model::{build_pipeline, ModelParams, Variant};
+use rescue_core::netlist::scan::insert_scan;
+
+#[test]
+fn atpg_run_produces_a_consistent_profile_tree() {
+    let prof = rescue_obs::profile::global();
+    prof.set_enabled(true);
+
+    let model = build_pipeline(&ModelParams::tiny(), Variant::Rescue);
+    let scanned = insert_scan(&model.netlist).expect("model has state");
+    let cfg = AtpgConfig {
+        threads: 2,
+        ..AtpgConfig::default()
+    };
+    let run = Atpg::new(&scanned, cfg)
+        .expect("scan design is well-formed")
+        .run()
+        .expect("atpg run");
+    assert!(run.stats.vectors > 0);
+
+    rescue_obs::profile::flush_thread();
+    let rows = prof.take();
+    prof.set_enabled(false);
+    let tree = rescue_obs::profile::resolve_tree(&rows);
+    let paths: Vec<&str> = tree.iter().map(|n| n.path.as_str()).collect();
+
+    // Phase scopes from the engine, and the worker scope pinned to the
+    // root regardless of which thread (or how many) ran it.
+    for expected in ["atpg", "atpg/podem", "atpg/fsim", "fsim_worker"] {
+        assert!(
+            paths.contains(&expected),
+            "missing profile path {expected:?} in {paths:?}"
+        );
+    }
+
+    // Tree invariant on live data: direct children never account for
+    // more time than their parent, and self + children == total.
+    for node in &tree {
+        let child_sum: u64 = tree
+            .iter()
+            .filter(|c| {
+                c.path
+                    .rfind('/')
+                    .map(|cut| &c.path[..cut])
+                    .is_some_and(|parent| parent == node.path)
+            })
+            .map(|c| c.total_ns)
+            .sum();
+        assert!(
+            child_sum <= node.total_ns,
+            "{}: children total {child_sum}ns exceeds parent total {}ns",
+            node.path,
+            node.total_ns
+        );
+        assert_eq!(
+            node.self_ns + child_sum,
+            node.total_ns,
+            "{}: self + children != total",
+            node.path
+        );
+    }
+
+    // The atpg phase actually nests its sub-phases (non-zero count and
+    // attributed time).
+    let atpg = tree.iter().find(|n| n.path == "atpg").unwrap();
+    assert!(atpg.count >= 1);
+    assert!(atpg.total_ns > 0);
+}

@@ -210,6 +210,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
             });
         }
     }
+    meter.finish();
     report
 }
 

@@ -30,6 +30,10 @@
 //!   aggregator: the pull-able live-progress surface for long engine
 //!   loops, and the [`live::ProgressMeter`] that mirrors progress as
 //!   JSONL frames and Perfetto counter tracks;
+//! * [`profile`] — hierarchical phase-attribution profiler: nestable
+//!   scoped timers aggregated into a per-thread self-time/total-time
+//!   tree, merged across worker threads, rendered as `profile.*` report
+//!   sections, a text flame summary, and Perfetto aggregate tracks;
 //! * [`prometheus`] — pure renderer for the Prometheus text exposition
 //!   served at `/metrics`;
 //! * [`server`] — [`server::TelemetryServer`], a hand-rolled HTTP/1.1
@@ -62,6 +66,7 @@ pub mod json;
 pub mod live;
 pub mod metrics;
 pub mod perfetto;
+pub mod profile;
 pub mod prometheus;
 pub mod report;
 pub mod rng;
@@ -71,7 +76,7 @@ pub mod trace;
 pub use coverage::{CoverageCurve, CoverageRecorder};
 pub use live::{LiveCounter, LiveSnapshot, ProgressMeter, ProgressRing};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
-pub use report::Report;
+pub use report::{Report, RobustStats};
 pub use rng::SplitMix64;
 pub use server::TelemetryServer;
 pub use trace::{counter, global, span, SpanGuard, SpanStat, TraceRecord, Tracer};

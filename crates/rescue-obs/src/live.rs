@@ -137,8 +137,10 @@ pub const RING_CAPACITY: usize = 512;
 /// fault-simulation workers (worker `i` uses slot `i + 1`, wrapping).
 pub const MAX_RINGS: usize = 33;
 
-/// Recent-sample window for rate estimation, in nanoseconds.
-const RATE_WINDOW_NS: u64 = 2_000_000_000;
+/// Recent-sample window for rate estimation, in nanoseconds. Exposed
+/// so `/snapshot.json` can tell scrapers which window the
+/// `rate_per_sec` fields were estimated over.
+pub const RATE_WINDOW_NS: u64 = 2_000_000_000;
 
 /// Delta payload bits in a packed sample (top 8 bits carry the counter
 /// index); larger deltas saturate in the *sample* only, never in the
@@ -418,22 +420,37 @@ pub fn global() -> &'static LiveHub {
 /// `progress.<label>` / `live.<counter>` counter samples, which the
 /// Perfetto export renders as counter tracks. While the period is 0 a
 /// tick is a single integer add.
+///
+/// Call [`ProgressMeter::finish`] (or just drop the meter) when the
+/// loop ends: a final completion frame is emitted so the last partial
+/// window — ticks since the last period boundary — is never silently
+/// dropped and scrapers always see the 100% state.
 #[derive(Debug)]
 pub struct ProgressMeter {
     label: &'static str,
     every: u64,
     pending: u64,
     done: u64,
+    frames: u64,
+    finished: bool,
 }
 
 impl ProgressMeter {
     /// A meter for the loop named `label`, armed by the global period.
     pub fn new(label: &'static str) -> Self {
+        ProgressMeter::with_period(label, global().progress_every())
+    }
+
+    /// A meter with an explicit period (0 = frames disabled), bypassing
+    /// the global `--progress-every` setting.
+    pub fn with_period(label: &'static str, every: u64) -> Self {
         ProgressMeter {
             label,
-            every: global().progress_every(),
+            every,
             pending: 0,
             done: 0,
+            frames: 0,
+            finished: false,
         }
     }
 
@@ -448,7 +465,7 @@ impl ProgressMeter {
         self.pending += units;
         if self.pending >= self.every {
             self.pending %= self.every;
-            self.emit();
+            self.emit(false);
         }
     }
 
@@ -457,11 +474,35 @@ impl ProgressMeter {
         self.done
     }
 
-    fn emit(&self) {
+    /// Progress frames emitted so far (including the final one).
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Mark the loop complete: emits one final progress frame (marked
+    /// `"final": "true"`) flushing the last partial window and the
+    /// current live totals. Idempotent; also invoked on drop, so early
+    /// returns still publish the completion state. No-op while frames
+    /// are disabled (period 0).
+    pub fn finish(&mut self) {
+        if self.finished || self.every == 0 {
+            return;
+        }
+        self.finished = true;
+        self.pending = 0;
+        self.emit(true);
+    }
+
+    fn emit(&mut self, final_frame: bool) {
+        self.frames += 1;
         let tracer = crate::trace::global();
         let hub = global();
         let done = self.done.to_string();
-        tracer.event("progress", &[("label", self.label), ("done", &done)]);
+        let mut fields = vec![("label", self.label), ("done", done.as_str())];
+        if final_frame {
+            fields.push(("final", "true"));
+        }
+        tracer.event("progress", &fields);
         tracer.counter(&format!("progress.{}", self.label), self.done as f64);
         for &c in &LiveCounter::ALL {
             let total = hub.total(c);
@@ -469,6 +510,12 @@ impl ProgressMeter {
                 tracer.counter(&format!("live.{}", c.name()), total as f64);
             }
         }
+    }
+}
+
+impl Drop for ProgressMeter {
+    fn drop(&mut self) {
+        self.finish();
     }
 }
 
@@ -534,5 +581,33 @@ mod tests {
             m.tick(3);
         }
         assert_eq!(m.done(), 3000);
+        m.finish();
+        assert_eq!(m.frames(), 0, "period 0 stays silent even at finish");
+    }
+
+    #[test]
+    fn meter_finish_flushes_partial_window_once() {
+        // Period 10, 25 ticks → frames at 10 and 20, plus exactly one
+        // final frame for the trailing 5 units. finish() is idempotent
+        // and drop must not emit a second final frame.
+        let mut m = ProgressMeter::with_period("test_finish", 10);
+        for _ in 0..25 {
+            m.tick(1);
+        }
+        assert_eq!(m.frames(), 2);
+        m.finish();
+        assert_eq!(m.frames(), 3);
+        m.finish();
+        assert_eq!(m.frames(), 3);
+        drop(m);
+    }
+
+    #[test]
+    fn meter_finish_emits_even_before_first_boundary() {
+        let mut m = ProgressMeter::with_period("test_early", 1000);
+        m.tick(7);
+        assert_eq!(m.frames(), 0);
+        m.finish();
+        assert_eq!(m.frames(), 1, "early phase end still publishes 100%");
     }
 }

@@ -49,7 +49,12 @@ pub fn render(title: &str, records: &[TraceRecord]) -> String {
         .collect();
     for tid in tids {
         let mut args = JsonObj::new();
-        args.str("name", &format!("thread {tid}"));
+        let label = if tid == crate::profile::PROFILE_TID {
+            "profile (aggregate)".to_owned()
+        } else {
+            format!("thread {tid}")
+        };
+        args.str("name", &label);
         let mut o = JsonObj::new();
         o.str("name", "thread_name")
             .str("ph", "M")
@@ -137,15 +142,26 @@ fn render_record(r: &TraceRecord) -> String {
 /// Convert a `--trace-json` JSONL document into trace-event JSON.
 ///
 /// Blank lines are skipped; a malformed line or an unknown `type` is an
-/// error naming the line number. Lines written before the `tid` field
-/// existed default to thread 1.
+/// error naming the line number — with one exception: a JSON *parse*
+/// failure on the final non-blank line is treated as a torn tail (the
+/// process was killed mid-write, e.g. inside a still-open span) and the
+/// line is dropped, so a kill-mid-span trace still converts. A line
+/// that parses but is semantically wrong (unknown `type`, missing
+/// field) errors wherever it appears. Lines written before the `tid`
+/// field existed default to thread 1.
 pub fn from_jsonl(title: &str, jsonl: &str) -> Result<String, String> {
+    let lines: Vec<(usize, &str)> = jsonl
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
     let mut records = Vec::new();
-    for (lineno, line) in jsonl.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+    for (pos, &(lineno, line)) in lines.iter().enumerate() {
+        let v = match json::parse(line) {
+            Ok(v) => v,
+            Err(_) if pos + 1 == lines.len() => break, // torn final write
+            Err(e) => return Err(format!("line {}: {e}", lineno + 1)),
+        };
         records.push(record_of_line(&v).map_err(|e| format!("line {}: {e}", lineno + 1))?);
     }
     Ok(render(title, &records))
@@ -325,10 +341,125 @@ mod tests {
 
     #[test]
     fn jsonl_conversion_reports_bad_lines() {
+        // Semantic errors (valid JSON, wrong shape) error anywhere —
+        // including on the last line.
         let err = from_jsonl("t", "{\"type\":\"mystery\"}").unwrap_err();
         assert!(err.contains("line 1"), "{err}");
-        let err = from_jsonl("t", "not json").unwrap_err();
+        // A parse failure that is NOT the final line is a real error.
+        let jsonl = concat!(
+            "not json\n",
+            "{\"type\":\"counter\",\"name\":\"c\",\"ts_ns\":1,\"value\":1,\"tid\":1}\n",
+        );
+        let err = from_jsonl("t", jsonl).unwrap_err();
         assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_converts_to_valid_document() {
+        for input in ["", "\n\n  \n"] {
+            let doc = from_jsonl("empty", input).expect("empty trace converts");
+            let v = json::parse(&doc).expect("valid JSON");
+            let events = v.get("traceEvents").and_then(JsonValue::as_arr).unwrap();
+            // Only the process_name metadata event remains.
+            assert_eq!(events.len(), 1, "{doc}");
+            assert_eq!(
+                events[0].get("name").and_then(JsonValue::as_str),
+                Some("process_name")
+            );
+        }
+        let doc = render("empty", &[]);
+        assert!(json::parse(&doc).is_ok());
+    }
+
+    /// A process killed mid-span leaves a JSONL file whose enclosing
+    /// span was never written and whose final line may be torn. The
+    /// converter must keep every intact record and drop only the torn
+    /// tail.
+    #[test]
+    fn kill_mid_span_trace_converts_dropping_torn_tail() {
+        let jsonl = concat!(
+            "{\"type\":\"span\",\"name\":\"inner\",\"ts_ns\":10,\"dur_ns\":20,\"depth\":1,\"tid\":1}\n",
+            "{\"type\":\"counter\",\"name\":\"cov\",\"ts_ns\":25,\"value\":0.5,\"tid\":1}\n",
+            "{\"type\":\"event\",\"name\":\"progre", // torn mid-write at kill
+        );
+        let doc = from_jsonl("killed", jsonl).expect("torn tail tolerated");
+        let v = json::parse(&doc).unwrap();
+        let events = v.get("traceEvents").and_then(JsonValue::as_arr).unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(JsonValue::as_str))
+            .filter(|p| *p != "M")
+            .collect();
+        assert_eq!(phases, vec!["X", "C"], "{doc}");
+    }
+
+    /// Two counter tracks with the same name on different threads must
+    /// stay distinct (same name + same tid would merge in the UI; the
+    /// converter keys tracks by (name, tid) as the format requires).
+    #[test]
+    fn duplicate_counter_track_names_keep_distinct_tids() {
+        let records = vec![
+            TraceRecord::Counter {
+                name: "queue_len".into(),
+                ts_ns: 100,
+                value: 3.0,
+                tid: 1,
+            },
+            TraceRecord::Counter {
+                name: "queue_len".into(),
+                ts_ns: 120,
+                value: 7.0,
+                tid: 2,
+            },
+        ];
+        let doc = render("dup", &records);
+        let v = json::parse(&doc).unwrap();
+        let events = v.get("traceEvents").and_then(JsonValue::as_arr).unwrap();
+        let counters: Vec<(&str, i128, f64)> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("C"))
+            .map(|e| {
+                (
+                    e.get("name").and_then(JsonValue::as_str).unwrap(),
+                    e.get("tid").and_then(JsonValue::as_int).unwrap(),
+                    e.get("args")
+                        .unwrap()
+                        .get("value")
+                        .and_then(JsonValue::as_f64)
+                        .unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            counters,
+            vec![("queue_len", 1, 3.0), ("queue_len", 2, 7.0)],
+            "{doc}"
+        );
+        // Both tids got thread_name metadata.
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some("thread_name"))
+            .filter_map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+            })
+            .collect();
+        assert_eq!(names, vec!["thread 1", "thread 2"]);
+    }
+
+    #[test]
+    fn profile_tid_gets_aggregate_thread_name() {
+        let records = vec![TraceRecord::Span {
+            name: "profile/atpg".into(),
+            ts_ns: 0,
+            dur_ns: 10,
+            depth: 0,
+            tid: crate::profile::PROFILE_TID,
+        }];
+        let doc = render("p", &records);
+        assert!(doc.contains("profile (aggregate)"), "{doc}");
     }
 
     /// A tracer wired for recording produces records that render into a

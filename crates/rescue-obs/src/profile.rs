@@ -1,0 +1,578 @@
+//! Hierarchical phase-attribution profiler: nestable scoped timers that
+//! aggregate into a per-thread total-time tree, merged process-wide into
+//! path-keyed rows (`atpg/podem`, `atpg/fsim`, …).
+//!
+//! Design goals, in order:
+//!
+//! 1. **Near-zero cost when disabled.** [`scope`] loads one relaxed
+//!    atomic and returns an inert guard; no clock read, no TLS touch.
+//! 2. **No locks on the hot path.** Each thread accumulates into a
+//!    thread-local arena tree; the global mutex is only taken when a
+//!    thread's tree is drained (thread exit or explicit
+//!    [`flush_thread`]).
+//! 3. **Thread-count-invariant paths.** Worker loops open their scopes
+//!    with [`scope_root`], which pins the scope under the virtual root
+//!    regardless of what the spawning code had open — so the set of
+//!    `profile.*` report sections does not depend on `--threads`, which
+//!    the `bench-diff` baseline gate requires.
+//!
+//! The merged rows are resolved into a tree ([`resolve_tree`]) where
+//! each node carries *total* time (wall time with the scope open) and
+//! *self* time (total minus the sum of direct children) — the invariant
+//! `Σ children.total ≤ parent.total` holds per thread because child
+//! scopes are strictly nested inside their parent, and is preserved by
+//! the merge because every thread contributes the same path shapes.
+//! [`render_flame`] prints an indented text flame summary and
+//! [`to_trace_records`] lays the aggregate tree out as synthetic spans
+//! on a reserved tid so the Perfetto export shows a "profile
+//! (aggregate)" track next to the real timelines.
+
+use crate::trace::TraceRecord;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Synthetic thread id used for aggregate profile tracks in the
+/// Perfetto export, chosen to stay clear of real `ThreadId` values.
+pub const PROFILE_TID: u64 = 9_999;
+
+/// Accumulated wall time and entry count for one tree path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathStat {
+    /// Total nanoseconds with this scope open (summed over entries and
+    /// threads).
+    pub total_ns: u64,
+    /// Number of times the scope was entered.
+    pub count: u64,
+}
+
+/// One resolved node of the profile tree (see [`resolve_tree`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfileNode {
+    /// Slash-joined path from the root, e.g. `"atpg/fsim"`.
+    pub path: String,
+    /// Nesting depth (`"atpg"` is 0, `"atpg/fsim"` is 1).
+    pub depth: usize,
+    /// Total nanoseconds with the scope open.
+    pub total_ns: u64,
+    /// Total minus the sum of direct children's totals (saturating).
+    pub self_ns: u64,
+    /// Entry count.
+    pub count: u64,
+}
+
+/// One node of a thread-local tree arena.
+#[derive(Debug)]
+struct LocalNode {
+    name: &'static str,
+    children: Vec<usize>,
+    total_ns: u64,
+    count: u64,
+}
+
+/// Per-thread profile state: an arena tree plus the open-scope stack.
+/// `nodes[0]` is a virtual root that never accumulates time.
+#[derive(Debug)]
+struct LocalTree {
+    nodes: Vec<LocalNode>,
+    stack: Vec<usize>,
+}
+
+impl LocalTree {
+    fn new() -> Self {
+        LocalTree {
+            nodes: vec![LocalNode {
+                name: "",
+                children: Vec::new(),
+                total_ns: 0,
+                count: 0,
+            }],
+            stack: Vec::new(),
+        }
+    }
+
+    /// Find or create the child of `parent` named `name`.
+    fn child(&mut self, parent: usize, name: &'static str) -> usize {
+        if let Some(&c) = self.nodes[parent]
+            .children
+            .iter()
+            .find(|&&c| self.nodes[c].name == name)
+        {
+            return c;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(LocalNode {
+            name,
+            children: Vec::new(),
+            total_ns: 0,
+            count: 0,
+        });
+        self.nodes[parent].children.push(idx);
+        idx
+    }
+
+    fn enter(&mut self, name: &'static str, pin_to_root: bool) {
+        let parent = if pin_to_root {
+            0
+        } else {
+            self.stack.last().copied().unwrap_or(0)
+        };
+        let idx = self.child(parent, name);
+        self.stack.push(idx);
+    }
+
+    fn exit(&mut self, elapsed_ns: u64) {
+        if let Some(idx) = self.stack.pop() {
+            self.nodes[idx].total_ns += elapsed_ns;
+            self.nodes[idx].count += 1;
+        }
+    }
+
+    /// Move every accumulated total into `merged` (keyed by slash path)
+    /// and zero the local totals. The arena and stack are kept intact so
+    /// guards that are still open remain valid.
+    fn drain_into(&mut self, merged: &mut BTreeMap<String, PathStat>) {
+        // DFS from the root, building paths as we go.
+        let mut work: Vec<(usize, String)> = self.nodes[0]
+            .children
+            .iter()
+            .map(|&c| (c, self.nodes[c].name.to_owned()))
+            .collect();
+        while let Some((idx, path)) = work.pop() {
+            let node = &mut self.nodes[idx];
+            if node.count > 0 || node.total_ns > 0 {
+                let s = merged.entry(path.clone()).or_default();
+                s.total_ns += node.total_ns;
+                s.count += node.count;
+                node.total_ns = 0;
+                node.count = 0;
+            }
+            let children: Vec<usize> = self.nodes[idx].children.clone();
+            for c in children {
+                let name = self.nodes[c].name;
+                work.push((c, format!("{path}/{name}")));
+            }
+        }
+    }
+}
+
+/// TLS wrapper whose `Drop` merges any remaining thread-local totals
+/// into the global profiler — this is how FaultShards workers (which
+/// exit inside `thread::scope` before report time) contribute.
+struct LocalSlot(RefCell<LocalTree>);
+
+impl Drop for LocalSlot {
+    fn drop(&mut self) {
+        let mut merged = match global().merged.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        self.0.borrow_mut().drain_into(&mut merged);
+    }
+}
+
+thread_local! {
+    static LOCAL: LocalSlot = LocalSlot(RefCell::new(LocalTree::new()));
+}
+
+/// Process-wide profiler: an enable gate plus the merged path table.
+#[derive(Debug)]
+pub struct Profiler {
+    enabled: AtomicBool,
+    merged: Mutex<BTreeMap<String, PathStat>>,
+}
+
+impl Profiler {
+    fn new() -> Self {
+        Profiler {
+            enabled: AtomicBool::new(false),
+            merged: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Turn scope recording on or off. Scopes already open keep their
+    /// recording decision (made at entry).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether scopes currently record.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, PathStat>> {
+        match self.merged.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Sorted copy of the merged rows (path → stat), leaving them in
+    /// place.
+    pub fn snapshot(&self) -> Vec<(String, PathStat)> {
+        self.lock().iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Drain the merged rows, returning them sorted by path.
+    pub fn take(&self) -> Vec<(String, PathStat)> {
+        std::mem::take(&mut *self.lock()).into_iter().collect()
+    }
+
+    /// Clear all merged rows.
+    pub fn reset(&self) {
+        self.lock().clear();
+    }
+}
+
+/// The process-wide profiler used by [`scope`] / [`scope_root`].
+pub fn global() -> &'static Profiler {
+    static GLOBAL: OnceLock<Profiler> = OnceLock::new();
+    GLOBAL.get_or_init(Profiler::new)
+}
+
+/// RAII guard for one profile scope. Created by [`scope`] /
+/// [`scope_root`]; records elapsed wall time into the thread-local tree
+/// on drop. Inert (no clock read) when the profiler was disabled at
+/// entry.
+#[derive(Debug)]
+#[must_use = "the scope is timed until the guard drops"]
+pub struct ProfileScope {
+    start: Option<Instant>,
+}
+
+impl Drop for ProfileScope {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            // try_with: the TLS slot may already be gone during thread
+            // teardown; losing the final exit is acceptable there.
+            let _ = LOCAL.try_with(|slot| slot.0.borrow_mut().exit(elapsed));
+        }
+    }
+}
+
+fn enter(name: &'static str, pin_to_root: bool) -> ProfileScope {
+    if !global().enabled() {
+        return ProfileScope { start: None };
+    }
+    let ok = LOCAL
+        .try_with(|slot| slot.0.borrow_mut().enter(name, pin_to_root))
+        .is_ok();
+    ProfileScope {
+        start: ok.then(Instant::now),
+    }
+}
+
+/// Open a profile scope nested under the innermost open scope on this
+/// thread (or under the root if none is open).
+pub fn scope(name: &'static str) -> ProfileScope {
+    enter(name, false)
+}
+
+/// Open a profile scope pinned directly under the virtual root,
+/// ignoring any scopes the caller has open. Worker loops use this so
+/// their paths are identical whether the work ran inline (serial
+/// fallback, under `atpg/fsim`) or on a spawned thread.
+pub fn scope_root(name: &'static str) -> ProfileScope {
+    enter(name, true)
+}
+
+/// Merge this thread's accumulated totals into the global table now
+/// (threads merge automatically at exit; the main thread calls this
+/// before reading [`Profiler::snapshot`]).
+pub fn flush_thread() {
+    let _ = LOCAL.try_with(|slot| {
+        let mut merged = global().lock();
+        slot.0.borrow_mut().drain_into(&mut merged);
+    });
+}
+
+/// Resolve sorted `(path, stat)` rows into tree nodes with self time.
+/// Input order does not matter; output is sorted so that every parent
+/// precedes its children (lexicographic path order with `/` treated as
+/// the separator gives exactly that).
+pub fn resolve_tree(rows: &[(String, PathStat)]) -> Vec<ProfileNode> {
+    let mut nodes: Vec<ProfileNode> = rows
+        .iter()
+        .map(|(path, st)| ProfileNode {
+            path: path.clone(),
+            depth: path.matches('/').count(),
+            total_ns: st.total_ns,
+            self_ns: st.total_ns,
+            count: st.count,
+        })
+        .collect();
+    nodes.sort_by(|a, b| a.path.cmp(&b.path));
+    let index: BTreeMap<String, usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.path.clone(), i))
+        .collect();
+    for i in 0..nodes.len() {
+        if let Some(cut) = nodes[i].path.rfind('/') {
+            let parent_path = nodes[i].path[..cut].to_owned();
+            if let Some(&p) = index.get(&parent_path) {
+                let child_total = nodes[i].total_ns;
+                nodes[p].self_ns = nodes[p].self_ns.saturating_sub(child_total);
+            }
+        }
+    }
+    nodes
+}
+
+/// Indented text flame summary of a resolved tree: one line per node
+/// with total/self milliseconds, entry count, and the node's share of
+/// its root's total.
+pub fn render_flame(nodes: &[ProfileNode]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("== profile (self-time tree) ==\n");
+    if nodes.is_empty() {
+        s.push_str("  (no profile scopes recorded)\n");
+        return s;
+    }
+    let _ = writeln!(
+        s,
+        "  {:44} {:>10} {:>10} {:>8} {:>6}",
+        "phase", "total_ms", "self_ms", "count", "pct"
+    );
+    // Root totals for percentage attribution.
+    let mut root_total: BTreeMap<&str, u64> = BTreeMap::new();
+    for n in nodes {
+        if n.depth == 0 {
+            root_total.insert(n.path.as_str(), n.total_ns.max(1));
+        }
+    }
+    for n in nodes {
+        let root = n.path.split('/').next().unwrap_or("");
+        let denom = root_total.get(root).copied().unwrap_or(1) as f64;
+        let pct = 100.0 * n.total_ns as f64 / denom;
+        let name = n.path.rsplit('/').next().unwrap_or(&n.path);
+        let label = format!("{}{}", "  ".repeat(n.depth), name);
+        let _ = writeln!(
+            s,
+            "  {:44} {:>10.3} {:>10.3} {:>8} {:>5.1}%",
+            label,
+            n.total_ns as f64 / 1e6,
+            n.self_ns as f64 / 1e6,
+            n.count,
+            pct
+        );
+    }
+    s
+}
+
+/// Lay a resolved tree out as synthetic span records on [`PROFILE_TID`]
+/// for the Perfetto export: siblings are placed end-to-end starting at
+/// their parent's start, so nesting is visually exact (children fit
+/// inside parents because `Σ children.total ≤ parent.total`).
+pub fn to_trace_records(nodes: &[ProfileNode]) -> Vec<TraceRecord> {
+    let mut start_ns: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut cursor: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut out = Vec::with_capacity(nodes.len());
+    let mut root_cursor = 0u64;
+    // nodes is parent-before-child sorted (resolve_tree guarantees it).
+    for n in nodes {
+        let start = if let Some(cut) = n.path.rfind('/') {
+            let parent = &n.path[..cut];
+            let parent_start = start_ns.get(parent).copied().unwrap_or(0);
+            let c = cursor.entry(parent).or_insert(parent_start);
+            let s = *c;
+            *c += n.total_ns;
+            s
+        } else {
+            let s = root_cursor;
+            root_cursor += n.total_ns;
+            s
+        };
+        start_ns.insert(n.path.as_str(), start);
+        out.push(TraceRecord::Span {
+            name: format!("profile/{}", n.path),
+            ts_ns: start,
+            dur_ns: n.total_ns,
+            depth: n.depth as u64,
+            tid: PROFILE_TID,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Profiler state is process-global; serialize tests touching it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    fn rows_with_prefix(prefix: &str) -> Vec<(String, PathStat)> {
+        global()
+            .snapshot()
+            .into_iter()
+            .filter(|(p, _)| p == prefix || p.starts_with(&format!("{prefix}/")))
+            .collect()
+    }
+
+    #[test]
+    fn disabled_scopes_record_nothing() {
+        let _g = locked();
+        global().set_enabled(false);
+        {
+            let _a = scope("t_disabled");
+            let _b = scope("inner");
+        }
+        flush_thread();
+        assert!(rows_with_prefix("t_disabled").is_empty());
+    }
+
+    #[test]
+    fn nested_scopes_build_paths_and_hold_invariant() {
+        let _g = locked();
+        global().set_enabled(true);
+        {
+            let _a = scope("t_nest");
+            for _ in 0..3 {
+                let _b = scope("child");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            let _c = scope("other");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        flush_thread();
+        global().set_enabled(false);
+        let rows = rows_with_prefix("t_nest");
+        let tree = resolve_tree(&rows);
+        let parent = tree.iter().find(|n| n.path == "t_nest").expect("parent");
+        let child = tree
+            .iter()
+            .find(|n| n.path == "t_nest/child")
+            .expect("child");
+        let other = tree
+            .iter()
+            .find(|n| n.path == "t_nest/other")
+            .expect("other");
+        assert_eq!(child.count, 3);
+        assert_eq!(other.count, 1);
+        // Invariant: Σ direct children total ≤ parent total, and
+        // self = total − Σ children.
+        assert!(child.total_ns + other.total_ns <= parent.total_ns);
+        assert_eq!(
+            parent.self_ns,
+            parent.total_ns - child.total_ns - other.total_ns
+        );
+    }
+
+    #[test]
+    fn scope_root_ignores_open_parents() {
+        let _g = locked();
+        global().set_enabled(true);
+        {
+            let _a = scope("t_outer");
+            let _w = scope_root("t_pinned");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        flush_thread();
+        global().set_enabled(false);
+        let pinned = rows_with_prefix("t_pinned");
+        assert_eq!(pinned.len(), 1, "pinned scope must be a root: {pinned:?}");
+        assert!(rows_with_prefix("t_outer")
+            .iter()
+            .all(|(p, _)| !p.contains("t_pinned")));
+    }
+
+    #[test]
+    fn worker_threads_merge_on_exit() {
+        let _g = locked();
+        global().set_enabled(true);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let _w = scope_root("t_worker");
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                });
+            }
+        });
+        global().set_enabled(false);
+        let rows = rows_with_prefix("t_worker");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1.count, 2, "both workers merged: {rows:?}");
+    }
+
+    #[test]
+    fn trace_records_nest_children_inside_parents() {
+        let rows = vec![
+            (
+                "a".to_owned(),
+                PathStat {
+                    total_ns: 100,
+                    count: 1,
+                },
+            ),
+            (
+                "a/x".to_owned(),
+                PathStat {
+                    total_ns: 40,
+                    count: 2,
+                },
+            ),
+            (
+                "a/y".to_owned(),
+                PathStat {
+                    total_ns: 50,
+                    count: 1,
+                },
+            ),
+            (
+                "b".to_owned(),
+                PathStat {
+                    total_ns: 7,
+                    count: 1,
+                },
+            ),
+        ];
+        let tree = resolve_tree(&rows);
+        let a = tree.iter().find(|n| n.path == "a").expect("a");
+        assert_eq!(a.self_ns, 10);
+        let recs = to_trace_records(&tree);
+        assert_eq!(recs.len(), 4);
+        let span = |name: &str| {
+            recs.iter()
+                .find_map(|r| match r {
+                    TraceRecord::Span {
+                        name: n,
+                        ts_ns,
+                        dur_ns,
+                        tid,
+                        ..
+                    } if n == &format!("profile/{name}") => Some((*ts_ns, *dur_ns, *tid)),
+                    _ => None,
+                })
+                .expect("span present")
+        };
+        let (as_, ad, atid) = span("a");
+        let (xs, xd, _) = span("a/x");
+        let (ys, yd, _) = span("a/y");
+        let (bs, _, _) = span("b");
+        assert_eq!(atid, PROFILE_TID);
+        assert!(xs >= as_ && xs + xd <= as_ + ad, "x inside a");
+        assert!(ys >= as_ && ys + yd <= as_ + ad, "y inside a");
+        assert_eq!(ys, xs + xd, "siblings laid end-to-end");
+        assert_eq!(bs, as_ + ad, "roots laid end-to-end");
+        let flame = render_flame(&tree);
+        assert!(flame.contains("a/x") || flame.contains("  x"), "{flame}");
+    }
+
+    #[test]
+    fn flame_renders_empty_tree() {
+        let flame = render_flame(&[]);
+        assert!(flame.contains("no profile scopes"));
+    }
+}

@@ -177,8 +177,11 @@ fn respond(
     stream.flush()
 }
 
-/// Build the `/snapshot.json` document: run title, hub uptime, live
-/// counter aggregates, and the full registry snapshot (all name-sorted).
+/// Build the `/snapshot.json` document: run title, hub uptime, the
+/// rate-estimation window, live counter aggregates (each with its
+/// exact total *and* trailing-window `rate_per_sec`, so scrapers never
+/// need to diff two snapshots), and the full registry snapshot (all
+/// name-sorted).
 pub fn snapshot_json(title: &str, live: &LiveSnapshot, reg: &RegistrySnapshot) -> String {
     let live_counters: Vec<String> = live
         .counters
@@ -221,6 +224,7 @@ pub fn snapshot_json(title: &str, live: &LiveSnapshot, reg: &RegistrySnapshot) -
     let mut o = JsonObj::new();
     o.str("title", title)
         .u64("uptime_ns", live.uptime_ns)
+        .u64("rate_window_ns", crate::live::RATE_WINDOW_NS)
         .raw("live", &live_obj.finish())
         .raw("registry", &reg_obj.finish());
     o.finish()
