@@ -1,26 +1,35 @@
 //! Parallel-pattern single-fault-propagation (PPSFP) fault simulation.
 //!
-//! Good-machine values for a block of 64 patterns are computed once; each
-//! fault is then simulated by propagating only the *difference* it causes
-//! through the fanout cone, stopping as soon as the difference dies. This
-//! is the standard high-throughput architecture of commercial fault
+//! Good-machine values for a lane block of `W * 64` patterns (64, 256
+//! or 512 for `W` ∈ {1, 4, 8}) are computed once; each fault is then
+//! simulated by propagating only the *difference* it causes through the
+//! fanout cone, stopping as soon as the difference dies. This is the
+//! standard high-throughput architecture of commercial fault
 //! simulators.
 //!
-//! The simulator runs over the [`Levelized`] packed view of the netlist.
-//! Events are ordered by logic level; because a gate only ever schedules
-//! consumers at strictly higher levels, the default queue is a
-//! **level-indexed bucket array** ([`Kernel::Bucket`]) with O(1)
+//! The simulator runs over the [`Levelized`] packed view of the netlist
+//! and keeps its hot `good`/`faulty` arrays in the view's **internal
+//! level-order net numbering**, so the good sweep and the propagation
+//! both stream; public APIs taking [`rescue_netlist::NetId`] or
+//! [`Fault`] translate at the boundary.
+//!
+//! Events are ordered by logic level; because a gate only ever
+//! schedules consumers at strictly higher levels, the default queue is
+//! a **level-indexed bucket array** ([`Kernel::Bucket`]) with O(1)
 //! push/pop — no heap rebalancing per event. The original binary-heap
 //! ordering survives as [`Kernel::Heap`] for the `fsim-kernel`
-//! microbench; both kernels evaluate exactly the same gate set for a
-//! given fault, so every counter and detection result is kernel-
-//! independent.
+//! microbench. [`Kernel::Ppsfp`] drops the per-net epoch overlay: the
+//! faulty array starts as a full copy of the good values, the inner
+//! loop reads it directly (no branch per pin), and a touched-net undo
+//! list restores the copy after each fault. All three kernels evaluate
+//! exactly the same gate set for a given fault, so every counter and
+//! detection result is kernel-independent.
 //!
 //! All per-fault scratch (the input buffer, the touched-net list, the
 //! queues) lives in the `FaultSim` and is reused across calls; a
 //! simulator performs no per-fault allocation in steady state.
 
-use rescue_netlist::{Fault, FaultSite, Levelized, Netlist, PatternBlock};
+use rescue_netlist::{Fault, FaultSite, Levelized, Netlist, PatternBlock, WideBlock};
 use rescue_obs::metrics::{Counter, Gauge};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -35,33 +44,41 @@ pub enum Observation {
     PrimaryOutput(usize),
 }
 
-/// Event-queue discipline for the propagation loop. Both kernels produce
+/// Event-queue discipline for the propagation loop. All kernels produce
 /// identical results and identical `gate_evals` counts; they differ only
-/// in queue cost per event.
+/// in queue/overlay cost per event.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Kernel {
-    /// Level-indexed bucket queues: O(1) push/pop. The default.
+    /// Level-indexed bucket queues over an epoch-tagged faulty overlay:
+    /// O(1) push/pop. The default.
     #[default]
     Bucket,
     /// Binary heap ordered by (level, position): O(log n) per event.
     /// Kept as the microbench reference point.
     Heap,
+    /// Bucket queues over a *full* faulty copy with an undo list: the
+    /// inner loop reads faulty values unconditionally (no epoch branch
+    /// per pin) and the touched list restores `faulty = good` after
+    /// each fault.
+    Ppsfp,
 }
 
 /// Live counters for one fault simulator, aggregated across blocks.
 #[derive(Debug, Default)]
 pub struct FsimStats {
-    /// Pattern blocks loaded (good-machine simulations).
+    /// Pattern blocks loaded (good-machine simulations). A wide load
+    /// counts once per *lane block*, whatever its width.
     pub blocks_loaded: Counter,
     /// Faults simulated (difference-propagation runs).
     pub faults_simulated: Counter,
     /// Simulated faults that were detected under their block.
     pub faults_detected: Counter,
     /// Gate re-evaluations in the event-driven propagation (the unit of
-    /// fault-simulation work).
+    /// fault-simulation work). One wide eval counts once: at `W = 8` a
+    /// single eval covers 512 patterns.
     pub gate_evals: Counter,
     /// Events pushed onto the propagation queue (queue pressure; equal
-    /// for both kernels on the same fault set).
+    /// for all kernels on the same fault set).
     pub events_queued: Counter,
     /// High-water mark of pending propagation events at any instant.
     pub queue_peak: Gauge,
@@ -99,16 +116,16 @@ impl LevHandle<'_> {
 
 /// The fault as seen by the propagation inner loop: the stuck value plus
 /// packed-position overrides, with sentinels instead of `Option`s so the
-/// hot path stays branch-cheap.
+/// hot path stays branch-cheap. Net indices are internal level-order.
 #[derive(Clone, Copy)]
 struct FaultView {
-    /// All-ones for stuck-at-1, all-zeros for stuck-at-0.
+    /// All-ones for stuck-at-1, all-zeros for stuck-at-0 (per word).
     stuck: u64,
     /// Packed position whose input pin is forced, or `u32::MAX`.
     gpos: u32,
     /// The forced pin index (meaningful when `gpos` is set).
     pin: usize,
-    /// Net index forced to `stuck`, or `usize::MAX`.
+    /// Internal net index forced to `stuck`, or `usize::MAX`.
     net: usize,
 }
 
@@ -120,7 +137,7 @@ impl FaultView {
                 stuck,
                 gpos: u32::MAX,
                 pin: 0,
-                net: site.index(),
+                net: lev.new_net(site.index()),
             },
             FaultSite::GateInput(g, pin) => FaultView {
                 stuck,
@@ -130,33 +147,50 @@ impl FaultView {
             },
         }
     }
+
+    #[inline]
+    fn stuck_wide<const W: usize>(&self) -> [u64; W] {
+        [self.stuck; W]
+    }
 }
 
 /// Fault simulator bound to a netlist, reusable across pattern blocks.
 ///
-/// Build with [`FaultSim::new`] (owns its levelized view) or
-/// [`FaultSim::with_levelized`] (borrows one shared across workers).
+/// The const parameter `W` is the lane-block width in 64-pattern words:
+/// `FaultSim<'_>` (the default, `W = 1`) simulates 64 patterns per
+/// pass and keeps the original `u64` API; `FaultSim<'_, 4>` /
+/// `FaultSim<'_, 8>` simulate 256 / 512 patterns per pass through the
+/// `_wide` methods. Lanes are numbered `word * 64 + bit` in vector
+/// order, so lane indices are stable across widths.
+///
+/// Build with [`FaultSim::new`] (owns its levelized view),
+/// [`FaultSim::with_levelized`] / [`FaultSim::with_kernel`] (borrow one
+/// shared across workers), or [`FaultSim::wide`] for `W > 1`.
 #[derive(Debug)]
-pub struct FaultSim<'a> {
+pub struct FaultSim<'a, const W: usize = 1> {
     lev: LevHandle<'a>,
     kernel: Kernel,
-    /// Good-machine values for the current block.
-    good: Vec<u64>,
-    /// Faulty-value overlay, valid where `touched_epoch == epoch`.
-    faulty: Vec<u64>,
+    /// Good-machine values for the current block, internal net order.
+    good: Vec<[u64; W]>,
+    /// Faulty values: an epoch-tagged overlay (Bucket/Heap, valid where
+    /// `touched_epoch == epoch`) or a full copy of `good` (Ppsfp).
+    faulty: Vec<[u64; W]>,
     touched_epoch: Vec<u32>,
     /// Nets touched by the current run (indices into `faulty`), so
-    /// observation collection never scans the full net array.
+    /// observation collection never scans the full net array — and the
+    /// Ppsfp kernel's undo list.
     touched: Vec<u32>,
     epoch: u32,
     /// Per packed gate position: epoch when last queued.
     queued: Vec<u32>,
-    /// One event bucket per logic level (bucket kernel).
+    /// One event bucket per logic level (bucket/ppsfp kernels).
     buckets: Vec<Vec<u32>>,
     /// (level, position) heap (heap kernel).
     heap: BinaryHeap<Reverse<(u32, u32)>>,
     /// Reusable gate-input scratch.
-    in_buf: Vec<u64>,
+    in_buf: Vec<[u64; W]>,
+    /// Non-replicated words of the loaded lane block (`1..=W`).
+    loaded_words: usize,
     stats: FsimStats,
 }
 
@@ -184,6 +218,41 @@ impl<'a> FaultSim<'a> {
         Self::from_handle(LevHandle::Shared(lev), kernel)
     }
 
+    /// Load a pattern block: runs the good-machine simulation.
+    pub fn load_block(&mut self, block: &PatternBlock) {
+        self.load_wide(&WideBlock::<1>::from_blocks(std::slice::from_ref(block)));
+    }
+
+    /// Good-machine value of a net under the loaded block.
+    pub fn good_value(&self, net: rescue_netlist::NetId) -> u64 {
+        self.good_wide(net)[0]
+    }
+
+    /// Simulate `fault` against the loaded block. Returns the patterns
+    /// (bitmask) under which the fault is detected, or 0 if undetected.
+    pub fn detect_mask(&mut self, fault: Fault) -> u64 {
+        self.detect_mask_wide(fault)[0]
+    }
+
+    /// Simulate `fault` and report every observation point where a
+    /// difference appears, with its pattern mask. This is the data fault
+    /// isolation consumes (the failing scan positions).
+    pub fn observations(&mut self, fault: Fault) -> Vec<(Observation, u64)> {
+        self.observations_wide(fault)
+            .into_iter()
+            .map(|(o, m)| (o, m[0]))
+            .collect()
+    }
+}
+
+impl<'a, const W: usize> FaultSim<'a, W> {
+    /// Create a `W`-word-wide simulator over a shared levelized view
+    /// with an explicit kernel, e.g. `FaultSim::<8>::wide(&lev,
+    /// Kernel::Ppsfp)` for 512 patterns per pass.
+    pub fn wide(lev: &'a Levelized, kernel: Kernel) -> Self {
+        Self::from_handle(LevHandle::Shared(lev), kernel)
+    }
+
     fn from_handle(lev: LevHandle<'a>, kernel: Kernel) -> Self {
         let l = lev.get();
         let n = l.num_nets();
@@ -192,8 +261,8 @@ impl<'a> FaultSim<'a> {
         let max_fanin = l.max_fanin();
         FaultSim {
             kernel,
-            good: vec![0; n],
-            faulty: vec![0; n],
+            good: vec![[0; W]; n],
+            faulty: vec![[0; W]; n],
             touched_epoch: vec![0; n],
             touched: Vec::new(),
             epoch: 0,
@@ -201,6 +270,7 @@ impl<'a> FaultSim<'a> {
             buckets: vec![Vec::new(); num_levels],
             heap: BinaryHeap::new(),
             in_buf: Vec::with_capacity(max_fanin),
+            loaded_words: 1,
             stats: FsimStats::default(),
             lev,
         }
@@ -216,45 +286,87 @@ impl<'a> FaultSim<'a> {
         self.kernel
     }
 
-    /// Load a pattern block: runs the good-machine simulation.
-    pub fn load_block(&mut self, block: &PatternBlock) {
-        self.lev.get().eval_block_into(block, &mut self.good);
+    /// Number of non-replicated 64-pattern words in the loaded block.
+    pub fn loaded_words(&self) -> usize {
+        self.loaded_words
+    }
+
+    /// Load a lane block: runs the good-machine simulation for all
+    /// `W * 64` patterns in one sweep.
+    pub fn load_wide(&mut self, wide: &WideBlock<W>) {
+        // PPSFP phase attribution: the full-block good sweep (plus the
+        // faulty-copy reset) vs. per-fault propagation vs. undo.
+        let _prof =
+            (self.kernel == Kernel::Ppsfp).then(|| rescue_obs::profile::scope("ppsfp_good_sweep"));
+        self.lev.get().eval_wide_into(wide, &mut self.good);
+        self.loaded_words = wide.real_words;
+        if self.kernel == Kernel::Ppsfp {
+            // The PPSFP inner loop reads `faulty` unconditionally, so
+            // it must start as an exact copy of the good values.
+            self.faulty.copy_from_slice(&self.good);
+        }
         self.stats.blocks_loaded.inc();
     }
 
-    /// Good-machine value of a net under the loaded block.
-    pub fn good_value(&self, net: rescue_netlist::NetId) -> u64 {
-        self.good[net.index()]
+    /// Pack `1..=W` pattern blocks (padding by replicating the last)
+    /// and load them. Convenience over [`FaultSim::load_wide`].
+    pub fn load_blocks(&mut self, blocks: &[PatternBlock]) {
+        self.load_wide(&WideBlock::from_blocks(blocks));
     }
 
-    /// Simulate `fault` against the loaded block. Returns the patterns
-    /// (bitmask) under which the fault is detected, or 0 if undetected.
-    pub fn detect_mask(&mut self, fault: Fault) -> u64 {
-        let mut mask = 0u64;
-        self.run(fault, |_, m| mask |= m);
-        if mask != 0 {
+    /// Good-machine lane block of a net under the loaded block.
+    pub fn good_wide(&self, net: rescue_netlist::NetId) -> [u64; W] {
+        self.good[self.lev.get().new_net(net.index())]
+    }
+
+    /// Simulate `fault` against the loaded lane block. Word `j`, bit
+    /// `k` of the result is set when pattern `j * 64 + k` detects the
+    /// fault; all-zero when the block misses it. Padding words
+    /// replicate their source block's word.
+    pub fn detect_mask_wide(&mut self, fault: Fault) -> [u64; W] {
+        let mut mask = [0u64; W];
+        self.run(fault, |_, m| {
+            for (acc, w) in mask.iter_mut().zip(m) {
+                *acc |= w;
+            }
+        });
+        if mask.iter().any(|&w| w != 0) {
             self.stats.faults_detected.inc();
         }
         mask
     }
 
-    /// Bit lane of the first pattern in the loaded block that detects
-    /// `fault` (patterns occupy lanes in vector order), or `None` when
-    /// the block misses it. This is the per-vector provenance the
-    /// coverage curve records.
+    /// Lane of the first pattern in the loaded block that detects
+    /// `fault`, or `None` when the block misses it. Lanes are numbered
+    /// `word * 64 + bit` — the pattern's position in vector order — so
+    /// the returned index is identical whatever `W` the same patterns
+    /// are packed into. This is the per-vector provenance the coverage
+    /// curve records.
     pub fn first_detecting_lane(&mut self, fault: Fault) -> Option<u32> {
-        let mask = self.detect_mask(fault);
-        if mask == 0 {
-            None
-        } else {
-            Some(mask.trailing_zeros())
-        }
+        let mask = self.detect_mask_wide(fault);
+        // Replicated padding words only duplicate detections already
+        // present in the last real word, so scanning in word order
+        // always lands on a real lane first.
+        mask.iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(word, w)| word as u32 * 64 + w.trailing_zeros())
+    }
+
+    /// Number of distinct *real* patterns in the loaded block that
+    /// detect `fault` (padding words excluded). Drives the n-detect
+    /// fault-dropping policy.
+    pub fn detecting_lane_count(&mut self, fault: Fault) -> u32 {
+        let mask = self.detect_mask_wide(fault);
+        mask.iter()
+            .take(self.loaded_words)
+            .map(|w| w.count_ones())
+            .sum()
     }
 
     /// Simulate `fault` and report every observation point where a
-    /// difference appears, with its pattern mask. This is the data fault
-    /// isolation consumes (the failing scan positions).
-    pub fn observations(&mut self, fault: Fault) -> Vec<(Observation, u64)> {
+    /// difference appears, with its per-word pattern masks.
+    pub fn observations_wide(&mut self, fault: Fault) -> Vec<(Observation, [u64; W])> {
         let mut obs = Vec::new();
         self.run(fault, |o, m| obs.push((o, m)));
         obs.sort();
@@ -273,12 +385,16 @@ impl<'a> FaultSim<'a> {
     }
 
     /// Core event-driven difference propagation.
-    fn run(&mut self, fault: Fault, mut on_observe: impl FnMut(Observation, u64)) {
+    fn run(&mut self, fault: Fault, mut on_observe: impl FnMut(Observation, [u64; W])) {
         self.stats.faults_simulated.inc();
         self.bump_epoch();
         match self.kernel {
-            Kernel::Bucket => self.propagate_bucket(fault),
+            Kernel::Bucket => self.propagate_bucket::<false>(fault),
             Kernel::Heap => self.propagate_heap(fault),
+            Kernel::Ppsfp => {
+                let _prof = rescue_obs::profile::scope("ppsfp_propagate");
+                self.propagate_bucket::<true>(fault);
+            }
         }
         // Collect observations: any touched net with a difference that
         // feeds a flip-flop D or a primary output. A stem fault on a net
@@ -287,8 +403,16 @@ impl<'a> FaultSim<'a> {
         let lev = self.lev.get();
         for &net in &self.touched {
             let ni = net as usize;
-            let diff = self.faulty[ni] ^ self.good[ni];
-            if diff == 0 {
+            let mut diff = [0u64; W];
+            let mut any = 0u64;
+            for (d, (f, g)) in diff
+                .iter_mut()
+                .zip(self.faulty[ni].iter().zip(&self.good[ni]))
+            {
+                *d = f ^ g;
+                any |= *d;
+            }
+            if any == 0 {
                 continue;
             }
             for &d in lev.fanout_dffs(ni) {
@@ -298,9 +422,23 @@ impl<'a> FaultSim<'a> {
                 on_observe(Observation::PrimaryOutput(o as usize), diff);
             }
         }
+        if self.kernel == Kernel::Ppsfp {
+            // Undo: restore the full faulty copy for the next fault.
+            let _prof = rescue_obs::profile::scope("ppsfp_undo");
+            let FaultSim {
+                touched,
+                good,
+                faulty,
+                ..
+            } = self;
+            for &net in touched.iter() {
+                let ni = net as usize;
+                faulty[ni] = good[ni];
+            }
+        }
     }
 
-    fn propagate_bucket(&mut self, fault: Fault) {
+    fn propagate_bucket<const PPSFP: bool>(&mut self, fault: Fault) {
         let FaultSim {
             lev,
             good,
@@ -323,14 +461,14 @@ impl<'a> FaultSim<'a> {
         let mut peak = 0usize;
         let mut first_level = lev.num_levels();
         match fault.site {
-            FaultSite::Net(site) => {
-                let ni = site.index();
-                faulty[ni] = fv.stuck;
+            FaultSite::Net(_) => {
+                let ni = fv.net;
+                faulty[ni] = fv.stuck_wide();
                 if touched_epoch[ni] != epoch {
                     touched_epoch[ni] = epoch;
                     touched.push(ni as u32);
                 }
-                if fv.stuck != good[ni] {
+                if fv.stuck_wide() != good[ni] {
                     for &pos in lev.fanout(ni) {
                         if queued[pos as usize] != epoch {
                             queued[pos as usize] = epoch;
@@ -371,7 +509,7 @@ impl<'a> FaultSim<'a> {
                 // bucket plus all higher levels), so the peak below is
                 // the exact queue high-water mark.
                 pending -= 1;
-                let out = eval_gate(
+                let out = eval_gate::<W, PPSFP>(
                     lev,
                     pos,
                     fv,
@@ -423,14 +561,14 @@ impl<'a> FaultSim<'a> {
 
         heap.clear();
         match fault.site {
-            FaultSite::Net(site) => {
-                let ni = site.index();
-                faulty[ni] = fv.stuck;
+            FaultSite::Net(_) => {
+                let ni = fv.net;
+                faulty[ni] = fv.stuck_wide();
                 if touched_epoch[ni] != epoch {
                     touched_epoch[ni] = epoch;
                     touched.push(ni as u32);
                 }
-                if fv.stuck != good[ni] {
+                if fv.stuck_wide() != good[ni] {
                     for &pos in lev.fanout(ni) {
                         if queued[pos as usize] != epoch {
                             queued[pos as usize] = epoch;
@@ -449,7 +587,7 @@ impl<'a> FaultSim<'a> {
         let mut peak = heap.len();
 
         while let Some(Reverse((_, pos))) = heap.pop() {
-            let out = eval_gate(
+            let out = eval_gate::<W, false>(
                 lev,
                 pos,
                 fv,
@@ -477,55 +615,76 @@ impl<'a> FaultSim<'a> {
     }
 }
 
-/// Re-evaluate the gate at packed position `pos` under the fault overlay.
+/// Re-evaluate the gate at packed position `pos` under the fault.
 /// Marks the output net touched; returns `Some(out_net)` when the
 /// change must be propagated to the net's consumers.
+///
+/// With `PPSFP = false` the faulty array is an epoch-tagged overlay:
+/// pins read `faulty` only where touched this epoch, and propagation
+/// re-derives "does the output differ" from `good`. With `PPSFP = true`
+/// the faulty array is a full copy kept exact by the undo list, so pins
+/// read it unconditionally and propagation is simply `v != prev` —
+/// equivalent because an untouched net has `faulty == good`. Both
+/// variants evaluate and queue exactly the same gates.
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn eval_gate(
+fn eval_gate<const W: usize, const PPSFP: bool>(
     lev: &Levelized,
     pos: u32,
     fv: FaultView,
-    good: &[u64],
-    faulty: &mut [u64],
+    good: &[[u64; W]],
+    faulty: &mut [[u64; W]],
     touched_epoch: &mut [u32],
     touched: &mut Vec<u32>,
     epoch: u32,
-    in_buf: &mut Vec<u64>,
+    in_buf: &mut Vec<[u64; W]>,
     stats: &FsimStats,
 ) -> Option<usize> {
     stats.gate_evals.inc();
     in_buf.clear();
     for &ni in lev.inputs(pos) {
         let ni = ni as usize;
-        in_buf.push(if touched_epoch[ni] == epoch {
+        in_buf.push(if PPSFP || touched_epoch[ni] == epoch {
             faulty[ni]
         } else {
             good[ni]
         });
     }
     if pos == fv.gpos {
-        in_buf[fv.pin] = fv.stuck;
+        in_buf[fv.pin] = fv.stuck_wide();
     }
-    let mut v = lev.kind(pos).eval_u64(in_buf);
+    let mut v = lev.kind(pos).eval_wide(in_buf);
     let oi = lev.out_net(pos) as usize;
     if oi == fv.net {
-        v = fv.stuck;
+        v = fv.stuck_wide();
     }
-    let was_touched = touched_epoch[oi] == epoch;
-    let prev = if was_touched { faulty[oi] } else { good[oi] };
-    if v == prev && was_touched {
-        return None;
-    }
-    faulty[oi] = v;
-    if !was_touched {
-        touched_epoch[oi] = epoch;
-        touched.push(oi as u32);
-    }
-    if v != good[oi] || prev != good[oi] {
+    if PPSFP {
+        let prev = faulty[oi];
+        if v == prev {
+            return None;
+        }
+        if touched_epoch[oi] != epoch {
+            touched_epoch[oi] = epoch;
+            touched.push(oi as u32);
+        }
+        faulty[oi] = v;
         Some(oi)
     } else {
-        None
+        let was_touched = touched_epoch[oi] == epoch;
+        let prev = if was_touched { faulty[oi] } else { good[oi] };
+        if v == prev && was_touched {
+            return None;
+        }
+        faulty[oi] = v;
+        if !was_touched {
+            touched_epoch[oi] = epoch;
+            touched.push(oi as u32);
+        }
+        if v != good[oi] || prev != good[oi] {
+            Some(oi)
+        } else {
+            None
+        }
     }
 }
 
@@ -550,7 +709,7 @@ mod tests {
     }
 
     /// Cross-check the event-driven simulator against full faulty
-    /// re-simulation on a small circuit, under both kernels.
+    /// re-simulation on a small circuit, under all three kernels.
     #[test]
     fn event_driven_matches_full_resimulation() {
         let n = sample();
@@ -559,7 +718,7 @@ mod tests {
             state: vec![0b0001_1000],
         };
         let lev = rescue_netlist::Levelized::new(&n);
-        for kernel in [Kernel::Bucket, Kernel::Heap] {
+        for kernel in [Kernel::Bucket, Kernel::Heap, Kernel::Ppsfp] {
             let mut sim = FaultSim::with_kernel(&lev, kernel);
             sim.load_block(&block);
             for fault in n.enumerate_faults() {
@@ -578,7 +737,7 @@ mod tests {
         }
     }
 
-    /// Both kernels must agree on every observation *and* on the
+    /// All kernels must agree on every observation *and* on the
     /// gate-eval count (they evaluate the same gate set).
     #[test]
     fn kernels_agree_including_eval_counts() {
@@ -590,26 +749,107 @@ mod tests {
         let lev = rescue_netlist::Levelized::new(&n);
         let mut bucket = FaultSim::with_kernel(&lev, Kernel::Bucket);
         let mut heap = FaultSim::with_kernel(&lev, Kernel::Heap);
+        let mut ppsfp = FaultSim::with_kernel(&lev, Kernel::Ppsfp);
         bucket.load_block(&block);
         heap.load_block(&block);
+        ppsfp.load_block(&block);
         for fault in n.enumerate_faults() {
-            assert_eq!(
-                bucket.observations(fault),
-                heap.observations(fault),
-                "fault {fault}"
-            );
+            let want = bucket.observations(fault);
+            assert_eq!(want, heap.observations(fault), "fault {fault}");
+            assert_eq!(want, ppsfp.observations(fault), "fault {fault}");
         }
-        assert_eq!(
-            bucket.stats().gate_evals.get(),
-            heap.stats().gate_evals.get()
-        );
-        // Same dedup discipline → both kernels push the same event set.
-        assert_eq!(
-            bucket.stats().events_queued.get(),
-            heap.stats().events_queued.get()
-        );
-        assert!(bucket.stats().queue_peak.get() > 0);
-        assert!(heap.stats().queue_peak.get() > 0);
+        for other in [&heap, &ppsfp] {
+            assert_eq!(
+                bucket.stats().gate_evals.get(),
+                other.stats().gate_evals.get()
+            );
+            // Same dedup discipline → all kernels push the same events.
+            assert_eq!(
+                bucket.stats().events_queued.get(),
+                other.stats().events_queued.get()
+            );
+            assert!(other.stats().queue_peak.get() > 0);
+        }
+    }
+
+    /// The PPSFP undo list must leave `faulty == good` after every
+    /// fault, or the next fault would start from a corrupt baseline —
+    /// simulate the whole fault list twice and require identical masks.
+    #[test]
+    fn ppsfp_undo_restores_the_good_copy() {
+        let n = sample();
+        let block = PatternBlock {
+            inputs: vec![0xdead_beef, 0x0123_4567, 0xffff_0000],
+            state: vec![0xaaaa_5555],
+        };
+        let lev = rescue_netlist::Levelized::new(&n);
+        let mut sim = FaultSim::with_kernel(&lev, Kernel::Ppsfp);
+        sim.load_block(&block);
+        let faults = n.enumerate_faults();
+        let first: Vec<u64> = faults.iter().map(|&f| sim.detect_mask(f)).collect();
+        let second: Vec<u64> = faults.iter().map(|&f| sim.detect_mask(f)).collect();
+        assert_eq!(first, second);
+        for (ni, (f, g)) in sim.faulty.iter().zip(&sim.good).enumerate() {
+            assert_eq!(f, g, "faulty copy not restored at net {ni}");
+        }
+    }
+
+    /// Wide masks must equal the per-block masks word for word, and the
+    /// first detecting lane must be the same global pattern index at
+    /// every width.
+    #[test]
+    fn wide_masks_match_per_block_masks() {
+        let n = sample();
+        let blocks = [
+            PatternBlock {
+                inputs: vec![0xdead_beef, 0x0123_4567, 0xffff_0000],
+                state: vec![0xaaaa_5555],
+            },
+            PatternBlock {
+                inputs: vec![0, 0, 0],
+                state: vec![u64::MAX],
+            },
+            PatternBlock {
+                inputs: vec![0x00ff_00ff, 0x0f0f_0f0f, 0x3333_3333],
+                state: vec![0x5555_5555],
+            },
+        ];
+        let lev = rescue_netlist::Levelized::new(&n);
+        let mut narrow = FaultSim::with_levelized(&lev);
+        let per_block: Vec<Vec<u64>> = blocks
+            .iter()
+            .map(|b| {
+                narrow.load_block(b);
+                n.enumerate_faults()
+                    .into_iter()
+                    .map(|f| narrow.detect_mask(f))
+                    .collect()
+            })
+            .collect();
+        for kernel in [Kernel::Bucket, Kernel::Heap, Kernel::Ppsfp] {
+            let mut sim4 = FaultSim::<4>::wide(&lev, kernel);
+            sim4.load_blocks(&blocks);
+            assert_eq!(sim4.loaded_words(), 3);
+            for (fi, fault) in n.enumerate_faults().into_iter().enumerate() {
+                let wide = sim4.detect_mask_wide(fault);
+                for word in 0..4 {
+                    // Word 3 is padding that replicates block 2.
+                    let want = per_block[word.min(2)][fi];
+                    assert_eq!(wide[word], want, "fault {fault} word {word} {kernel:?}");
+                }
+                let want_lane = (0..3).find_map(|w| {
+                    let m = per_block[w][fi];
+                    (m != 0).then(|| w as u32 * 64 + m.trailing_zeros())
+                });
+                assert_eq!(
+                    sim4.first_detecting_lane(fault),
+                    want_lane,
+                    "fault {fault} {kernel:?}"
+                );
+                let want_count: u32 = (0..3).map(|w| per_block[w][fi].count_ones()).sum();
+                assert_eq!(sim4.detecting_lane_count(fault), want_count);
+            }
+        }
     }
 
     #[test]

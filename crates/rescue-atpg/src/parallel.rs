@@ -12,13 +12,20 @@
 //! coverage curve, per-vector provenance, and every `AtpgCounts` value
 //! therefore match the sequential run exactly.
 //!
+//! The same invariance holds across lane widths: a worker pool is
+//! `FaultShards<'a, W>` for `W` ∈ {1, 4, 8} (64/256/512 patterns per
+//! pass), and [`LaneShards`] wraps the three monomorphizations behind a
+//! runtime `lane_words` knob for the ATPG loop. Lanes are numbered
+//! `word * 64 + bit` in vector order, so detection provenance is
+//! width-independent.
+//!
 //! Workers are plain `std::thread::scope` threads (no external deps);
 //! each opens a `fsim.worker` span so the Perfetto export shows one
 //! track per worker, and per-worker busy time is accumulated for the
 //! utilization report.
 
-use crate::fsim::FaultSim;
-use rescue_netlist::{Fault, Levelized, PatternBlock};
+use crate::fsim::{FaultSim, Kernel};
+use rescue_netlist::{Fault, Levelized, PatternBlock, WideBlock};
 use rescue_obs::live::LiveCounter;
 use std::time::Instant;
 
@@ -32,7 +39,7 @@ const LIVE_FSIM: [LiveCounter; 4] = [
 ];
 
 /// Current values of the mirrored stats counters, in [`LIVE_FSIM`] order.
-fn live_stats(sim: &FaultSim<'_>) -> [u64; 4] {
+fn live_stats<const W: usize>(sim: &FaultSim<'_, W>) -> [u64; 4] {
     let st = sim.stats();
     [
         st.gate_evals.get(),
@@ -45,7 +52,7 @@ fn live_stats(sim: &FaultSim<'_>) -> [u64; 4] {
 /// Publish one worker pass's stats delta into that worker's live
 /// progress ring (worker `i` owns ring slot `i + 1`; slot 0 belongs to
 /// the main thread). One atomic load and out when live telemetry is off.
-fn publish_live(worker: usize, sim: &FaultSim<'_>, before: [u64; 4]) {
+fn publish_live<const W: usize>(worker: usize, sim: &FaultSim<'_, W>, before: [u64; 4]) {
     let hub = rescue_obs::live::global();
     let Some(ring) = hub.ring(worker + 1) else {
         return;
@@ -120,20 +127,35 @@ impl FsimParallel {
 /// A pool of per-worker fault simulators over one shared levelized view.
 /// See the module docs for the determinism argument.
 #[derive(Debug)]
-pub struct FaultShards<'a> {
-    sims: Vec<FaultSim<'a>>,
+pub struct FaultShards<'a, const W: usize = 1> {
+    sims: Vec<FaultSim<'a, W>>,
     busy_ns: Vec<u64>,
     wall_ns: u64,
 }
 
 impl<'a> FaultShards<'a> {
-    /// Create `threads` workers (at least 1) over a shared view.
+    /// Create `threads` workers (at least 1) over a shared view, with
+    /// the default 64-pattern width and kernel.
     pub fn new(lev: &'a Levelized, threads: usize) -> Self {
+        Self::wide(lev, threads, Kernel::default())
+    }
+
+    /// First detecting lane per fault under `block`, in `faults` order.
+    /// Equivalent to calling [`FaultSim::first_detecting_lane`] for each
+    /// fault on one simulator, for any worker count.
+    pub fn detect_lanes(&mut self, block: &PatternBlock, faults: &[Fault]) -> Vec<Option<u32>> {
+        let wide = WideBlock::<1>::from_blocks(std::slice::from_ref(block));
+        self.detect_lanes_wide(&wide, faults)
+    }
+}
+
+impl<'a, const W: usize> FaultShards<'a, W> {
+    /// Create `threads` workers (at least 1) of width `W` over a shared
+    /// view, all using `kernel`.
+    pub fn wide(lev: &'a Levelized, threads: usize, kernel: Kernel) -> Self {
         let threads = threads.max(1);
         FaultShards {
-            sims: (0..threads)
-                .map(|_| FaultSim::with_levelized(lev))
-                .collect(),
+            sims: (0..threads).map(|_| FaultSim::wide(lev, kernel)).collect(),
             busy_ns: vec![0; threads],
             wall_ns: 0,
         }
@@ -151,7 +173,7 @@ impl<'a> FaultShards<'a> {
         self.sims.iter().map(|s| s.stats().gate_evals.get()).sum()
     }
 
-    /// Utilization snapshot accumulated across all `detect_lanes` calls.
+    /// Utilization snapshot accumulated across all sharded calls.
     pub fn parallel_stats(&self) -> FsimParallel {
         FsimParallel {
             threads: self.sims.len() as u64,
@@ -160,10 +182,28 @@ impl<'a> FaultShards<'a> {
         }
     }
 
-    /// First detecting lane per fault under `block`, in `faults` order.
-    /// Equivalent to calling [`FaultSim::first_detecting_lane`] for each
-    /// fault on one simulator, for any worker count.
-    pub fn detect_lanes(&mut self, block: &PatternBlock, faults: &[Fault]) -> Vec<Option<u32>> {
+    /// First detecting lane per fault under the lane block, in `faults`
+    /// order (lane = `word * 64 + bit`, stable across widths).
+    pub fn detect_lanes_wide(&mut self, wide: &WideBlock<W>, faults: &[Fault]) -> Vec<Option<u32>> {
+        self.map_faults(wide, faults, |sim, f| sim.first_detecting_lane(f))
+    }
+
+    /// Number of distinct real patterns in the lane block detecting each
+    /// fault, in `faults` order (n-detect bookkeeping for fault
+    /// dropping).
+    pub fn detect_counts_wide(&mut self, wide: &WideBlock<W>, faults: &[Fault]) -> Vec<u32> {
+        self.map_faults(wide, faults, |sim, f| sim.detecting_lane_count(f))
+    }
+
+    /// Shard `faults` over the workers, apply `op` per fault against the
+    /// loaded lane block, and concatenate the results in canonical
+    /// fault-index order.
+    fn map_faults<R: Send>(
+        &mut self,
+        wide: &WideBlock<W>,
+        faults: &[Fault],
+        op: impl Fn(&mut FaultSim<'a, W>, Fault) -> R + Sync,
+    ) -> Vec<R> {
         let t_wall = Instant::now();
         let workers = self
             .sims
@@ -181,18 +221,16 @@ impl<'a> FaultShards<'a> {
             let t = Instant::now();
             let sim = &mut self.sims[0];
             let before = live_stats(sim);
-            sim.load_block(block);
-            let lanes: Vec<Option<u32>> = faults
-                .iter()
-                .map(|&f| sim.first_detecting_lane(f))
-                .collect();
+            sim.load_wide(wide);
+            let results: Vec<R> = faults.iter().map(|&f| op(sim, f)).collect();
             publish_live(0, sim, before);
             self.busy_ns[0] += t.elapsed().as_nanos() as u64;
-            lanes
+            results
         } else {
             let chunk = faults.len().div_ceil(workers);
             let FaultShards { sims, busy_ns, .. } = self;
-            let mut lanes: Vec<Option<u32>> = Vec::with_capacity(faults.len());
+            let op = &op;
+            let mut results: Vec<R> = Vec::with_capacity(faults.len());
             std::thread::scope(|s| {
                 let handles: Vec<_> = sims
                     .iter_mut()
@@ -204,27 +242,126 @@ impl<'a> FaultShards<'a> {
                             let _prof = rescue_obs::profile::scope_root("fsim_worker");
                             let t = Instant::now();
                             let before = live_stats(sim);
-                            sim.load_block(block);
-                            let lanes: Vec<Option<u32>> =
-                                shard.iter().map(|&f| sim.first_detecting_lane(f)).collect();
+                            sim.load_wide(wide);
+                            let shard_out: Vec<R> = shard.iter().map(|&f| op(sim, f)).collect();
                             publish_live(worker, sim, before);
-                            (lanes, t.elapsed().as_nanos() as u64)
+                            (shard_out, t.elapsed().as_nanos() as u64)
                         })
                     })
                     .collect();
                 // Join in spawn order: shard results concatenate back
                 // into canonical fault-index order.
                 for (i, h) in handles.into_iter().enumerate() {
-                    let (shard_lanes, busy) = h.join().expect("fsim worker panicked");
-                    lanes.extend(shard_lanes);
+                    let (shard_out, busy) = h.join().expect("fsim worker panicked");
+                    results.extend(shard_out);
                     busy_ns[i] += busy;
                 }
             });
-            lanes
+            results
         };
         self.wall_ns += t_wall.elapsed().as_nanos() as u64;
         debug_assert_eq!(out.len(), faults.len());
         out
+    }
+}
+
+/// Runtime lane-width dispatch over the three [`FaultShards`]
+/// monomorphizations, so the ATPG loop can take `lane_words` as a plain
+/// config knob. Width 1 keeps the default bucket kernel (the historical
+/// configuration); the wide variants use [`Kernel::Ppsfp`], whose full
+/// faulty copy amortizes best when each propagation carries hundreds of
+/// patterns. All kernels produce identical detections and counters, so
+/// the choice only affects wall-clock time.
+#[derive(Debug)]
+pub enum LaneShards<'a> {
+    /// 64 patterns per pass (`[u64; 1]` lanes).
+    W1(FaultShards<'a, 1>),
+    /// 256 patterns per pass (`[u64; 4]` lanes).
+    W4(FaultShards<'a, 4>),
+    /// 512 patterns per pass (`[u64; 8]` lanes).
+    W8(FaultShards<'a, 8>),
+}
+
+impl<'a> LaneShards<'a> {
+    /// Create a pool of `threads` workers with `lane_words` ∈ {1, 4, 8}
+    /// 64-pattern words per pass. Returns `None` for any other width.
+    pub fn new(lev: &'a Levelized, threads: usize, lane_words: usize) -> Option<Self> {
+        match lane_words {
+            1 => Some(LaneShards::W1(FaultShards::new(lev, threads))),
+            4 => Some(LaneShards::W4(FaultShards::wide(
+                lev,
+                threads,
+                Kernel::Ppsfp,
+            ))),
+            8 => Some(LaneShards::W8(FaultShards::wide(
+                lev,
+                threads,
+                Kernel::Ppsfp,
+            ))),
+            _ => None,
+        }
+    }
+
+    /// The lane width in 64-pattern words.
+    pub fn lane_words(&self) -> usize {
+        match self {
+            LaneShards::W1(_) => 1,
+            LaneShards::W4(_) => 4,
+            LaneShards::W8(_) => 8,
+        }
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        match self {
+            LaneShards::W1(s) => s.threads(),
+            LaneShards::W4(s) => s.threads(),
+            LaneShards::W8(s) => s.threads(),
+        }
+    }
+
+    /// Gate re-evaluations summed across workers.
+    pub fn gate_evals(&self) -> u64 {
+        match self {
+            LaneShards::W1(s) => s.gate_evals(),
+            LaneShards::W4(s) => s.gate_evals(),
+            LaneShards::W8(s) => s.gate_evals(),
+        }
+    }
+
+    /// Utilization snapshot accumulated across all sharded calls.
+    pub fn parallel_stats(&self) -> FsimParallel {
+        match self {
+            LaneShards::W1(s) => s.parallel_stats(),
+            LaneShards::W4(s) => s.parallel_stats(),
+            LaneShards::W8(s) => s.parallel_stats(),
+        }
+    }
+
+    /// First detecting lane per fault for a group of `1..=lane_words`
+    /// consecutive 64-pattern blocks, packed (and padded by replicating
+    /// the last block) into one lane block. Lane indices are global to
+    /// the group: `block_index_in_group * 64 + bit`.
+    pub fn detect_lanes_group(
+        &mut self,
+        blocks: &[PatternBlock],
+        faults: &[Fault],
+    ) -> Vec<Option<u32>> {
+        match self {
+            LaneShards::W1(s) => s.detect_lanes_wide(&WideBlock::from_blocks(blocks), faults),
+            LaneShards::W4(s) => s.detect_lanes_wide(&WideBlock::from_blocks(blocks), faults),
+            LaneShards::W8(s) => s.detect_lanes_wide(&WideBlock::from_blocks(blocks), faults),
+        }
+    }
+
+    /// Distinct real detecting-pattern count per fault for a group of
+    /// blocks (n-detect bookkeeping; padding excluded).
+    pub fn detect_counts_group(&mut self, blocks: &[PatternBlock], faults: &[Fault]) -> Vec<u32> {
+        match self {
+            LaneShards::W1(s) => s.detect_counts_wide(&WideBlock::from_blocks(blocks), faults),
+            LaneShards::W4(s) => s.detect_counts_wide(&WideBlock::from_blocks(blocks), faults),
+            LaneShards::W8(s) => s.detect_counts_wide(&WideBlock::from_blocks(blocks), faults),
+        }
     }
 }
 
@@ -280,6 +417,84 @@ mod tests {
                 reference.stats().gate_evals.get(),
                 "{threads} threads"
             );
+        }
+    }
+
+    /// Lane results and deterministic stats must be identical across
+    /// every lane width × worker count combination (the satellite
+    /// determinism matrix, in-crate edition).
+    #[test]
+    fn lane_shards_are_width_and_thread_invariant() {
+        let s = design();
+        let n = &s.netlist;
+        let lev = Levelized::new(n);
+        let faults = n.collapse_faults();
+        let blocks: Vec<PatternBlock> = (0..8u64)
+            .map(|j| rescue_netlist::PatternBlock {
+                inputs: vec![
+                    0x1234_5678_9abc_def0u64.rotate_left(j as u32 * 7) ^ j;
+                    n.inputs().len()
+                ],
+                state: vec![0x0ff0_f00f_aa55_55aau64.rotate_left(j as u32 * 5); n.num_dffs()],
+            })
+            .collect();
+
+        // Reference: width 1, one worker, group = one block at a time,
+        // lane offset by 64 per block.
+        let mut reference = FaultSim::with_levelized(&lev);
+        let mut want: Vec<Option<u32>> = vec![None; faults.len()];
+        for (j, b) in blocks.iter().enumerate() {
+            reference.load_block(b);
+            for (fi, &f) in faults.iter().enumerate() {
+                if want[fi].is_none() {
+                    want[fi] = reference
+                        .first_detecting_lane(f)
+                        .map(|lane| j as u32 * 64 + lane);
+                }
+            }
+        }
+
+        for lane_words in [1usize, 4, 8] {
+            for threads in [1usize, 2, 8] {
+                let mut shards = LaneShards::new(&lev, threads, lane_words).unwrap();
+                let mut got: Vec<Option<u32>> = vec![None; faults.len()];
+                for (gi, group) in blocks.chunks(lane_words).enumerate() {
+                    let base = (gi * lane_words * 64) as u32;
+                    let lanes = shards.detect_lanes_group(group, &faults);
+                    for (fi, lane) in lanes.into_iter().enumerate() {
+                        if got[fi].is_none() {
+                            got[fi] = lane.map(|l| base + l);
+                        }
+                    }
+                }
+                assert_eq!(got, want, "lane_words={lane_words} threads={threads}");
+            }
+        }
+
+        // Gate-eval totals are width-dependent (wider passes evaluate
+        // union cones) but thread-invariant per width.
+        for lane_words in [1usize, 4, 8] {
+            let mut evals = Vec::new();
+            for threads in [1usize, 2, 8] {
+                let mut shards = LaneShards::new(&lev, threads, lane_words).unwrap();
+                for group in blocks.chunks(lane_words) {
+                    shards.detect_lanes_group(group, &faults);
+                }
+                evals.push(shards.gate_evals());
+            }
+            assert!(
+                evals.windows(2).all(|w| w[0] == w[1]),
+                "lane_words={lane_words}: {evals:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_shards_rejects_unsupported_widths() {
+        let s = design();
+        let lev = Levelized::new(&s.netlist);
+        for lane_words in [0usize, 2, 3, 5, 16] {
+            assert!(LaneShards::new(&lev, 1, lane_words).is_none());
         }
     }
 

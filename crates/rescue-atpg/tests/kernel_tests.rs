@@ -4,8 +4,12 @@
 //! bucket kernel down to the gate-eval count, and sharded detection
 //! must be invariant to the worker count.
 
-use rescue_atpg::{Atpg, AtpgConfig, FaultShards, FaultSim, Isolator, Kernel, Observation};
-use rescue_netlist::{scan::insert_scan, Levelized, NetId, NetlistBuilder, PatternBlock};
+use rescue_atpg::{
+    Atpg, AtpgConfig, FaultShards, FaultSim, Isolator, Kernel, LaneShards, Observation,
+};
+use rescue_netlist::{
+    scan::insert_scan, Fault, Levelized, NetId, NetlistBuilder, PatternBlock, StuckAt,
+};
 
 struct SplitMix64(u64);
 
@@ -122,12 +126,20 @@ fn kernels_agree_on_random_netlists_including_eval_counts() {
         let lev = Levelized::new(&n);
         let mut bucket = FaultSim::with_kernel(&lev, Kernel::Bucket);
         let mut heap = FaultSim::with_kernel(&lev, Kernel::Heap);
+        let mut ppsfp = FaultSim::with_kernel(&lev, Kernel::Ppsfp);
         bucket.load_block(&block);
         heap.load_block(&block);
+        ppsfp.load_block(&block);
         for fault in n.enumerate_faults() {
+            let want = bucket.observations(fault);
             assert_eq!(
-                bucket.observations(fault),
+                want,
                 heap.observations(fault),
+                "round {round}, fault {fault}"
+            );
+            assert_eq!(
+                want,
+                ppsfp.observations(fault),
                 "round {round}, fault {fault}"
             );
         }
@@ -136,6 +148,200 @@ fn kernels_agree_on_random_netlists_including_eval_counts() {
             heap.stats().gate_evals.get(),
             "round {round}: the kernels must evaluate the same gate set"
         );
+        assert_eq!(
+            bucket.stats().gate_evals.get(),
+            ppsfp.stats().gate_evals.get(),
+            "round {round}: PPSFP must drive the same event set"
+        );
+    }
+}
+
+/// A group of `count` independent random blocks, so wide lane groups
+/// contain real cross-word variety.
+fn derived_blocks(
+    rng: &mut SplitMix64,
+    n: &rescue_netlist::Netlist,
+    count: usize,
+) -> Vec<PatternBlock> {
+    (0..count).map(|_| random_block(rng, n)).collect()
+}
+
+#[test]
+fn wide_ppsfp_masks_match_bucket_per_block_on_random_netlists() {
+    let mut rng = SplitMix64(0x5eed_0004);
+    for round in 0..8 {
+        let n = random_netlist(&mut rng);
+        let blocks = derived_blocks(&mut rng, &n, 8);
+        let lev = Levelized::new(&n);
+        let faults = n.enumerate_faults();
+
+        // Reference: per-block 64-wide masks from the Bucket kernel.
+        let mut w1 = FaultSim::with_kernel(&lev, Kernel::Bucket);
+        let mut per_block: Vec<Vec<u64>> = Vec::new();
+        for b in &blocks {
+            w1.load_block(b);
+            per_block.push(faults.iter().map(|&f| w1.detect_mask(f)).collect());
+        }
+
+        // PPSFP at W=4 (two groups) and W=8 (one group) must reproduce
+        // every per-block word and the same global first lane.
+        let mut w4: FaultSim<4> = FaultSim::wide(&lev, Kernel::Ppsfp);
+        let mut w8: FaultSim<8> = FaultSim::wide(&lev, Kernel::Ppsfp);
+        w8.load_blocks(&blocks);
+        for (fi, &f) in faults.iter().enumerate() {
+            let m8 = w8.detect_mask_wide(f);
+            for word in 0..8 {
+                assert_eq!(
+                    m8[word], per_block[word][fi],
+                    "round {round}, fault {f}, word {word}"
+                );
+            }
+            let want_lane = (0..8).find_map(|j| {
+                let m = per_block[j][fi];
+                (m != 0).then(|| j as u32 * 64 + m.trailing_zeros())
+            });
+            assert_eq!(w8.first_detecting_lane(f), want_lane, "round {round}, {f}");
+        }
+        for (g, chunk) in blocks.chunks(4).enumerate() {
+            w4.load_blocks(chunk);
+            for (fi, &f) in faults.iter().enumerate() {
+                let m4 = w4.detect_mask_wide(f);
+                for word in 0..4 {
+                    assert_eq!(
+                        m4[word],
+                        per_block[g * 4 + word][fi],
+                        "round {round}, fault {f}, group {g}, word {word}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lane_shards_group_detection_is_thread_and_width_invariant() {
+    let mut rng = SplitMix64(0x5eed_0005);
+    for round in 0..6 {
+        let n = random_netlist(&mut rng);
+        let blocks = derived_blocks(&mut rng, &n, 8);
+        let lev = Levelized::new(&n);
+        let faults = n.collapse_faults();
+
+        // Reference: sequential W=1 scan over the 8 blocks, folding the
+        // per-block lane into a group-global lane (block * 64 + bit).
+        let mut reference = FaultSim::with_levelized(&lev);
+        let want: Vec<Option<u32>> = faults
+            .iter()
+            .map(|&f| {
+                blocks.iter().enumerate().find_map(|(j, b)| {
+                    reference.load_block(b);
+                    reference
+                        .first_detecting_lane(f)
+                        .map(|lane| j as u32 * 64 + lane)
+                })
+            })
+            .collect();
+
+        let mut evals_per_width: Vec<(usize, u64)> = Vec::new();
+        for lane_words in [1usize, 4, 8] {
+            for threads in [1usize, 2, 8] {
+                let mut shards = LaneShards::new(&lev, threads, lane_words).unwrap();
+                // Fold per-group lanes into global ones exactly as the
+                // ATPG loop does, but without dropping, so every width
+                // sees identical work.
+                let mut got: Vec<Option<u32>> = vec![None; faults.len()];
+                for (g, group) in blocks.chunks(lane_words).enumerate() {
+                    let lanes = shards.detect_lanes_group(group, &faults);
+                    for (slot, lane) in got.iter_mut().zip(lanes) {
+                        if slot.is_none() {
+                            *slot = lane.map(|l| (g * lane_words * 64) as u32 + l);
+                        }
+                    }
+                }
+                assert_eq!(got, want, "round {round}, w={lane_words}, t={threads}");
+                if threads == 1 {
+                    evals_per_width.push((lane_words, shards.gate_evals()));
+                } else {
+                    let &(_, serial) = evals_per_width
+                        .iter()
+                        .find(|&&(w, _)| w == lane_words)
+                        .unwrap();
+                    assert_eq!(
+                        shards.gate_evals(),
+                        serial,
+                        "round {round}, w={lane_words}, t={threads}: eval count must be thread-invariant"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Pin the provenance contract on a known circuit: an AND-output
+/// stuck-at-0 is first detected at pattern lane 130 (block 2, bit 2) at
+/// every lane width, because lanes are numbered `word * 64 + bit` in
+/// vector order and padding words only replicate real blocks.
+#[test]
+fn first_detecting_lane_is_pinned_across_widths() {
+    let mut b = NetlistBuilder::new();
+    b.enter_component("pin");
+    let a = b.input("a");
+    let c = b.input("b");
+    let y = b.and2(a, c);
+    b.output(y, "o");
+    let n = b.finish().unwrap();
+    let fault = Fault::net(y, StuckAt::Zero);
+
+    // Block 0 and 1 never set a AND b; block 2 does so at bit 2 (and a
+    // few higher bits, which must not win).
+    let blocks = [
+        PatternBlock {
+            inputs: vec![0, !0],
+            state: vec![],
+        },
+        PatternBlock {
+            inputs: vec![!0, 0],
+            state: vec![],
+        },
+        PatternBlock {
+            inputs: vec![(1 << 2) | (1 << 40), !0],
+            state: vec![],
+        },
+    ];
+    let lev = Levelized::new(&n);
+
+    // W=1: per-block masks place the first detection in block 2, bit 2.
+    let mut w1 = FaultSim::with_levelized(&lev);
+    w1.load_block(&blocks[0]);
+    assert_eq!(w1.first_detecting_lane(fault), None);
+    w1.load_block(&blocks[1]);
+    assert_eq!(w1.first_detecting_lane(fault), None);
+    w1.load_block(&blocks[2]);
+    assert_eq!(w1.first_detecting_lane(fault), Some(2));
+
+    // W=4 and W=8 see all three blocks in one pass (plus replicated
+    // padding) and must report the same global lane 2*64 + 2 = 130.
+    let mut w4: FaultSim<4> = FaultSim::wide(&lev, Kernel::Ppsfp);
+    w4.load_blocks(&blocks);
+    assert_eq!(w4.first_detecting_lane(fault), Some(130));
+    assert_eq!(w4.detecting_lane_count(fault), 2, "bits 2 and 40, once");
+
+    let mut w8: FaultSim<8> = FaultSim::wide(&lev, Kernel::Ppsfp);
+    w8.load_blocks(&blocks);
+    assert_eq!(w8.first_detecting_lane(fault), Some(130));
+    assert_eq!(w8.detecting_lane_count(fault), 2);
+
+    // The ATPG-facing wrapper agrees at every width.
+    for lane_words in [1usize, 4, 8] {
+        let mut shards = LaneShards::new(&lev, 2, lane_words).unwrap();
+        let mut lane = None;
+        for (g, group) in blocks.chunks(lane_words).enumerate() {
+            if lane.is_none() {
+                lane = shards.detect_lanes_group(group, &[fault])[0]
+                    .map(|l| (g * lane_words * 64) as u32 + l);
+            }
+        }
+        assert_eq!(lane, Some(130), "lane_words={lane_words}");
     }
 }
 

@@ -446,12 +446,21 @@ fn is_stats_gate_exempt(path: &str) -> bool {
         || path.contains(".scoap.")
 }
 
+/// Paths where larger is better (throughput and speedup ratios): the
+/// one-sided stats gate flips for these, failing on a *decrease* beyond
+/// the noise band instead of an increase.
+fn is_higher_better(path: &str) -> bool {
+    path.ends_with("_per_sec") || path.ends_with("speedup")
+}
+
 /// Compare two robust-stats metrics. The gate is **one-sided**: with
 /// [`DiffConfig::stats_gate`] set, it fails only when the current
-/// median exceeds the baseline median by more than the noise band
-/// `max(noise_mads·MAD, noise_floor_rel·|median|)` derived from the
-/// baseline's own spread. Improvements and within-band drift report as
-/// informational, as does everything [`is_stats_gate_exempt`].
+/// median regresses past the baseline median by more than the noise
+/// band `max(noise_mads·MAD, noise_floor_rel·|median|)` derived from
+/// the baseline's own spread — an increase for time-like metrics, a
+/// decrease for [`is_higher_better`] throughput metrics. Improvements
+/// and within-band drift report as informational, as does everything
+/// [`is_stats_gate_exempt`].
 fn compare_stats(
     path: &str,
     (med_b, mad_b, n_b): (f64, f64, i128),
@@ -464,11 +473,16 @@ fn compare_stats(
         .max(1e-9);
     let delta_pct = 100.0 * (med_c - med_b) / med_b.abs().max(1e-300);
     let gateable = cfg.stats_gate && !is_stats_gate_exempt(path);
-    let (severity, note) = if gateable && med_c > med_b + band {
+    let regressed = if is_higher_better(path) {
+        med_c < med_b - band
+    } else {
+        med_c > med_b + band
+    };
+    let (severity, note) = if gateable && regressed {
         (
             Severity::Fail,
             format!(
-                "median {delta_pct:+.1}% exceeds noise band (+{:.1}%, n={n_b}/{n_c})",
+                "median {delta_pct:+.1}% exceeds noise band (±{:.1}%, n={n_b}/{n_c})",
                 100.0 * band / med_b.abs().max(1e-300)
             ),
         )
@@ -974,6 +988,36 @@ mod tests {
         // The gate is one-sided: a 3× speedup passes.
         let fast = stats_doc("33.0", "1.0");
         assert!(!diff(&b, &fast, &cfg).unwrap().regressed());
+    }
+
+    #[test]
+    fn stats_gate_flips_direction_for_throughput_metrics() {
+        let cfg = DiffConfig {
+            stats_gate: true,
+            ..DiffConfig::default()
+        };
+        let doc = |median: &str| {
+            parse(&format!(
+                r#"{{"title":"all","sections":[
+                    {{"name":"kern","metrics":{{
+                       "evals_per_sec":{{"n":3,"median":{median},"mad":10.0,
+                                         "min":900.0,"max":1200.0,"iqr":20.0}}}}}}],
+                   "spans":[]}}"#
+            ))
+            .unwrap()
+        };
+        let b = doc("1000.0");
+        // Throughput collapsing to a third is a regression…
+        let slow = doc("333.0");
+        let r = diff(&b, &slow, &cfg).unwrap();
+        assert!(r.regressed(), "{}", r.render(true));
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| d.severity == Severity::Fail && d.path == "kern.evals_per_sec"));
+        // …while tripling it passes, and within-band drift passes.
+        assert!(!diff(&b, &doc("3000.0"), &cfg).unwrap().regressed());
+        assert!(!diff(&b, &doc("950.0"), &cfg).unwrap().regressed());
     }
 
     #[test]

@@ -41,8 +41,55 @@ const TRACKED: &[(&str, &str, &str)] = &[
         "bucket_evals_per_sec",
     ),
     ("fsim_kernel", "heap_evals_per_sec", "heap_evals_per_sec"),
+    ("fsim_kernel", "ppsfp_evals_per_sec", "ppsfp_evals_per_sec"),
     ("fsim_kernel", "kernel_speedup", "kernel_speedup"),
+    ("fsim_kernel", "ppsfp_speedup", "ppsfp_speedup"),
     ("fsim_kernel", "gate_evals_bucket", "gate_evals_bucket"),
+    (
+        "fsim_kernel.bucket.w64",
+        "evals_per_sec",
+        "bucket_w64_evals_per_sec",
+    ),
+    (
+        "fsim_kernel.bucket.w256",
+        "evals_per_sec",
+        "bucket_w256_evals_per_sec",
+    ),
+    (
+        "fsim_kernel.bucket.w512",
+        "evals_per_sec",
+        "bucket_w512_evals_per_sec",
+    ),
+    (
+        "fsim_kernel.heap.w64",
+        "evals_per_sec",
+        "heap_w64_evals_per_sec",
+    ),
+    (
+        "fsim_kernel.heap.w256",
+        "evals_per_sec",
+        "heap_w256_evals_per_sec",
+    ),
+    (
+        "fsim_kernel.heap.w512",
+        "evals_per_sec",
+        "heap_w512_evals_per_sec",
+    ),
+    (
+        "fsim_kernel.ppsfp.w64",
+        "evals_per_sec",
+        "ppsfp_w64_evals_per_sec",
+    ),
+    (
+        "fsim_kernel.ppsfp.w256",
+        "evals_per_sec",
+        "ppsfp_w256_evals_per_sec",
+    ),
+    (
+        "fsim_kernel.ppsfp.w512",
+        "evals_per_sec",
+        "ppsfp_w512_evals_per_sec",
+    ),
     ("fsim_kernel.parallel", "atpg_1t_ms", "atpg_1t_ms"),
     ("fsim_kernel.parallel", "atpg_nt_ms", "atpg_nt_ms"),
     ("obs.overhead", "overhead_pct", "obs_overhead_pct"),

@@ -1,6 +1,8 @@
 //! Render the bench-run history (`BENCH_history.jsonl`) as a
-//! gate-evals/sec leaderboard: the chronological throughput trajectory
-//! plus per-kernel (bucket/heap) standings, as markdown and JSON.
+//! gate-evals/sec leaderboard: the chronological throughput trajectory,
+//! per-kernel (bucket/heap/ppsfp) standings, and the width-scaling
+//! standings across the kernel × lane-width matrix, as markdown and
+//! JSON.
 //!
 //! Quick and full runs are scored separately (a `--quick` circuit is a
 //! different workload), and records missing the kernel throughput
@@ -15,7 +17,7 @@ use std::fmt::Write as _;
 /// mode (quick or full).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Standing {
-    /// `"bucket"` or `"heap"`.
+    /// `"bucket"`, `"heap"` or `"ppsfp"`.
     pub kernel: String,
     /// `"quick"` or `"full"`.
     pub mode: String,
@@ -27,19 +29,50 @@ pub struct Standing {
     pub date: String,
 }
 
+/// One width-scaling row: the best recorded throughput for a kernel ×
+/// lane-width matrix cell in one mode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WidthStanding {
+    /// `"bucket"`, `"heap"` or `"ppsfp"`.
+    pub kernel: String,
+    /// Patterns per pass: 64, 256 or 512.
+    pub width: u64,
+    /// `"quick"` or `"full"`.
+    pub mode: String,
+    /// Best gate-evals/sec recorded for this cell.
+    pub best_evals_per_sec: f64,
+    /// SHA of the record holder.
+    pub sha: String,
+    /// Date of the record holder.
+    pub date: String,
+}
+
+/// The kernels the standings track, in display order.
+const KERNELS: [&str; 3] = ["bucket", "heap", "ppsfp"];
+
+/// The lane widths (patterns per pass) of the kernel matrix.
+const WIDTHS: [u64; 3] = [64, 256, 512];
+
+fn best_metric<'a>(
+    records: &'a [HistoryRecord],
+    metric: &str,
+    quick: bool,
+) -> Option<(f64, &'a HistoryRecord)> {
+    records
+        .iter()
+        .filter(|r| r.quick == quick)
+        .filter_map(|r| r.metric(metric).map(|v| (v, r)))
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+}
+
 /// Compute best-per-kernel-per-mode standings, sorted by kernel then
 /// mode.
 pub fn standings(records: &[HistoryRecord]) -> Vec<Standing> {
     let mut out: Vec<Standing> = Vec::new();
-    for kernel in ["bucket", "heap"] {
+    for kernel in KERNELS {
         let metric = format!("{kernel}_evals_per_sec");
         for (mode, quick) in [("full", false), ("quick", true)] {
-            let best = records
-                .iter()
-                .filter(|r| r.quick == quick)
-                .filter_map(|r| r.metric(&metric).map(|v| (v, r)))
-                .max_by(|a, b| a.0.total_cmp(&b.0));
-            if let Some((v, r)) = best {
+            if let Some((v, r)) = best_metric(records, &metric, quick) {
                 out.push(Standing {
                     kernel: kernel.to_owned(),
                     mode: mode.to_owned(),
@@ -47,6 +80,31 @@ pub fn standings(records: &[HistoryRecord]) -> Vec<Standing> {
                     sha: r.sha.clone(),
                     date: r.date.clone(),
                 });
+            }
+        }
+    }
+    out
+}
+
+/// Compute best-per-matrix-cell width-scaling standings
+/// (`{kernel}_w{width}_evals_per_sec` history metrics), sorted by
+/// kernel, then width, then mode.
+pub fn width_standings(records: &[HistoryRecord]) -> Vec<WidthStanding> {
+    let mut out: Vec<WidthStanding> = Vec::new();
+    for kernel in KERNELS {
+        for width in WIDTHS {
+            let metric = format!("{kernel}_w{width}_evals_per_sec");
+            for (mode, quick) in [("full", false), ("quick", true)] {
+                if let Some((v, r)) = best_metric(records, &metric, quick) {
+                    out.push(WidthStanding {
+                        kernel: kernel.to_owned(),
+                        width,
+                        mode: mode.to_owned(),
+                        best_evals_per_sec: v,
+                        sha: r.sha.clone(),
+                        date: r.date.clone(),
+                    });
+                }
             }
         }
     }
@@ -76,17 +134,19 @@ pub fn render_markdown(records: &[HistoryRecord]) -> String {
 
     s.push_str("## Trajectory\n\n");
     s.push_str(
-        "| date | sha | title | threads | mode | bucket Mevals/s | heap Mevals/s | speedup |\n",
+        "| date | sha | title | threads | mode | bucket Mevals/s | heap Mevals/s \
+         | ppsfp Mevals/s | heap/bucket | bucket/ppsfp |\n",
     );
-    s.push_str("|---|---|---|---:|---|---:|---:|---:|\n");
+    s.push_str("|---|---|---|---:|---|---:|---:|---:|---:|---:|\n");
     for r in &ordered {
         let cell = |name: &str| r.metric(name).map_or("–".to_owned(), mevals);
-        let speedup = r
-            .metric("kernel_speedup")
-            .map_or("–".to_owned(), |v| format!("{v:.2}×"));
+        let ratio = |name: &str| {
+            r.metric(name)
+                .map_or("–".to_owned(), |v| format!("{v:.2}×"))
+        };
         let _ = writeln!(
             s,
-            "| {} | `{}` | {} | {} | {} | {} | {} | {} |",
+            "| {} | `{}` | {} | {} | {} | {} | {} | {} | {} | {} |",
             r.date,
             short_sha(&r.sha),
             r.title,
@@ -94,7 +154,9 @@ pub fn render_markdown(records: &[HistoryRecord]) -> String {
             if r.quick { "quick" } else { "full" },
             cell("bucket_evals_per_sec"),
             cell("heap_evals_per_sec"),
-            speedup,
+            cell("ppsfp_evals_per_sec"),
+            ratio("kernel_speedup"),
+            ratio("ppsfp_speedup"),
         );
     }
 
@@ -108,6 +170,25 @@ pub fn render_markdown(records: &[HistoryRecord]) -> String {
                 s,
                 "| {} | {} | {} | `{}` | {} |",
                 row.kernel,
+                row.mode,
+                mevals(row.best_evals_per_sec),
+                short_sha(&row.sha),
+                row.date,
+            );
+        }
+    }
+
+    let wst = width_standings(records);
+    if !wst.is_empty() {
+        s.push_str("\n## Width scaling (best recorded per matrix cell)\n\n");
+        s.push_str("| kernel | patterns/pass | mode | best Mevals/s | sha | date |\n");
+        s.push_str("|---|---:|---|---:|---|---|\n");
+        for row in &wst {
+            let _ = writeln!(
+                s,
+                "| {} | {} | {} | {} | `{}` | {} |",
+                row.kernel,
+                row.width,
                 row.mode,
                 mevals(row.best_evals_per_sec),
                 short_sha(&row.sha),
@@ -156,9 +237,23 @@ pub fn render_json(records: &[HistoryRecord]) -> String {
             o.finish()
         })
         .collect();
+    let wst: Vec<String> = width_standings(records)
+        .iter()
+        .map(|row| {
+            let mut o = JsonObj::new();
+            o.str("kernel", &row.kernel)
+                .u64("width", row.width)
+                .str("mode", &row.mode)
+                .f64("best_evals_per_sec", row.best_evals_per_sec)
+                .str("sha", &row.sha)
+                .str("date", &row.date);
+            o.finish()
+        })
+        .collect();
     let mut o = JsonObj::new();
     o.raw("records", &json::array(&recs))
-        .raw("standings", &json::array(&st));
+        .raw("standings", &json::array(&st))
+        .raw("width_standings", &json::array(&wst));
     if let Some(latest) = ordered.last() {
         o.raw("latest", &latest.to_json());
     }
@@ -184,6 +279,21 @@ mod tests {
                 ("kernel_speedup".to_owned(), heap / bucket),
             ],
         }
+    }
+
+    /// A record carrying the PR-8 kernel-matrix metrics as well.
+    fn matrix_rec(sha: &str, secs: u64, quick: bool, ppsfp_w512: f64) -> HistoryRecord {
+        let mut r = rec(sha, secs, quick, 2e6, 1e6);
+        r.metrics
+            .push(("ppsfp_evals_per_sec".to_owned(), ppsfp_w512));
+        r.metrics.push(("ppsfp_speedup".to_owned(), 3.5));
+        r.metrics.push(("bucket_w64_evals_per_sec".to_owned(), 2e6));
+        r.metrics
+            .push(("ppsfp_w256_evals_per_sec".to_owned(), ppsfp_w512 * 0.8));
+        r.metrics
+            .push(("ppsfp_w512_evals_per_sec".to_owned(), ppsfp_w512));
+        r.metrics.sort_by(|a, b| a.0.cmp(&b.0));
+        r
     }
 
     #[test]
@@ -225,6 +335,42 @@ mod tests {
     fn markdown_handles_empty_history() {
         let md = render_markdown(&[]);
         assert!(md.contains("No history records"), "{md}");
+    }
+
+    #[test]
+    fn width_standings_pick_best_per_matrix_cell() {
+        let records = vec![
+            matrix_rec("aaaaaaa1", 100, false, 6e6),
+            matrix_rec("bbbbbbb2", 200, false, 8e6),
+            // A pre-matrix record contributes nothing to width rows.
+            rec("ccccccc3", 300, false, 9e6, 5e6),
+        ];
+        let wst = width_standings(&records);
+        let w512 = wst
+            .iter()
+            .find(|r| r.kernel == "ppsfp" && r.width == 512 && r.mode == "full")
+            .unwrap();
+        assert_eq!(w512.best_evals_per_sec, 8e6);
+        assert_eq!(w512.sha, "bbbbbbb2");
+        let w256 = wst
+            .iter()
+            .find(|r| r.kernel == "ppsfp" && r.width == 256)
+            .unwrap();
+        assert_eq!(w256.best_evals_per_sec, 8e6 * 0.8);
+        // No heap width metrics in the fixtures → no heap width rows.
+        assert!(wst.iter().all(|r| r.kernel != "heap"));
+    }
+
+    #[test]
+    fn markdown_and_json_include_width_standings() {
+        let records = vec![matrix_rec("aaaaaaa1", 100, false, 6e6)];
+        let md = render_markdown(&records);
+        assert!(md.contains("## Width scaling"), "{md}");
+        assert!(md.contains("| ppsfp | 512 |"), "{md}");
+        assert!(md.contains("ppsfp Mevals/s"), "{md}");
+        let v = rescue_obs::json::parse(&render_json(&records)).expect("valid JSON");
+        let wst = v.get("width_standings").and_then(|w| w.as_arr()).unwrap();
+        assert_eq!(wst.len(), 3, "bucket w64 + ppsfp w256 + ppsfp w512");
     }
 
     #[test]

@@ -528,12 +528,15 @@ pub fn atpg_report(report: &mut Report, prefix: &str, m: &AtpgMetrics) {
         .f64("effective_parallelism", p.effective_parallelism());
 }
 
-/// The `fsim-kernel` microbench section: heap- vs bucket-queue
-/// throughput on one pattern block of the Rescue (largest) design, plus
-/// the 1-vs-N-thread ATPG scaling row. Deterministic counters
-/// (`gate_evals_*`, `serial_equivalence`) gate exactly in `bench-diff`;
-/// the `_ms` / `_per_sec` / `speedup` keys and everything under
-/// `fsim_kernel.parallel` are informational wall-clock data.
+/// The `fsim-kernel` microbench: the {heap, bucket, ppsfp} × lane
+/// width {64, 256, 512} kernel matrix sweeping every collapsed fault of
+/// the Rescue (largest) design against the same 512-pattern stimulus,
+/// an n-detect fault-dropping sweep, and the 1-vs-N-thread ATPG scaling
+/// row. Deterministic counters (`detected`, `gate_evals`, the
+/// `*_agreement` flags, the dropping identity flags) gate exactly in
+/// `bench-diff`; the `_ms` / `_per_sec` / `speedup` keys are throughput
+/// data (stats-gated directionally under `--stats-gate`), and
+/// everything under `fsim_kernel.parallel` is informational wall-clock.
 pub fn fsim_kernel_report(
     report: &mut Report,
     params: &rescue_core::model::ModelParams,
@@ -541,7 +544,7 @@ pub fn fsim_kernel_report(
 ) {
     use rescue_core::atpg::{resolve_threads, Atpg, AtpgConfig, FaultSim, Kernel};
     use rescue_core::model::{build_pipeline, Variant};
-    use rescue_core::netlist::{scan::insert_scan, Levelized};
+    use rescue_core::netlist::{scan::insert_scan, Fault, Levelized, PatternBlock};
     use std::time::Instant;
 
     let _s = rescue_obs::span("fsim_kernel");
@@ -554,11 +557,7 @@ pub fn fsim_kernel_report(
     // 1-vs-N scaling row: the same full ATPG run, serial then sharded.
     // Identical results are the serial-equivalence guarantee; the gap in
     // wall-clock is the speedup the sharding layer buys.
-    let timed_run = |n: usize| {
-        let cfg = AtpgConfig {
-            threads: n,
-            ..AtpgConfig::default()
-        };
+    let timed_run = |cfg: AtpgConfig| {
         let t = Instant::now();
         let r = Atpg::new(&scanned, cfg)
             .expect("scan design is well-formed")
@@ -566,26 +565,52 @@ pub fn fsim_kernel_report(
             .expect("atpg run");
         (r, t.elapsed().as_secs_f64())
     };
-    let (run_1t, secs_1t) = timed_run(1);
-    let (run_nt, secs_nt) = timed_run(threads);
+    let (run_1t, secs_1t) = timed_run(AtpgConfig {
+        threads: 1,
+        ..AtpgConfig::default()
+    });
+    let (run_nt, secs_nt) = timed_run(AtpgConfig {
+        threads,
+        ..AtpgConfig::default()
+    });
     let identical = run_1t.stats == run_nt.stats
         && run_1t.metrics.counts == run_nt.metrics.counts
         && run_1t.metrics.coverage.to_csv("x") == run_nt.metrics.coverage.to_csv("x");
 
-    // Kernel comparison: sweep every collapsed fault against the first
-    // generated block under each event-queue discipline. Both kernels
-    // evaluate the same gate set, so the eval counters must be equal —
-    // only the queue cost (and thus evals/sec) differs.
-    let blocks = run_nt.blocks(&scanned);
-    let block = blocks.first().expect("ATPG produced at least one block");
-    let kernel_pass = |kernel: Kernel| {
-        let mut sim = FaultSim::with_kernel(&lev, kernel);
-        sim.load_block(block);
+    // One shared 512-pattern stimulus (8 × 64-pattern blocks, the lcm
+    // of every lane width): the run's own blocks, padded with seeded
+    // SplitMix blocks if the run produced fewer than eight.
+    let mut group: Vec<PatternBlock> = run_nt.blocks(&scanned).into_iter().take(8).collect();
+    let mut pad = rescue_obs::SplitMix64::new(0x5eed_f51b_0000_0008);
+    while group.len() < 8 {
+        group.push(PatternBlock {
+            inputs: (0..scanned.netlist.inputs().len())
+                .map(|_| pad.next_u64())
+                .collect(),
+            state: (0..scanned.netlist.num_dffs())
+                .map(|_| pad.next_u64())
+                .collect(),
+        });
+    }
+
+    // One matrix cell: sweep every fault against all 512 patterns in
+    // `8 / W` wide passes; per-fault "ever detected" flags are the
+    // bit-for-bit agreement evidence across all nine cells.
+    fn wide_pass<const W: usize>(
+        lev: &Levelized,
+        faults: &[Fault],
+        group: &[PatternBlock],
+        kernel: Kernel,
+    ) -> (Vec<bool>, u64, f64) {
+        let mut sim: FaultSim<W> = FaultSim::wide(lev, kernel);
+        let mut detected = vec![false; faults.len()];
         let t = Instant::now();
-        let mut detected = 0u64;
-        for &f in &faults {
-            if sim.detect_mask(f) != 0 {
-                detected += 1;
+        for chunk in group.chunks(W) {
+            sim.load_blocks(chunk);
+            for (d, &f) in detected.iter_mut().zip(faults) {
+                if sim.detect_mask_wide(f).iter().any(|&w| w != 0) {
+                    *d = true;
+                }
             }
         }
         (
@@ -593,20 +618,115 @@ pub fn fsim_kernel_report(
             sim.stats().gate_evals.get(),
             t.elapsed().as_secs_f64(),
         )
-    };
-    let (det_bucket, evals_bucket, secs_bucket) = kernel_pass(Kernel::Bucket);
-    let (det_heap, evals_heap, secs_heap) = kernel_pass(Kernel::Heap);
+    }
 
+    // The timed arms run with the profiler off so the PPSFP kernel's
+    // per-fault scopes don't bias its wall-clock against the others; an
+    // untimed attribution pass afterwards restores `profile.ppsfp_*`.
+    let prof = rescue_obs::profile::global();
+    let prof_was = prof.enabled();
+    prof.set_enabled(false);
+    let kernels: [(&str, Kernel); 3] = [
+        ("bucket", Kernel::Bucket),
+        ("heap", Kernel::Heap),
+        ("ppsfp", Kernel::Ppsfp),
+    ];
+    let mut cells: Vec<(&str, usize, Vec<bool>, u64, f64)> = Vec::new();
+    for (name, kernel) in kernels {
+        let (d, e, s) = wide_pass::<1>(&lev, &faults, &group, kernel);
+        cells.push((name, 64, d, e, s));
+        let (d, e, s) = wide_pass::<4>(&lev, &faults, &group, kernel);
+        cells.push((name, 256, d, e, s));
+        let (d, e, s) = wide_pass::<8>(&lev, &faults, &group, kernel);
+        cells.push((name, 512, d, e, s));
+    }
+    prof.set_enabled(prof_was);
+    if prof_was {
+        let _prof = rescue_obs::profile::scope("fsim_kernel_matrix");
+        wide_pass::<8>(&lev, &faults, &group, Kernel::Ppsfp);
+    }
+
+    // Bit-for-bit agreement: every cell must detect exactly the same
+    // fault set, and within each width every kernel must drive the same
+    // event set (equal eval counts).
+    let detect_agreement = cells.iter().all(|(_, _, d, _, _)| *d == cells[0].2);
+    let eval_agreement = [64usize, 256, 512].iter().all(|&w| {
+        let evals: Vec<u64> = cells
+            .iter()
+            .filter(|&&(_, cw, _, _, _)| cw == w)
+            .map(|&(_, _, _, e, _)| e)
+            .collect();
+        evals.windows(2).all(|p| p[0] == p[1])
+    });
+
+    let cell = |name: &str, w: usize| {
+        cells
+            .iter()
+            .find(|&&(n, cw, _, _, _)| n == name && cw == w)
+            .expect("matrix covers all cells")
+    };
+    let count = |d: &[bool]| d.iter().filter(|&&x| x).count() as u64;
+    for &(name, w, ref d, e, s) in &cells {
+        report
+            .section(&format!("fsim_kernel.{name}.w{w}"))
+            .u64("detected", count(d))
+            .u64("gate_evals", e)
+            .f64("sweep_ms", s * 1e3)
+            .f64("evals_per_sec", e as f64 / s.max(1e-12));
+    }
+
+    // n-detect dropping sweep: the watch list must not perturb any
+    // result — identity flags gate exactly — while its counters and
+    // extra simulation work are reported per target.
+    for n in [2u32, 4] {
+        let (run, secs) = timed_run(AtpgConfig {
+            threads,
+            drop_after: Some(n),
+            ..AtpgConfig::default()
+        });
+        let c = &run.metrics.counts;
+        report
+            .section(&format!("fsim_kernel.dropping.n{n}"))
+            .u64("ndetect_target", c.ndetect_target)
+            .u64("ndetect_detections", c.ndetect_detections)
+            .u64("ndetect_retired", c.ndetect_retired)
+            .u64("ndetect_residual", c.ndetect_residual)
+            .u64("gate_evals", c.fsim_gate_evals)
+            .u64(
+                "classes_identical",
+                u64::from(run.classes == run_nt.classes),
+            )
+            .u64(
+                "vectors_identical",
+                u64::from(run.vectors == run_nt.vectors),
+            )
+            .f64("atpg_ms", secs * 1e3);
+    }
+
+    let &(_, _, _, evals_bucket, secs_bucket) = cell("bucket", 64);
+    let &(_, _, _, evals_heap, secs_heap) = cell("heap", 64);
+    let best_ppsfp = [256usize, 512]
+        .iter()
+        .map(|&w| cell("ppsfp", w))
+        .map(|&(_, _, _, e, s)| (e, s))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("ppsfp cells exist");
     report
         .section("fsim_kernel")
         .u64("faults", faults.len() as u64)
-        .u64("detected_bucket", det_bucket)
-        .u64("detected_heap", det_heap)
+        .u64("patterns", group.len() as u64 * 64)
+        .u64("detected_bucket", count(&cell("bucket", 64).2))
+        .u64("detected_heap", count(&cell("heap", 64).2))
+        .u64("detected_ppsfp", count(&cell("ppsfp", 512).2))
         .u64("gate_evals_bucket", evals_bucket)
         .u64("gate_evals_heap", evals_heap)
-        .u64("serial_equivalence", identical as u64)
+        .u64("gate_evals_ppsfp", cell("ppsfp", 512).3)
+        .u64("detect_agreement", u64::from(detect_agreement))
+        .u64("eval_agreement", u64::from(eval_agreement))
+        .u64("serial_equivalence", u64::from(identical))
         .f64("bucket_ms", secs_bucket * 1e3)
         .f64("heap_ms", secs_heap * 1e3)
+        .f64("ppsfp_ms", best_ppsfp.1 * 1e3)
         .f64(
             "bucket_evals_per_sec",
             evals_bucket as f64 / secs_bucket.max(1e-12),
@@ -615,7 +735,12 @@ pub fn fsim_kernel_report(
             "heap_evals_per_sec",
             evals_heap as f64 / secs_heap.max(1e-12),
         )
-        .f64("kernel_speedup", secs_heap / secs_bucket.max(1e-12));
+        .f64(
+            "ppsfp_evals_per_sec",
+            best_ppsfp.0 as f64 / best_ppsfp.1.max(1e-12),
+        )
+        .f64("kernel_speedup", secs_heap / secs_bucket.max(1e-12))
+        .f64("ppsfp_speedup", secs_bucket / best_ppsfp.1.max(1e-12));
     report
         .section("fsim_kernel.parallel")
         .u64("threads", threads as u64)

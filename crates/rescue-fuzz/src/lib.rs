@@ -52,7 +52,7 @@ pub struct FuzzConfig {
     pub cases: u64,
     /// Gate-count cap for the main generator shape.
     pub max_gates: usize,
-    /// Oracles to run (default: all five).
+    /// Oracles to run (default: all seven).
     pub oracles: Vec<OracleKind>,
     /// Where to write repro files for divergences (`None` = don't).
     pub repro_dir: Option<PathBuf>,
@@ -218,7 +218,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
 mod tests {
     use super::*;
 
-    /// The headline guarantee, at smoke scale: all five oracles agree
+    /// The headline guarantee, at smoke scale: all seven oracles agree
     /// on every generated case. The CI `fuzz-smoke` job runs the same
     /// check at 1000 cases per seed.
     #[test]

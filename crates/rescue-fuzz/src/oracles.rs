@@ -1,4 +1,4 @@
-//! The five cross-engine oracles.
+//! The seven cross-engine oracles.
 //!
 //! Each oracle checks one agreement property between independent
 //! implementations of the same semantics, so a bug in either side shows
@@ -10,9 +10,16 @@
 //!   reference against both event-driven kernels (bucket and heap).
 //! * [`shards`] — the multi-threaded fault-sharding layer at 1, 2 and 8
 //!   workers against the serial simulator, lane for lane.
+//! * [`wide`] — the wide PPSFP kernel at 256 and 512 patterns per pass
+//!   against the 64-wide bucket kernel: every per-block detect-mask
+//!   word and the global first-detecting lane must be identical.
 //! * [`atpg_confirm`] — every fault ATPG classifies `Detected` must be
 //!   detected by at least one of the run's own vectors under the naive
 //!   reference simulator.
+//! * [`dropping`] — full ATPG runs with n-detect fault dropping on
+//!   (`drop_after`) and with wide lanes (`lane_words = 8`) against the
+//!   default run: classifications, vectors and the coverage curve must
+//!   be bit-identical, since both are pure datapath/bookkeeping knobs.
 //! * [`collapse`] — structural fault-equivalence collapsing against
 //!   brute force: on exhaustively-stimulated small circuits, every
 //!   enumerated fault's full detection signature must be exhibited by
@@ -34,9 +41,15 @@ pub enum OracleKind {
     Engines,
     /// Serial vs. multi-threaded fault simulation bit-identity.
     Shards,
+    /// Wide PPSFP (256/512 patterns per pass) vs. 64-wide bucket
+    /// detect-mask and first-lane bit-identity.
+    Wide,
     /// ATPG `Detected` classifications confirmed by an independent
     /// simulator.
     AtpgConfirm,
+    /// ATPG with n-detect dropping / wide lanes vs. the default run:
+    /// classifications, vectors and coverage must be bit-identical.
+    Dropping,
     /// Fault-equivalence collapsing vs. brute-force signatures.
     Collapse,
     /// Static DFT lint cleanliness, plus lint-vs-ATPG agreement on
@@ -46,10 +59,12 @@ pub enum OracleKind {
 
 impl OracleKind {
     /// All oracles, in run order.
-    pub const ALL: [OracleKind; 5] = [
+    pub const ALL: [OracleKind; 7] = [
         OracleKind::Engines,
         OracleKind::Shards,
+        OracleKind::Wide,
         OracleKind::AtpgConfirm,
+        OracleKind::Dropping,
         OracleKind::Collapse,
         OracleKind::Lint,
     ];
@@ -59,7 +74,9 @@ impl OracleKind {
         match self {
             OracleKind::Engines => "engines",
             OracleKind::Shards => "shards",
+            OracleKind::Wide => "wide",
             OracleKind::AtpgConfirm => "atpg",
+            OracleKind::Dropping => "dropping",
             OracleKind::Collapse => "collapse",
             OracleKind::Lint => "lint",
         }
@@ -70,7 +87,9 @@ impl OracleKind {
         Ok(match name {
             "engines" => OracleKind::Engines,
             "shards" => OracleKind::Shards,
+            "wide" => OracleKind::Wide,
             "atpg" => OracleKind::AtpgConfirm,
+            "dropping" => OracleKind::Dropping,
             "collapse" => OracleKind::Collapse,
             "lint" => OracleKind::Lint,
             other => return Err(format!("unknown oracle: {other}")),
@@ -83,7 +102,9 @@ impl OracleKind {
         match self {
             OracleKind::Engines => engines(case),
             OracleKind::Shards => shards(case),
+            OracleKind::Wide => wide(case),
             OracleKind::AtpgConfirm => atpg_confirm(case),
+            OracleKind::Dropping => dropping(case),
             OracleKind::Collapse => collapse(case),
             OracleKind::Lint => lint_clean(case),
         }
@@ -175,6 +196,149 @@ pub fn shards(case: &CaseIr) -> Result<(), String> {
                 "{threads}-thread lanes diverge from serial at fault {} ({:?} vs {:?})",
                 faults[i], got[i], want[i]
             ));
+        }
+    }
+    Ok(())
+}
+
+/// Eight sibling stimulus blocks derived deterministically from the
+/// case block by rotating and re-keying every word, so wide lane groups
+/// carry real cross-word variety.
+fn derived_blocks(base: &PatternBlock) -> Vec<PatternBlock> {
+    (0..8u32)
+        .map(|k| {
+            let mix = |(i, &w): (usize, &u64)| {
+                w.rotate_left(7 * k)
+                    ^ u64::from(k)
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .rotate_left(i as u32)
+            };
+            PatternBlock {
+                inputs: base.inputs.iter().enumerate().map(mix).collect(),
+                state: base.state.iter().enumerate().map(mix).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Oracle: the wide PPSFP kernel at 256 (`W = 4`) and 512 (`W = 8`)
+/// patterns per pass must reproduce the 64-wide bucket kernel's
+/// per-block detect-mask words and global first-detecting lane
+/// (`word * 64 + bit` in vector order) on every collapsed fault.
+pub fn wide(case: &CaseIr) -> Result<(), String> {
+    let netlist = case.build()?;
+    let blocks = derived_blocks(&case.block());
+    let lev = Levelized::new(&netlist);
+    let faults = netlist.collapse_faults();
+
+    let mut bucket = FaultSim::with_kernel(&lev, Kernel::Bucket);
+    let mut per_block: Vec<Vec<u64>> = Vec::new();
+    for b in &blocks {
+        bucket.load_block(b);
+        per_block.push(faults.iter().map(|&f| bucket.detect_mask(f)).collect());
+    }
+
+    let mut w4: FaultSim<4> = FaultSim::wide(&lev, Kernel::Ppsfp);
+    let mut w8: FaultSim<8> = FaultSim::wide(&lev, Kernel::Ppsfp);
+    w8.load_blocks(&blocks);
+    for (fi, &f) in faults.iter().enumerate() {
+        let m8 = w8.detect_mask_wide(f);
+        for (word, &m) in m8.iter().enumerate() {
+            if m != per_block[word][fi] {
+                return Err(format!(
+                    "fault {f}: ppsfp(512) word {word} mask {m:#x} != bucket(64) {:#x}",
+                    per_block[word][fi]
+                ));
+            }
+        }
+        let want_lane = (0..8).find_map(|j| {
+            let m = per_block[j][fi];
+            (m != 0).then(|| j as u32 * 64 + m.trailing_zeros())
+        });
+        let got = w8.first_detecting_lane(f);
+        if got != want_lane {
+            return Err(format!(
+                "fault {f}: ppsfp(512) first lane {got:?} != bucket-derived {want_lane:?}"
+            ));
+        }
+    }
+    for (g, chunk) in blocks.chunks(4).enumerate() {
+        w4.load_blocks(chunk);
+        for (fi, &f) in faults.iter().enumerate() {
+            let m4 = w4.detect_mask_wide(f);
+            for (word, &m) in m4.iter().enumerate() {
+                if m != per_block[g * 4 + word][fi] {
+                    return Err(format!(
+                        "fault {f}: ppsfp(256) group {g} word {word} mask {m:#x} \
+                         != bucket(64) {:#x}",
+                        per_block[g * 4 + word][fi]
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Oracle: n-detect fault dropping (`drop_after`) and wide lanes
+/// (`lane_words = 8`) are pure bookkeeping/datapath knobs — a full ATPG
+/// run with either enabled must produce bit-identical classifications,
+/// vectors and coverage curves to the default run.
+pub fn dropping(case: &CaseIr) -> Result<(), String> {
+    let netlist = case.build()?;
+    let scanned = insert_scan(&netlist).map_err(|e| format!("insert_scan: {e}"))?;
+    let base = Atpg::new(&scanned, AtpgConfig::default())
+        .map_err(|e| format!("Atpg::new: {e}"))?
+        .run()
+        .map_err(|e| format!("Atpg::run: {e}"))?;
+
+    let variants = [
+        (
+            "drop_after=2",
+            AtpgConfig {
+                drop_after: Some(2),
+                ..AtpgConfig::default()
+            },
+        ),
+        (
+            "lane_words=8",
+            AtpgConfig {
+                lane_words: 8,
+                ..AtpgConfig::default()
+            },
+        ),
+        (
+            "drop_after=3,lane_words=4",
+            AtpgConfig {
+                drop_after: Some(3),
+                lane_words: 4,
+                ..AtpgConfig::default()
+            },
+        ),
+    ];
+    for (label, cfg) in variants {
+        let run = Atpg::new(&scanned, cfg)
+            .map_err(|e| format!("Atpg::new: {e}"))?
+            .run()
+            .map_err(|e| format!("Atpg::run ({label}): {e}"))?;
+        if run.classes != base.classes {
+            let diff = base
+                .classes
+                .iter()
+                .find(|(f, c)| run.classes.get(f) != Some(c));
+            return Err(format!(
+                "{label}: classifications diverge from default run, first: {diff:?}"
+            ));
+        }
+        if run.vectors != base.vectors {
+            return Err(format!(
+                "{label}: vectors diverge from default run ({} vs {})",
+                run.vectors.len(),
+                base.vectors.len()
+            ));
+        }
+        if run.metrics.coverage != base.metrics.coverage {
+            return Err(format!("{label}: coverage curve diverges from default run"));
         }
     }
     Ok(())
@@ -343,11 +507,26 @@ mod tests {
         let case = generate(1, 0, &GenConfig::sized(24));
         engines(&case).unwrap();
         shards(&case).unwrap();
+        wide(&case).unwrap();
         atpg_confirm(&case).unwrap();
+        dropping(&case).unwrap();
         lint_clean(&case).unwrap();
         let small = generate(1, 0, &GenConfig::small());
         collapse(&small).unwrap();
         lint_clean(&small).unwrap();
+    }
+
+    #[test]
+    fn derived_blocks_are_deterministic_and_diverse() {
+        let case = generate(3, 0, &GenConfig::sized(24));
+        let a = derived_blocks(&case.block());
+        let b = derived_blocks(&case.block());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert_eq!(a[0], case.block(), "word 0 is the case's own block");
+        for w in &a[1..] {
+            assert_ne!(w, &a[0], "sibling blocks must differ from the seed");
+        }
     }
 
     /// A deliberately broken "reference": flipping one stimulus bit

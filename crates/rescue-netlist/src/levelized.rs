@@ -11,13 +11,23 @@
 //!   lookup instead of two, and no per-gate allocations;
 //! * everything is plain `u32` data behind `&self`, so one `Levelized`
 //!   is built per netlist and **shared immutably across threads** by the
-//!   fault-sharding layer.
+//!   fault-sharding layer;
+//! * nets are **renumbered in first-use (level) order** — primary
+//!   inputs, then flip-flop Q outputs, then gate outputs in packed
+//!   order — behind an old↔new permutation, so the hot good/faulty
+//!   value arrays are written in streaming order during the level sweep
+//!   instead of striding through builder-assigned net ids.
 //!
 //! Positions into the packed order are called `pos` below; they relate
 //! to [`GateId`]s through [`Levelized::pos_of`] / [`Levelized::gate_at`].
+//! Net indices exposed by the accessors ([`Levelized::out_net`],
+//! [`Levelized::inputs`], the fanout views) are **internal level-order
+//! ids**; translate at the boundary with [`Levelized::new_net`] /
+//! [`Levelized::old_net`]. [`Levelized::eval_block_into`] keeps its
+//! original contract and returns values indexed by [`NetId`].
 
 use crate::netlist::{GateId, GateKind, NetId, Netlist};
-use crate::sim::PatternBlock;
+use crate::sim::{PatternBlock, WideBlock};
 
 /// Compact level-ordered evaluation arrays for one netlist. See the
 /// module docs.
@@ -51,6 +61,10 @@ pub struct Levelized {
     input_nets: Vec<u32>,
     /// Q-output net index per flip-flop.
     dff_q_nets: Vec<u32>,
+    /// Permutation: internal level-order net index -> original `NetId`.
+    net_old: Vec<u32>,
+    /// Inverse permutation: original `NetId` -> internal net index.
+    net_new: Vec<u32>,
     /// Largest gate fan-in (scratch-buffer sizing).
     max_fanin: usize,
 }
@@ -87,34 +101,63 @@ impl Levelized {
             .map(|p| n.gate_level(GateId::from_index(gate_at[p] as usize)))
             .collect();
         let kind: Vec<GateKind> = (0..num_gates).map(|p| gate(p).kind()).collect();
+
+        // Renumber nets in first-write order of the level sweep: primary
+        // inputs, then flip-flop Qs, then gate outputs in packed order.
+        // Every net has exactly one driver so this is a total
+        // permutation; any undriven stragglers go at the end.
+        let mut net_new = vec![u32::MAX; n.num_nets()];
+        let mut net_old: Vec<u32> = Vec::with_capacity(n.num_nets());
+        {
+            let mut assign = |old: u32| {
+                if net_new[old as usize] == u32::MAX {
+                    net_new[old as usize] = net_old.len() as u32;
+                    net_old.push(old);
+                }
+            };
+            for i in n.inputs() {
+                assign(i.index() as u32);
+            }
+            for d in n.dffs() {
+                assign(d.q().index() as u32);
+            }
+            for p in 0..num_gates {
+                assign(gate(p).output().index() as u32);
+            }
+            for old in 0..n.num_nets() as u32 {
+                assign(old);
+            }
+        }
+        debug_assert_eq!(net_old.len(), n.num_nets());
+
         let out_net: Vec<u32> = (0..num_gates)
-            .map(|p| gate(p).output().index() as u32)
+            .map(|p| net_new[gate(p).output().index()])
             .collect();
         let (in_offsets, in_nets) = csr(0..num_gates, |p| {
             gate(p)
                 .inputs()
                 .iter()
-                .map(|i| i.index() as u32)
+                .map(|i| net_new[i.index()])
                 .collect::<Vec<_>>()
         });
 
-        // Per-net fanout as packed positions. The elaborated fanout is
-        // already level-sorted; mapping to positions keeps that order.
+        // Per-net fanout as packed positions, rows in internal net
+        // order. The elaborated fanout is already level-sorted; mapping
+        // to positions keeps that order.
+        let old_of = |ni: usize| NetId::from_index(net_old[ni] as usize);
         let (fanout_offsets, fanout_pos) = csr(0..n.num_nets(), |ni| {
-            n.fanout_gates(NetId::from_index(ni))
+            n.fanout_gates(old_of(ni))
                 .iter()
                 .map(|g| pos_of[g.index()])
                 .collect::<Vec<_>>()
         });
         let (dff_offsets, dff_ids) = csr(0..n.num_nets(), |ni| {
-            n.fanout_dffs(NetId::from_index(ni))
+            n.fanout_dffs(old_of(ni))
                 .iter()
                 .map(|d| d.index() as u32)
                 .collect::<Vec<_>>()
         });
-        let (po_offsets, po_ids) = csr(0..n.num_nets(), |ni| {
-            n.fanout_outputs(NetId::from_index(ni)).to_vec()
-        });
+        let (po_offsets, po_ids) = csr(0..n.num_nets(), |ni| n.fanout_outputs(old_of(ni)).to_vec());
 
         Levelized {
             num_nets: n.num_nets(),
@@ -131,8 +174,10 @@ impl Levelized {
             dff_ids,
             po_offsets,
             po_ids,
-            input_nets: n.inputs().iter().map(|i| i.index() as u32).collect(),
-            dff_q_nets: n.dffs().iter().map(|d| d.q().index() as u32).collect(),
+            input_nets: n.inputs().iter().map(|i| net_new[i.index()]).collect(),
+            dff_q_nets: n.dffs().iter().map(|d| net_new[d.q().index()]).collect(),
+            net_old,
+            net_new,
             max_fanin: n
                 .gates()
                 .iter()
@@ -187,61 +232,92 @@ impl Levelized {
         self.kind[pos as usize]
     }
 
-    /// Output net index of the gate at `pos`.
+    /// Internal level-order net index of an original [`NetId`] index.
+    #[inline]
+    pub fn new_net(&self, old: usize) -> usize {
+        self.net_new[old] as usize
+    }
+
+    /// Original [`NetId`] index of an internal level-order net index.
+    #[inline]
+    pub fn old_net(&self, ni: usize) -> usize {
+        self.net_old[ni] as usize
+    }
+
+    /// Output net (internal index) of the gate at `pos`.
     #[inline]
     pub fn out_net(&self, pos: u32) -> u32 {
         self.out_net[pos as usize]
     }
 
-    /// Input net indices of the gate at `pos`, pin order.
+    /// Input nets (internal indices) of the gate at `pos`, pin order.
     #[inline]
     pub fn inputs(&self, pos: u32) -> &[u32] {
         let p = pos as usize;
         &self.in_nets[self.in_offsets[p] as usize..self.in_offsets[p + 1] as usize]
     }
 
-    /// Packed positions of the gates reading net `ni`, level-major.
+    /// Packed positions of the gates reading internal net `ni`,
+    /// level-major.
     #[inline]
     pub fn fanout(&self, ni: usize) -> &[u32] {
         &self.fanout_pos[self.fanout_offsets[ni] as usize..self.fanout_offsets[ni + 1] as usize]
     }
 
-    /// Flip-flop indices whose D input is net `ni`.
+    /// Flip-flop indices whose D input is internal net `ni`.
     #[inline]
     pub fn fanout_dffs(&self, ni: usize) -> &[u32] {
         &self.dff_ids[self.dff_offsets[ni] as usize..self.dff_offsets[ni + 1] as usize]
     }
 
-    /// Primary-output indices fed by net `ni`.
+    /// Primary-output indices fed by internal net `ni`.
     #[inline]
     pub fn fanout_outputs(&self, ni: usize) -> &[u32] {
         &self.po_ids[self.po_offsets[ni] as usize..self.po_offsets[ni + 1] as usize]
     }
 
     /// Fault-free 64-way bit-parallel evaluation of one capture cycle
-    /// into a caller-owned buffer (resized to `num_nets`). One forward
-    /// sweep over the level-ordered arrays; produces exactly the same
-    /// net values as [`Netlist::simulate`].
+    /// into a caller-owned buffer (resized to `num_nets`), indexed by
+    /// **original** [`NetId`]. Produces exactly the same net values as
+    /// [`Netlist::simulate`]. Compatibility path over
+    /// [`Levelized::eval_wide_into`]; the kernels use the wide form
+    /// directly and stay in internal net order.
     pub fn eval_block_into(&self, block: &PatternBlock, nets: &mut Vec<u64>) {
+        let wide = WideBlock::<1>::from_blocks(std::slice::from_ref(block));
+        let mut internal: Vec<[u64; 1]> = Vec::with_capacity(self.num_nets);
+        self.eval_wide_into(&wide, &mut internal);
+        nets.clear();
+        nets.resize(self.num_nets, 0);
+        for (ni, v) in internal.iter().enumerate() {
+            nets[self.net_old[ni] as usize] = v[0];
+        }
+    }
+
+    /// Fault-free `W * 64`-way bit-parallel evaluation of one capture
+    /// cycle into a caller-owned buffer (resized to `num_nets`),
+    /// indexed by **internal** net order. One forward sweep over the
+    /// level-ordered arrays; because nets are renumbered in first-write
+    /// order, the sweep writes `nets` almost sequentially.
+    pub fn eval_wide_into<const W: usize>(&self, wide: &WideBlock<W>, nets: &mut Vec<[u64; W]>) {
         assert_eq!(
-            block.inputs.len(),
+            wide.inputs.len(),
             self.input_nets.len(),
             "input width mismatch"
         );
         assert_eq!(
-            block.state.len(),
+            wide.state.len(),
             self.dff_q_nets.len(),
             "state width mismatch"
         );
         nets.clear();
-        nets.resize(self.num_nets, 0);
+        nets.resize(self.num_nets, [0; W]);
         for (i, &ni) in self.input_nets.iter().enumerate() {
-            nets[ni as usize] = block.inputs[i];
+            nets[ni as usize] = wide.inputs[i];
         }
         for (i, &ni) in self.dff_q_nets.iter().enumerate() {
-            nets[ni as usize] = block.state[i];
+            nets[ni as usize] = wide.state[i];
         }
-        let mut in_buf: Vec<u64> = Vec::with_capacity(self.max_fanin);
+        let mut in_buf: Vec<[u64; W]> = Vec::with_capacity(self.max_fanin);
         let n = self.num_gates() as u32;
         if rescue_obs::profile::global().enabled() {
             // Profiled sweep: attribute eval time to level buckets so
@@ -254,23 +330,28 @@ impl Levelized {
                 let bucket = level_bucket(self.level(pos));
                 let _b = rescue_obs::profile::scope(LEVEL_BUCKET_NAMES[bucket]);
                 while pos < n && level_bucket(self.level(pos)) == bucket {
-                    self.eval_gate(pos, &mut in_buf, nets);
+                    self.eval_gate_wide(pos, &mut in_buf, nets);
                     pos += 1;
                 }
             }
         } else {
             for pos in 0..n {
-                self.eval_gate(pos, &mut in_buf, nets);
+                self.eval_gate_wide(pos, &mut in_buf, nets);
             }
         }
     }
 
     /// Evaluate the gate at `pos` into `nets` (one step of the sweep).
     #[inline]
-    fn eval_gate(&self, pos: u32, in_buf: &mut Vec<u64>, nets: &mut [u64]) {
+    fn eval_gate_wide<const W: usize>(
+        &self,
+        pos: u32,
+        in_buf: &mut Vec<[u64; W]>,
+        nets: &mut [[u64; W]],
+    ) {
         in_buf.clear();
         in_buf.extend(self.inputs(pos).iter().map(|&ni| nets[ni as usize]));
-        nets[self.out_net(pos) as usize] = self.kind(pos).eval_u64(in_buf);
+        nets[self.out_net(pos) as usize] = self.kind(pos).eval_wide(in_buf);
     }
 }
 
@@ -340,13 +421,21 @@ mod tests {
             let pos = lev.pos_of(id);
             let gate = n.gate(id);
             assert_eq!(lev.kind(pos), gate.kind());
-            assert_eq!(lev.out_net(pos) as usize, gate.output().index());
-            let pins: Vec<usize> = lev.inputs(pos).iter().map(|&x| x as usize).collect();
+            assert_eq!(
+                lev.old_net(lev.out_net(pos) as usize),
+                gate.output().index()
+            );
+            let pins: Vec<usize> = lev
+                .inputs(pos)
+                .iter()
+                .map(|&x| lev.old_net(x as usize))
+                .collect();
             let want: Vec<usize> = gate.inputs().iter().map(|i| i.index()).collect();
             assert_eq!(pins, want);
         }
-        for ni in 0..n.num_nets() {
-            let id = NetId::from_index(ni);
+        for old in 0..n.num_nets() {
+            let id = NetId::from_index(old);
+            let ni = lev.new_net(old);
             let gates: Vec<GateId> = lev.fanout(ni).iter().map(|&p| lev.gate_at(p)).collect();
             assert_eq!(gates, n.fanout_gates(id));
             let dffs: Vec<usize> = lev.fanout_dffs(ni).iter().map(|&d| d as usize).collect();
@@ -355,8 +444,35 @@ mod tests {
             assert_eq!(
                 lev.fanout_outputs(ni),
                 n.fanout_outputs(id),
-                "po fanout of net {ni}"
+                "po fanout of net {old}"
             );
+        }
+    }
+
+    #[test]
+    fn net_renumbering_is_a_level_order_permutation() {
+        let n = sample();
+        let lev = Levelized::new(&n);
+        // Total permutation: old -> new -> old round-trips for every
+        // net, and every internal id is hit exactly once.
+        let mut seen = vec![false; n.num_nets()];
+        for old in 0..n.num_nets() {
+            let ni = lev.new_net(old);
+            assert_eq!(lev.old_net(ni), old, "round trip of net {old}");
+            assert!(!seen[ni], "internal id {ni} assigned twice");
+            seen[ni] = true;
+        }
+        // First-write order: inputs, then DFF Qs, then gate outputs in
+        // packed (level-major) order — so the sweep writes sequentially.
+        let base = n.inputs().len() + n.dffs().len();
+        for (i, inp) in n.inputs().iter().enumerate() {
+            assert_eq!(lev.new_net(inp.index()), i);
+        }
+        for (i, d) in n.dffs().iter().enumerate() {
+            assert_eq!(lev.new_net(d.q().index()), n.inputs().len() + i);
+        }
+        for pos in 0..lev.num_gates() as u32 {
+            assert_eq!(lev.out_net(pos) as usize, base + pos as usize);
         }
     }
 
@@ -371,5 +487,41 @@ mod tests {
         let mut nets = Vec::new();
         lev.eval_block_into(&block, &mut nets);
         assert_eq!(nets, n.simulate(&block).nets);
+    }
+
+    #[test]
+    fn eval_wide_matches_simulate_per_word_with_replicated_padding() {
+        let n = sample();
+        let lev = Levelized::new(&n);
+        let blocks = [
+            PatternBlock {
+                inputs: vec![0xdead_beef_0123_4567, 0xaaaa_5555_ffff_0000],
+                state: vec![0x0f0f_0f0f_0f0f_0f0f],
+            },
+            PatternBlock {
+                inputs: vec![0x1234_5678_9abc_def0, 0x0ff0_0ff0_0ff0_0ff0],
+                state: vec![0xffff_0000_ffff_0000],
+            },
+            PatternBlock {
+                inputs: vec![!0, 0],
+                state: vec![0x5555_5555_5555_5555],
+            },
+        ];
+        let wide = WideBlock::<4>::from_blocks(&blocks);
+        assert_eq!(wide.real_words, 3);
+        assert_eq!(wide.real_mask(), [!0, !0, !0, 0]);
+        let mut nets: Vec<[u64; 4]> = Vec::new();
+        lev.eval_wide_into(&wide, &mut nets);
+        for word in 0..4 {
+            // Word 3 replicates the last real block.
+            let expect = n.simulate(&blocks[word.min(blocks.len() - 1)]).nets;
+            for old in 0..n.num_nets() {
+                assert_eq!(
+                    nets[lev.new_net(old)][word],
+                    expect[old],
+                    "net {old} word {word}"
+                );
+            }
+        }
     }
 }

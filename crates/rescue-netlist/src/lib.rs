@@ -54,5 +54,5 @@ pub use fault::{Fault, FaultSite, StuckAt};
 pub use levelized::Levelized;
 pub use netlist::{ComponentId, Dff, DffId, Driver, Gate, GateId, GateKind, NetId, Netlist};
 pub use scan::{MultiScanNetlist, ScanChain, ScanNetlist};
-pub use sim::{PatternBlock, SimOutput};
+pub use sim::{PatternBlock, SimOutput, WideBlock};
 pub use verilog::{to_verilog, VerilogOptions};

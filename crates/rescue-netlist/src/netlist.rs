@@ -149,6 +149,57 @@ impl GateKind {
             GateKind::Mux => (!inputs[0] & inputs[1]) | (inputs[0] & inputs[2]),
         }
     }
+
+    /// Evaluate the gate over `W * 64` parallel boolean patterns.
+    ///
+    /// The lane block `[u64; W]` is the std-only equivalent of a SIMD
+    /// register: the fixed-size inner loops monomorphize per `W` and
+    /// unroll, so one call evaluates 64 (`W = 1`), 256 (`W = 4`) or
+    /// 512 (`W = 8`) patterns. `W = 1` is bit-identical to
+    /// [`GateKind::eval_u64`].
+    #[inline]
+    pub fn eval_wide<const W: usize>(self, inputs: &[[u64; W]]) -> [u64; W] {
+        #[inline(always)]
+        fn fold<const W: usize>(
+            inputs: &[[u64; W]],
+            init: u64,
+            f: impl Fn(u64, u64) -> u64,
+        ) -> [u64; W] {
+            let mut acc = [init; W];
+            for word in inputs {
+                for w in 0..W {
+                    acc[w] = f(acc[w], word[w]);
+                }
+            }
+            acc
+        }
+        #[inline(always)]
+        fn not<const W: usize>(mut v: [u64; W]) -> [u64; W] {
+            for w in v.iter_mut() {
+                *w = !*w;
+            }
+            v
+        }
+        match self {
+            GateKind::Const0 => [0; W],
+            GateKind::Const1 => [u64::MAX; W],
+            GateKind::Buf => inputs[0],
+            GateKind::Not => not(inputs[0]),
+            GateKind::And => fold(inputs, u64::MAX, |a, b| a & b),
+            GateKind::Or => fold(inputs, 0, |a, b| a | b),
+            GateKind::Nand => not(fold(inputs, u64::MAX, |a, b| a & b)),
+            GateKind::Nor => not(fold(inputs, 0, |a, b| a | b)),
+            GateKind::Xor => fold(inputs, 0, |a, b| a ^ b),
+            GateKind::Xnor => not(fold(inputs, 0, |a, b| a ^ b)),
+            GateKind::Mux => {
+                let mut out = [0; W];
+                for w in 0..W {
+                    out[w] = (!inputs[0][w] & inputs[1][w]) | (inputs[0][w] & inputs[2][w]);
+                }
+                out
+            }
+        }
+    }
 }
 
 impl fmt::Display for GateKind {

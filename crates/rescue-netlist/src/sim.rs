@@ -36,6 +36,78 @@ impl PatternBlock {
     }
 }
 
+/// A lane block of up to `W * 64` parallel input/state patterns — `W`
+/// consecutive [`PatternBlock`]s interleaved per signal so the wide
+/// fault-sim kernels can evaluate them in one monomorphized pass.
+///
+/// Word `j` of a lane block holds the `j`-th constituent 64-pattern
+/// block; lane `j * 64 + k` is therefore pattern `k` of block `j`, in
+/// vector order. When fewer than `W` blocks are supplied the trailing
+/// words replicate the last real block: a replicated pattern detects
+/// exactly what its original lane detects, so detection unions and
+/// first-detecting lanes are unaffected (the first detecting lane is
+/// always in a real word).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WideBlock<const W: usize> {
+    /// One lane block per primary input.
+    pub inputs: Vec<[u64; W]>,
+    /// One lane block per flip-flop (the scanned-in state).
+    pub state: Vec<[u64; W]>,
+    /// Number of non-replicated words (`1..=W`).
+    pub real_words: usize,
+}
+
+impl<const W: usize> WideBlock<W> {
+    /// Pack `1..=W` equally-shaped pattern blocks into one lane block,
+    /// replicating the last block into any missing trailing words.
+    ///
+    /// # Panics
+    /// If `blocks` is empty, has more than `W` entries, or the blocks
+    /// disagree on input/state width.
+    pub fn from_blocks(blocks: &[PatternBlock]) -> Self {
+        assert!(
+            !blocks.is_empty() && blocks.len() <= W,
+            "expected 1..={W} pattern blocks, got {}",
+            blocks.len()
+        );
+        for b in &blocks[1..] {
+            assert_eq!(
+                b.inputs.len(),
+                blocks[0].inputs.len(),
+                "input width mismatch"
+            );
+            assert_eq!(b.state.len(), blocks[0].state.len(), "state width mismatch");
+        }
+        let pack = |get: &dyn Fn(&PatternBlock) -> &[u64], n: usize| -> Vec<[u64; W]> {
+            (0..n)
+                .map(|i| {
+                    let mut word = [0u64; W];
+                    for (j, w) in word.iter_mut().enumerate() {
+                        *w = get(&blocks[j.min(blocks.len() - 1)])[i];
+                    }
+                    word
+                })
+                .collect()
+        };
+        WideBlock {
+            inputs: pack(&|b| &b.inputs, blocks[0].inputs.len()),
+            state: pack(&|b| &b.state, blocks[0].state.len()),
+            real_words: blocks.len(),
+        }
+    }
+
+    /// Mask with all 64 bits set in every non-replicated word and zero
+    /// in the padding words — AND a detect mask with this before
+    /// counting detections that must not double-count padding.
+    pub fn real_mask(&self) -> [u64; W] {
+        let mut m = [0u64; W];
+        for w in m.iter_mut().take(self.real_words) {
+            *w = u64::MAX;
+        }
+        m
+    }
+}
+
 /// Result of simulating one capture cycle: the value of every net.
 #[derive(Clone, Debug)]
 pub struct SimOutput {
