@@ -359,22 +359,51 @@ impl<'a> Atpg<'a> {
     /// not match the fault list it was given (a broken invariant that
     /// would otherwise misclassify faults silently).
     pub fn run(&self) -> Result<AtpgRun, AtpgError> {
+        // Open the span and profile scope before levelizing so the
+        // prep phases attribute under `atpg/` as they always have.
         let _span = rescue_obs::span("atpg.run");
         let _prof = rescue_obs::profile::scope("atpg");
+        let n = &self.scanned.netlist;
+        let lev = Levelized::new(n);
+        let faults = n.collapse_faults();
+        self.run_inner(&lev, &faults)
+    }
+
+    /// Run the full flow against a pre-built levelized view and
+    /// collapsed fault list — the entry point for callers that cache
+    /// these per netlist (the `rescue-serve` design cache): both are
+    /// deterministic functions of the netlist, so reusing them
+    /// produces a bit-identical [`AtpgRun`] to [`Atpg::run`].
+    ///
+    /// `lev` must be `Levelized::new` of this ATPG's scanned netlist
+    /// and `faults` its `collapse_faults()` output; anything else
+    /// misclassifies faults or worse.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Atpg::run`].
+    pub fn run_prepared(&self, lev: &Levelized, faults: &[Fault]) -> Result<AtpgRun, AtpgError> {
+        let _span = rescue_obs::span("atpg.run");
+        let _prof = rescue_obs::profile::scope("atpg");
+        self.run_inner(lev, faults)
+    }
+
+    /// Shared body of [`Atpg::run`] / [`Atpg::run_prepared`]; callers
+    /// hold the `atpg.run` span and `atpg` profile scope open.
+    fn run_inner(&self, lev: &Levelized, faults: &[Fault]) -> Result<AtpgRun, AtpgError> {
         let t_run = Instant::now();
         let mut counts = AtpgCounts::default();
         let mut timing = AtpgTiming::default();
         let n = &self.scanned.netlist;
         let constraints = self.capture_constraints();
         let podem = Podem::new(n, constraints, self.config.podem);
-        let faults = n.collapse_faults();
 
         let mut classes: HashMap<Fault, FaultClass> = faults
             .iter()
             .map(|&f| (f, FaultClass::Undetected))
             .collect();
         let mut remaining: Vec<Fault> = Vec::new();
-        for &f in &faults {
+        for &f in faults {
             if self.is_chain_fault(f) {
                 classes.insert(f, FaultClass::ChainTested);
             } else {
@@ -382,9 +411,8 @@ impl<'a> Atpg<'a> {
             }
         }
 
-        let lev = Levelized::new(n);
         let lane_words = self.config.lane_words;
-        let mut shards = LaneShards::new(&lev, resolve_threads(self.config.threads), lane_words)
+        let mut shards = LaneShards::new(lev, resolve_threads(self.config.threads), lane_words)
             .ok_or(AtpgError::UnsupportedLaneWidth { lane_words })?;
         counts.ndetect_target = u64::from(self.config.drop_after.unwrap_or(0));
         // n ≤ 1 is a no-op: the main loop already drops on first detect.

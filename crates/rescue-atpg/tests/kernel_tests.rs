@@ -408,3 +408,40 @@ fn isolate_many_matches_sequential_isolation() {
         );
     }
 }
+
+/// `run_prepared` with an externally built `Levelized` + collapsed
+/// fault list produces exactly the same vectors, classifications, and
+/// stats as `run()` — the invariant the `rescue-serve` design cache
+/// relies on when it reuses both across jobs with the same netlist.
+#[test]
+fn run_prepared_with_cached_structures_matches_run() {
+    let mut b = NetlistBuilder::new();
+    b.enter_component("LCX");
+    let a = b.input_bus("a", 6);
+    let mut acc = a[0];
+    for &x in &a[1..] {
+        let t = b.xor2(acc, x);
+        let u = b.and2(acc, x);
+        acc = b.or2(t, u);
+    }
+    b.dff(acc, "q");
+    b.enter_component("LCY");
+    let e = b.input("e");
+    let y = b.or2(e, a[0]);
+    b.dff(y, "ry");
+    let scanned = insert_scan(&b.finish().unwrap()).unwrap();
+
+    let atpg = Atpg::new(&scanned, AtpgConfig::default()).unwrap();
+    let direct = atpg.run().unwrap();
+
+    let lev = Levelized::new(&scanned.netlist);
+    let faults = scanned.netlist.collapse_faults();
+    // Run twice from the same cached structures: reuse must not
+    // perturb the result either.
+    for round in 0..2 {
+        let prepared = atpg.run_prepared(&lev, &faults).unwrap();
+        assert_eq!(prepared.vectors, direct.vectors, "round {round}");
+        assert_eq!(prepared.classes, direct.classes, "round {round}");
+        assert_eq!(prepared.stats, direct.stats, "round {round}");
+    }
+}

@@ -157,6 +157,12 @@ impl Default for DiffConfig {
 /// `profile.*` phase attribution is wall-clock (and its scope counts
 /// vary with thread scheduling); `bench.*` records harness knobs
 /// (`--repeat`, `--warmup`) that legitimately differ between runs.
+/// Job-server rows (`serve.*` from the `serve-load` generator) are
+/// latency/throughput measurements — informational — **except** the
+/// cache rows (`serve.cache.*`), whose hit/miss counts are exact by
+/// the generator's phased construction (serial populate, then replay)
+/// and gate exactly; wall-clock suffixes like `…speedup` still apply
+/// inside `serve.cache.*`.
 fn is_informational_path(path: &str) -> bool {
     path.starts_with("profile.")
         || path.starts_with("bench.")
@@ -170,6 +176,7 @@ fn is_informational_path(path: &str) -> bool {
         || path.starts_with("fuzz.")
         || path.starts_with("obs.overhead.")
         || path.starts_with("live.")
+        || (path.starts_with("serve.") && !path.starts_with("serve.cache."))
         || path.starts_with("spans.") && (path.ends_with(".total") || path.ends_with(".max"))
 }
 
@@ -708,6 +715,42 @@ mod tests {
             ..DiffConfig::default()
         };
         assert!(diff(&b, &c, &cfg).unwrap().regressed());
+    }
+
+    #[test]
+    fn serve_rows_are_informational_except_cache_counts() {
+        let serve_doc = |p99: u64, hits: u64| {
+            parse(&format!(
+                r#"{{"title":"serve_load","sections":[
+                    {{"name":"serve.load","metrics":{{"jobs":32,"warm_p99_ns":{p99},"shed_429":8}}}},
+                    {{"name":"serve.cache","metrics":{{"hits":{hits},"misses":7,"cold_over_warm_speedup":50.0}}}}],
+                   "spans":[]}}"#
+            ))
+            .unwrap()
+        };
+        // Latency drift (and even the shed tally) is informational…
+        let b = serve_doc(1_000, 25);
+        let c = parse(
+            r#"{"title":"serve_load","sections":[
+                {"name":"serve.load","metrics":{"jobs":31,"warm_p99_ns":9000,"shed_429":5}},
+                {"name":"serve.cache","metrics":{"hits":25,"misses":7,"cold_over_warm_speedup":2.0}}],
+               "spans":[]}"#,
+        )
+        .unwrap();
+        let r = diff(&b, &c, &DiffConfig::default()).unwrap();
+        assert!(!r.regressed(), "{}", r.render(true));
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| d.severity == Severity::Info && d.path == "serve.load.warm_p99_ns"));
+        // …but a cache-hit count change is a hard failure.
+        let c = serve_doc(1_000, 24);
+        let r = diff(&b, &c, &DiffConfig::default()).unwrap();
+        assert!(r.regressed());
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| d.severity == Severity::Fail && d.path == "serve.cache.hits"));
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Content hashing for netlists and job inputs.
+//!
+//! The job server keys its design and result caches on a content hash
+//! of the POSTed netlist text (plus a hash of the job configuration).
+//! The workspace is zero-external-deps, so this is a hand-rolled 64-bit
+//! FNV-1a with a SplitMix64-style finalizer on top: FNV-1a alone has
+//! weak high bits on short inputs, and the finalizer's avalanche fixes
+//! that without changing the streaming structure.
+//!
+//! These hashes are cache keys, not cryptographic digests: a collision
+//! costs a wrong cache hit, so 64 well-mixed bits over the small
+//! population of netlists a server sees in one lifetime is ample.
+
+use crate::netlist::Netlist;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a/64 hasher with a SplitMix64 finalizer.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// Start a fresh hash.
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Absorb raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorb a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Absorb a length-prefixed string, so `("ab","c")` and `("a","bc")`
+    /// hash differently.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_u64(s.len() as u64).write(s.as_bytes())
+    }
+
+    /// Finish: SplitMix64 finalizer over the FNV state.
+    pub fn finish(&self) -> u64 {
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Hash a byte slice in one call.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+impl Netlist {
+    /// Structural content hash: identical for structurally identical
+    /// netlists (same components, inputs, flip-flops, gates, outputs,
+    /// same declaration order) regardless of how they were built.
+    ///
+    /// Internal gate-output net names are excluded — they are
+    /// builder-generated and do not survive the text round-trip
+    /// ([`crate::text`]) — so a netlist and its parse back from
+    /// [`crate::text::to_text`] hash identically.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str("rescue-netlist-v1");
+        h.write_u64(self.components.len() as u64);
+        for c in &self.components {
+            h.write_str(c);
+        }
+        h.write_u64(self.inputs.len() as u64);
+        for &net in &self.inputs {
+            h.write_str(self.net_name(net));
+        }
+        h.write_u64(self.dffs.len() as u64);
+        for d in &self.dffs {
+            h.write_str(&d.name);
+            h.write_u64(d.component.index() as u64);
+            h.write_u64(self.signal_index(d.d) as u64);
+        }
+        h.write_u64(self.gates.len() as u64);
+        for g in &self.gates {
+            h.write_str(&g.kind.to_string());
+            h.write_u64(g.component.index() as u64);
+            h.write_u64(u64::from(g.scan_path));
+            h.write_u64(g.inputs.len() as u64);
+            for &i in &g.inputs {
+                h.write_u64(self.signal_index(i) as u64);
+            }
+        }
+        h.write_u64(self.outputs.len() as u64);
+        for (name, net) in &self.outputs {
+            h.write_str(name);
+            h.write_u64(self.signal_index(*net) as u64);
+        }
+        h.finish()
+    }
+
+    /// Flat signal index of a net in the canonical text-format
+    /// numbering: primary inputs first (declaration order), then
+    /// flip-flop Q outputs (flop order), then gate outputs (gate
+    /// order). Stable across rebuilds because it depends only on
+    /// declaration order, never on raw [`crate::NetId`] values.
+    pub(crate) fn signal_index(&self, net: crate::netlist::NetId) -> usize {
+        use crate::netlist::Driver;
+        match self.net_driver(net) {
+            Driver::Input(i) => i as usize,
+            Driver::Dff(d) => self.inputs.len() + d.index(),
+            Driver::Gate(g) => self.inputs.len() + self.dffs.len() + g.index(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn sample(flip: bool) -> Netlist {
+        let mut b = NetlistBuilder::new();
+        b.enter_component("c0");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = if flip { b.or2(a, c) } else { b.and2(a, c) };
+        let q = b.dff(x, "q");
+        b.output(q, "o");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn identical_structures_hash_identically() {
+        assert_eq!(sample(false).content_hash(), sample(false).content_hash());
+    }
+
+    #[test]
+    fn gate_kind_changes_the_hash() {
+        assert_ne!(sample(false).content_hash(), sample(true).content_hash());
+    }
+
+    #[test]
+    fn fnv_is_order_and_boundary_sensitive() {
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+        let mut h1 = Fnv64::new();
+        h1.write_str("ab").write_str("c");
+        let mut h2 = Fnv64::new();
+        h2.write_str("a").write_str("bc");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn known_inputs_do_not_collide_trivially() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            assert!(seen.insert(fnv1a64(&i.to_le_bytes())));
+        }
+    }
+}

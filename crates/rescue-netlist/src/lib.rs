@@ -16,7 +16,11 @@
 //!   ([`sim`]), which is what the ATPG fault simulator builds on,
 //! * a **levelized packed view** ([`levelized`]) flattens the gate graph
 //!   into level-ordered CSR arrays, built once per netlist and shared
-//!   immutably across fault-simulation worker threads.
+//!   immutably across fault-simulation worker threads,
+//! * circuits serialize to and parse from a **line-based text format**
+//!   ([`text`]) — the wire format of the `rescue-serve` job server —
+//!   and carry a structural **content hash** ([`hash`]) used as the
+//!   server's design/result cache key.
 //!
 //! # Example
 //!
@@ -42,15 +46,18 @@
 mod builder;
 mod error;
 pub mod fault;
+pub mod hash;
 pub mod levelized;
 mod netlist;
 pub mod scan;
 pub mod sim;
+pub mod text;
 pub mod verilog;
 
 pub use builder::{DffHandle, NetlistBuilder};
 pub use error::BuildError;
 pub use fault::{Fault, FaultSite, StuckAt};
+pub use hash::{fnv1a64, Fnv64};
 pub use levelized::Levelized;
 pub use netlist::{ComponentId, Dff, DffId, Driver, Gate, GateId, GateKind, NetId, Netlist};
 pub use scan::{MultiScanNetlist, ScanChain, ScanNetlist};

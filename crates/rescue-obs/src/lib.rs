@@ -36,9 +36,13 @@
 //!   sections, a text flame summary, and Perfetto aggregate tracks;
 //! * [`prometheus`] — pure renderer for the Prometheus text exposition
 //!   served at `/metrics`;
-//! * [`server`] — [`server::TelemetryServer`], a hand-rolled HTTP/1.1
-//!   listener on `std::net` serving `/metrics`, `/snapshot.json`, and
-//!   `/healthz` on its own thread;
+//! * [`http`] — reusable hand-rolled HTTP/1.1 machinery on `std::net`:
+//!   request parsing with hard limits, path normalization, `HEAD`
+//!   handling, and a threaded listener with a connection cap — shared
+//!   by the telemetry server and the `rescue-serve` job daemon;
+//! * [`server`] — [`server::TelemetryServer`], the telemetry endpoint
+//!   serving `/metrics`, `/snapshot.json`, and `/healthz` on its own
+//!   thread via [`http::HttpServer`];
 //! * [`rng`] — a seedable SplitMix64 generator replacing the `rand`
 //!   crate everywhere in the workspace.
 //!
@@ -62,6 +66,7 @@
 #![warn(missing_docs)]
 
 pub mod coverage;
+pub mod http;
 pub mod json;
 pub mod live;
 pub mod metrics;

@@ -501,7 +501,16 @@ mod tests {
             }
         });
         global().set_enabled(false);
-        let rows = rows_with_prefix("t_worker");
+        // `thread::scope` waits for the worker closures, but the TLS
+        // destructor doing the merge runs during OS thread teardown,
+        // which is not ordered before `scope` returns — poll briefly
+        // instead of asserting the very first read.
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        let mut rows = rows_with_prefix("t_worker");
+        while (rows.len() != 1 || rows[0].1.count != 2) && Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            rows = rows_with_prefix("t_worker");
+        }
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].1.count, 2, "both workers merged: {rows:?}");
     }

@@ -1,7 +1,6 @@
-//! `TelemetryServer`: a hand-rolled HTTP/1.1 listener on
-//! [`std::net::TcpListener`] (zero external dependencies, matching the
-//! workspace rule) that exposes the live telemetry surface while an
-//! experiment runs:
+//! `TelemetryServer`: the live telemetry surface while an experiment
+//! runs, built on the reusable [`crate::http`] listener (zero external
+//! dependencies, matching the workspace rule):
 //!
 //! * `GET /metrics` — Prometheus text exposition ([`crate::prometheus`])
 //!   over the live-hub rings plus the global [`crate::metrics::Registry`].
@@ -9,37 +8,26 @@
 //!   the existing [`crate::json`] module.
 //! * `GET /healthz` — liveness probe (`ok`).
 //!
-//! The server runs on its own thread with a non-blocking accept loop and
-//! shuts down gracefully on [`TelemetryServer::shutdown`] (or drop). It
-//! binds any address `std::net` accepts; port `0` picks an ephemeral
-//! port, reported by [`TelemetryServer::addr`] — which is how the CI
-//! smoke job and the in-process tests avoid port collisions.
+//! Routing matches on the normalized path (query strings and malformed
+//! request-line fragments are stripped by [`crate::http`]), `HEAD` is
+//! answered headers-only, and each connection is served on its own
+//! short-lived thread so one stalled client never blocks a concurrent
+//! scraper. The server shuts down gracefully on
+//! [`TelemetryServer::shutdown`] (or drop). It binds any address
+//! `std::net` accepts; port `0` picks an ephemeral port, reported by
+//! [`TelemetryServer::addr`] — which is how the CI smoke job and the
+//! in-process tests avoid port collisions.
 
+use crate::http::{write_response, HttpOptions, HttpServer, Request, Response};
 use crate::json::{self, JsonObj};
 use crate::live::LiveSnapshot;
 use crate::metrics::RegistrySnapshot;
-use std::io::{ErrorKind, Read as _, Write as _};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
-
-/// Accept-loop poll interval while idle.
-const POLL: Duration = Duration::from_millis(15);
-
-/// Per-connection read timeout.
-const READ_TIMEOUT: Duration = Duration::from_secs(2);
-
-/// Maximum accepted request head size.
-const MAX_REQUEST: usize = 8 * 1024;
+use std::net::{SocketAddr, TcpStream};
 
 /// A running telemetry endpoint. See the module docs.
 #[derive(Debug)]
 pub struct TelemetryServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    inner: HttpServer,
 }
 
 impl TelemetryServer {
@@ -47,108 +35,51 @@ impl TelemetryServer {
     /// enable the global live hub, and start serving on a new thread.
     /// `title` is echoed in `/snapshot.json`.
     pub fn start(addr: &str, title: &str) -> std::io::Result<TelemetryServer> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
         crate::live::global().set_enabled(true);
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
         let title = title.to_owned();
-        let handle = std::thread::Builder::new()
-            .name("telemetry".to_owned())
-            .spawn(move || serve(listener, &stop2, &title))?;
-        Ok(TelemetryServer {
+        let inner = HttpServer::start(
             addr,
-            stop,
-            handle: Some(handle),
-        })
+            "telemetry",
+            HttpOptions::default(),
+            move |req: Request, stream: &mut TcpStream| {
+                let head_only = req.is_head();
+                let resp = route_telemetry(&req, &title)
+                    .unwrap_or_else(|| Response::text("405 Method Not Allowed", "GET only\n"));
+                write_response(stream, &resp, head_only)
+            },
+        )?;
+        Ok(TelemetryServer { inner })
     }
 
     /// The bound address (the actual port when started with port 0).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.addr()
     }
 
     /// Stop accepting, finish in-flight responses, and join the serve
     /// thread. Idempotent.
     pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+        self.inner.shutdown();
     }
 }
 
-impl Drop for TelemetryServer {
-    fn drop(&mut self) {
-        self.shutdown();
+/// Route a telemetry request against the global live hub and metrics
+/// registry. Returns `None` for methods other than `GET`/`HEAD` (the
+/// caller answers 405) so other servers — the `rescue-serve` job
+/// daemon mounts these same endpoints — can layer their own routes on
+/// top.
+pub fn route_telemetry(req: &Request, title: &str) -> Option<Response> {
+    if req.method != "GET" && req.method != "HEAD" {
+        return None;
     }
-}
-
-fn serve(listener: TcpListener, stop: &AtomicBool, title: &str) {
-    while !stop.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                // Serve inline: responses are small and generated from
-                // in-memory snapshots, so a slow scraper can only delay
-                // the next scrape, never the engines.
-                let _ = handle(stream, title);
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
-            Err(_) => std::thread::sleep(POLL),
-        }
-    }
-}
-
-fn handle(mut stream: TcpStream, title: &str) -> std::io::Result<()> {
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(READ_TIMEOUT))?;
-    let mut head = Vec::new();
-    let mut buf = [0u8; 1024];
-    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
-        if head.len() >= MAX_REQUEST {
-            return respond(
-                &mut stream,
-                "431 Request Header Fields Too Large",
-                "text/plain",
-                "too large\n",
-            );
-        }
-        match stream.read(&mut buf) {
-            Ok(0) => break,
-            Ok(n) => head.extend_from_slice(&buf[..n]),
-            Err(e) => return Err(e),
-        }
-    }
-    let request_line = head
-        .split(|&b| b == b'\r' || b == b'\n')
-        .next()
-        .unwrap_or_default();
-    let request_line = String::from_utf8_lossy(request_line);
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    if method != "GET" {
-        return respond(
-            &mut stream,
-            "405 Method Not Allowed",
-            "text/plain",
-            "GET only\n",
-        );
-    }
-    match path {
-        "/healthz" => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
+    Some(match req.path.as_str() {
+        "/healthz" => Response::text("200 OK", "ok\n"),
         "/metrics" => {
             let body = crate::prometheus::render(
                 &crate::live::global().snapshot(),
                 &crate::metrics::global().snapshot(),
             );
-            respond(
-                &mut stream,
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                &body,
-            )
+            Response::ok("text/plain; version=0.0.4; charset=utf-8", body)
         }
         "/snapshot.json" => {
             let body = snapshot_json(
@@ -156,25 +87,10 @@ fn handle(mut stream: TcpStream, title: &str) -> std::io::Result<()> {
                 &crate::live::global().snapshot(),
                 &crate::metrics::global().snapshot(),
             );
-            respond(&mut stream, "200 OK", "application/json", &body)
+            Response::ok("application/json", body)
         }
-        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
-    }
-}
-
-fn respond(
-    stream: &mut TcpStream,
-    status: &str,
-    content_type: &str,
-    body: &str,
-) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+        _ => Response::not_found(),
+    })
 }
 
 /// Build the `/snapshot.json` document: run title, hub uptime, the

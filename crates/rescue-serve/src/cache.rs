@@ -1,0 +1,252 @@
+//! The server's two content-addressed caches.
+//!
+//! * The **design cache** maps the FNV/SplitMix content hash of the
+//!   POSTed netlist text to a prepared [`Design`]: the parsed netlist,
+//!   its scan-inserted form, the [`Levelized`] packed view, and the
+//!   collapsed fault list. These are the expensive, job-independent
+//!   artifacts — every job kind starts from them, and
+//!   [`rescue_atpg::Atpg::run_prepared`] guarantees reusing them is
+//!   bit-identical to rebuilding.
+//! * The **result cache** maps `(netlist text hash, job config hash)`
+//!   to the finished canonical result line, so a repeated identical job
+//!   skips the engines entirely.
+//!
+//! Both are bounded LRUs (monotonic-tick recency, O(n) eviction — the
+//! caps are small) behind mutexes, with hit/miss/eviction counters
+//! registered in the global [`rescue_obs::metrics`] registry under
+//! `serve.cache.*`, which makes them visible on `/metrics` and exactly
+//! gated by `bench-diff`.
+
+use rescue_netlist::scan::insert_scan;
+use rescue_netlist::{fnv1a64, BuildError, Fault, Levelized, Netlist};
+use rescue_obs::metrics::Counter;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex};
+
+/// A prepared design: everything about a netlist that every job kind
+/// shares, built once per distinct netlist text and reused.
+#[derive(Debug)]
+pub struct Design {
+    /// FNV/SplitMix hash of the netlist text as POSTed (cache key).
+    pub text_hash: u64,
+    /// Structural content hash of the parsed netlist
+    /// ([`Netlist::content_hash`]), echoed in results so two texts that
+    /// parse to the same structure are recognizably identical.
+    pub content_hash: u64,
+    /// The parsed pre-scan netlist.
+    pub base: Netlist,
+    /// Scan-inserted form; `None` when the design has no state (scan
+    /// insertion requires at least one flip-flop). ATPG jobs need this.
+    pub scanned: Option<rescue_netlist::ScanNetlist>,
+    /// Levelized packed view of the scanned netlist (of `base` when
+    /// there is no state), shared immutably across fault-sim workers.
+    pub lev: Levelized,
+    /// Collapsed stuck-at fault list for the same netlist as `lev`.
+    pub faults: Vec<Fault>,
+}
+
+impl Design {
+    /// Parse and prepare `text`. Errors are human-readable strings —
+    /// this path faces untrusted input and must never panic.
+    pub fn build(text: &str) -> Result<Design, String> {
+        let base = rescue_netlist::text::parse(text)?;
+        let content_hash = base.content_hash();
+        let scanned = match insert_scan(&base) {
+            Ok(s) => Some(s),
+            Err(BuildError::NoState) => None,
+            Err(e) => return Err(format!("scan insertion failed: {e}")),
+        };
+        let sim_netlist = scanned.as_ref().map(|s| &s.netlist).unwrap_or(&base);
+        let lev = Levelized::new(sim_netlist);
+        let faults = sim_netlist.collapse_faults();
+        Ok(Design {
+            text_hash: fnv1a64(text.as_bytes()),
+            content_hash,
+            base,
+            scanned,
+            lev,
+            faults,
+        })
+    }
+}
+
+/// Bounded map with least-recently-used eviction. Recency is a
+/// monotonic tick bumped on every hit; eviction scans for the minimum
+/// (O(n), fine at the cache sizes the server uses).
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    cap: usize,
+    tick: u64,
+    map: HashMap<K, (u64, V)>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// An empty cache holding at most `cap` entries (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        LruCache {
+            cap: cap.max(1),
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Look up `k`, refreshing its recency on a hit.
+    pub fn get(&mut self, k: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(k).map(|slot| {
+            slot.0 = tick;
+            slot.1.clone()
+        })
+    }
+
+    /// Insert `k → v`, evicting the least-recently-used entry when
+    /// over capacity. Returns `true` when an entry was evicted.
+    pub fn insert(&mut self, k: K, v: V) -> bool {
+        self.tick += 1;
+        self.map.insert(k, (self.tick, v));
+        if self.map.len() <= self.cap {
+            return false;
+        }
+        if let Some(oldest) = self
+            .map
+            .iter()
+            .min_by_key(|(_, (t, _))| *t)
+            .map(|(k, _)| k.clone())
+        {
+            self.map.remove(&oldest);
+        }
+        true
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// The server's caches plus their `serve.cache.*` counters.
+pub struct ServeCaches {
+    designs: Mutex<LruCache<u64, Arc<Design>>>,
+    results: Mutex<LruCache<(u64, u64), Arc<String>>>,
+    design_hits: Arc<Counter>,
+    design_misses: Arc<Counter>,
+    result_hits: Arc<Counter>,
+    result_misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
+impl ServeCaches {
+    /// Caches bounded to `design_cap` prepared designs and
+    /// `result_cap` result lines, with counters registered globally.
+    pub fn new(design_cap: usize, result_cap: usize) -> ServeCaches {
+        let reg = rescue_obs::metrics::global();
+        ServeCaches {
+            designs: Mutex::new(LruCache::new(design_cap)),
+            results: Mutex::new(LruCache::new(result_cap)),
+            design_hits: reg.counter("serve.cache.design.hits"),
+            design_misses: reg.counter("serve.cache.design.misses"),
+            result_hits: reg.counter("serve.cache.result.hits"),
+            result_misses: reg.counter("serve.cache.result.misses"),
+            evictions: reg.counter("serve.cache.evictions"),
+        }
+    }
+
+    /// Fetch the prepared design for `text`, building and caching it on
+    /// a miss. Returns the design and whether this was a cache hit.
+    pub fn design(&self, text: &str) -> Result<(Arc<Design>, bool), String> {
+        let key = fnv1a64(text.as_bytes());
+        if let Some(d) = self.designs.lock().expect("design cache lock").get(&key) {
+            self.design_hits.inc();
+            return Ok((d, true));
+        }
+        // Build outside the lock: parsing and levelizing a large
+        // netlist must not block hits on other designs. Two racing
+        // misses both build; last insert wins (identical content).
+        self.design_misses.inc();
+        let built = Arc::new(Design::build(text)?);
+        let mut cache = self.designs.lock().expect("design cache lock");
+        if cache.insert(key, Arc::clone(&built)) {
+            self.evictions.inc();
+        }
+        Ok((built, false))
+    }
+
+    /// Look up a finished result line.
+    pub fn result(&self, text_hash: u64, config_hash: u64) -> Option<Arc<String>> {
+        let hit = self
+            .results
+            .lock()
+            .expect("result cache lock")
+            .get(&(text_hash, config_hash));
+        match &hit {
+            Some(_) => self.result_hits.inc(),
+            None => self.result_misses.inc(),
+        }
+        hit
+    }
+
+    /// Store a finished result line.
+    pub fn store_result(&self, text_hash: u64, config_hash: u64, line: Arc<String>) {
+        if self
+            .results
+            .lock()
+            .expect("result cache lock")
+            .insert((text_hash, config_hash), line)
+        {
+            self.evictions.inc();
+        }
+    }
+
+    /// `(designs cached, results cached)` — for `/stats.json`.
+    pub fn sizes(&self) -> (usize, usize) {
+        (
+            self.designs.lock().expect("design cache lock").len(),
+            self.results.lock().expect("result cache lock").len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        assert!(!c.insert(1, 10));
+        assert!(!c.insert(2, 20));
+        assert_eq!(c.get(&1), Some(10)); // refresh 1; 2 is now oldest
+        assert!(c.insert(3, 30));
+        assert_eq!(c.get(&2), None, "LRU entry should have been evicted");
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn design_cache_hits_on_identical_text() {
+        let caches = ServeCaches::new(4, 4);
+        // Signals: inputs a=0 b=1, dff q=2, gate and=3.
+        let text = "component c\ninput a\ninput b\ngate and 0 1\ndff q c 3\noutput o 3\n";
+        let (d1, hit1) = caches.design(text).unwrap();
+        let (d2, hit2) = caches.design(text).unwrap();
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&d1, &d2), "hit must return the cached Arc");
+        assert!(d1.scanned.is_some());
+        assert!(!d1.faults.is_empty());
+    }
+
+    #[test]
+    fn design_build_rejects_garbage_without_panicking() {
+        assert!(Design::build("gate and 0 99\n").is_err());
+        assert!(Design::build("\x00\x01\x02").is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! `rescue-serve` CLI.
+//!
+//! ```text
+//! rescue-serve serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--title T]
+//! rescue-serve run --config JSON NETLIST_FILE
+//! ```
+//!
+//! `serve` starts the job daemon and prints the bound address (one
+//! line, `listening on <addr>`) so scripts with `--addr 127.0.0.1:0`
+//! can discover the ephemeral port; it then runs until killed.
+//!
+//! `run` executes one job locally — same parsing, same engines, same
+//! canonical result line as the served path — and prints that line to
+//! stdout. This is the CLI half of the served-vs-CLI byte-identity
+//! contract the tests and the CI smoke job check.
+
+use rescue_serve::{run_job, Design, JobConfig, JobServer, ServeOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: rescue-serve serve [--addr A] [--workers N] [--queue-depth N] [--title T]"
+            );
+            eprintln!("       rescue-serve run --config JSON NETLIST_FILE");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Value of a `--flag value` pair, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:9300".to_owned());
+    let mut opts = ServeOptions::default();
+    if let Some(w) = flag_value(args, "--workers").and_then(|v| v.parse().ok()) {
+        opts.workers = w;
+    }
+    if let Some(q) = flag_value(args, "--queue-depth").and_then(|v| v.parse().ok()) {
+        opts.queue_depth = q;
+    }
+    if let Some(t) = flag_value(args, "--title") {
+        opts.title = t;
+    }
+    let server = match JobServer::start(&addr, opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rescue-serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+    // Serve until killed; all work happens on the listener's threads.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let config = flag_value(args, "--config").unwrap_or_else(|| r#"{"kind":"atpg"}"#.to_owned());
+    let file = match args.last() {
+        Some(f) if !f.starts_with("--") && flag_value(args, "--config").as_deref() != Some(f) => {
+            f.clone()
+        }
+        _ => {
+            eprintln!("rescue-serve run: missing netlist file");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("rescue-serve run: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = JobConfig::parse(&config)
+        .and_then(|cfg| Design::build(&text).map(|d| (d, cfg)))
+        .and_then(|(design, cfg)| run_job(&design, &cfg));
+    match outcome {
+        Ok(line) => {
+            println!("{line}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("rescue-serve run: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
