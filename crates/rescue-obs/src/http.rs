@@ -9,18 +9,20 @@
 //! fixed once, here:
 //!
 //! * the request **target is split into path and query string** before
-//!   routing (`GET /metrics?x=1` routes as `/metrics`), and a glued
-//!   `HTTP/…` version fragment on a malformed request line is stripped
-//!   from the path rather than poisoning the match;
+//!   routing (`GET /metrics?x=1` routes as `/metrics`); only when the
+//!   request line is malformed (no separate version token) is a glued
+//!   trailing `HTTP/…` fragment stripped, so well-formed targets keep
+//!   `HTTP/` substrings (e.g. `?proto=HTTP/2`) intact;
 //! * a client that **connects and closes** (or sends nothing) gets no
 //!   response bytes at all — not a 405;
 //! * **`HEAD` is answered headers-only** with the real
 //!   `Content-Length`, so Prometheus-compatible probes work;
 //! * each accepted connection is served on a **short-lived thread**, so
 //!   one stalled client cannot head-of-line-block other scrapers; a cap
-//!   bounds concurrent connections (excess connections get `503`
-//!   served inline, which is still prompt because admission is the
-//!   only work done on the accept thread).
+//!   bounds concurrent connections. Excess connections get `503` from a
+//!   separately capped pool of shed threads ([`SHED_CAP`]); past that a
+//!   connect flood has its sockets dropped outright, so total threads
+//!   and attacker-controlled reads stay bounded.
 //!
 //! The listener owns an accept thread with a non-blocking poll loop and
 //! shuts down gracefully on [`HttpServer::shutdown`] (or drop), waiting
@@ -44,6 +46,14 @@ const POLL_FLOOR: Duration = Duration::from_micros(500);
 
 /// How long `shutdown` waits for in-flight connection threads.
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Ceiling on concurrent shed (`503`) threads. Connections over
+/// `max_connections` are rejected on a short-lived thread (the write
+/// plus a bounded drain can take ~200ms, too long for the accept
+/// loop); this cap keeps a connect flood from turning those threads
+/// into an unbounded resource — past it, excess sockets are dropped
+/// without a response.
+const SHED_CAP: usize = 4;
 
 /// Tuning knobs for a listener.
 #[derive(Clone, Debug)]
@@ -197,18 +207,24 @@ pub fn read_request(stream: &mut TcpStream, opts: &HttpOptions) -> std::io::Resu
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or_default().to_owned();
     let target = parts.next().unwrap_or_default();
+    let has_version = parts.next().is_some();
 
-    // Split the target into path and query; a malformed request line
-    // can glue the version onto the target (`/metricsHTTP/1.1`), so
-    // strip a trailing `HTTP/` fragment from both halves.
+    // A malformed request line can glue the version onto the target
+    // (`/metricsHTTP/1.1`). Only when the line has no separate version
+    // token, strip the trailing `HTTP/` fragment from the target's last
+    // half; a well-formed line keeps `HTTP/` substrings in the path or
+    // query intact (e.g. `?proto=HTTP/2`).
     let strip_version = |s: &str| -> String {
-        match s.find("HTTP/") {
+        if has_version {
+            return s.to_owned();
+        }
+        match s.rfind("HTTP/") {
             Some(i) => s[..i].to_owned(),
             None => s.to_owned(),
         }
     };
     let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (strip_version(p), strip_version(q)),
+        Some((p, q)) => (p.to_owned(), strip_version(q)),
         None => (strip_version(target), String::new()),
     };
 
@@ -408,8 +424,9 @@ impl Drop for HttpServer {
     }
 }
 
-/// Decrements the active-connection count when a connection thread
-/// exits, however it exits.
+/// Decrements a thread-count (active connections, or shed threads)
+/// when the owning thread exits, however it exits — including the
+/// spawn itself failing, which drops the not-yet-run closure.
 struct ActiveGuard(Arc<AtomicUsize>);
 
 impl Drop for ActiveGuard {
@@ -425,6 +442,7 @@ fn accept_loop(
     opts: &HttpOptions,
     handler: &Arc<dyn Handler>,
 ) {
+    let shedding = Arc::new(AtomicUsize::new(0));
     let mut backoff = POLL_FLOOR;
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
@@ -432,11 +450,22 @@ fn accept_loop(
                 backoff = POLL_FLOOR;
                 // Admission: over the cap, shed with 503. The write and
                 // the bounded drain happen off the accept thread so a
-                // connect flood cannot stall admission of new sockets.
+                // connect flood cannot stall admission of new sockets —
+                // and the shed threads are themselves capped, so the
+                // flood cannot grow threads (or attacker-fed drains)
+                // without bound: past SHED_CAP the socket is dropped
+                // with no response at all.
                 if active.load(Ordering::Acquire) >= opts.max_connections {
+                    if shedding.load(Ordering::Acquire) >= SHED_CAP {
+                        drop(stream);
+                        continue;
+                    }
+                    shedding.fetch_add(1, Ordering::AcqRel);
+                    let guard = ActiveGuard(Arc::clone(&shedding));
                     let _ = std::thread::Builder::new()
                         .name("http-shed".to_owned())
                         .spawn(move || {
+                            let _guard = guard;
                             reject_and_close(
                                 &mut stream,
                                 &Response::text(

@@ -51,6 +51,20 @@ fn query_string_is_stripped_before_routing() {
 }
 
 #[test]
+fn well_formed_target_keeps_http_substring_in_query() {
+    let server = echo_server();
+    // With a separate version token on the request line, an `HTTP/`
+    // substring in the query is data, not a glued version fragment.
+    let resp = get(server.addr(), "/metrics?proto=HTTP/2");
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    assert!(resp.contains("path=/metrics query=proto=HTTP/2"), "{resp}");
+    // Without a version token, the glued trailing fragment is stripped
+    // from whichever half carries it.
+    let resp = send_raw(server.addr(), b"GET /metrics?x=1HTTP/1.1\r\n\r\n");
+    assert!(resp.contains("path=/metrics query=x=1\n"), "{resp}");
+}
+
+#[test]
 fn telemetry_metrics_with_query_string_is_200() {
     let mut server = TelemetryServer::start("127.0.0.1:0", "q-test").expect("bind");
     let resp = get(server.addr(), "/metrics?x=1");

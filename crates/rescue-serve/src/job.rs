@@ -312,24 +312,46 @@ fn fsim_result(design: &Design, cfg: &JobConfig) -> Result<String, String> {
         .collect();
 
     // Simulate with fault dropping, exactly like the ATPG flush loop:
-    // detected faults leave `remaining` in canonical order.
+    // detected faults leave `remaining` in canonical order. Each
+    // detection records the fault's *global* first-detect pattern index
+    // (group base + per-group lane, the same fold as the ATPG drop
+    // loop) keyed by the fault's canonical position. `lane_words` only
+    // changes how patterns are grouped, not which pattern detects a
+    // fault first, so both the key and the value are width-invariant —
+    // which the digest below must be, because `lane_words` is excluded
+    // from [`JobConfig::config_hash`] and jobs differing only in it
+    // share a result-cache entry.
     let mut remaining = design.faults.clone();
-    let mut detected = 0u64;
-    let mut digest = Fnv64::new();
-    for group in blocks.chunks(cfg.lane_words) {
+    let mut slots: Vec<usize> = (0..remaining.len()).collect();
+    let mut first_detect: Vec<Option<u64>> = vec![None; design.faults.len()];
+    for (group_idx, group) in blocks.chunks(cfg.lane_words).enumerate() {
+        let group_base = (group_idx * cfg.lane_words * 64) as u64;
         let lanes = shards.detect_lanes_group(group, &remaining);
         if lanes.len() != remaining.len() {
             return Err("fault-sim lane count mismatch".to_owned());
         }
         let old = std::mem::take(&mut remaining);
-        for (f, lane) in old.into_iter().zip(&lanes) {
+        let old_slots = std::mem::take(&mut slots);
+        for ((f, slot), lane) in old.into_iter().zip(old_slots).zip(&lanes) {
             match lane {
-                Some(l) => {
-                    detected += 1;
-                    digest.write_u64(u64::from(*l));
+                Some(l) => first_detect[slot] = Some(group_base + u64::from(*l)),
+                None => {
+                    remaining.push(f);
+                    slots.push(slot);
                 }
-                None => remaining.push(f),
             }
+        }
+    }
+
+    // Digest `(canonical fault position, global first-detect pattern)`
+    // pairs in canonical fault order.
+    let mut detected = 0u64;
+    let mut digest = Fnv64::new();
+    for (slot, det) in first_detect.iter().enumerate() {
+        if let Some(pattern) = det {
+            detected += 1;
+            digest.write_u64(slot as u64);
+            digest.write_u64(*pattern);
         }
     }
 

@@ -64,15 +64,30 @@ impl Default for ServeOptions {
     }
 }
 
-/// Blocking admission gate: a counting semaphore with a bounded wait
-/// queue. `enter` returns `None` (shed) once `queue_depth` jobs are
-/// already waiting.
+/// Blocking admission gate: a counting semaphore with a bounded FIFO
+/// wait queue. `enter` returns `None` (shed) once `queue_depth` jobs
+/// are already waiting. Waiters hold numbered tickets and are admitted
+/// strictly in arrival order, and a newcomer is only admitted directly
+/// when nobody is queued — so a sustained stream of new arrivals can
+/// never barge past queued jobs and starve them.
 struct Gate {
     workers: usize,
     queue_depth: usize,
-    /// `(running, queued)`.
-    state: Mutex<(usize, usize)>,
+    state: Mutex<GateState>,
     cond: Condvar,
+}
+
+/// Gate state behind the mutex. `queued == next_ticket - serving`.
+#[derive(Clone, Copy, Default)]
+struct GateState {
+    /// Jobs holding a permit.
+    running: usize,
+    /// Jobs waiting in [`Gate::enter`].
+    queued: usize,
+    /// Next queue ticket to hand out.
+    next_ticket: u64,
+    /// Ticket at the head of the queue (admitted next).
+    serving: u64,
 }
 
 impl Gate {
@@ -80,7 +95,7 @@ impl Gate {
         Gate {
             workers: workers.max(1),
             queue_depth,
-            state: Mutex::new((0, 0)),
+            state: Mutex::new(GateState::default()),
             cond: Condvar::new(),
         }
     }
@@ -88,37 +103,50 @@ impl Gate {
     /// Acquire a job slot, waiting in the bounded queue if needed.
     fn enter(self: &Arc<Self>) -> Option<GatePermit> {
         let mut st = self.state.lock().expect("gate lock");
-        if st.0 < self.workers {
-            st.0 += 1;
+        // Direct admission only when nobody is waiting; freed slots
+        // belong to the head of the queue first.
+        if st.queued == 0 && st.running < self.workers {
+            st.running += 1;
             return Some(GatePermit(Arc::clone(self)));
         }
-        if st.1 >= self.queue_depth {
+        if st.queued >= self.queue_depth {
             return None;
         }
-        st.1 += 1;
-        while st.0 >= self.workers {
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queued += 1;
+        while st.serving != ticket || st.running >= self.workers {
             st = self.cond.wait(st).expect("gate wait");
         }
-        st.1 -= 1;
-        st.0 += 1;
+        st.serving += 1;
+        st.queued -= 1;
+        st.running += 1;
+        drop(st);
+        // The next ticket holder may already be eligible (slots can
+        // free back-to-back); it waits on this same condvar.
+        self.cond.notify_all();
         Some(GatePermit(Arc::clone(self)))
     }
 
     /// `(running, queued)` right now.
     fn load(&self) -> (usize, usize) {
-        *self.state.lock().expect("gate lock")
+        let st = self.state.lock().expect("gate lock");
+        (st.running, st.queued)
     }
 }
 
-/// RAII job slot; releasing wakes one queued job.
+/// RAII job slot; releasing admits the head of the wait queue.
 struct GatePermit(Arc<Gate>);
 
 impl Drop for GatePermit {
     fn drop(&mut self) {
         let mut st = self.0.state.lock().expect("gate lock");
-        st.0 -= 1;
+        st.running -= 1;
         drop(st);
-        self.0.cond.notify_one();
+        // notify_all, not notify_one: only the head ticket can
+        // proceed, and a single notify could land on a non-head
+        // waiter that just goes back to sleep.
+        self.0.cond.notify_all();
     }
 }
 
@@ -332,6 +360,55 @@ fn error_response(
         body: error_line(message),
     };
     write_response(stream, &resp, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn gate_hands_freed_slots_to_waiters_before_newcomers() {
+        let gate = Arc::new(Gate::new(1, 4));
+        let occupant = gate.enter().expect("occupant admitted");
+
+        let waiter_ran = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            let ran = Arc::clone(&waiter_ran);
+            std::thread::spawn(move || {
+                let permit = gate.enter().expect("waiter admitted");
+                ran.store(true, Ordering::Release);
+                drop(permit);
+            })
+        };
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while gate.load() != (1, 1) {
+            assert!(Instant::now() < deadline, "waiter never queued");
+            std::thread::yield_now();
+        }
+        drop(occupant);
+
+        // The newcomer queues behind the waiter's ticket, so by the
+        // time it holds the (single) slot the waiter has already run.
+        let newcomer = gate.enter().expect("newcomer admitted");
+        assert!(
+            waiter_ran.load(Ordering::Acquire),
+            "newcomer barged past the queued waiter"
+        );
+        drop(newcomer);
+        waiter.join().expect("waiter thread");
+    }
+
+    #[test]
+    fn gate_sheds_when_queue_is_full() {
+        let gate = Arc::new(Gate::new(1, 0));
+        let permit = gate.enter().expect("admitted");
+        assert!(gate.enter().is_none(), "queue_depth 0 must shed");
+        drop(permit);
+        assert!(gate.enter().is_some(), "freed slot must admit again");
+    }
 }
 
 /// `/stats.json`: instantaneous server state (distinct from the

@@ -158,6 +158,26 @@ fn every_job_kind_serves_a_deterministic_result() {
 }
 
 #[test]
+fn fsim_result_is_lane_width_invariant() {
+    // `lane_words` is excluded from the config hash (a pure datapath
+    // knob), so jobs differing only in it share a result-cache entry —
+    // which is only sound if the canonical result line, including the
+    // detect digest, is identical across lane widths.
+    let design = Design::build(&model_text()).expect("design builds");
+    let mut lines = Vec::new();
+    for lane_words in [1usize, 4, 8] {
+        let cfg = JobConfig::parse(&format!(
+            r#"{{"kind":"fsim","patterns":8,"seed":7,"threads":1,"lane_words":{lane_words}}}"#
+        ))
+        .expect("config parses");
+        lines.push(run_job(&design, &cfg).expect("job runs"));
+    }
+    assert!(u64_field(&lines[0], "detected") > 0, "{}", lines[0]);
+    assert_eq!(lines[0], lines[1], "lane_words=4 changed the result line");
+    assert_eq!(lines[0], lines[2], "lane_words=8 changed the result line");
+}
+
+#[test]
 fn malformed_jobs_get_4xx_and_the_server_survives() {
     let mut server =
         JobServer::start("127.0.0.1:0", ServeOptions::default()).expect("server starts");
