@@ -288,4 +288,142 @@ mod tests {
         assert!(out.detected());
         assert_eq!(out.max_ambiguity, 2);
     }
+
+    /// A fault on the component boundary: LCY's OR gate reads LCX's
+    /// output `x`, and the fault sits on that input *branch* (a pin
+    /// fault inside LCY on a wire driven from LCX). It can only fail
+    /// LCY's capture cell, whose cone spans both components, so the
+    /// candidate set names both — the structural ambiguity the paper's
+    /// ICI restriction exists to rule out.
+    #[test]
+    fn component_boundary_pin_fault_implicates_both_components() {
+        let mut b = NetlistBuilder::new();
+        b.enter_component("LCX");
+        let a = b.input("a");
+        let c = b.input("c");
+        let x = b.and2(a, c);
+        b.dff(x, "rx");
+        b.enter_component("LCY");
+        let e = b.input("e");
+        let y = b.or2(x, e);
+        b.dff(y, "ry");
+        let n = b.finish().unwrap();
+        let lcx = n.find_component("LCX").unwrap();
+        let lcy = n.find_component("LCY").unwrap();
+
+        // Gate 1 is LCY's OR; pin 0 is the branch of `x` it reads.
+        let or_gate = rescue_netlist::GateId::from_index(1);
+        assert_eq!(n.gate(or_gate).component(), lcy);
+        let boundary = rescue_netlist::Fault::pin(or_gate, 0, StuckAt::One);
+
+        let scanned = insert_scan(&n).unwrap();
+        let run = Atpg::new(&scanned, AtpgConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        let iso = Isolator::new(&scanned, &run.vectors);
+
+        let out = iso.isolate(boundary);
+        assert!(out.detected());
+        // The branch fault never reaches LCX's own capture cell...
+        assert!(!out.failing_bits.contains(&Observation::ScanCell(0)));
+        // ...so nothing narrows the two-component cone it fails in.
+        assert_eq!(out.candidates, vec![lcx, lcy]);
+        assert_eq!(out.max_ambiguity, 2);
+        assert!(!out.unique());
+
+        // The stem fault on `x` also fails LCX's own cell, whose
+        // singleton label intersects the ambiguity away.
+        let stem = iso.isolate(rescue_netlist::Fault::net(x, StuckAt::Zero));
+        assert_eq!(stem.candidates, vec![lcx]);
+    }
+
+    /// No vectors means no failing observations: the outcome is the
+    /// canonical "undetected" value, not a panic or a phantom candidate.
+    #[test]
+    fn no_vectors_yields_empty_undetected_outcome() {
+        let mut b = NetlistBuilder::new();
+        b.enter_component("LC0");
+        let a = b.input("a");
+        let c = b.input("c");
+        let x = b.and2(a, c);
+        b.dff(x, "r");
+        let n = b.finish().unwrap();
+        let scanned = insert_scan(&n).unwrap();
+
+        let iso = Isolator::new(&scanned, &[]);
+        let out = iso.isolate(rescue_netlist::Fault::net(x, StuckAt::Zero));
+        assert!(!out.detected());
+        assert!(!out.unique());
+        assert!(out.failing_bits.is_empty());
+        assert!(out.candidates.is_empty());
+        assert_eq!(out.max_ambiguity, 0);
+    }
+
+    /// Simultaneous faults in two ICI components: the failing bits
+    /// union, every bit still names exactly one component, and the
+    /// candidate set implicates both — §3.1's multi-defect corollary.
+    #[test]
+    fn isolate_multi_unions_singleton_labels() {
+        let mut b = NetlistBuilder::new();
+        b.enter_component("LCX");
+        let a = b.input("a");
+        let c = b.input("c");
+        let x = b.and2(a, c);
+        b.dff(x, "rx");
+        b.enter_component("LCY");
+        let e = b.input("e");
+        let y = b.or2(c, e);
+        b.dff(y, "ry");
+        let n = b.finish().unwrap();
+        let lcx = n.find_component("LCX").unwrap();
+        let lcy = n.find_component("LCY").unwrap();
+        let scanned = insert_scan(&n).unwrap();
+
+        let run = Atpg::new(&scanned, AtpgConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        let iso = Isolator::new(&scanned, &run.vectors);
+
+        let out = iso.isolate_multi(&[
+            rescue_netlist::Fault::net(x, StuckAt::Zero),
+            rescue_netlist::Fault::net(y, StuckAt::Zero),
+        ]);
+        assert!(out.detected());
+        assert_eq!(out.candidates, vec![lcx, lcy]);
+        // ICI holds: no failing bit is individually ambiguous.
+        assert_eq!(out.max_ambiguity, 1);
+    }
+
+    /// `isolate_many` is a pure sharding of `isolate`: bit-identical
+    /// outcomes in input order at every worker count, including more
+    /// workers than faults.
+    #[test]
+    fn isolate_many_matches_sequential_at_any_thread_count() {
+        let mut b = NetlistBuilder::new();
+        b.enter_component("LCX");
+        let a = b.input("a");
+        let c = b.input("c");
+        let x = b.and2(a, c);
+        b.dff(x, "rx");
+        b.enter_component("LCY");
+        let e = b.input("e");
+        let y = b.or2(x, e);
+        b.dff(y, "ry");
+        let n = b.finish().unwrap();
+        let scanned = insert_scan(&n).unwrap();
+
+        let run = Atpg::new(&scanned, AtpgConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        let iso = Isolator::new(&scanned, &run.vectors);
+
+        let faults: Vec<_> = scanned.netlist.collapse_faults();
+        let sequential: Vec<_> = faults.iter().map(|&f| iso.isolate(f)).collect();
+        for threads in [1, 2, 3, faults.len() + 4] {
+            assert_eq!(iso.isolate_many(&faults, threads), sequential);
+        }
+    }
 }

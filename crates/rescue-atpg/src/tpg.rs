@@ -66,6 +66,26 @@ pub struct AtpgConfig {
     /// measured by the `fsim_kernel` bench matrix, which feeds them
     /// full 4/8-block groups.)
     pub lane_words: usize,
+    /// Static redundancy pre-pass: before the PODEM loop, build the
+    /// implication engine ([`rescue_lint::ImplicationEngine`]) under
+    /// the capture constraints and prove what faults it can untestable
+    /// (FIRE-style fault-independent redundancy identification).
+    /// Proven faults skip their PODEM call and are classified
+    /// `Untestable` at the same point in the loop where PODEM would
+    /// have run, so the generated vectors, the detected-fault set, and
+    /// the scan statistics are bit-identical with the pre-pass on or
+    /// off. Classifications are bit-identical too whenever PODEM's
+    /// backtrack budget suffices to decide every proven fault (the
+    /// `static_prepass_is_a_pure_shortcut` test pins this); when the
+    /// budget is tighter, the only possible difference is the sound
+    /// refinement `Aborted` → `Untestable` on proven faults — the
+    /// pre-pass knows the true class where budgeted search gave up
+    /// (the `prepass_contract` model-scale test pins that nothing
+    /// else moves). The engine is conservative (a proof is sound, a
+    /// non-proof says nothing), and the fuzz `redundancy` oracle
+    /// cross-checks every proof against a 10,000-backtrack PODEM run.
+    /// Off by default.
+    pub static_prepass: bool,
     /// n-detect fault dropping: when `Some(n)` with `n > 1`, faults
     /// stay on a watch list after their first detection and keep being
     /// simulated against subsequent pattern groups until they have been
@@ -88,6 +108,7 @@ impl Default for AtpgConfig {
             merge_window: 6,
             threads: 0,
             lane_words: 1,
+            static_prepass: false,
             drop_after: None,
         }
     }
@@ -170,6 +191,14 @@ pub struct AtpgCounts {
     pub ndetect_retired: u64,
     /// Watched faults still below the n-detect target at end of run.
     pub ndetect_residual: u64,
+    /// Faults the static pre-pass proved untestable (0 when
+    /// [`AtpgConfig::static_prepass`] is off).
+    pub prepass_proven: u64,
+    /// PODEM calls skipped because the pre-pass had already proved the
+    /// fault at the front of the queue. Equals `prepass_proven` minus
+    /// any proven faults fault simulation dropped first (which cannot
+    /// happen for sound proofs — pinned by the fuzz oracle).
+    pub prepass_podem_calls_saved: u64,
 }
 
 impl AtpgCounts {
@@ -188,6 +217,9 @@ impl AtpgCounts {
 /// comparisons (timing varies run to run; counts do not).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct AtpgTiming {
+    /// Time building the implication engine and proving faults in the
+    /// static pre-pass (0 when disabled).
+    pub prepass_ns: u64,
     /// Time inside PODEM test generation.
     pub generate_ns: u64,
     /// Time inside static cube compaction (merge search).
@@ -396,7 +428,6 @@ impl<'a> Atpg<'a> {
         let mut timing = AtpgTiming::default();
         let n = &self.scanned.netlist;
         let constraints = self.capture_constraints();
-        let podem = Podem::new(n, constraints, self.config.podem);
 
         let mut classes: HashMap<Fault, FaultClass> = faults
             .iter()
@@ -410,6 +441,26 @@ impl<'a> Atpg<'a> {
                 remaining.push(f);
             }
         }
+
+        // Static redundancy pre-pass: prove untestable faults without
+        // search. Proven faults stay in `remaining` and are classified
+        // at their natural turn in the loop below — removing them here
+        // would reorder `swap_remove` and change the vector stream.
+        let mut prepass_proven: std::collections::HashSet<Fault> = Default::default();
+        if self.config.static_prepass {
+            let t = Instant::now();
+            let _prof = rescue_obs::profile::scope("prepass");
+            let mut engine = rescue_lint::ImplicationEngine::from_levelized(lev, &constraints);
+            for &f in &remaining {
+                if engine.prove_fault_levelized(lev, f) {
+                    prepass_proven.insert(f);
+                }
+            }
+            timing.prepass_ns = t.elapsed().as_nanos() as u64;
+            counts.prepass_proven = prepass_proven.len() as u64;
+        }
+
+        let podem = Podem::new(n, constraints, self.config.podem);
 
         let lane_words = self.config.lane_words;
         let mut shards = LaneShards::new(lev, resolve_threads(self.config.threads), lane_words)
@@ -541,12 +592,21 @@ impl<'a> Atpg<'a> {
             // A fault already covered by a pending-but-unsimulated vector
             // still gets a PODEM call; real tools accept the same waste
             // between fill boundaries.
-            let t = Instant::now();
-            let generated = {
-                let _prof = rescue_obs::profile::scope("podem");
-                podem.generate(fault)
+            let generated = if prepass_proven.contains(&fault) {
+                // The implication engine already proved this fault
+                // untestable; PODEM would reach the same verdict the
+                // hard way.
+                counts.prepass_podem_calls_saved += 1;
+                PodemResult::Untestable
+            } else {
+                let t = Instant::now();
+                let g = {
+                    let _prof = rescue_obs::profile::scope("podem");
+                    podem.generate(fault)
+                };
+                timing.generate_ns += t.elapsed().as_nanos() as u64;
+                g
             };
-            timing.generate_ns += t.elapsed().as_nanos() as u64;
             match generated {
                 PodemResult::Test(cube) => {
                     let mut placed_slot = None;
@@ -915,6 +975,82 @@ mod tests {
                 "lane_words={lane_words}"
             );
         }
+    }
+
+    /// `small_design` plus a seeded redundancy: `a0 AND ¬a0` ORed into
+    /// the zero flag contributes nothing but statically provable
+    /// untestable faults.
+    fn redundant_design() -> ScanNetlist {
+        let mut b = NetlistBuilder::new();
+        b.enter_component("alu");
+        let a = b.input_bus("a", 4);
+        let c = b.input_bus("b", 4);
+        let mut carry = b.const0();
+        let mut sums = Vec::new();
+        for i in 0..4 {
+            let x = b.xor2(a[i], c[i]);
+            let s = b.xor2(x, carry);
+            let g1 = b.and2(a[i], c[i]);
+            let g2 = b.and2(x, carry);
+            carry = b.or2(g1, g2);
+            sums.push(s);
+        }
+        let q = b.dff_bus(&sums, "acc");
+        b.output(q[3], "msb");
+        b.enter_component("flag");
+        let na = b.not(a[0]);
+        let dead = b.and2(a[0], na); // constant 0, invisible to 3-valued sim
+        let z0 = b.or(&q.clone());
+        let z = b.or2(z0, dead);
+        let zq = b.dff(z, "zflag");
+        b.output(zq, "zero");
+        insert_scan(&b.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn static_prepass_is_a_pure_shortcut() {
+        for s in [small_design(), redundant_design()] {
+            let base = Atpg::new(&s, AtpgConfig::default()).unwrap().run().unwrap();
+            let cfg = AtpgConfig {
+                static_prepass: true,
+                ..AtpgConfig::default()
+            };
+            let pre = Atpg::new(&s, cfg).unwrap().run().unwrap();
+            // The fully-decided regime: PODEM's budget settles every
+            // fault, so even the classifications agree exactly. (At
+            // model scale, where PODEM aborts inside redundant cones,
+            // the `prepass_contract` test pins the one sanctioned
+            // difference: Aborted → Untestable on proven faults.)
+            assert_eq!(base.metrics.counts.aborted, 0);
+            // The externally visible result is byte-identical.
+            assert_eq!(pre.vectors, base.vectors);
+            assert_eq!(pre.classes, base.classes);
+            assert_eq!(pre.stats, base.stats);
+            assert_eq!(pre.metrics.coverage, base.metrics.coverage);
+            // The baseline run never pays for the pre-pass.
+            assert_eq!(base.metrics.counts.prepass_proven, 0);
+            assert_eq!(base.metrics.counts.prepass_podem_calls_saved, 0);
+            assert_eq!(base.metrics.timing.prepass_ns, 0);
+            // Every proof translated into a skipped PODEM call.
+            assert_eq!(
+                pre.metrics.counts.prepass_podem_calls_saved,
+                pre.metrics.counts.prepass_proven
+            );
+        }
+    }
+
+    #[test]
+    fn static_prepass_saves_podem_calls_on_seeded_redundancy() {
+        let s = redundant_design();
+        let cfg = AtpgConfig {
+            static_prepass: true,
+            ..AtpgConfig::default()
+        };
+        let run = Atpg::new(&s, cfg).unwrap().run().unwrap();
+        let saved = run.metrics.counts.prepass_podem_calls_saved;
+        assert!(saved > 0, "seeded redundancy must be proven statically");
+        // Whatever was proven ended up Untestable, never Detected.
+        assert!(run.metrics.counts.untestable >= saved);
     }
 
     #[test]

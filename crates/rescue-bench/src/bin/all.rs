@@ -146,6 +146,11 @@ fn main() {
             println!();
         }
 
+        // Static-implication ATPG pre-pass: proven-redundant counts and
+        // PODEM calls saved gate exactly; the `identical` row pins the
+        // byte-identity contract (pre-pass on vs off) in bench-diff.
+        rescue_bench::prepass_report(report, &params);
+
         // Event-kernel microbench + 1-vs-N thread scaling row, tracked
         // in BENCH_metrics.json across snapshots.
         rescue_bench::fsim_kernel_report(report, &params, threads);

@@ -58,6 +58,18 @@ fn main() {
                 s.per_component.len()
             );
         }
+        if let Some(imp) = &lr.implication {
+            println!(
+                "  impl: {} literals, {} implications, {} constants, \
+                 {}/{} reconvergent stems, {} redundant faults",
+                imp.stats.literals,
+                imp.stats.direct_implications,
+                imp.stats.constant_literals,
+                imp.stats.reconvergent_stems,
+                imp.stats.stems,
+                imp.redundant_faults.len()
+            );
+        }
     }
 
     if let Some(path) = &json_path {

@@ -151,7 +151,10 @@ impl Default for DiffConfig {
 /// differ between runs that are both healthy. SCOAP aggregates
 /// (`lint.*.scoap.*`) are testability telemetry, not correctness
 /// counters; the `lint.*` diagnostic counts themselves still gate
-/// exactly. The observability self-benchmark (`obs.overhead.*`) is
+/// exactly, as do the implication-learning counts (`lint.*.impl.*`)
+/// and the static pre-pass rows (`atpg.prepass.*` — proofs are
+/// deterministic; only the `_ms` / `_per_sec` suffixed rates there
+/// are wall-clock). The observability self-benchmark (`obs.overhead.*`) is
 /// wall-clock by nature, and the `live.*` ring totals only exist on
 /// runs started with `--serve-metrics` / `--progress-every`. The
 /// `profile.*` phase attribution is wall-clock (and its scope counts
@@ -946,6 +949,72 @@ mod tests {
             .deltas
             .iter()
             .any(|d| d.severity == Severity::Fail && d.path == "lint.baseline.scan.errors"));
+    }
+
+    #[test]
+    fn implication_counts_gate_exactly() {
+        let mk = |redundant: u64, implications: u64| {
+            parse(&format!(
+                r#"{{"title":"lint","sections":[
+                    {{"name":"lint.baseline.scan.impl","metrics":{{
+                       "literals":1024,"direct_implications":{implications},
+                       "constant_literals":4,"probe_rounds":2,
+                       "stems":40,"reconvergent_stems":7,
+                       "redundant_faults":{redundant}}}}}],
+                   "spans":[]}}"#
+            ))
+            .unwrap()
+        };
+        // Implication learning is deterministic: every `lint.*.impl.*`
+        // count must match exactly, unlike the SCOAP aggregates.
+        let b = mk(3, 210);
+        let r = diff(&b, &mk(3, 210), &DiffConfig::default()).unwrap();
+        assert!(!r.regressed(), "{}", r.render(true));
+        let r = diff(&b, &mk(2, 210), &DiffConfig::default()).unwrap();
+        assert!(r.regressed());
+        assert!(r.deltas.iter().any(|d| d.severity == Severity::Fail
+            && d.path == "lint.baseline.scan.impl.redundant_faults"));
+        let r = diff(&b, &mk(3, 209), &DiffConfig::default()).unwrap();
+        assert!(r.regressed(), "{}", r.render(true));
+    }
+
+    #[test]
+    fn prepass_counts_gate_exactly_but_rates_are_informational() {
+        let mk = |proven: u64, vec_ident: u64, unsound: u64, per_sec: &str| {
+            parse(&format!(
+                r#"{{"title":"all","sections":[
+                    {{"name":"atpg.prepass.rescue","metrics":{{
+                       "proven":{proven},"podem_calls_saved":{proven},
+                       "vectors_identical":{vec_ident},"upgraded_aborts":148,
+                       "unsound_diffs":{unsound},"vectors":120,
+                       "prepass_ms":1.5,"proofs_per_sec":{per_sec}}}}}],
+                   "spans":[]}}"#
+            ))
+            .unwrap()
+        };
+        // Throughput may drift freely...
+        let b = mk(9, 1, 0, "6000.0");
+        let r = diff(&b, &mk(9, 1, 0, "9500.0"), &DiffConfig::default()).unwrap();
+        assert!(!r.regressed(), "{}", r.render(true));
+        assert!(r.deltas.iter().any(|d| d.severity == Severity::Info
+            && d.path == "atpg.prepass.rescue.proofs_per_sec"));
+        // ...but losing proofs, moving a vector (`vectors_identical`
+        // 1 → 0), or any non-upgrade class change (`unsound_diffs`
+        // 0 → 1) is a regression.
+        let r = diff(&b, &mk(7, 1, 0, "6000.0"), &DiffConfig::default()).unwrap();
+        assert!(r.regressed());
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| d.severity == Severity::Fail && d.path == "atpg.prepass.rescue.proven"));
+        let r = diff(&b, &mk(9, 0, 0, "6000.0"), &DiffConfig::default()).unwrap();
+        assert!(r.regressed());
+        assert!(r.deltas.iter().any(|d| d.severity == Severity::Fail
+            && d.path == "atpg.prepass.rescue.vectors_identical"));
+        let r = diff(&b, &mk(9, 1, 1, "6000.0"), &DiffConfig::default()).unwrap();
+        assert!(r.regressed());
+        assert!(r.deltas.iter().any(|d| d.severity == Severity::Fail
+            && d.path == "atpg.prepass.rescue.unsound_diffs"));
     }
 
     #[test]

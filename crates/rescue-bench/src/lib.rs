@@ -924,8 +924,85 @@ pub fn lint_report(
                 .u64("co_max", s.co_max())
                 .u64("components", s.per_component.len() as u64);
         }
+        if let Some(imp) = &lr.implication {
+            report
+                .section(&format!("lint.{label}.impl"))
+                .u64("literals", imp.stats.literals)
+                .u64("direct_implications", imp.stats.direct_implications)
+                .u64("constant_literals", imp.stats.constant_literals)
+                .u64("probe_rounds", imp.stats.probe_rounds)
+                .u64("stems", imp.stats.stems)
+                .u64("reconvergent_stems", imp.stats.reconvergent_stems)
+                .u64("redundant_faults", imp.redundant_faults.len() as u64);
+        }
     }
     designs
+}
+
+/// Measure the static-implication ATPG pre-pass on both model
+/// variants: run the full ATPG flow once with the pre-pass off and
+/// once with it on, and re-check the contract the `rescue-atpg` and
+/// `rescue-core` tests pin on every bench run. `vectors_identical`
+/// must stay 1 (the test set never moves), `unsound_diffs` must stay
+/// 0 (the only classification difference allowed is the sound
+/// `Aborted` → `Untestable` upgrade on proven faults, tallied in
+/// `upgraded_aborts`), and all counts are deterministic, gating
+/// exactly in `bench-diff`. Throughput and wall-clock keys carry the
+/// `_per_sec` / `_ms` suffixes so `bench-diff` treats them as
+/// informational.
+pub fn prepass_report(report: &mut Report, params: &rescue_core::model::ModelParams) {
+    use rescue_core::atpg::{Atpg, AtpgConfig, FaultClass};
+    use rescue_core::experiments::build_scanned;
+    use rescue_core::model::Variant;
+
+    let _s = rescue_obs::span("prepass");
+    for variant in [Variant::Baseline, Variant::Rescue] {
+        let tag = format!("{variant:?}").to_lowercase();
+        let (_model, scanned) = build_scanned(params, variant);
+
+        let base_cfg = AtpgConfig::default();
+        let base = Atpg::new(&scanned, base_cfg.clone())
+            .expect("scan design")
+            .run()
+            .expect("atpg run");
+        let pre_cfg = AtpgConfig {
+            static_prepass: true,
+            ..base_cfg
+        };
+        let pre = Atpg::new(&scanned, pre_cfg)
+            .expect("scan design")
+            .run()
+            .expect("atpg run");
+
+        let mut upgraded = 0u64;
+        let mut unsound = 0u64;
+        for (fault, base_class) in &base.classes {
+            match pre.classes.get(fault) {
+                Some(pre_class) if pre_class == base_class => {}
+                Some(FaultClass::Untestable) if *base_class == FaultClass::Aborted => {
+                    upgraded += 1;
+                }
+                _ => unsound += 1,
+            }
+        }
+        unsound += (pre.classes.len() != base.classes.len()) as u64;
+
+        let prepass_s = pre.metrics.timing.prepass_ns as f64 / 1e9;
+        let proven = pre.metrics.counts.prepass_proven;
+        report
+            .section(&format!("atpg.prepass.{tag}"))
+            .u64("proven", proven)
+            .u64(
+                "podem_calls_saved",
+                pre.metrics.counts.prepass_podem_calls_saved,
+            )
+            .u64("vectors_identical", (base.vectors == pre.vectors) as u64)
+            .u64("upgraded_aborts", upgraded)
+            .u64("unsound_diffs", unsound)
+            .u64("vectors", pre.vectors.len() as u64)
+            .f64("prepass_ms", prepass_s * 1e3)
+            .f64("proofs_per_sec", proven as f64 / prepass_s.max(1e-12));
+    }
 }
 
 /// Fill one report section from a [`CoverageCurve`]: the endpoint, the

@@ -4,8 +4,10 @@
 //! same semantics: a naive full-re-evaluation simulator, a levelized
 //! packed evaluator, two event-driven fault-propagation kernels, a
 //! multi-threaded sharding layer, structural fault-equivalence
-//! collapsing, the PODEM test generator that consumes them all, and
-//! the static DFT lint that predicts untestability without simulating.
+//! collapsing, the PODEM test generator that consumes them all, the
+//! static DFT lint that predicts untestability without simulating, and
+//! the static implication engine that proves faults redundant without
+//! searching.
 //! This crate pits them against each other on seeded random scan
 //! designs — any disagreement is a bug in one of the engines.
 //!
@@ -52,7 +54,7 @@ pub struct FuzzConfig {
     pub cases: u64,
     /// Gate-count cap for the main generator shape.
     pub max_gates: usize,
-    /// Oracles to run (default: all seven).
+    /// Oracles to run (default: all eight).
     pub oracles: Vec<OracleKind>,
     /// Where to write repro files for divergences (`None` = don't).
     pub repro_dir: Option<PathBuf>,
@@ -218,7 +220,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
 mod tests {
     use super::*;
 
-    /// The headline guarantee, at smoke scale: all seven oracles agree
+    /// The headline guarantee, at smoke scale: all eight oracles agree
     /// on every generated case. The CI `fuzz-smoke` job runs the same
     /// check at 1000 cases per seed.
     #[test]

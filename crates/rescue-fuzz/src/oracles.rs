@@ -1,4 +1,4 @@
-//! The seven cross-engine oracles.
+//! The eight cross-engine oracles.
 //!
 //! Each oracle checks one agreement property between independent
 //! implementations of the same semantics, so a bug in either side shows
@@ -28,9 +28,15 @@
 //!   design-rule checks error-clean, pre- and post-scan, and any net
 //!   lint proves constant must never have its stuck-at-constant fault
 //!   classified `Detected` by ATPG.
+//! * [`redundancy`] — every fault the static implication engine proves
+//!   redundant under capture constraints must be `Untestable` per a
+//!   deep PODEM search with the pre-pass off — a `Test` or an abort
+//!   would mean an unsound proof silently inflating coverage.
 
 use crate::ir::CaseIr;
-use rescue_atpg::{Atpg, AtpgConfig, FaultClass, FaultShards, FaultSim, Kernel};
+use rescue_atpg::{
+    Atpg, AtpgConfig, FaultClass, FaultShards, FaultSim, Kernel, Podem, PodemConfig, PodemResult,
+};
 use rescue_netlist::scan::insert_scan;
 use rescue_netlist::{Fault, Levelized, Netlist, PatternBlock};
 
@@ -55,11 +61,14 @@ pub enum OracleKind {
     /// Static DFT lint cleanliness, plus lint-vs-ATPG agreement on
     /// constant-net untestability.
     Lint,
+    /// Static redundancy proofs vs. a deep PODEM search: proven faults
+    /// must be `Untestable`, never testable or aborted.
+    Redundancy,
 }
 
 impl OracleKind {
     /// All oracles, in run order.
-    pub const ALL: [OracleKind; 7] = [
+    pub const ALL: [OracleKind; 8] = [
         OracleKind::Engines,
         OracleKind::Shards,
         OracleKind::Wide,
@@ -67,6 +76,7 @@ impl OracleKind {
         OracleKind::Dropping,
         OracleKind::Collapse,
         OracleKind::Lint,
+        OracleKind::Redundancy,
     ];
 
     /// Stable name used in repro files and metrics keys.
@@ -79,6 +89,7 @@ impl OracleKind {
             OracleKind::Dropping => "dropping",
             OracleKind::Collapse => "collapse",
             OracleKind::Lint => "lint",
+            OracleKind::Redundancy => "redundancy",
         }
     }
 
@@ -92,6 +103,7 @@ impl OracleKind {
             "dropping" => OracleKind::Dropping,
             "collapse" => OracleKind::Collapse,
             "lint" => OracleKind::Lint,
+            "redundancy" => OracleKind::Redundancy,
             other => return Err(format!("unknown oracle: {other}")),
         })
     }
@@ -107,6 +119,7 @@ impl OracleKind {
             OracleKind::Dropping => dropping(case),
             OracleKind::Collapse => collapse(case),
             OracleKind::Lint => lint_clean(case),
+            OracleKind::Redundancy => redundancy(case),
         }
     }
 }
@@ -489,6 +502,49 @@ pub fn lint_clean(case: &CaseIr) -> Result<(), String> {
     Ok(())
 }
 
+/// Oracle (h): soundness of FIRE-style redundancy identification. Every
+/// fault the static implication engine proves untestable under capture
+/// constraints is handed to PODEM with a backtrack budget ~33× the
+/// production default and the pre-pass off: the search must come back
+/// `Untestable`. A generated test is a hard unsoundness (the "proof"
+/// was wrong); an abort means the claim was not independently
+/// confirmable, which this oracle also refuses to let pass.
+pub fn redundancy(case: &CaseIr) -> Result<(), String> {
+    let netlist = case.build()?;
+    let scanned = insert_scan(&netlist).map_err(|e| format!("insert_scan: {e}"))?;
+    let atpg = Atpg::new(&scanned, AtpgConfig::default()).map_err(|e| format!("Atpg::new: {e}"))?;
+    let lev = Levelized::new(&scanned.netlist);
+    let constraints = atpg.capture_constraints();
+    let mut engine = rescue_lint::ImplicationEngine::from_levelized(&lev, &constraints);
+    let podem = Podem::new(
+        &scanned.netlist,
+        constraints,
+        PodemConfig {
+            max_backtracks: 10_000,
+        },
+    );
+    for fault in scanned.netlist.collapse_faults() {
+        if atpg.is_chain_fault(fault) || !engine.prove_fault_levelized(&lev, fault) {
+            continue;
+        }
+        match podem.generate(fault) {
+            PodemResult::Untestable => {}
+            PodemResult::Test(_) => {
+                return Err(format!(
+                    "implication engine proved {fault} redundant but PODEM generated a test"
+                ));
+            }
+            PodemResult::Aborted => {
+                return Err(format!(
+                    "implication engine proved {fault} redundant but PODEM aborted \
+                     at 10000 backtracks (proof not independently confirmed)"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -511,9 +567,11 @@ mod tests {
         atpg_confirm(&case).unwrap();
         dropping(&case).unwrap();
         lint_clean(&case).unwrap();
+        redundancy(&case).unwrap();
         let small = generate(1, 0, &GenConfig::small());
         collapse(&small).unwrap();
         lint_clean(&small).unwrap();
+        redundancy(&small).unwrap();
     }
 
     #[test]

@@ -86,11 +86,17 @@ pub enum Rule {
     /// A flip-flop whose functional capture cone spans more than one
     /// ICI component (the paper's Section 3.1 isolation ambiguity).
     CaptureAmbiguity,
+    /// A stuck-at fault the static implication engine proved
+    /// untestable (FIRE-style redundancy identification): its
+    /// excitation or propagation conditions conflict with learned
+    /// implications. Redundant logic wastes area and silently erodes
+    /// fault coverage.
+    RedundantFault,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 14] = [
+    pub const ALL: [Rule; 15] = [
         Rule::UndrivenNet,
         Rule::MultiplyDrivenNet,
         Rule::FloatingInput,
@@ -105,6 +111,7 @@ impl Rule {
         Rule::ScanBrokenOrder,
         Rule::ScanBypass,
         Rule::CaptureAmbiguity,
+        Rule::RedundantFault,
     ];
 
     /// Stable kebab-case name (JSON, metrics keys).
@@ -124,6 +131,7 @@ impl Rule {
             Rule::ScanBrokenOrder => "scan-broken-order",
             Rule::ScanBypass => "scan-bypass",
             Rule::CaptureAmbiguity => "capture-ambiguity",
+            Rule::RedundantFault => "redundant-fault",
         }
     }
 
@@ -136,7 +144,7 @@ impl Rule {
     /// ICI improves.
     pub fn severity(self) -> Severity {
         match self {
-            Rule::DeadLogic | Rule::StuckNet => Severity::Warning,
+            Rule::DeadLogic | Rule::StuckNet | Rule::RedundantFault => Severity::Warning,
             Rule::CaptureAmbiguity => Severity::Info,
             _ => Severity::Error,
         }
@@ -174,6 +182,19 @@ impl Diagnostic {
     }
 }
 
+/// Implication-engine results attached to a [`LintReport`] when the
+/// netlist levelizes soundly.
+#[derive(Clone, Debug, Default)]
+pub struct ImplicationReport {
+    /// Database statistics (literal count, edge count, learned
+    /// constants, reconvergent-stem census).
+    pub stats: crate::implication::ImplicationStats,
+    /// Stuck-at faults proven redundant, as `(net, stuck_value)`.
+    /// Excludes nets already reported by [`Rule::StuckNet`] — those
+    /// are the 3-valued-simulation subset and keep their own rule.
+    pub redundant_faults: Vec<(u32, bool)>,
+}
+
 /// The structured result of linting one netlist.
 #[derive(Clone, Debug, Default)]
 pub struct LintReport {
@@ -188,6 +209,9 @@ pub struct LintReport {
     /// SCOAP analysis, when the netlist was structurally sound enough
     /// to levelize (no errors that break topological ordering).
     pub scoap: Option<crate::scoap::ScoapAnalysis>,
+    /// Static implication analysis, under the same soundness gate as
+    /// SCOAP.
+    pub implication: Option<ImplicationReport>,
 }
 
 impl LintReport {
@@ -249,6 +273,17 @@ impl LintReport {
         obj.u64("stuck_nets", self.stuck_nets.len() as u64);
         if let Some(scoap) = &self.scoap {
             obj.raw("scoap", &scoap.to_json());
+        }
+        if let Some(imp) = &self.implication {
+            let mut o = JsonObj::new();
+            o.u64("literals", imp.stats.literals);
+            o.u64("direct_implications", imp.stats.direct_implications);
+            o.u64("constant_literals", imp.stats.constant_literals);
+            o.u64("probe_rounds", imp.stats.probe_rounds);
+            o.u64("stems", imp.stats.stems);
+            o.u64("reconvergent_stems", imp.stats.reconvergent_stems);
+            o.u64("redundant_faults", imp.redundant_faults.len() as u64);
+            obj.raw("impl", &o.finish());
         }
         obj.finish()
     }

@@ -38,11 +38,13 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod implication;
 pub mod ir;
 pub mod rules;
 pub mod scoap;
 
-pub use diag::{Diagnostic, LintReport, Rule, Severity};
+pub use diag::{Diagnostic, ImplicationReport, LintReport, Rule, Severity};
+pub use implication::{ImplicationEngine, ImplicationStats, ProofSite};
 pub use ir::{LintChain, LintDff, LintDriver, LintGate, LintNetlist, NO_NET};
 pub use scoap::{ScoapAnalysis, SCOAP_INF};
 
@@ -53,14 +55,53 @@ use rescue_netlist::Netlist;
 /// structure is sound enough to levelize — SCOAP analysis.
 pub fn lint(netlist: &LintNetlist) -> LintReport {
     let outcome = rules::run_rules(netlist);
-    let scoap = match (&outcome.topo, outcome.sound) {
-        (Some(topo), true) => Some(ScoapAnalysis::compute(netlist, topo)),
-        _ => None,
+    let mut diagnostics = outcome.diagnostics;
+    let (scoap, implication) = match (&outcome.topo, outcome.sound) {
+        (Some(topo), true) => {
+            let scoap = ScoapAnalysis::compute(netlist, topo);
+            let mut engine = ImplicationEngine::from_lint(netlist, topo);
+            // Nets the 3-valued stuck-net rule already covers keep that
+            // rule; the implication engine reports only what plain
+            // constant propagation cannot see.
+            let stuck: std::collections::HashSet<(u32, bool)> =
+                outcome.stuck_nets.iter().copied().collect();
+            let mut redundant_faults = Vec::new();
+            for net in 0..netlist.num_nets() as u32 {
+                for v in [false, true] {
+                    if stuck.contains(&(net, v)) {
+                        continue;
+                    }
+                    if engine.prove_redundant(ProofSite::Net(net as usize), v) {
+                        redundant_faults.push((net, v));
+                    }
+                }
+            }
+            // Rules emit in `Rule::ALL` order and `RedundantFault` is
+            // last, so appending keeps the report sorted.
+            for &(net, v) in &redundant_faults {
+                diagnostics.push(Diagnostic::new(
+                    Rule::RedundantFault,
+                    format!(
+                        "stuck-at-{} on {} is untestable by static implication",
+                        v as u8,
+                        netlist.net_name(net),
+                    ),
+                    Some(net),
+                ));
+            }
+            let report = ImplicationReport {
+                stats: engine.stats(),
+                redundant_faults,
+            };
+            (Some(scoap), Some(report))
+        }
+        _ => (None, None),
     };
     LintReport {
-        diagnostics: outcome.diagnostics,
+        diagnostics,
         stuck_nets: outcome.stuck_nets,
         scoap,
+        implication,
     }
 }
 
@@ -123,6 +164,42 @@ mod tests {
             "{}",
             rm.render_text("multi", 50)
         );
+    }
+
+    #[test]
+    fn seeded_redundancy_count_is_exact() {
+        // y = (a AND ¬a) OR b: the AND cone is redundant logic that
+        // 3-valued constant propagation cannot see (both AND inputs
+        // unknown), so stuck-net stays silent and the implication
+        // engine must carry the proof alone. Exactly two faults are
+        // provable: x sa0 (x = a AND ¬a is a learned constant 0) and
+        // ¬a sa0 (its only fanout is the AND, blocked by the side
+        // input a forced to the controlling value 0).
+        let mut b = NetlistBuilder::new();
+        b.enter_component("lc");
+        let a = b.input("a");
+        let c = b.input("b");
+        let na = b.not(a);
+        let x = b.and2(a, na);
+        let y = b.or2(x, c);
+        b.output(y, "y");
+        let n = b.finish().unwrap();
+        let r = lint_netlist(&n);
+        assert!(r.stuck_nets.is_empty(), "3-valued rule must not see x");
+        assert_eq!(r.count_rule(Rule::StuckNet), 0);
+        assert_eq!(r.count_rule(Rule::RedundantFault), 2);
+        let imp = r.implication.as_ref().unwrap();
+        assert_eq!(
+            imp.redundant_faults,
+            vec![(na.index() as u32, false), (x.index() as u32, false)]
+        );
+        // The report stays a warning, not an error.
+        assert_eq!(r.count(Severity::Error), 0);
+        // JSON carries the impl section with the exact count.
+        let v = rescue_obs::json::parse(&r.to_json("seeded")).unwrap();
+        let imp_json = v.get("impl").unwrap();
+        assert_eq!(imp_json.get("redundant_faults").unwrap().as_int().unwrap(), 2);
+        assert!(imp_json.get("direct_implications").unwrap().as_int().unwrap() > 0);
     }
 
     #[test]

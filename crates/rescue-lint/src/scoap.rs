@@ -180,7 +180,30 @@ impl ScoapAnalysis {
             .unwrap_or(0)
     }
 
+    /// Nets whose CO saturated (nothing observes them), across the
+    /// whole netlist.
+    pub fn unobservable_nets(&self) -> u64 {
+        self.co.iter().filter(|&&v| v >= SCOAP_INF).count() as u64
+    }
+
+    /// Nets where CC0 or CC1 saturated (one value unreachable), across
+    /// the whole netlist.
+    pub fn uncontrollable_nets(&self) -> u64 {
+        self.cc0
+            .iter()
+            .zip(&self.cc1)
+            .filter(|&(&c0, &c1)| c0 >= SCOAP_INF || c1 >= SCOAP_INF)
+            .count() as u64
+    }
+
     /// Render as a JSON object (the `scoap` member of the lint report).
+    ///
+    /// Saturated values ([`SCOAP_INF`]) are never emitted as raw costs:
+    /// aggregates cover finite values only, and saturation is reported
+    /// explicitly — `saturated` flags (top-level and per component)
+    /// plus `unobservable_nets` / `uncontrollable_nets` totals —
+    /// because a fully saturated component would otherwise render as a
+    /// perfect-looking `co_mean` of 0.
     pub fn to_json(&self) -> String {
         let comps: Vec<String> = self
             .per_component
@@ -192,16 +215,22 @@ impl ScoapAnalysis {
                 o.f64("cc0_mean", c.cc0.mean());
                 o.f64("cc1_mean", c.cc1.mean());
                 o.f64("co_mean", c.co.mean());
-                o.u64("co_max", c.co.max);
+                o.u64("co_max", c.co.max.min(SCOAP_INF - 1));
                 o.u64("unobservable", c.unobservable);
                 o.u64("uncontrollable", c.uncontrollable);
+                o.bool("saturated", c.unobservable > 0 || c.uncontrollable > 0);
                 o.arr_u64("co_buckets", &c.co.buckets);
                 o.finish()
             })
             .collect();
+        let unobservable = self.unobservable_nets();
+        let uncontrollable = self.uncontrollable_nets();
         let mut obj = JsonObj::new();
         obj.f64("co_mean", self.co_mean());
-        obj.u64("co_max", self.co_max());
+        obj.u64("co_max", self.co_max().min(SCOAP_INF - 1));
+        obj.u64("unobservable_nets", unobservable);
+        obj.u64("uncontrollable_nets", uncontrollable);
+        obj.bool("saturated", unobservable > 0 || uncontrollable > 0);
         obj.raw("components", &format!("[{}]", comps.join(",")));
         obj.finish()
     }
@@ -376,6 +405,47 @@ mod tests {
         // Q (net 1) is a pseudo-input, D (= a, net 0) a pseudo-output.
         assert_eq!((s.cc0[1], s.cc1[1]), (1, 1));
         assert_eq!(s.co[0], 0);
+    }
+
+    #[test]
+    fn saturation_is_flagged_not_rendered_as_raw_costs() {
+        // Const0-fed AND: x can never be 1 and `a` is unobservable, so
+        // both saturation flags must fire, with exact totals, and no
+        // emitted cost may reach the raw SCOAP_INF sentinel.
+        let mut b = NetlistBuilder::new();
+        b.enter_component("lc");
+        let a = b.input("a");
+        let z = b.const0();
+        let x = b.and2(a, z);
+        b.output(x, "o");
+        let lint = LintNetlist::from_netlist(&b.finish().unwrap());
+        let s = ScoapAnalysis::compute(&lint, &topo_of(&lint));
+        let v = rescue_obs::json::parse(&s.to_json()).unwrap();
+        assert_eq!(v.get("saturated").unwrap().as_bool().unwrap(), true);
+        // co saturates on `a` only (z and x reach the PO).
+        assert_eq!(v.get("unobservable_nets").unwrap().as_int().unwrap(), 1);
+        // cc saturates on z (never 1) and x (never 1).
+        assert_eq!(v.get("uncontrollable_nets").unwrap().as_int().unwrap(), 2);
+        let comp = &v.get("components").unwrap().as_arr().unwrap()[0];
+        assert_eq!(comp.get("saturated").unwrap().as_bool().unwrap(), true);
+        assert_eq!(comp.get("uncontrollable").unwrap().as_int().unwrap(), 2);
+        for key in ["co_max"] {
+            let raw = v.get(key).unwrap().as_int().unwrap() as u64;
+            assert!(raw < SCOAP_INF, "{key} leaked the saturation sentinel");
+        }
+
+        // A clean design reports saturated=false everywhere.
+        let mut b = NetlistBuilder::new();
+        b.enter_component("lc");
+        let a = b.input("a");
+        let x = b.not(a);
+        b.output(x, "o");
+        let lint = LintNetlist::from_netlist(&b.finish().unwrap());
+        let s = ScoapAnalysis::compute(&lint, &topo_of(&lint));
+        let v = rescue_obs::json::parse(&s.to_json()).unwrap();
+        assert_eq!(v.get("saturated").unwrap().as_bool().unwrap(), false);
+        assert_eq!(v.get("unobservable_nets").unwrap().as_int().unwrap(), 0);
+        assert_eq!(v.get("uncontrollable_nets").unwrap().as_int().unwrap(), 0);
     }
 
     #[test]

@@ -276,6 +276,21 @@ impl Levelized {
         &self.po_ids[self.po_offsets[ni] as usize..self.po_offsets[ni + 1] as usize]
     }
 
+    /// Internal net index per primary input, declaration order. Together
+    /// with [`Levelized::dff_q_nets`] this is the literal view consumed
+    /// by static implication analysis: the free (assignable) nets of the
+    /// combinational capture frame.
+    #[inline]
+    pub fn input_nets(&self) -> &[u32] {
+        &self.input_nets
+    }
+
+    /// Internal Q-output net index per flip-flop, declaration order.
+    #[inline]
+    pub fn dff_q_nets(&self) -> &[u32] {
+        &self.dff_q_nets
+    }
+
     /// Fault-free 64-way bit-parallel evaluation of one capture cycle
     /// into a caller-owned buffer (resized to `num_nets`), indexed by
     /// **original** [`NetId`]. Produces exactly the same net values as

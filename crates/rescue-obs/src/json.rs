@@ -205,6 +205,14 @@ impl JsonValue {
         }
     }
 
+    /// The value as a bool if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as an exact integer if it is one.
     pub fn as_int(&self) -> Option<i128> {
         match self {

@@ -82,6 +82,13 @@ pub struct JobConfig {
     pub max_backtracks: usize,
     /// n-detect dropping (`"drop_after"`, 0 = off).
     pub drop_after: u32,
+    /// ATPG static redundancy pre-pass (`"static_prepass"`).
+    /// Vectors are invariant, but the pre-pass can soundly upgrade
+    /// budget-`Aborted` faults to `Untestable`, which moves the result
+    /// line's class counts and coverage — so unlike
+    /// `threads`/`lane_words` it is **included** in
+    /// [`JobConfig::config_hash`].
+    pub static_prepass: bool,
     /// Fsim: number of 64-pattern blocks to simulate (`"patterns"`).
     pub patterns: usize,
     /// Fsim: pattern generator seed (`"seed"`).
@@ -101,6 +108,7 @@ impl JobConfig {
             merge_window: atpg.merge_window,
             max_backtracks: PodemConfig::default().max_backtracks,
             drop_after: 0,
+            static_prepass: atpg.static_prepass,
             patterns: 4,
             seed: 0x5eed,
         }
@@ -154,6 +162,12 @@ impl JobConfig {
                 _ => return Err("\"merge_cubes\" must be a boolean".to_owned()),
             }
         }
+        if let Some(v) = obj.get("static_prepass") {
+            match v {
+                JsonValue::Bool(b) => cfg.static_prepass = *b,
+                _ => return Err("\"static_prepass\" must be a boolean".to_owned()),
+            }
+        }
         if cfg.patterns == 0 || cfg.patterns > 4096 {
             return Err("\"patterns\" must be in 1..=4096".to_owned());
         }
@@ -163,7 +177,11 @@ impl JobConfig {
     /// Hash of every config field that can change the result bytes.
     /// `threads` and `lane_words` are excluded: both are documented
     /// bit-identical datapath knobs, so jobs differing only in them
-    /// share a result-cache entry.
+    /// share a result-cache entry. `static_prepass` is **included**:
+    /// the vectors are invariant, but on designs where PODEM's budget
+    /// aborts inside a proven-redundant cone the pre-pass upgrades the
+    /// class to `Untestable`, moving the result line's
+    /// `untestable`/`aborted`/`coverage` fields.
     pub fn config_hash(&self) -> u64 {
         let mut h = Fnv64::new();
         h.write_str("rescue-serve-config-v1");
@@ -173,6 +191,7 @@ impl JobConfig {
         h.write_u64(self.merge_window as u64);
         h.write_u64(self.max_backtracks as u64);
         h.write_u64(u64::from(self.drop_after));
+        h.write_u64(u64::from(self.static_prepass));
         h.write_u64(self.patterns as u64);
         h.write_u64(self.seed);
         h.finish()
@@ -188,6 +207,7 @@ impl JobConfig {
             merge_window: self.merge_window,
             threads: self.threads,
             lane_words: self.lane_words,
+            static_prepass: self.static_prepass,
             drop_after: if self.drop_after > 1 {
                 Some(self.drop_after)
             } else {
@@ -394,6 +414,15 @@ mod tests {
         assert!(JobConfig::parse(r#"{"kind":"atpg","threads":-1}"#).is_err());
         assert!(JobConfig::parse(r#"{"kind":"fsim","patterns":0}"#).is_err());
         assert!(JobConfig::parse(r#"{"kind":"atpg","merge_cubes":3}"#).is_err());
+        assert!(JobConfig::parse(r#"{"kind":"atpg","static_prepass":"yes"}"#).is_err());
+    }
+
+    #[test]
+    fn static_prepass_parses_and_reaches_the_engine_config() {
+        let cfg = JobConfig::parse(r#"{"kind":"atpg","static_prepass":true}"#).unwrap();
+        assert!(cfg.static_prepass);
+        assert!(cfg.atpg_config().static_prepass);
+        assert!(!JobConfig::new(JobKind::Atpg).static_prepass);
     }
 
     #[test]
@@ -410,5 +439,10 @@ mod tests {
         let mut other_kind = base.clone();
         other_kind.kind = JobKind::Lint;
         assert_ne!(base.config_hash(), other_kind.config_hash());
+        // The pre-pass can move the result line's class counts on
+        // budget-limited designs, so it must key its own cache entry.
+        let mut prepass = base.clone();
+        prepass.static_prepass = true;
+        assert_ne!(base.config_hash(), prepass.config_hash());
     }
 }
